@@ -1,0 +1,50 @@
+//! Clustering benchmarks (the Figure 6b quantity): one full fit of EM / KM /
+//! KHM with EGED on a reduced synthetic workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use strg_cluster::{Clusterer, EmClusterer, EmConfig, HardConfig, KHarmonicMeans, KMeans};
+use strg_distance::Eged;
+use strg_synth::{all_patterns, generate_for_patterns, SynthConfig};
+
+fn bench_clustering(c: &mut Criterion) {
+    let patterns: Vec<_> = all_patterns().into_iter().step_by(8).collect();
+    let k = patterns.len();
+    let ds = generate_for_patterns(&patterns, 5, &SynthConfig::with_noise(0.1), 3);
+    let data = ds.series();
+
+    let mut g = c.benchmark_group("clustering_fit");
+    g.bench_function("EM-EGED", |b| {
+        let mut cfg = EmConfig::new(k).with_seed(1);
+        cfg.max_iters = 8;
+        cfg.n_init = 1;
+        let em = EmClusterer::new(Eged, cfg);
+        b.iter(|| em.fit(&data))
+    });
+    g.bench_function("KM-EGED", |b| {
+        let mut cfg = HardConfig::new(k).with_seed(1);
+        cfg.max_iters = 8;
+        let km = KMeans::new(Eged, cfg);
+        b.iter(|| km.fit(&data))
+    });
+    g.bench_function("KHM-EGED", |b| {
+        let mut cfg = HardConfig::new(k).with_seed(1);
+        cfg.max_iters = 8;
+        let khm = KHarmonicMeans::new(Eged, cfg);
+        b.iter(|| khm.fit(&data))
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_clustering
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Distance-function microbenchmarks: the cost of one EGED / EGED_M / DTW /
+//! LCS evaluation on trajectory-sized inputs (the unit the paper's cost
+//! model counts).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use strg_distance::{Dtw, Eged, EgedMetric, Lcs, SequenceDistance};
+use strg_synth::{generate_total, SynthConfig};
+
+fn bench_distances(c: &mut Criterion) {
+    let ds = generate_total(2, &SynthConfig::with_noise(0.1), 3);
+    let series = ds.series();
+    let (a, b) = (&series[0], &series[1]);
+
+    let mut g = c.benchmark_group("distance");
+    g.bench_function("EGED", |bch| bch.iter(|| Eged.distance(a, b)));
+    g.bench_function("EGED_M", |bch| {
+        let d = EgedMetric::new();
+        bch.iter(|| d.distance(a, b))
+    });
+    g.bench_function("DTW", |bch| bch.iter(|| Dtw.distance(a, b)));
+    g.bench_function("LCS", |bch| {
+        let d = Lcs::new(15.0);
+        bch.iter(|| d.distance(a, b))
+    });
+    g.finish();
+
+    // Scaling with sequence length.
+    let mut g = c.benchmark_group("eged_m_scaling");
+    for len in [16usize, 32, 64, 128] {
+        let a: Vec<f64> = (0..len).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..len).map(|i| (i as f64) * 1.1).collect();
+        let d = EgedMetric::<f64>::new();
+        g.bench_with_input(BenchmarkId::from_parameter(len), &len, |bch, _| {
+            bch.iter(|| d.distance(&a, &b))
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_distances
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Figure 7a as a criterion bench: building the STRG-Index vs the M-tree
+//! (both promotion policies) over the same synthetic Object Graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use strg_core::{StrgIndex, StrgIndexConfig};
+use strg_distance::EgedMetric;
+use strg_graph::{BackgroundGraph, Point2};
+use strg_mtree::{MTree, MTreeConfig};
+use strg_synth::{generate_total, SynthConfig};
+
+fn items(n: usize) -> Vec<(u64, Vec<Point2>)> {
+    generate_total(n, &SynthConfig::with_noise(0.1), 5)
+        .series()
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| (i as u64, s))
+        .collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index_build");
+    for n in [250usize, 500] {
+        let data = items(n);
+        g.bench_with_input(BenchmarkId::new("STRG-Index", n), &n, |b, _| {
+            b.iter(|| {
+                let mut cfg = StrgIndexConfig::with_k(12);
+                cfg.em_max_iters = 8;
+                cfg.em_n_init = 1;
+                let mut idx = StrgIndex::new(EgedMetric::<Point2>::new(), cfg);
+                idx.add_segment(BackgroundGraph::default(), data.clone());
+                idx
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("MT-RA", n), &n, |b, _| {
+            b.iter(|| MTree::bulk_insert(EgedMetric::<Point2>::new(), MTreeConfig::random(1), data.clone()))
+        });
+        g.bench_with_input(BenchmarkId::new("MT-SA", n), &n, |b, _| {
+            b.iter(|| MTree::bulk_insert(EgedMetric::<Point2>::new(), MTreeConfig::sampling(1), data.clone()))
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_build
+}
+criterion_main!(benches);

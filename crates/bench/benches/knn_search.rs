@@ -1,0 +1,75 @@
+//! Figure 7b as a criterion bench: k-NN query latency on the STRG-Index
+//! (exact and single-cluster) vs the M-tree, over the same database.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use strg_core::{StrgIndex, StrgIndexConfig};
+use strg_distance::EgedMetric;
+use strg_graph::{BackgroundGraph, Point2};
+use strg_mtree::{MTree, MTreeConfig};
+use strg_synth::{generate_total, SynthConfig};
+
+fn bench_knn(c: &mut Criterion) {
+    let n = 1_000;
+    let data: Vec<(u64, Vec<Point2>)> = generate_total(n, &SynthConfig::with_noise(0.1), 5)
+        .series()
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| (i as u64, s))
+        .collect();
+    let queries = generate_total(8, &SynthConfig::with_noise(0.1), 77).series();
+
+    let mut cfg = StrgIndexConfig::with_k(32);
+    cfg.em_max_iters = 10;
+    cfg.em_n_init = 1;
+    let mut strg = StrgIndex::new(EgedMetric::<Point2>::new(), cfg);
+    strg.add_segment(BackgroundGraph::default(), data.clone());
+    let mt_ra = MTree::bulk_insert(EgedMetric::<Point2>::new(), MTreeConfig::random(1), data.clone());
+    let mt_sa = MTree::bulk_insert(EgedMetric::<Point2>::new(), MTreeConfig::sampling(1), data);
+
+    let mut g = c.benchmark_group("knn_query");
+    for k in [5usize, 20] {
+        g.bench_with_input(BenchmarkId::new("STRG-Index-exact", k), &k, |b, &k| {
+            b.iter(|| {
+                for q in &queries {
+                    let _ = strg.knn(q, k);
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("STRG-Index-alg3", k), &k, |b, &k| {
+            b.iter(|| {
+                for q in &queries {
+                    let _ = strg.knn_single_cluster(q, k);
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("MT-RA", k), &k, |b, &k| {
+            b.iter(|| {
+                for q in &queries {
+                    let _ = mt_ra.knn(q, k);
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("MT-SA", k), &k, |b, &k| {
+            b.iter(|| {
+                for q in &queries {
+                    let _ = mt_sa.knn(q, k);
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_knn
+}
+criterion_main!(benches);

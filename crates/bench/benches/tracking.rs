@@ -1,0 +1,46 @@
+//! Front-of-pipeline benchmarks: region segmentation of a rendered frame
+//! and graph-based tracking (Algorithm 1) between two consecutive frames.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use strg_graph::{track_pair, FrameId, TrackerConfig};
+use strg_video::{frame_to_rag, lab_scene, ScenarioConfig, SegmentConfig};
+
+fn bench_pipeline_front(c: &mut Criterion) {
+    let scene = lab_scene(&ScenarioConfig {
+        n_actors: 4,
+        frames: 40,
+        seed: 9,
+        ..Default::default()
+    });
+    let mut rng = StdRng::seed_from_u64(0);
+    let f0 = scene.render(10, &mut rng);
+    let f1 = scene.render(11, &mut rng);
+    let cfg = SegmentConfig::default();
+
+    c.bench_function("segment_frame", |b| {
+        b.iter(|| strg_video::segment(&f0, &cfg))
+    });
+
+    let r0 = frame_to_rag(&f0, FrameId(10), &cfg);
+    let r1 = frame_to_rag(&f1, FrameId(11), &cfg);
+    c.bench_function("track_pair", |b| {
+        let tcfg = TrackerConfig::default();
+        b.iter(|| track_pair(&r0, &r1, &tcfg))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_pipeline_front
+}
+criterion_main!(benches);

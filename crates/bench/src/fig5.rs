@@ -1,0 +1,168 @@
+//! Figure 5: clustering error rate vs noise variance for
+//! {EM, KM, KHM} x {EGED, LCS, DTW}.
+
+use strg_cluster::{
+    clustering_error_rate, Clusterer, EmClusterer, EmConfig, HardConfig, KHarmonicMeans, KMeans,
+};
+use strg_distance::{Dtw, Eged, Lcs, SequenceDistance};
+use strg_graph::Point2;
+use strg_synth::{generate_for_patterns, SynthConfig};
+
+use crate::Scale;
+
+/// One measured point of Figure 5.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Clustering algorithm (`EM`, `KM`, `KHM`).
+    pub algo: &'static str,
+    /// Distance function (`EGED`, `LCS`, `DTW`).
+    pub dist: &'static str,
+    /// Outlier-noise percentage.
+    pub noise_pct: f64,
+    /// Clustering error rate percentage (Equation 11).
+    pub error_rate: f64,
+}
+
+/// The algorithm x distance grid of Figure 5.
+pub const ALGOS: [&str; 3] = ["EM", "KM", "KHM"];
+/// The distances compared.
+pub const DISTS: [&str; 3] = ["EGED", "LCS", "DTW"];
+
+/// Runs the full Figure 5 grid.
+pub fn run(scale: &Scale) -> Vec<Row> {
+    let patterns = scale.patterns();
+    let k = patterns.len();
+    let mut rows = Vec::new();
+    for &noise in &scale.noise_levels {
+        let ds = generate_for_patterns(
+            &patterns,
+            scale.per_cluster,
+            &SynthConfig::with_noise(noise),
+            scale.seed,
+        );
+        let data = ds.series();
+        let labels: Vec<u32> = ds
+            .items
+            .iter()
+            .map(|t| patterns.iter().position(|p| p.id == t.label).unwrap() as u32)
+            .collect();
+        for algo in ALGOS {
+            for dist in DISTS {
+                let err = fit_error(algo, dist, k, &data, &labels, scale.seed);
+                rows.push(Row {
+                    algo,
+                    dist,
+                    noise_pct: noise * 100.0,
+                    error_rate: err,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Fits one (algorithm, distance) cell and returns the error rate.
+pub fn fit_error(
+    algo: &str,
+    dist: &str,
+    k: usize,
+    data: &[Vec<Point2>],
+    labels: &[u32],
+    seed: u64,
+) -> f64 {
+    let c = fit(algo, dist, k, data, seed);
+    clustering_error_rate(&c.assignments, labels, c.k())
+}
+
+/// Fits one (algorithm, distance) cell.
+pub fn fit(
+    algo: &str,
+    dist: &str,
+    k: usize,
+    data: &[Vec<Point2>],
+    seed: u64,
+) -> strg_cluster::Clustering<Point2> {
+    // The LCS threshold matches the generator's sigma (the paper's setup).
+    match (algo, dist) {
+        ("EM", "EGED") => EmClusterer::new(DistBox::Eged, EmConfig::new(k).with_seed(seed)).fit(data),
+        ("EM", "LCS") => EmClusterer::new(DistBox::Lcs, EmConfig::new(k).with_seed(seed)).fit(data),
+        ("EM", "DTW") => EmClusterer::new(DistBox::Dtw, EmConfig::new(k).with_seed(seed)).fit(data),
+        ("KM", "EGED") => KMeans::new(DistBox::Eged, HardConfig::new(k).with_seed(seed)).fit(data),
+        ("KM", "LCS") => KMeans::new(DistBox::Lcs, HardConfig::new(k).with_seed(seed)).fit(data),
+        ("KM", "DTW") => KMeans::new(DistBox::Dtw, HardConfig::new(k).with_seed(seed)).fit(data),
+        ("KHM", "EGED") => {
+            KHarmonicMeans::new(DistBox::Eged, HardConfig::new(k).with_seed(seed)).fit(data)
+        }
+        ("KHM", "LCS") => {
+            KHarmonicMeans::new(DistBox::Lcs, HardConfig::new(k).with_seed(seed)).fit(data)
+        }
+        ("KHM", "DTW") => {
+            KHarmonicMeans::new(DistBox::Dtw, HardConfig::new(k).with_seed(seed)).fit(data)
+        }
+        _ => panic!("unknown cell {algo}-{dist}"),
+    }
+}
+
+/// A small enum dispatching among the three compared distances (avoids
+/// trait objects inside the clusterers).
+#[derive(Clone, Copy, Debug)]
+pub enum DistBox {
+    /// Non-metric EGED.
+    Eged,
+    /// LCS with a noise-matched epsilon (15 px).
+    Lcs,
+    /// DTW.
+    Dtw,
+}
+
+impl SequenceDistance<Point2> for DistBox {
+    fn distance(&self, a: &[Point2], b: &[Point2]) -> f64 {
+        match self {
+            DistBox::Eged => Eged.distance(a, b),
+            DistBox::Lcs => Lcs::new(15.0).distance(a, b),
+            DistBox::Dtw => Dtw.distance(a, b),
+        }
+    }
+    fn name(&self) -> &'static str {
+        match self {
+            DistBox::Eged => "EGED",
+            DistBox::Lcs => "LCS",
+            DistBox::Dtw => "DTW",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_grid_has_all_cells() {
+        let rows = run(&Scale::quick());
+        assert_eq!(rows.len(), 2 * 9);
+        for r in &rows {
+            assert!((0.0..=100.0).contains(&r.error_rate), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn eged_beats_dtw_under_noise_with_em() {
+        // The paper's headline: EM-EGED degrades more slowly than EM-DTW.
+        let mut scale = Scale::quick();
+        scale.noise_levels = vec![0.30];
+        scale.per_cluster = 6;
+        let rows = run(&scale);
+        let get = |d: &str| {
+            rows.iter()
+                .find(|r| r.algo == "EM" && r.dist == d)
+                .unwrap()
+                .error_rate
+        };
+        assert!(
+            get("EGED") <= get("DTW") + 10.0,
+            "EGED {} vs DTW {}",
+            get("EGED"),
+            get("DTW")
+        );
+    }
+}

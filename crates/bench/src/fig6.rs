@@ -1,0 +1,159 @@
+//! Figure 6: EM-EGED against KM-EGED and KHM-EGED —
+//! (a) clustering error rate vs noise, (b) cluster building time vs
+//! iteration cap, (c) distortion vs noise.
+
+use std::time::Instant;
+
+use strg_cluster::{
+    clustering_error_rate, distortion, Clusterer, EmClusterer, EmConfig, HardConfig,
+    KHarmonicMeans, KMeans,
+};
+use strg_distance::Eged;
+use strg_graph::Point2;
+use strg_synth::{generate_for_patterns, SynthConfig};
+
+use crate::Scale;
+
+/// One point of Figure 6a/6c.
+#[derive(Clone, Debug)]
+pub struct NoiseRow {
+    /// Algorithm (`EM`, `KM`, `KHM`), all with EGED.
+    pub algo: &'static str,
+    /// Outlier-noise percentage.
+    pub noise_pct: f64,
+    /// Error rate percentage (6a).
+    pub error_rate: f64,
+    /// Distortion in pixels (6c).
+    pub distortion: f64,
+}
+
+/// One point of Figure 6b.
+#[derive(Clone, Debug)]
+pub struct TimeRow {
+    /// Algorithm.
+    pub algo: &'static str,
+    /// Iteration cap the run was limited to.
+    pub iterations: usize,
+    /// Wall-clock seconds to fit.
+    pub seconds: f64,
+}
+
+/// Output of the Figure 6 experiment.
+#[derive(Clone, Debug, Default)]
+pub struct Fig6 {
+    /// 6a + 6c points.
+    pub noise: Vec<NoiseRow>,
+    /// 6b points.
+    pub time: Vec<TimeRow>,
+}
+
+/// The compared algorithms.
+pub const ALGOS: [&str; 3] = ["EM", "KM", "KHM"];
+
+/// Runs Figure 6.
+pub fn run(scale: &Scale) -> Fig6 {
+    let patterns = scale.patterns();
+    let k = patterns.len();
+    let mut out = Fig6::default();
+
+    // True centroids for the distortion metric: the ideal trajectories,
+    // indexed by the *dense* pattern position.
+    let true_centroids: Vec<Vec<Point2>> =
+        patterns.iter().map(|p| p.ideal(p.base_len)).collect();
+
+    for &noise in &scale.noise_levels {
+        let ds = generate_for_patterns(
+            &patterns,
+            scale.per_cluster,
+            &SynthConfig::with_noise(noise),
+            scale.seed,
+        );
+        let data = ds.series();
+        let labels: Vec<u32> = ds
+            .items
+            .iter()
+            .map(|t| patterns.iter().position(|p| p.id == t.label).unwrap() as u32)
+            .collect();
+        for algo in ALGOS {
+            let c = fit(algo, k, &data, scale.seed, 60);
+            out.noise.push(NoiseRow {
+                algo,
+                noise_pct: noise * 100.0,
+                error_rate: clustering_error_rate(&c.assignments, &labels, c.k()),
+                distortion: distortion(&c.centroids, &c.assignments, &labels, &true_centroids),
+            });
+        }
+    }
+
+    // 6b: time as a function of the iteration budget, at the first noise
+    // level.
+    let ds = generate_for_patterns(
+        &patterns,
+        scale.per_cluster,
+        &SynthConfig::with_noise(*scale.noise_levels.first().unwrap_or(&0.05)),
+        scale.seed,
+    );
+    let data = ds.series();
+    for iters in [1usize, 2, 4, 8, 12, 16] {
+        for algo in ALGOS {
+            let t = Instant::now();
+            let _ = fit(algo, k, &data, scale.seed, iters);
+            out.time.push(TimeRow {
+                algo,
+                iterations: iters,
+                seconds: t.elapsed().as_secs_f64(),
+            });
+        }
+    }
+    out
+}
+
+fn fit(
+    algo: &str,
+    k: usize,
+    data: &[Vec<Point2>],
+    seed: u64,
+    max_iters: usize,
+) -> strg_cluster::Clustering<Point2> {
+    match algo {
+        "EM" => {
+            let mut cfg = EmConfig::new(k).with_seed(seed);
+            cfg.max_iters = max_iters;
+            cfg.tol = 0.0; // run the full budget for the timing curve
+            cfg.n_init = 1;
+            EmClusterer::new(Eged, cfg).fit(data)
+        }
+        "KM" => {
+            let mut cfg = HardConfig::new(k).with_seed(seed);
+            cfg.max_iters = max_iters;
+            cfg.tol = 0.0;
+            KMeans::new(Eged, cfg).fit(data)
+        }
+        "KHM" => {
+            let mut cfg = HardConfig::new(k).with_seed(seed);
+            cfg.max_iters = max_iters;
+            cfg.tol = 0.0;
+            KHarmonicMeans::new(Eged, cfg).fit(data)
+        }
+        _ => panic!("unknown algo {algo}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_all_series() {
+        let f = run(&Scale::quick());
+        assert_eq!(f.noise.len(), 2 * 3);
+        assert_eq!(f.time.len(), 6 * 3);
+        for r in &f.noise {
+            assert!((0.0..=100.0).contains(&r.error_rate));
+            assert!(r.distortion >= 0.0);
+        }
+        for t in &f.time {
+            assert!(t.seconds >= 0.0);
+        }
+    }
+}

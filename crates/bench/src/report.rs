@@ -1,0 +1,56 @@
+//! CSV/console reporting helpers shared by the `figures` binary.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Where result CSVs are written (`results/` under the workspace root, or
+/// the current directory as a fallback).
+pub fn results_dir() -> PathBuf {
+    let candidates = [Path::new("results"), Path::new("../results"), Path::new("../../results")];
+    for c in candidates {
+        if c.is_dir() {
+            return c.to_path_buf();
+        }
+    }
+    let p = PathBuf::from("results");
+    let _ = fs::create_dir_all(&p);
+    p
+}
+
+/// Writes rows as CSV with a header line; returns the path written.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
+    let path = results_dir().join(name);
+    let mut out = String::with_capacity(rows.len() * 32 + header.len() + 1);
+    out.push_str(header);
+    out.push('\n');
+    for r in rows {
+        out.push_str(r);
+        out.push('\n');
+    }
+    if let Err(e) = fs::write(&path, out) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+    path
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip() {
+        let p = write_csv(
+            "test_report.csv",
+            "a,b",
+            &["1,2".to_string(), "3,4".to_string()],
+        );
+        let s = fs::read_to_string(&p).unwrap();
+        assert_eq!(s, "a,b\n1,2\n3,4\n");
+        let _ = fs::remove_file(p);
+    }
+}

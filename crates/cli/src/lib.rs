@@ -1,0 +1,331 @@
+//! Command implementations of the `strgdb` CLI.
+//!
+//! The binary is a thin wrapper over these functions so that every command
+//! is unit-testable. The database file format is `strg-core`'s STRGDB v1
+//! (see `strg_core::persist`).
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use strg_core::{VideoDatabase, VideoDbConfig};
+use strg_graph::Point2;
+use strg_video::{lab_scene, traffic_scene, ScenarioConfig, VideoClip};
+
+/// A CLI error: message for the user, non-zero exit.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(format!("i/o error: {e}"))
+    }
+}
+
+/// Result alias for command functions; `Ok` carries the text to print.
+pub type CmdResult = Result<String, CliError>;
+
+/// Usage text.
+pub const USAGE: &str = "\
+strgdb — STRG-Index video database CLI
+
+USAGE:
+  strgdb ingest --db <file> --scene <lab|traffic> --name <name>
+                [--actors N] [--frames N] [--seed N]
+  strgdb query  --db <file> --from <x,y> --to <x,y> [--steps N] [-k N]
+                [--clip <name>]
+  strgdb stats  --db <file>
+  strgdb clips  --db <file>
+  strgdb remove --db <file> --clip <name>
+
+Creates <file> on first ingest; later commands load and (for mutations)
+rewrite it.";
+
+/// Simple `--flag value` argument map.
+pub struct Args<'a> {
+    rest: &'a [String],
+}
+
+impl<'a> Args<'a> {
+    /// Wraps the argument slice (without the subcommand).
+    pub fn new(rest: &'a [String]) -> Self {
+        Self { rest }
+    }
+
+    /// The value after `flag`, if present.
+    pub fn get(&self, flag: &str) -> Option<&'a str> {
+        self.rest
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.rest.get(i + 1))
+            .map(String::as_str)
+    }
+
+    /// Required flag value.
+    pub fn require(&self, flag: &str) -> Result<&'a str, CliError> {
+        self.get(flag)
+            .ok_or_else(|| CliError(format!("missing required flag {flag}")))
+    }
+
+    /// Parsed optional flag with default.
+    pub fn parse_or<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, CliError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError(format!("bad value for {flag}: {v:?}"))),
+        }
+    }
+}
+
+fn load_or_new(path: &str) -> Result<VideoDatabase, CliError> {
+    if Path::new(path).exists() {
+        VideoDatabase::load(path, VideoDbConfig::default())
+            .map_err(|e| CliError(format!("cannot load {path}: {e}")))
+    } else {
+        Ok(VideoDatabase::new(VideoDbConfig::default()))
+    }
+}
+
+fn parse_point(s: &str) -> Result<Point2, CliError> {
+    let (x, y) = s
+        .split_once(',')
+        .ok_or_else(|| CliError(format!("expected x,y — got {s:?}")))?;
+    let x: f64 = x
+        .trim()
+        .parse()
+        .map_err(|_| CliError(format!("bad x coordinate {x:?}")))?;
+    let y: f64 = y
+        .trim()
+        .parse()
+        .map_err(|_| CliError(format!("bad y coordinate {y:?}")))?;
+    Ok(Point2::new(x, y))
+}
+
+/// `strgdb ingest`.
+pub fn cmd_ingest(args: &Args) -> CmdResult {
+    let db_path = args.require("--db")?;
+    let scene_kind = args.require("--scene")?;
+    let name = args.require("--name")?;
+    let actors: usize = args.parse_or("--actors", 4)?;
+    let frames: usize = args.parse_or("--frames", 120)?;
+    let seed: u64 = args.parse_or("--seed", 0)?;
+
+    let cfg = ScenarioConfig {
+        n_actors: actors,
+        frames,
+        seed,
+        ..Default::default()
+    };
+    let scene = match scene_kind {
+        "lab" => lab_scene(&cfg),
+        "traffic" => traffic_scene(&cfg),
+        other => return Err(CliError(format!("unknown scene {other:?} (lab|traffic)"))),
+    };
+    let clip = VideoClip {
+        name: name.to_string(),
+        scene,
+        fps: 30.0,
+    };
+
+    let db = load_or_new(db_path)?;
+    if db.clip_names().iter().any(|n| n == name) {
+        return Err(CliError(format!("clip {name:?} already exists")));
+    }
+    let report = db.ingest_clip(&clip, seed);
+    db.save(db_path)?;
+    Ok(format!(
+        "ingested {:?}: {} frames, {} objects, background {} regions -> {}",
+        name,
+        clip.frame_count(),
+        report.objects,
+        report.background_nodes,
+        db_path
+    ))
+}
+
+/// `strgdb query`.
+pub fn cmd_query(args: &Args) -> CmdResult {
+    let db_path = args.require("--db")?;
+    let from = parse_point(args.require("--from")?)?;
+    let to = parse_point(args.require("--to")?)?;
+    let steps: usize = args.parse_or("--steps", 30)?;
+    let k: usize = args.parse_or("-k", 5)?;
+    if steps < 2 {
+        return Err(CliError("--steps must be at least 2".into()));
+    }
+
+    let db = load_or_new(db_path)?;
+    let query: Vec<Point2> = (0..steps)
+        .map(|i| from.lerp(to, i as f64 / (steps - 1) as f64))
+        .collect();
+    let hits = match args.get("--clip") {
+        Some(clip) => db.query_knn_in_clip(clip, &query, k),
+        None => db.query_knn(&query, k),
+    };
+    if hits.is_empty() {
+        return Ok("no results".into());
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<12} {:>6} {:>12}", "clip", "og", "distance");
+    for h in hits {
+        let _ = writeln!(out, "{:<12} {:>6} {:>12.1}", h.clip, h.og_id, h.dist);
+    }
+    Ok(out.trim_end().to_string())
+}
+
+/// `strgdb stats`.
+pub fn cmd_stats(args: &Args) -> CmdResult {
+    let db_path = args.require("--db")?;
+    let db = load_or_new(db_path)?;
+    let s = db.stats();
+    Ok(format!(
+        "clips {}  objects {}  clusters {}  raw-STRG {} B  index {} B ({:.1}x smaller)",
+        s.clips,
+        s.objects,
+        s.clusters,
+        s.strg_bytes,
+        s.index_bytes,
+        s.strg_bytes as f64 / s.index_bytes.max(1) as f64
+    ))
+}
+
+/// `strgdb clips`.
+pub fn cmd_clips(args: &Args) -> CmdResult {
+    let db_path = args.require("--db")?;
+    let db = load_or_new(db_path)?;
+    let names = db.clip_names();
+    if names.is_empty() {
+        return Ok("no clips".into());
+    }
+    Ok(names.join("\n"))
+}
+
+/// `strgdb remove`.
+pub fn cmd_remove(args: &Args) -> CmdResult {
+    let db_path = args.require("--db")?;
+    let clip = args.require("--clip")?;
+    let db = load_or_new(db_path)?;
+    match db.remove_clip(clip) {
+        Some(n) => {
+            db.save(db_path)?;
+            Ok(format!("removed {clip:?} ({n} objects)"))
+        }
+        None => Err(CliError(format!("unknown clip {clip:?}"))),
+    }
+}
+
+/// Dispatches a full argument vector (without argv[0]).
+pub fn run(argv: &[String]) -> CmdResult {
+    let Some(cmd) = argv.first() else {
+        return Err(CliError(USAGE.into()));
+    };
+    let args = Args::new(&argv[1..]);
+    match cmd.as_str() {
+        "ingest" => cmd_ingest(&args),
+        "query" => cmd_query(&args),
+        "stats" => cmd_stats(&args),
+        "clips" => cmd_clips(&args),
+        "remove" => cmd_remove(&args),
+        "help" | "--help" | "-h" => Ok(USAGE.into()),
+        other => Err(CliError(format!("unknown command {other:?}\n\n{USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn temp_db(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("strgdb_cli_{name}_{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn args_parsing() {
+        let raw = v(&["--db", "x.db", "-k", "7"]);
+        let a = Args::new(&raw);
+        assert_eq!(a.get("--db"), Some("x.db"));
+        assert_eq!(a.parse_or("-k", 5).unwrap(), 7);
+        assert_eq!(a.parse_or("--steps", 30).unwrap(), 30);
+        assert!(a.require("--nope").is_err());
+        assert!(a.parse_or::<usize>("--db", 1).is_err());
+    }
+
+    #[test]
+    fn parse_points() {
+        assert_eq!(parse_point("3,4").unwrap(), Point2::new(3.0, 4.0));
+        assert_eq!(parse_point(" 3.5 , -4 ").unwrap(), Point2::new(3.5, -4.0));
+        assert!(parse_point("35").is_err());
+        assert!(parse_point("a,b").is_err());
+    }
+
+    #[test]
+    fn full_cli_lifecycle() {
+        let db = temp_db("lifecycle");
+        let _ = std::fs::remove_file(&db);
+
+        let out = run(&v(&[
+            "ingest", "--db", &db, "--scene", "lab", "--name", "cam1", "--actors", "2",
+            "--frames", "50", "--seed", "3",
+        ]))
+        .expect("ingest");
+        assert!(out.contains("ingested"), "{out}");
+
+        let out = run(&v(&["stats", "--db", &db])).expect("stats");
+        assert!(out.contains("clips 1"), "{out}");
+
+        let out = run(&v(&["clips", "--db", &db])).expect("clips");
+        assert_eq!(out, "cam1");
+
+        let out = run(&v(&[
+            "query", "--db", &db, "--from", "0,80", "--to", "160,80", "-k", "3",
+        ]))
+        .expect("query");
+        assert!(out.contains("cam1"), "{out}");
+
+        // Duplicate name rejected.
+        assert!(run(&v(&[
+            "ingest", "--db", &db, "--scene", "lab", "--name", "cam1",
+        ]))
+        .is_err());
+
+        let out = run(&v(&["remove", "--db", &db, "--clip", "cam1"])).expect("remove");
+        assert!(out.contains("removed"), "{out}");
+        let out = run(&v(&["clips", "--db", &db])).expect("clips");
+        assert_eq!(out, "no clips");
+
+        let _ = std::fs::remove_file(&db);
+    }
+
+    #[test]
+    fn unknown_command_and_usage() {
+        assert!(run(&v(&["frobnicate"])).is_err());
+        assert!(run(&[]).is_err());
+        assert!(run(&v(&["help"])).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn bad_scene_rejected() {
+        let db = temp_db("badscene");
+        let err = run(&v(&[
+            "ingest", "--db", &db, "--scene", "mars", "--name", "x",
+        ]));
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,144 @@
+//! Bayesian Information Criterion model selection (§4.2, Equation 8).
+//!
+//! ```text
+//! BIC(M_K) = lhat_K(Y) - eta_{M_K} * log(M)
+//! eta_{M_K} = (K - 1) + K d (d + 3) / 2,   d = 1  =>  eta = 3K - 1
+//! ```
+//!
+//! The optimal number of clusters is the `K` maximizing the BIC; it also
+//! gates STRG-Index leaf splits (§5.3: split iff `BIC(K=2) > BIC(K=1)`).
+
+use strg_distance::SequenceDistance;
+
+use crate::centroid::ClusterValue;
+use crate::em::{EmClusterer, EmConfig};
+use crate::model::{Clusterer, Clustering};
+
+/// Number of independent parameters `eta` of a K-component 1-D Gaussian
+/// mixture: `(K - 1)` free weights plus `K * d(d+3)/2` with `d = 1`
+/// (the EGED reduction makes the density one-dimensional).
+pub fn num_params(k: usize) -> usize {
+    if k == 0 {
+        return 0;
+    }
+    (k - 1) + 2 * k
+}
+
+/// BIC of a fitted clustering over `m` data items (Equation 8).
+///
+/// Returns `f64::NEG_INFINITY` for models without a log-likelihood.
+pub fn bic<V>(c: &Clustering<V>, m: usize) -> f64 {
+    if !c.log_likelihood.is_finite() || m == 0 {
+        return f64::NEG_INFINITY;
+    }
+    c.log_likelihood - num_params(c.k()) as f64 * (m as f64).ln()
+}
+
+/// One point of a BIC-vs-K sweep.
+#[derive(Copy, Clone, Debug)]
+pub struct BicPoint {
+    /// Number of clusters evaluated.
+    pub k: usize,
+    /// The BIC value (higher is better).
+    pub bic: f64,
+    /// The fitted log-likelihood.
+    pub log_likelihood: f64,
+}
+
+/// Fits EM for every `K` in `ks` and returns the BIC curve (Figure 8) plus
+/// the index of the winning `K`.
+pub fn bic_sweep<V: ClusterValue, D: SequenceDistance<V> + Clone>(
+    data: &[Vec<V>],
+    dist: &D,
+    ks: impl IntoIterator<Item = usize>,
+    seed: u64,
+) -> (usize, Vec<BicPoint>) {
+    let mut curve = Vec::new();
+    let mut best_k = 1;
+    let mut best = f64::NEG_INFINITY;
+    for k in ks {
+        if k == 0 || k > data.len() {
+            continue;
+        }
+        let em = EmClusterer::new(dist.clone(), EmConfig::new(k).with_seed(seed));
+        let c = em.fit(data);
+        let b = bic(&c, data.len());
+        curve.push(BicPoint {
+            k,
+            bic: b,
+            log_likelihood: c.log_likelihood,
+        });
+        if b > best {
+            best = b;
+            best_k = k;
+        }
+    }
+    (best_k, curve)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strg_distance::Eged;
+
+    #[test]
+    fn param_counts() {
+        assert_eq!(num_params(0), 0);
+        assert_eq!(num_params(1), 2);
+        assert_eq!(num_params(2), 5);
+        assert_eq!(num_params(5), 14);
+    }
+
+    #[test]
+    fn bic_penalizes_parameters() {
+        let mk = |k: usize, ll: f64| Clustering::<f64> {
+            assignments: vec![],
+            centroids: vec![vec![]; k],
+            weights: vec![],
+            sigmas: vec![],
+            log_likelihood: ll,
+            iterations: 1,
+        };
+        // Same likelihood, more clusters => lower BIC.
+        assert!(bic(&mk(2, -100.0), 50) < bic(&mk(1, -100.0), 50));
+    }
+
+    #[test]
+    fn bic_of_nan_loglik_is_neg_inf() {
+        let c = Clustering::<f64> {
+            assignments: vec![],
+            centroids: vec![],
+            weights: vec![],
+            sigmas: vec![],
+            log_likelihood: f64::NAN,
+            iterations: 0,
+        };
+        assert_eq!(bic(&c, 10), f64::NEG_INFINITY);
+    }
+
+    /// Three clearly separated groups: the sweep must prefer K = 3 over
+    /// K = 1 and K = 2 (it may tie with slightly larger K on easy data, so
+    /// only the lower side is asserted strictly).
+    #[test]
+    fn sweep_finds_enough_clusters() {
+        let mut data = Vec::new();
+        for g in 0..3 {
+            let base = 60.0 * g as f64;
+            for i in 0..10 {
+                data.push(vec![base + 0.2 * i as f64, base + 1.0, base + 2.0]);
+            }
+        }
+        let (best_k, curve) = bic_sweep(&data, &Eged, 1..=5, 7);
+        assert!(best_k >= 3, "best_k {best_k}, curve {curve:?}");
+        let get = |k: usize| curve.iter().find(|p| p.k == k).unwrap().bic;
+        assert!(get(3) > get(1));
+        assert!(get(3) > get(2));
+    }
+
+    #[test]
+    fn sweep_skips_invalid_k() {
+        let data = vec![vec![1.0], vec![2.0]];
+        let (_, curve) = bic_sweep(&data, &Eged, 0..=5, 0);
+        assert!(curve.iter().all(|p| p.k >= 1 && p.k <= 2));
+    }
+}

@@ -1,0 +1,171 @@
+//! Sequence centroids for variable-length time series.
+//!
+//! The paper's M-step (Equation 6) averages Object Graphs of *different
+//! lengths*, which the text glosses over. We realize the mean of a weighted
+//! set of sequences by linearly resampling every member to a common length
+//! (the median member length) and taking the weighted pointwise mean — the
+//! standard practical reading, documented in DESIGN.md.
+
+use strg_distance::{resample, Lerp, SeqValue};
+
+/// A sequence element that supports the affine arithmetic needed to build
+/// centroids.
+pub trait ClusterValue: SeqValue + Lerp {
+    /// Additive identity.
+    fn zero() -> Self {
+        Self::origin()
+    }
+    /// `self += other * w`.
+    fn add_scaled(&mut self, other: &Self, w: f64);
+    /// `self *= f`.
+    fn scale(&mut self, f: f64);
+}
+
+impl ClusterValue for f64 {
+    fn add_scaled(&mut self, other: &Self, w: f64) {
+        *self += other * w;
+    }
+    fn scale(&mut self, f: f64) {
+        *self *= f;
+    }
+}
+
+impl ClusterValue for strg_graph::Point2 {
+    fn add_scaled(&mut self, other: &Self, w: f64) {
+        self.x += other.x * w;
+        self.y += other.y * w;
+    }
+    fn scale(&mut self, f: f64) {
+        self.x *= f;
+        self.y *= f;
+    }
+}
+
+/// Median length of a set of sequences (0 when empty).
+pub fn median_length<V>(seqs: &[Vec<V>]) -> usize {
+    if seqs.is_empty() {
+        return 0;
+    }
+    let mut lens: Vec<usize> = seqs.iter().map(Vec::len).collect();
+    lens.sort_unstable();
+    lens[lens.len() / 2]
+}
+
+/// Weighted mean of sequences, resampled to `target_len`.
+///
+/// Members with non-positive weight are ignored. Returns an empty sequence
+/// when the total weight is zero or `target_len == 0`.
+pub fn weighted_centroid<V: ClusterValue>(
+    seqs: &[Vec<V>],
+    weights: &[f64],
+    target_len: usize,
+) -> Vec<V> {
+    assert_eq!(seqs.len(), weights.len());
+    if target_len == 0 {
+        return Vec::new();
+    }
+    let mut acc = vec![V::zero(); target_len];
+    let mut total = 0.0;
+    for (seq, &w) in seqs.iter().zip(weights) {
+        if w <= 0.0 || seq.is_empty() {
+            continue;
+        }
+        let r = resample(seq, target_len);
+        for (a, v) in acc.iter_mut().zip(&r) {
+            a.add_scaled(v, w);
+        }
+        total += w;
+    }
+    if total <= 0.0 {
+        return Vec::new();
+    }
+    for a in &mut acc {
+        a.scale(1.0 / total);
+    }
+    acc
+}
+
+/// Unweighted mean of the subset of `seqs` selected by `members`.
+pub fn member_centroid<V: ClusterValue>(
+    seqs: &[Vec<V>],
+    members: &[usize],
+    target_len: usize,
+) -> Vec<V> {
+    let subset: Vec<Vec<V>> = members.iter().map(|&i| seqs[i].clone()).collect();
+    let w = vec![1.0; subset.len()];
+    weighted_centroid(&subset, &w, target_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_length_of_mixed() {
+        let seqs = vec![vec![0.0; 3], vec![0.0; 9], vec![0.0; 5]];
+        assert_eq!(median_length(&seqs), 5);
+        assert_eq!(median_length::<f64>(&[]), 0);
+    }
+
+    #[test]
+    fn centroid_of_identical_sequences_is_the_sequence() {
+        let s = vec![1.0, 2.0, 3.0];
+        let seqs = vec![s.clone(), s.clone(), s.clone()];
+        let c = weighted_centroid(&seqs, &[1.0, 1.0, 1.0], 3);
+        for (a, b) in c.iter().zip(&s) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weights_bias_the_centroid() {
+        let seqs = vec![vec![0.0, 0.0], vec![10.0, 10.0]];
+        let c = weighted_centroid(&seqs, &[3.0, 1.0], 2);
+        assert!((c[0] - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_lengths_are_resampled() {
+        let seqs = vec![vec![0.0, 10.0], vec![0.0, 5.0, 10.0]];
+        let c = weighted_centroid(&seqs, &[1.0, 1.0], 3);
+        assert!((c[0] - 0.0).abs() < 1e-12);
+        assert!((c[1] - 5.0).abs() < 1e-12);
+        assert!((c[2] - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weight_members_ignored() {
+        let seqs = vec![vec![0.0, 0.0], vec![100.0, 100.0]];
+        let c = weighted_centroid(&seqs, &[1.0, 0.0], 2);
+        assert_eq!(c, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let c: Vec<f64> = weighted_centroid(&[], &[], 4);
+        assert!(c.is_empty());
+        let c = weighted_centroid(&[vec![1.0]], &[1.0], 0);
+        assert!(c.is_empty());
+        let c = weighted_centroid(&[Vec::<f64>::new()], &[1.0], 3);
+        assert!(c.is_empty(), "all-empty members yield empty centroid");
+    }
+
+    #[test]
+    fn member_centroid_selects_subset() {
+        let seqs = vec![vec![0.0, 0.0], vec![10.0, 10.0], vec![100.0, 100.0]];
+        let c = member_centroid(&seqs, &[0, 1], 2);
+        assert!((c[0] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_centroid() {
+        use strg_graph::Point2;
+        let seqs = vec![
+            vec![Point2::new(0.0, 0.0), Point2::new(0.0, 2.0)],
+            vec![Point2::new(2.0, 0.0), Point2::new(2.0, 2.0)],
+        ];
+        let c = weighted_centroid(&seqs, &[1.0, 1.0], 2);
+        assert!(c[0].dist(Point2::new(1.0, 0.0)) < 1e-12);
+        assert!(c[1].dist(Point2::new(1.0, 2.0)) < 1e-12);
+    }
+}

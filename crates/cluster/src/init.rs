@@ -1,0 +1,128 @@
+//! Centroid seeding.
+//!
+//! All three clusterers seed with k-means++ (distance-weighted) sampling:
+//! the first centroid is a uniform random item, each further centroid is
+//! drawn with probability proportional to the squared distance to the
+//! nearest already-chosen centroid. This is the standard remedy for the
+//! local optima that plain random seeding falls into on well-separated
+//! groups, and it keeps the EM-vs-KM comparison about the *distance
+//! function and model*, not the seeding luck.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use strg_distance::{SeqValue, SequenceDistance};
+
+/// Picks `k` item indices as initial centroids with k-means++ sampling.
+///
+/// Costs `O(kM)` distance evaluations. `k` is clamped to the data size.
+pub fn kmeans_pp_indices<V: SeqValue, D: SequenceDistance<V>>(
+    data: &[Vec<V>],
+    k: usize,
+    dist: &D,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    let m = data.len();
+    let k = k.min(m);
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut chosen = Vec::with_capacity(k);
+    chosen.push(rng.gen_range(0..m));
+    let mut best_d2: Vec<f64> = data
+        .iter()
+        .map(|y| {
+            let d = dist.distance(y, &data[chosen[0]]);
+            d * d
+        })
+        .collect();
+    while chosen.len() < k {
+        let total: f64 = best_d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All remaining items coincide with a centroid; fall back to an
+            // arbitrary unchosen index.
+            (0..m).find(|i| !chosen.contains(i)).unwrap_or(0)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut pick = m - 1;
+            for (i, &d2) in best_d2.iter().enumerate() {
+                if target < d2 {
+                    pick = i;
+                    break;
+                }
+                target -= d2;
+            }
+            pick
+        };
+        chosen.push(next);
+        for (i, y) in data.iter().enumerate() {
+            let d = dist.distance(y, &data[next]);
+            best_d2[i] = best_d2[i].min(d * d);
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use strg_distance::Eged;
+
+    fn groups() -> Vec<Vec<f64>> {
+        let mut data = Vec::new();
+        for i in 0..10 {
+            data.push(vec![i as f64 * 0.01]);
+        }
+        for i in 0..10 {
+            data.push(vec![500.0 + i as f64 * 0.01]);
+        }
+        data
+    }
+
+    #[test]
+    fn picks_k_distinct_indices() {
+        let data = groups();
+        let mut rng = StdRng::seed_from_u64(0);
+        let idx = kmeans_pp_indices(&data, 2, &Eged, &mut rng);
+        assert_eq!(idx.len(), 2);
+        assert_ne!(idx[0], idx[1]);
+    }
+
+    #[test]
+    fn spreads_across_separated_groups() {
+        let data = groups();
+        // Over many seeds, k-means++ must almost always straddle the two
+        // groups (probability of failing is ~1e-5 per draw).
+        let mut straddles = 0;
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let idx = kmeans_pp_indices(&data, 2, &Eged, &mut rng);
+            let g = |i: usize| i / 10;
+            if g(idx[0]) != g(idx[1]) {
+                straddles += 1;
+            }
+        }
+        assert!(straddles >= 19, "straddled only {straddles}/20");
+    }
+
+    #[test]
+    fn k_clamped_and_degenerate() {
+        let data = vec![vec![1.0], vec![1.0]];
+        let mut rng = StdRng::seed_from_u64(0);
+        let idx = kmeans_pp_indices(&data, 5, &Eged, &mut rng);
+        assert_eq!(idx.len(), 2);
+        let idx = kmeans_pp_indices(&Vec::<Vec<f64>>::new(), 3, &Eged, &mut rng);
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn identical_items_fall_back_to_unchosen() {
+        let data = vec![vec![2.0], vec![2.0], vec![2.0]];
+        let mut rng = StdRng::seed_from_u64(1);
+        let idx = kmeans_pp_indices(&data, 3, &Eged, &mut rng);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3, "all distinct despite zero distances");
+    }
+}

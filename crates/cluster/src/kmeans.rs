@@ -1,0 +1,203 @@
+//! K-Means over sequences, one of the two hard-clustering baselines of
+//! Figure 5/6 (Hamerly & Elkan [12] describe the family).
+//!
+//! Lloyd iterations with an arbitrary sequence distance for assignment and
+//! the resampled weighted mean ([`crate::centroid`]) for the centroid
+//! update.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use strg_distance::SequenceDistance;
+
+use crate::centroid::{median_length, weighted_centroid, ClusterValue};
+use crate::init::kmeans_pp_indices;
+use crate::model::{Clusterer, Clustering};
+
+/// Configuration shared by the hard clusterers (KM and KHM).
+#[derive(Copy, Clone, Debug)]
+pub struct HardConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// Convergence threshold on centroid movement (measured with the
+    /// clusterer's own distance).
+    pub tol: f64,
+    /// RNG seed for initialization.
+    pub seed: u64,
+}
+
+impl HardConfig {
+    /// Default configuration for `k` clusters.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            max_iters: 60,
+            tol: 1e-4,
+            seed: 0,
+        }
+    }
+
+    /// Same configuration with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// K-Means clustering driven by an arbitrary sequence distance
+/// (KM-EGED / KM-LCS / KM-DTW in the paper's experiments).
+#[derive(Clone, Debug)]
+pub struct KMeans<D> {
+    /// Assignment distance.
+    pub dist: D,
+    /// Fitting parameters.
+    pub cfg: HardConfig,
+}
+
+impl<D> KMeans<D> {
+    /// Creates a K-Means clusterer.
+    pub fn new(dist: D, cfg: HardConfig) -> Self {
+        Self { dist, cfg }
+    }
+}
+
+impl<V: ClusterValue, D: SequenceDistance<V>> Clusterer<V> for KMeans<D> {
+    fn fit(&self, data: &[Vec<V>]) -> Clustering<V> {
+        let m = data.len();
+        let k = self.cfg.k.max(1).min(m.max(1));
+        if m == 0 {
+            return empty_clustering();
+        }
+        let target_len = median_length(data).max(1);
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let idx = kmeans_pp_indices(data, k, &self.dist, &mut rng);
+        let mut centroids: Vec<Vec<V>> = idx.iter().map(|&i| data[i].clone()).collect();
+        let mut assignments = vec![0usize; m];
+        let mut iterations = 0;
+
+        for iter in 0..self.cfg.max_iters {
+            iterations = iter + 1;
+            // Assignment step.
+            let mut changed = false;
+            for (j, y) in data.iter().enumerate() {
+                let best = (0..k)
+                    .map(|c| (c, self.dist.distance(y, &centroids[c])))
+                    .min_by(|a, b| a.1.total_cmp(&b.1))
+                    .map(|(c, _)| c)
+                    .unwrap_or(0);
+                if assignments[j] != best {
+                    assignments[j] = best;
+                    changed = true;
+                }
+            }
+            // Update step.
+            let mut moved = 0.0f64;
+            for c in 0..k {
+                let w: Vec<f64> = assignments
+                    .iter()
+                    .map(|&a| if a == c { 1.0 } else { 0.0 })
+                    .collect();
+                let mu = weighted_centroid(data, &w, target_len);
+                if mu.is_empty() {
+                    // Empty cluster: re-seed on the item farthest from its
+                    // centroid.
+                    let far = data
+                        .iter()
+                        .enumerate()
+                        .map(|(j, y)| (j, self.dist.distance(y, &centroids[assignments[j]])))
+                        .max_by(|a, b| a.1.total_cmp(&b.1))
+                        .map(|(j, _)| j)
+                        .unwrap_or(0);
+                    centroids[c] = data[far].clone();
+                    assignments[far] = c;
+                    moved = f64::INFINITY;
+                } else {
+                    moved = moved.max(self.dist.distance(&mu, &centroids[c]));
+                    centroids[c] = mu;
+                }
+            }
+            if !changed && moved < self.cfg.tol {
+                break;
+            }
+        }
+
+        Clustering {
+            assignments,
+            weights: vec![1.0 / k as f64; k],
+            sigmas: vec![0.0; k],
+            centroids,
+            log_likelihood: f64::NAN,
+            iterations,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "KM"
+    }
+}
+
+pub(crate) fn empty_clustering<V>() -> Clustering<V> {
+    Clustering {
+        assignments: vec![],
+        centroids: vec![],
+        weights: vec![],
+        sigmas: vec![],
+        log_likelihood: f64::NAN,
+        iterations: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strg_distance::Eged;
+
+    fn two_groups() -> Vec<Vec<f64>> {
+        let mut data = Vec::new();
+        for i in 0..6 {
+            data.push(vec![i as f64 * 0.1, 1.0, 2.0]);
+        }
+        for i in 0..6 {
+            data.push(vec![50.0 + i as f64 * 0.1, 51.0, 52.0]);
+        }
+        data
+    }
+
+    #[test]
+    fn separates_groups() {
+        let km = KMeans::new(Eged, HardConfig::new(2).with_seed(4));
+        let c = km.fit(&two_groups());
+        let a0 = c.assignments[0];
+        assert!(c.assignments[..6].iter().all(|&a| a == a0));
+        assert!(c.assignments[6..].iter().all(|&a| a != a0));
+    }
+
+    #[test]
+    fn converges_quickly_on_easy_data() {
+        let km = KMeans::new(Eged, HardConfig::new(2).with_seed(4));
+        let c = km.fit(&two_groups());
+        assert!(c.iterations < 20);
+    }
+
+    #[test]
+    fn deterministic() {
+        let km = KMeans::new(Eged, HardConfig::new(2).with_seed(8));
+        let data = two_groups();
+        assert_eq!(km.fit(&data).assignments, km.fit(&data).assignments);
+    }
+
+    #[test]
+    fn empty_data() {
+        let km = KMeans::new(Eged, HardConfig::new(2));
+        let c = km.fit(&Vec::<Vec<f64>>::new());
+        assert!(c.assignments.is_empty());
+    }
+
+    #[test]
+    fn k_one_groups_everything() {
+        let km = KMeans::new(Eged, HardConfig::new(1));
+        let c = km.fit(&two_groups());
+        assert!(c.assignments.iter().all(|&a| a == 0));
+    }
+}

@@ -1,0 +1,239 @@
+//! Clustering evaluation metrics of §6.2.
+//!
+//! * Clustering error rate (Equation 11): an item is "correctly clustered"
+//!   when its cluster's majority ground-truth label equals its own label.
+//! * Distortion (Figure 6c): total pixel distance between each detected
+//!   cluster centroid and the true centroid of the pattern it captured.
+
+use std::collections::HashMap;
+
+use strg_distance::{resample, Lerp, SeqValue};
+
+/// Maps every cluster to its majority ground-truth label.
+///
+/// Returns `label_of_cluster[k]` (clusters without members map to
+/// `u32::MAX`).
+pub fn majority_labels(assignments: &[usize], labels: &[u32], k: usize) -> Vec<u32> {
+    assert_eq!(assignments.len(), labels.len());
+    let mut counts: Vec<HashMap<u32, usize>> = vec![HashMap::new(); k];
+    for (&a, &l) in assignments.iter().zip(labels) {
+        *counts[a].entry(l).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .map(|c| {
+            c.into_iter()
+                .max_by_key(|&(label, n)| (n, std::cmp::Reverse(label)))
+                .map(|(label, _)| label)
+                .unwrap_or(u32::MAX)
+        })
+        .collect()
+}
+
+/// Clustering error rate per Equation (11), in percent:
+/// `(1 - correct / total) * 100`.
+pub fn clustering_error_rate(assignments: &[usize], labels: &[u32], k: usize) -> f64 {
+    if assignments.is_empty() {
+        return 0.0;
+    }
+    let majority = majority_labels(assignments, labels, k);
+    let correct = assignments
+        .iter()
+        .zip(labels)
+        .filter(|&(&a, &l)| majority[a] == l)
+        .count();
+    (1.0 - correct as f64 / assignments.len() as f64) * 100.0
+}
+
+/// Distortion (Figure 6c): the sum over clusters of the mean pointwise
+/// pixel distance between the detected centroid and the true centroid of
+/// the cluster's majority pattern. Sequences are resampled to the true
+/// centroid's length before comparison.
+///
+/// `true_centroids[label]` is the ideal trajectory of ground-truth pattern
+/// `label`.
+pub fn distortion<V: SeqValue + Lerp>(
+    centroids: &[Vec<V>],
+    assignments: &[usize],
+    labels: &[u32],
+    true_centroids: &[Vec<V>],
+) -> f64 {
+    let majority = majority_labels(assignments, labels, centroids.len());
+    let mut total = 0.0;
+    for (k, c) in centroids.iter().enumerate() {
+        let label = majority[k];
+        if label == u32::MAX || label as usize >= true_centroids.len() {
+            continue;
+        }
+        let truth = &true_centroids[label as usize];
+        if truth.is_empty() || c.is_empty() {
+            continue;
+        }
+        let rc = resample(c, truth.len());
+        let mean: f64 = rc
+            .iter()
+            .zip(truth)
+            .map(|(a, b)| a.dist(b))
+            .sum::<f64>()
+            / truth.len() as f64;
+        total += mean;
+    }
+    total
+}
+
+/// Normalized Mutual Information between a clustering and ground-truth
+/// labels, in `[0, 1]` (1 = clusterings identical up to relabeling).
+///
+/// Complements the error rate of Equation (11): NMI also penalizes
+/// over-splitting, which the majority-vote error rate does not.
+pub fn normalized_mutual_information(assignments: &[usize], labels: &[u32], k: usize) -> f64 {
+    assert_eq!(assignments.len(), labels.len());
+    let n = assignments.len();
+    if n == 0 {
+        return 1.0;
+    }
+    // Contingency counts.
+    let mut label_ids: Vec<u32> = labels.to_vec();
+    label_ids.sort_unstable();
+    label_ids.dedup();
+    let l_of = |l: u32| label_ids.binary_search(&l).expect("known label");
+    let lk = label_ids.len();
+    let mut joint = vec![vec![0usize; lk]; k];
+    let mut ca = vec![0usize; k];
+    let mut cl = vec![0usize; lk];
+    for (&a, &l) in assignments.iter().zip(labels) {
+        let li = l_of(l);
+        joint[a][li] += 1;
+        ca[a] += 1;
+        cl[li] += 1;
+    }
+    let nf = n as f64;
+    let mut mi = 0.0;
+    for a in 0..k {
+        for l in 0..lk {
+            let nij = joint[a][l] as f64;
+            if nij > 0.0 {
+                mi += nij / nf * ((nij * nf) / (ca[a] as f64 * cl[l] as f64)).ln();
+            }
+        }
+    }
+    let h = |counts: &[usize]| -> f64 {
+        counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / nf;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let ha = h(&ca);
+    let hl = h(&cl);
+    if ha == 0.0 && hl == 0.0 {
+        return 1.0; // both trivial partitions
+    }
+    if ha == 0.0 || hl == 0.0 {
+        return 0.0;
+    }
+    (mi / (ha * hl).sqrt()).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clustering_has_zero_error() {
+        let assignments = [0, 0, 1, 1, 2, 2];
+        let labels = [7, 7, 3, 3, 9, 9];
+        assert_eq!(clustering_error_rate(&assignments, &labels, 3), 0.0);
+    }
+
+    #[test]
+    fn one_misplaced_item() {
+        let assignments = [0, 0, 0, 1, 1, 1];
+        let labels = [7, 7, 3, 3, 3, 3];
+        // Cluster 0's majority is 7, so the single 3 inside it is wrong.
+        let e = clustering_error_rate(&assignments, &labels, 2);
+        assert!((e - 100.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merged_clusters_count_minority_as_errors() {
+        // Everything in one cluster: majority label wins, the rest is error.
+        let assignments = [0, 0, 0, 0];
+        let labels = [1, 1, 1, 2];
+        let e = clustering_error_rate(&assignments, &labels, 1);
+        assert!((e - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(clustering_error_rate(&[], &[], 3), 0.0);
+    }
+
+    #[test]
+    fn majority_label_of_empty_cluster_is_sentinel() {
+        let m = majority_labels(&[0, 0], &[5, 5], 3);
+        assert_eq!(m, vec![5, u32::MAX, u32::MAX]);
+    }
+
+    #[test]
+    fn distortion_zero_for_exact_centroids() {
+        let truth = vec![vec![0.0, 1.0, 2.0], vec![10.0, 11.0, 12.0]];
+        let centroids = truth.clone();
+        let assignments = [0, 1];
+        let labels = [0, 1];
+        let d = distortion(&centroids, &assignments, &labels, &truth);
+        assert!(d.abs() < 1e-12);
+    }
+
+    #[test]
+    fn distortion_measures_offset() {
+        let truth = vec![vec![0.0, 0.0]];
+        let centroids = vec![vec![3.0, 3.0]];
+        let d = distortion(&centroids, &[0], &[0], &truth);
+        assert!((d - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmi_perfect_and_random() {
+        // Perfect match (up to relabeling).
+        let a = [0usize, 0, 1, 1, 2, 2];
+        let l = [9u32, 9, 4, 4, 7, 7];
+        assert!((normalized_mutual_information(&a, &l, 3) - 1.0).abs() < 1e-12);
+
+        // Everything in one cluster vs 2 labels: zero information.
+        let a = [0usize; 6];
+        let l = [0u32, 1, 0, 1, 0, 1];
+        assert!(normalized_mutual_information(&a, &l, 1) < 1e-12);
+    }
+
+    #[test]
+    fn nmi_penalizes_oversplitting_less_than_total_confusion() {
+        let l = [0u32, 0, 0, 0, 1, 1, 1, 1];
+        // Over-split but pure: clusters {0,1} both map to label 0.
+        let oversplit = [0usize, 0, 1, 1, 2, 2, 3, 3];
+        // Fully mixed.
+        let mixed = [0usize, 1, 0, 1, 0, 1, 0, 1];
+        let a = normalized_mutual_information(&oversplit, &l, 4);
+        let b = normalized_mutual_information(&mixed, &l, 2);
+        assert!(a > 0.5, "pure oversplit retains information: {a}");
+        assert!(b < 0.1, "mixing destroys information: {b}");
+        assert!(a > b);
+    }
+
+    #[test]
+    fn nmi_empty_input() {
+        assert_eq!(normalized_mutual_information(&[], &[], 3), 1.0);
+    }
+
+    #[test]
+    fn distortion_skips_unmatched_clusters() {
+        let truth = vec![vec![0.0, 0.0]];
+        let centroids = vec![vec![3.0, 3.0], vec![50.0, 50.0]];
+        // Second cluster has no members => no contribution.
+        let d = distortion(&centroids, &[0], &[0], &truth);
+        assert!((d - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,81 @@
+//! Common clustering result types and the clusterer abstraction.
+
+use strg_distance::SeqValue;
+
+/// The result of fitting a clustering model to a set of sequences.
+#[derive(Clone, Debug)]
+pub struct Clustering<V> {
+    /// Cluster assignment of each input sequence (`assignments[j] < k`).
+    pub assignments: Vec<usize>,
+    /// Cluster centroid sequences (the `OG_clus` of §5).
+    pub centroids: Vec<Vec<V>>,
+    /// Mixture weights `w_k` (uniform for the hard clusterers).
+    pub weights: Vec<f64>,
+    /// Per-cluster standard deviations `sigma_k` (EM only; zeros for the
+    /// hard clusterers).
+    pub sigmas: Vec<f64>,
+    /// Final log-likelihood (Equation 4); `f64::NAN` for models that do not
+    /// define one.
+    pub log_likelihood: f64,
+    /// Number of iterations performed until convergence or the cap.
+    pub iterations: usize,
+}
+
+impl<V> Clustering<V> {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Indices of the members of cluster `k`.
+    pub fn members(&self, k: usize) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter_map(|(j, &a)| (a == k).then_some(j))
+            .collect()
+    }
+
+    /// Cluster sizes, indexed by cluster.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut s = vec![0usize; self.k()];
+        for &a in &self.assignments {
+            s[a] += 1;
+        }
+        s
+    }
+}
+
+/// A clustering algorithm over sequences of `V`.
+pub trait Clusterer<V: SeqValue> {
+    /// Fits the model to `data`, producing assignments and centroids.
+    fn fit(&self, data: &[Vec<V>]) -> Clustering<V>;
+
+    /// Short name for experiment output (e.g. `"EM"`).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Clustering<f64> {
+        Clustering {
+            assignments: vec![0, 1, 0, 1, 1],
+            centroids: vec![vec![0.0], vec![1.0]],
+            weights: vec![0.4, 0.6],
+            sigmas: vec![1.0, 1.0],
+            log_likelihood: -1.0,
+            iterations: 3,
+        }
+    }
+
+    #[test]
+    fn members_and_sizes() {
+        let c = toy();
+        assert_eq!(c.k(), 2);
+        assert_eq!(c.members(0), vec![0, 2]);
+        assert_eq!(c.members(1), vec![1, 3, 4]);
+        assert_eq!(c.sizes(), vec![2, 3]);
+    }
+}

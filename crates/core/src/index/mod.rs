@@ -1,0 +1,662 @@
+//! The STRG-Index tree (Section 5 of the paper).
+//!
+//! Three fixed levels:
+//!
+//! * **root node** — one record per Background Graph: `(iD_root, BG, ptr)`;
+//! * **cluster nodes** — one record per OG cluster: `(iD_clus, OG_clus,
+//!   ptr)`, where `OG_clus` is the cluster's centroid OG synthesized by EM
+//!   clustering with the non-metric EGED (Section 4);
+//! * **leaf nodes** — the member OGs, keyed by
+//!   `EGED_M(OG_mem, OG_clus)` — a *metric* key (Theorem 2), so the
+//!   triangle inequality prunes leaf scans during k-NN search.
+//!
+//! Construction is Algorithm 2; search is Algorithm 3 (plus an exact
+//! best-first variant); leaf splits are BIC-gated per §5.3.
+
+mod search;
+
+pub use search::Hit;
+
+use strg_cluster::{bic, bic_sweep, ClusterValue, Clusterer, EmClusterer, EmConfig};
+use strg_distance::{Eged, MetricDistance, SequenceDistance};
+use strg_graph::BackgroundGraph;
+
+/// Configuration of the STRG-Index.
+#[derive(Copy, Clone, Debug)]
+pub struct StrgIndexConfig {
+    /// Number of clusters per segment; `None` selects it with a BIC sweep
+    /// over `1..=k_max` (§4.2).
+    pub k: Option<usize>,
+    /// Upper bound of the BIC sweep.
+    pub k_max: usize,
+    /// A leaf with more members than this is considered for a BIC-gated
+    /// split on insert (§5.3).
+    pub leaf_split_threshold: usize,
+    /// EM iteration cap.
+    pub em_max_iters: usize,
+    /// EM restarts.
+    pub em_n_init: usize,
+    /// RNG seed for clustering.
+    pub seed: u64,
+}
+
+impl Default for StrgIndexConfig {
+    fn default() -> Self {
+        Self {
+            k: None,
+            k_max: 12,
+            leaf_split_threshold: 48,
+            em_max_iters: 40,
+            em_n_init: 2,
+            seed: 0,
+        }
+    }
+}
+
+impl StrgIndexConfig {
+    /// Fixed-K configuration (skips the BIC sweep).
+    pub fn with_k(k: usize) -> Self {
+        Self {
+            k: Some(k),
+            ..Self::default()
+        }
+    }
+
+    fn em_config(&self, k: usize) -> EmConfig {
+        let mut c = EmConfig::new(k).with_seed(self.seed);
+        c.max_iters = self.em_max_iters;
+        c.n_init = self.em_n_init;
+        c
+    }
+}
+
+/// A record of a leaf node: `(Key, OG_mem, ptr)`.
+#[derive(Clone, Debug)]
+pub struct LeafRecord<V> {
+    /// Index key: `EGED_M(OG_mem, OG_clus)`.
+    pub key: f64,
+    /// Object Graph identifier (the `ptr` to the real clip is resolved by
+    /// the owning [`crate::VideoDatabase`]).
+    pub og_id: u64,
+    /// The member OG's value sequence.
+    pub seq: Vec<V>,
+}
+
+/// A leaf node: member records sorted by key.
+#[derive(Clone, Debug)]
+pub struct LeafNode<V> {
+    /// Records sorted ascending by `key`.
+    pub records: Vec<LeafRecord<V>>,
+}
+
+impl<V> Default for LeafNode<V> {
+    fn default() -> Self {
+        Self {
+            records: Vec::new(),
+        }
+    }
+}
+
+impl<V> LeafNode<V> {
+    fn insert_sorted(&mut self, rec: LeafRecord<V>) {
+        let pos = self
+            .records
+            .partition_point(|r| r.key <= rec.key);
+        self.records.insert(pos, rec);
+    }
+
+    /// Largest key in the leaf (the cluster's covering radius around its
+    /// centroid), 0 when empty.
+    pub fn max_key(&self) -> f64 {
+        self.records.last().map_or(0.0, |r| r.key)
+    }
+}
+
+/// A record of a cluster node: `(iD_clus, OG_clus, ptr)`.
+#[derive(Clone, Debug)]
+pub struct ClusterRecord<V> {
+    /// Cluster identifier within its root record.
+    pub id: u32,
+    /// The centroid OG representing the cluster.
+    pub centroid: Vec<V>,
+    /// The leaf node holding the member OGs.
+    pub leaf: LeafNode<V>,
+}
+
+/// A record of the root node: `(iD_root, BG, ptr)`.
+#[derive(Clone, Debug)]
+pub struct RootRecord<V> {
+    /// Root record identifier (one per video segment / background).
+    pub id: u32,
+    /// The segment's deduplicated Background Graph.
+    pub bg: BackgroundGraph,
+    /// The cluster node this record points to.
+    pub clusters: Vec<ClusterRecord<V>>,
+}
+
+/// The STRG-Index.
+///
+/// Generic over the value type of OG sequences (`f64` scalarizations or 2-D
+/// centroid trajectories) and the *metric* key distance `D` (the paper's
+/// `EGED_M`). Cluster formation always uses the non-metric EGED, as in
+/// Section 4.
+#[derive(Clone, Debug)]
+pub struct StrgIndex<V, D> {
+    cfg: StrgIndexConfig,
+    metric: D,
+    roots: Vec<RootRecord<V>>,
+    len: usize,
+}
+
+impl<V: ClusterValue, D: MetricDistance<V>> StrgIndex<V, D> {
+    /// Creates an empty index.
+    pub fn new(metric: D, cfg: StrgIndexConfig) -> Self {
+        Self {
+            cfg,
+            metric,
+            roots: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Builds the index for one video segment (Algorithm 2): cluster the
+    /// OGs with EM-EGED, create one cluster record per cluster with its
+    /// centroid, and fill leaves keyed by `EGED_M`. Returns the new root
+    /// record id.
+    pub fn add_segment(&mut self, bg: BackgroundGraph, ogs: Vec<(u64, Vec<V>)>) -> u32 {
+        let root_id = self.roots.len() as u32;
+        let data: Vec<Vec<V>> = ogs.iter().map(|(_, s)| s.clone()).collect();
+        let k = match self.cfg.k {
+            Some(k) => k.max(1),
+            None => {
+                if data.len() <= 2 {
+                    1
+                } else {
+                    bic_sweep(&data, &Eged, 1..=self.cfg.k_max.min(data.len()), self.cfg.seed).0
+                }
+            }
+        };
+        let clusters = if data.is_empty() {
+            Vec::new()
+        } else {
+            let em = EmClusterer::new(Eged, self.cfg.em_config(k));
+            let clustering = em.fit(&data);
+            let mut clusters: Vec<ClusterRecord<V>> = clustering
+                .centroids
+                .iter()
+                .enumerate()
+                .map(|(i, c)| ClusterRecord {
+                    id: i as u32,
+                    centroid: c.clone(),
+                    leaf: LeafNode::default(),
+                })
+                .collect();
+            for (j, (og_id, seq)) in ogs.into_iter().enumerate() {
+                let c = clustering.assignments[j];
+                let key = self.metric.distance(&seq, &clusters[c].centroid);
+                clusters[c].leaf.insert_sorted(LeafRecord { key, og_id, seq });
+                self.len += 1;
+            }
+            // Drop empty clusters, renumber.
+            clusters.retain(|c| !c.leaf.records.is_empty());
+            for (i, c) in clusters.iter_mut().enumerate() {
+                c.id = i as u32;
+            }
+            clusters
+        };
+        self.roots.push(RootRecord {
+            id: root_id,
+            bg,
+            clusters,
+        });
+        root_id
+    }
+
+    /// Inserts one OG into an existing segment: route to the closest
+    /// centroid by (non-metric) EGED, key by `EGED_M`, then split the leaf
+    /// if it grew past the threshold and BIC favors two clusters (§5.3).
+    ///
+    /// # Panics
+    /// Panics if `root_id` does not exist.
+    pub fn insert(&mut self, root_id: u32, og_id: u64, seq: Vec<V>) {
+        let root = self
+            .roots
+            .iter_mut()
+            .find(|r| r.id == root_id)
+            .expect("unknown root record");
+        if root.clusters.is_empty() {
+            root.clusters.push(ClusterRecord {
+                id: 0,
+                centroid: seq.clone(),
+                leaf: LeafNode::default(),
+            });
+        }
+        let best = root
+            .clusters
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, Eged.distance(&seq, &c.centroid)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(i, _)| i)
+            .expect("at least one cluster");
+        let key = self.metric.distance(&seq, &root.clusters[best].centroid);
+        root.clusters[best]
+            .leaf
+            .insert_sorted(LeafRecord { key, og_id, seq });
+        self.len += 1;
+
+        if root.clusters[best].leaf.records.len() > self.cfg.leaf_split_threshold {
+            split_leaf_if_bic_favors(root, best, &self.metric, &self.cfg);
+        }
+    }
+
+    /// Removes the OG with the given id from a segment. Returns `true` if
+    /// it was present. Empty leaves drop their cluster record; an empty
+    /// segment keeps its root record (backgrounds outlive their objects).
+    pub fn remove(&mut self, root_id: u32, og_id: u64) -> bool {
+        let Some(root) = self.roots.iter_mut().find(|r| r.id == root_id) else {
+            return false;
+        };
+        for c in &mut root.clusters {
+            if let Some(pos) = c.leaf.records.iter().position(|r| r.og_id == og_id) {
+                c.leaf.records.remove(pos);
+                self.len -= 1;
+                root.clusters.retain(|c| !c.leaf.records.is_empty());
+                for (i, c) in root.clusters.iter_mut().enumerate() {
+                    c.id = i as u32;
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Removes a whole segment (root record and everything below it).
+    /// Returns the number of OGs removed, or `None` if the root id is
+    /// unknown.
+    pub fn remove_segment(&mut self, root_id: u32) -> Option<usize> {
+        let pos = self.roots.iter().position(|r| r.id == root_id)?;
+        let removed: usize = self.roots[pos]
+            .clusters
+            .iter()
+            .map(|c| c.leaf.records.len())
+            .sum();
+        self.roots.remove(pos);
+        self.len -= removed;
+        Some(removed)
+    }
+
+    /// Number of indexed OGs.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index holds no OGs.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The root records.
+    pub fn roots(&self) -> &[RootRecord<V>] {
+        &self.roots
+    }
+
+    /// The metric key distance.
+    pub fn metric(&self) -> &D {
+        &self.metric
+    }
+
+    /// Configuration.
+    pub fn config(&self) -> &StrgIndexConfig {
+        &self.cfg
+    }
+
+    /// Total number of cluster records.
+    pub fn cluster_count(&self) -> usize {
+        self.roots.iter().map(|r| r.clusters.len()).sum()
+    }
+
+    /// Exact k-NN over every segment (best-first over clusters, triangle
+    /// pruning on leaf keys). Results ascending by distance.
+    pub fn knn(&self, query: &[V], k: usize) -> Vec<Hit> {
+        search::knn(self.roots(), &self.metric, query, k, None)
+    }
+
+    /// Exact k-NN restricted to one root record (used after background
+    /// matching, Algorithm 3 step 2).
+    pub fn knn_in_root(&self, root_id: u32, query: &[V], k: usize) -> Vec<Hit> {
+        search::knn(self.roots(), &self.metric, query, k, Some(root_id))
+    }
+
+    /// The paper's Algorithm 3 as written: descend into the *single* most
+    /// similar cluster and k-NN only inside its leaf. Cheaper but
+    /// approximate; Figure 7c quantifies the accuracy trade-off.
+    pub fn knn_single_cluster(&self, query: &[V], k: usize) -> Vec<Hit> {
+        search::knn_single_cluster(self.roots(), &self.metric, query, k)
+    }
+
+    /// Range query: every OG within `radius` of `query`, ascending by
+    /// distance (exact, with the same key-band pruning as [`StrgIndex::knn`]).
+    pub fn range(&self, query: &[V], radius: f64) -> Vec<Hit> {
+        search::range(self.roots(), &self.metric, query, radius, None)
+    }
+
+    /// Range query restricted to one root record.
+    pub fn range_in_root(&self, root_id: u32, query: &[V], radius: f64) -> Vec<Hit> {
+        search::range(self.roots(), &self.metric, query, radius, Some(root_id))
+    }
+
+    /// Algorithm 3 step 2: matches a query Background Graph against the
+    /// root records (via the `SimGraph`-flavored background similarity)
+    /// and returns the best root id with its similarity, or `None` on an
+    /// empty index.
+    pub fn match_root(
+        &self,
+        bg: &strg_graph::BackgroundGraph,
+        compat: &strg_graph::CompatParams,
+    ) -> Option<(u32, f64)> {
+        self.roots
+            .iter()
+            .map(|r| (r.id, strg_graph::background_similarity(bg, &r.bg, compat)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// Full Algorithm 3: background matching followed by k-NN restricted
+    /// to the matched root record. Falls back to the global search when no
+    /// root matches above `min_similarity`.
+    pub fn knn_with_background(
+        &self,
+        bg: &strg_graph::BackgroundGraph,
+        compat: &strg_graph::CompatParams,
+        min_similarity: f64,
+        query: &[V],
+        k: usize,
+    ) -> Vec<Hit> {
+        match self.match_root(bg, compat) {
+            Some((root, sim)) if sim >= min_similarity => self.knn_in_root(root, query, k),
+            _ => self.knn(query, k),
+        }
+    }
+
+    /// Size of the index per Equation (10): member OGs + centroid OGs + one
+    /// BG per segment.
+    pub fn size_bytes(&self) -> usize {
+        let per_value = std::mem::size_of::<V>();
+        let mut total = 0;
+        for root in &self.roots {
+            total += root.bg.approx_bytes();
+            for c in &root.clusters {
+                total += c.centroid.len() * per_value + std::mem::size_of::<ClusterRecord<V>>();
+                for r in &c.leaf.records {
+                    total += r.seq.len() * per_value + std::mem::size_of::<LeafRecord<V>>();
+                }
+            }
+        }
+        total
+    }
+}
+
+/// §5.3 node split: run EM with `K = 2` on the leaf's members and keep the
+/// split iff `BIC(K = 2) > BIC(K = 1)`.
+fn split_leaf_if_bic_favors<V: ClusterValue, D: MetricDistance<V>>(
+    root: &mut RootRecord<V>,
+    cluster_idx: usize,
+    metric: &D,
+    cfg: &StrgIndexConfig,
+) {
+    let members = &root.clusters[cluster_idx].leaf.records;
+    let data: Vec<Vec<V>> = members.iter().map(|r| r.seq.clone()).collect();
+    if data.len() < 4 {
+        return;
+    }
+    let em1 = EmClusterer::new(Eged, cfg.em_config(1));
+    let em2 = EmClusterer::new(Eged, cfg.em_config(2));
+    let c1 = em1.fit(&data);
+    let c2 = em2.fit(&data);
+    if bic(&c2, data.len()) <= bic(&c1, data.len()) || c2.k() < 2 {
+        return;
+    }
+    let sizes = c2.sizes();
+    if sizes.contains(&0) {
+        return;
+    }
+    // Perform the split: replace the cluster record with two.
+    let old = root.clusters.remove(cluster_idx);
+    let mut new_a = ClusterRecord {
+        id: 0,
+        centroid: c2.centroids[0].clone(),
+        leaf: LeafNode::default(),
+    };
+    let mut new_b = ClusterRecord {
+        id: 0,
+        centroid: c2.centroids[1].clone(),
+        leaf: LeafNode::default(),
+    };
+    for (j, rec) in old.leaf.records.into_iter().enumerate() {
+        let target = if c2.assignments[j] == 0 { &mut new_a } else { &mut new_b };
+        let key = metric.distance(&rec.seq, &target.centroid);
+        target.leaf.insert_sorted(LeafRecord { key, ..rec });
+    }
+    root.clusters.push(new_a);
+    root.clusters.push(new_b);
+    for (i, c) in root.clusters.iter_mut().enumerate() {
+        c.id = i as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strg_distance::EgedMetric;
+    use strg_graph::BackgroundGraph;
+
+    fn bg() -> BackgroundGraph {
+        BackgroundGraph::default()
+    }
+
+    /// Three separated groups of scalar sequences.
+    fn grouped_ogs() -> Vec<(u64, Vec<f64>)> {
+        let mut out = Vec::new();
+        let mut id = 0u64;
+        for g in 0..3 {
+            let base = 100.0 * g as f64;
+            for i in 0..12 {
+                out.push((id, vec![base + 0.3 * i as f64, base + 1.0, base + 2.0]));
+                id += 1;
+            }
+        }
+        out
+    }
+
+    fn build() -> StrgIndex<f64, EgedMetric<f64>> {
+        let mut idx = StrgIndex::new(EgedMetric::new(), StrgIndexConfig::default());
+        idx.add_segment(bg(), grouped_ogs());
+        idx
+    }
+
+    #[test]
+    fn build_creates_three_levels() {
+        let idx = build();
+        assert_eq!(idx.len(), 36);
+        assert_eq!(idx.roots().len(), 1);
+        assert!(idx.cluster_count() >= 3, "BIC should find >= 3 clusters");
+        // Leaf keys sorted.
+        for root in idx.roots() {
+            for c in &root.clusters {
+                for w in c.leaf.records.windows(2) {
+                    assert!(w[0].key <= w[1].key);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_k_respected() {
+        let mut idx = StrgIndex::new(EgedMetric::new(), StrgIndexConfig::with_k(3));
+        idx.add_segment(bg(), grouped_ogs());
+        assert_eq!(idx.cluster_count(), 3);
+    }
+
+    #[test]
+    fn keys_are_metric_distances_to_centroid() {
+        let idx = build();
+        let m = EgedMetric::<f64>::new();
+        for root in idx.roots() {
+            for c in &root.clusters {
+                for r in &c.leaf.records {
+                    let d = m.distance(&r.seq, &c.centroid);
+                    assert!((d - r.key).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knn_exact_matches_linear_scan() {
+        let idx = build();
+        let data = grouped_ogs();
+        let m = EgedMetric::<f64>::new();
+        let q = vec![105.0, 106.0, 107.0];
+        let mut truth: Vec<(u64, f64)> = data
+            .iter()
+            .map(|(id, s)| (*id, m.distance(&q, s)))
+            .collect();
+        truth.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let hits = idx.knn(&q, 5);
+        assert_eq!(hits.len(), 5);
+        for (h, t) in hits.iter().zip(&truth) {
+            assert!((h.dist - t.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn insert_grows_and_stays_sorted() {
+        let mut idx = build();
+        idx.insert(0, 1000, vec![101.0, 102.0, 103.0]);
+        assert_eq!(idx.len(), 37);
+        let hits = idx.knn(&[101.0, 102.0, 103.0], 1);
+        assert_eq!(hits[0].og_id, 1000);
+        assert!(hits[0].dist < 1e-9);
+    }
+
+    #[test]
+    fn bic_gated_split_on_insert() {
+        // Build with K = 1 so everything lands in one leaf, with a low
+        // split threshold; inserting separated data must trigger a split.
+        let mut cfg = StrgIndexConfig::with_k(1);
+        cfg.leaf_split_threshold = 10;
+        let mut idx = StrgIndex::new(EgedMetric::new(), cfg);
+        let root = idx.add_segment(bg(), Vec::new());
+        let mut id = 0u64;
+        for g in 0..2 {
+            let base = 300.0 * g as f64;
+            for i in 0..8 {
+                idx.insert(root, id, vec![base + i as f64 * 0.2, base + 1.0]);
+                id += 1;
+            }
+        }
+        assert!(
+            idx.cluster_count() >= 2,
+            "separated groups past threshold must split: {}",
+            idx.cluster_count()
+        );
+        assert_eq!(idx.len(), 16);
+    }
+
+    #[test]
+    fn split_does_not_fire_on_homogeneous_leaf() {
+        let mut cfg = StrgIndexConfig::with_k(1);
+        cfg.leaf_split_threshold = 10;
+        let mut idx = StrgIndex::new(EgedMetric::new(), cfg);
+        let root = idx.add_segment(bg(), Vec::new());
+        for i in 0..20 {
+            // Identical sequences: no split can improve the likelihood
+            // enough to beat the BIC parameter penalty.
+            idx.insert(root, i, vec![50.0, 51.0]);
+        }
+        assert_eq!(idx.cluster_count(), 1, "homogeneous data must not split");
+    }
+
+    #[test]
+    fn multi_segment_roots() {
+        let mut idx = StrgIndex::new(EgedMetric::new(), StrgIndexConfig::with_k(2));
+        let r0 = idx.add_segment(bg(), grouped_ogs());
+        let r1 = idx.add_segment(bg(), grouped_ogs());
+        assert_eq!(idx.roots().len(), 2);
+        assert_ne!(r0, r1);
+        // Root-restricted search only sees its own OGs.
+        let q = vec![0.0, 1.0, 2.0];
+        let hits = idx.knn_in_root(r1, &q, 40);
+        assert_eq!(hits.len(), 36);
+    }
+
+    #[test]
+    fn size_accounting_smaller_than_strg() {
+        // Equation 9 vs 10: the index stores ONE bg; the raw STRG carries
+        // it per frame.
+        let idx = build();
+        let index_size = idx.size_bytes();
+        let n_frames = 100usize;
+        let strg_size: usize = index_size + (n_frames - 1) * idx.roots()[0].bg.approx_bytes();
+        assert!(index_size < strg_size);
+    }
+
+    #[test]
+    fn remove_og_and_requery() {
+        let mut idx = build();
+        let n = idx.len();
+        // Remove the exact 1-NN of a query; the next query must return a
+        // different OG.
+        let q = vec![100.0, 101.0, 102.0];
+        let first = idx.knn(&q, 1)[0].og_id;
+        assert!(idx.remove(0, first));
+        assert_eq!(idx.len(), n - 1);
+        let second = idx.knn(&q, 1)[0].og_id;
+        assert_ne!(first, second);
+        // Removing again is a no-op.
+        assert!(!idx.remove(0, first));
+        assert!(!idx.remove(99, second), "unknown root");
+    }
+
+    #[test]
+    fn removing_all_members_drops_cluster() {
+        let mut idx = StrgIndex::new(EgedMetric::new(), StrgIndexConfig::with_k(2));
+        let items: Vec<(u64, Vec<f64>)> = vec![
+            (0, vec![0.0, 1.0]),
+            (1, vec![0.5, 1.5]),
+            (2, vec![500.0, 501.0]),
+            (3, vec![500.5, 501.5]),
+        ];
+        idx.add_segment(bg(), items);
+        assert_eq!(idx.cluster_count(), 2);
+        assert!(idx.remove(0, 2));
+        assert!(idx.remove(0, 3));
+        assert_eq!(idx.cluster_count(), 1, "empty cluster dropped");
+        assert_eq!(idx.len(), 2);
+        let hits = idx.knn(&[500.0, 501.0], 4);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn remove_segment_drops_everything() {
+        let mut idx = StrgIndex::new(EgedMetric::new(), StrgIndexConfig::with_k(2));
+        let r0 = idx.add_segment(bg(), grouped_ogs());
+        let r1 = idx.add_segment(bg(), grouped_ogs());
+        assert_eq!(idx.len(), 72);
+        assert_eq!(idx.remove_segment(r0), Some(36));
+        assert_eq!(idx.len(), 36);
+        assert_eq!(idx.roots().len(), 1);
+        assert_eq!(idx.roots()[0].id, r1);
+        assert_eq!(idx.remove_segment(99), None);
+    }
+
+    #[test]
+    fn empty_segment_build() {
+        let mut idx = StrgIndex::new(EgedMetric::<f64>::new(), StrgIndexConfig::default());
+        let r = idx.add_segment(bg(), Vec::new());
+        assert!(idx.is_empty());
+        assert!(idx.knn(&[1.0], 3).is_empty());
+        idx.insert(r, 7, vec![1.0, 2.0]);
+        assert_eq!(idx.knn(&[1.0], 3).len(), 1);
+    }
+}

@@ -1,0 +1,321 @@
+//! STRG-Index k-NN search (Algorithm 3).
+//!
+//! Two flavors:
+//!
+//! * [`knn`] — exact best-first search over cluster records: clusters are
+//!   visited in order of a triangle-inequality lower bound derived from the
+//!   centroid distance and the leaf's key range, and within a leaf only the
+//!   key band `|key - d(q, centroid)| <= d_k` is evaluated. This is the
+//!   search Figure 7b's distance-computation counts are about.
+//! * [`knn_single_cluster`] — the literal Algorithm 3: pick the single most
+//!   similar centroid and scan only its leaf (approximate; Figure 7c).
+
+use strg_distance::{MetricDistance, SeqValue};
+
+use super::RootRecord;
+
+/// One search result.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Hit {
+    /// Root record (segment) the OG belongs to.
+    pub root_id: u32,
+    /// Cluster record within the root.
+    pub cluster_id: u32,
+    /// The member OG identifier.
+    pub og_id: u64,
+    /// Distance to the query under the index's metric.
+    pub dist: f64,
+}
+
+/// Exact k-NN. `root_filter` restricts the search to one root record when
+/// the query carried a matching background (Algorithm 3 step 2); `None`
+/// searches every cluster node, as the paper does for background-free
+/// queries.
+pub fn knn<V: SeqValue, D: MetricDistance<V>>(
+    roots: &[RootRecord<V>],
+    metric: &D,
+    query: &[V],
+    k: usize,
+    root_filter: Option<u32>,
+) -> Vec<Hit> {
+    if k == 0 {
+        return Vec::new();
+    }
+    // Pass 1: distance to every centroid (this is the cluster-node scan of
+    // Algorithm 3), plus a lower bound for each leaf.
+    struct Cand<'a, V> {
+        root_id: u32,
+        cluster_id: u32,
+        centroid_dist: f64,
+        lower: f64,
+        leaf: &'a super::LeafNode<V>,
+    }
+    let mut cands: Vec<Cand<V>> = Vec::new();
+    for root in roots {
+        if root_filter.is_some_and(|r| r != root.id) {
+            continue;
+        }
+        for c in &root.clusters {
+            let d = metric.distance(query, &c.centroid);
+            // Any member m satisfies d(q, m) >= |d(q, centroid) - key(m)|;
+            // keys span [min_key, max_key].
+            let min_key = c.leaf.records.first().map_or(0.0, |r| r.key);
+            let max_key = c.leaf.max_key();
+            let lower = if d < min_key {
+                min_key - d
+            } else if d > max_key {
+                d - max_key
+            } else {
+                0.0
+            };
+            cands.push(Cand {
+                root_id: root.id,
+                cluster_id: c.id,
+                centroid_dist: d,
+                lower,
+                leaf: &c.leaf,
+            });
+        }
+    }
+    cands.sort_by(|a, b| a.lower.total_cmp(&b.lower));
+
+    let mut best: Vec<Hit> = Vec::new(); // sorted ascending, len <= k
+    for cand in cands {
+        let dk = if best.len() < k {
+            f64::INFINITY
+        } else {
+            best[k - 1].dist
+        };
+        if cand.lower > dk {
+            break; // clusters are sorted by lower bound
+        }
+        // Key-band scan: records outside |key - d_q| <= dk cannot qualify.
+        let records = &cand.leaf.records;
+        let lo = records.partition_point(|r| r.key < cand.centroid_dist - dk);
+        for r in &records[lo..] {
+            let dk_now = if best.len() < k {
+                f64::INFINITY
+            } else {
+                best[k - 1].dist
+            };
+            if r.key > cand.centroid_dist + dk_now {
+                break;
+            }
+            if (r.key - cand.centroid_dist).abs() > dk_now {
+                continue;
+            }
+            let d = metric.distance(query, &r.seq);
+            if d < dk_now || best.len() < k {
+                let hit = Hit {
+                    root_id: cand.root_id,
+                    cluster_id: cand.cluster_id,
+                    og_id: r.og_id,
+                    dist: d,
+                };
+                let pos = best.partition_point(|h| h.dist <= d);
+                best.insert(pos, hit);
+                best.truncate(k);
+            }
+        }
+    }
+    best
+}
+
+/// Range query: every OG within `radius` of `query`, ascending by
+/// distance. Uses the same centroid-distance / key-band pruning as
+/// [`knn`], with the fixed radius instead of the adaptive `d_k`.
+pub fn range<V: SeqValue, D: MetricDistance<V>>(
+    roots: &[RootRecord<V>],
+    metric: &D,
+    query: &[V],
+    radius: f64,
+    root_filter: Option<u32>,
+) -> Vec<Hit> {
+    let mut out = Vec::new();
+    for root in roots {
+        if root_filter.is_some_and(|r| r != root.id) {
+            continue;
+        }
+        for c in &root.clusters {
+            let d = metric.distance(query, &c.centroid);
+            let records = &c.leaf.records;
+            // Members satisfy |key - d| <= d(q, m); skip the whole leaf if
+            // even the closest key band misses.
+            let lo = records.partition_point(|r| r.key < d - radius);
+            for r in &records[lo..] {
+                if r.key > d + radius {
+                    break;
+                }
+                let dist = metric.distance(query, &r.seq);
+                if dist <= radius {
+                    out.push(Hit {
+                        root_id: root.id,
+                        cluster_id: c.id,
+                        og_id: r.og_id,
+                        dist,
+                    });
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| a.dist.total_cmp(&b.dist));
+    out
+}
+
+/// The literal Algorithm 3: find the most similar `OG_clus`, then k-NN only
+/// within that cluster's leaf.
+pub fn knn_single_cluster<V: SeqValue, D: MetricDistance<V>>(
+    roots: &[RootRecord<V>],
+    metric: &D,
+    query: &[V],
+    k: usize,
+) -> Vec<Hit> {
+    let mut best_cluster: Option<(u32, u32, f64, &super::LeafNode<V>)> = None;
+    for root in roots {
+        for c in &root.clusters {
+            let d = metric.distance(query, &c.centroid);
+            if best_cluster.as_ref().is_none_or(|&(_, _, bd, _)| d < bd) {
+                best_cluster = Some((root.id, c.id, d, &c.leaf));
+            }
+        }
+    }
+    let Some((root_id, cluster_id, dq, leaf)) = best_cluster else {
+        return Vec::new();
+    };
+    // Scan the leaf around Key_q = EGED_M(q, OG_clus) outwards.
+    let mut hits: Vec<Hit> = Vec::new();
+    for r in &leaf.records {
+        // Key pruning with the current k-th distance.
+        let dk = if hits.len() < k {
+            f64::INFINITY
+        } else {
+            hits[k - 1].dist
+        };
+        if (r.key - dq).abs() > dk {
+            continue;
+        }
+        let d = metric.distance(query, &r.seq);
+        let pos = hits.partition_point(|h| h.dist <= d);
+        hits.insert(
+            pos,
+            Hit {
+                root_id,
+                cluster_id,
+                og_id: r.og_id,
+                dist: d,
+            },
+        );
+        hits.truncate(k);
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::index::{StrgIndex, StrgIndexConfig};
+    use strg_distance::{CountingDistance, EgedMetric};
+    use strg_graph::BackgroundGraph;
+
+    fn dataset() -> Vec<(u64, Vec<f64>)> {
+        let mut out = Vec::new();
+        let mut id = 0;
+        for g in 0..4 {
+            let base = 80.0 * g as f64;
+            for i in 0..15 {
+                out.push((id, vec![base + 0.4 * i as f64, base + 1.0, base + 2.0]));
+                id += 1;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn exact_knn_prunes_distance_calls() {
+        let cd = CountingDistance::new(EgedMetric::<f64>::new());
+        let mut idx = StrgIndex::new(cd.clone(), StrgIndexConfig::with_k(4));
+        idx.add_segment(BackgroundGraph::default(), dataset());
+        cd.reset();
+        let hits = idx.knn(&[82.0, 83.0, 84.0], 5);
+        assert_eq!(hits.len(), 5);
+        let calls = cd.count();
+        assert!(calls < 60, "pruning expected: {calls} calls for 60 OGs");
+        assert!(calls >= 5);
+    }
+
+    #[test]
+    fn single_cluster_subset_of_exact() {
+        let mut idx = StrgIndex::new(EgedMetric::<f64>::new(), StrgIndexConfig::with_k(4));
+        idx.add_segment(BackgroundGraph::default(), dataset());
+        let q = vec![161.0, 162.0, 163.0];
+        let exact = idx.knn(&q, 5);
+        let approx = idx.knn_single_cluster(&q, 5);
+        assert_eq!(approx.len(), 5);
+        // Approximate results can never beat the exact ones.
+        for (a, e) in approx.iter().zip(&exact) {
+            assert!(a.dist + 1e-12 >= e.dist);
+        }
+        // On well-separated data they agree.
+        let ids_e: Vec<u64> = exact.iter().map(|h| h.og_id).collect();
+        let ids_a: Vec<u64> = approx.iter().map(|h| h.og_id).collect();
+        assert_eq!(ids_e, ids_a);
+    }
+
+    #[test]
+    fn range_matches_linear_scan() {
+        use strg_distance::SequenceDistance;
+        let data = dataset();
+        let mut idx = StrgIndex::new(EgedMetric::<f64>::new(), StrgIndexConfig::with_k(4));
+        idx.add_segment(BackgroundGraph::default(), data.clone());
+        let m = EgedMetric::<f64>::new();
+        let q = vec![81.0, 82.0, 83.0];
+        for radius in [0.0, 10.0, 100.0, 1e6] {
+            let mut expect: Vec<u64> = data
+                .iter()
+                .filter(|(_, s)| m.distance(&q, s) <= radius)
+                .map(|(id, _)| *id)
+                .collect();
+            expect.sort_unstable();
+            let mut got: Vec<u64> = idx.range(&q, radius).into_iter().map(|h| h.og_id).collect();
+            got.sort_unstable();
+            assert_eq!(got, expect, "radius {radius}");
+        }
+        // Sorted ascending.
+        let hits = idx.range(&q, 1e6);
+        for w in hits.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+    }
+
+    #[test]
+    fn range_prunes_distance_calls() {
+        let cd = CountingDistance::new(EgedMetric::<f64>::new());
+        let mut idx = StrgIndex::new(cd.clone(), StrgIndexConfig::with_k(4));
+        idx.add_segment(BackgroundGraph::default(), dataset());
+        cd.reset();
+        let hits = idx.range(&[81.0, 82.0, 83.0], 20.0);
+        assert!(!hits.is_empty());
+        assert!(cd.count() < 60, "pruned: {} calls", cd.count());
+    }
+
+    #[test]
+    fn k_zero_and_empty() {
+        let idx = StrgIndex::new(EgedMetric::<f64>::new(), StrgIndexConfig::default());
+        assert!(idx.knn(&[1.0], 0).is_empty());
+        assert!(idx.knn(&[1.0], 5).is_empty());
+        assert!(idx.knn_single_cluster(&[1.0], 5).is_empty());
+    }
+
+    #[test]
+    fn hits_report_cluster_and_root() {
+        let mut idx = StrgIndex::new(EgedMetric::<f64>::new(), StrgIndexConfig::with_k(4));
+        idx.add_segment(BackgroundGraph::default(), dataset());
+        let hits = idx.knn(&[0.5, 1.5, 2.5], 3);
+        for h in &hits {
+            assert_eq!(h.root_id, 0);
+            assert!(idx.roots()[0]
+                .clusters
+                .iter()
+                .any(|c| c.id == h.cluster_id));
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # strg-core
+//!
+//! The paper's primary contribution: the **STRG-Index** (Section 5) and the
+//! end-to-end video database built on it.
+//!
+//! * [`index::StrgIndex`] — the three-level tree (root = Background
+//!   Graphs, cluster nodes = centroid OGs from EM clustering, leaves =
+//!   member OGs keyed by metric EGED), with Algorithm 2 construction,
+//!   BIC-gated node splits (§5.3) and Algorithm 3 k-NN search;
+//! * [`pipeline::VideoDatabase`] — frames → segmentation → RAG → STRG →
+//!   decomposition → clustering → index → queries, in one facade.
+
+#![warn(missing_docs)]
+
+pub mod index;
+pub mod persist;
+pub mod pipeline;
+
+pub use index::{Hit, LeafNode, LeafRecord, ClusterRecord, RootRecord, StrgIndex, StrgIndexConfig};
+pub use pipeline::{ClipMeta, DbStats, IngestReport, QueryHit, StoredOg, VideoDatabase, VideoDbConfig};

@@ -1,0 +1,399 @@
+//! The end-to-end video database facade.
+//!
+//! [`VideoDatabase`] wires the whole paper together: frames are segmented
+//! into regions (§2.1), RAGs become an STRG via graph-based tracking
+//! (§2.2), the STRG is decomposed into Object Graphs and one Background
+//! Graph (§2.3), the OGs are clustered with EM-EGED (§4) and indexed in the
+//! STRG-Index (§5), which then answers k-NN trajectory queries
+//! (Algorithm 3).
+//!
+//! The index is guarded by a `parking_lot::RwLock`, so concurrent readers
+//! can query while ingest takes the write lock.
+
+use parking_lot::RwLock;
+use strg_distance::EgedMetric;
+use strg_graph::{
+    build_strg, decompose, DecomposeConfig, FrameId, ObjectGraph, Point2, TrackerConfig,
+};
+use strg_video::{frame_to_rag, Frame, SegmentConfig, VideoClip};
+
+use crate::index::{Hit, StrgIndex, StrgIndexConfig};
+
+/// Configuration of the full ingest pipeline.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct VideoDbConfig {
+    /// Region segmentation parameters (§2.1).
+    pub segment: SegmentConfig,
+    /// Graph-based tracking parameters (Algorithm 1).
+    pub tracker: TrackerConfig,
+    /// STRG decomposition parameters (§2.3).
+    pub decompose: DecomposeConfig,
+    /// Index parameters (§5).
+    pub index: StrgIndexConfig,
+}
+
+/// Metadata of one ingested clip.
+#[derive(Clone, Debug)]
+pub struct ClipMeta {
+    /// Clip name.
+    pub name: String,
+    /// Root record id of the clip's segment in the index.
+    pub root_id: u32,
+    /// Number of frames ingested.
+    pub frames: usize,
+    /// Ids of the OGs extracted from this clip.
+    pub og_ids: Vec<u64>,
+}
+
+/// A stored Object Graph with its provenance.
+#[derive(Clone, Debug)]
+pub struct StoredOg {
+    /// Database-wide OG id.
+    pub id: u64,
+    /// Index of the owning clip in [`VideoDatabase::clips`].
+    pub clip: usize,
+    /// The full Object Graph (the leaf `ptr` target).
+    pub og: ObjectGraph,
+}
+
+/// Report returned by an ingest.
+#[derive(Clone, Debug)]
+pub struct IngestReport {
+    /// Root record id created for the clip.
+    pub root_id: u32,
+    /// Number of OGs extracted and indexed.
+    pub objects: usize,
+    /// Number of nodes of the deduplicated Background Graph.
+    pub background_nodes: usize,
+    /// Raw STRG size in bytes (Equation 9).
+    pub strg_bytes: usize,
+}
+
+/// One k-NN query answer, resolved to clip provenance.
+#[derive(Clone, Debug)]
+pub struct QueryHit {
+    /// Name of the clip the matching OG came from.
+    pub clip: String,
+    /// The OG id.
+    pub og_id: u64,
+    /// Distance to the query trajectory.
+    pub dist: f64,
+}
+
+/// Aggregate database statistics.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct DbStats {
+    /// Number of ingested clips (segments / root records).
+    pub clips: usize,
+    /// Number of indexed OGs.
+    pub objects: usize,
+    /// Number of cluster records.
+    pub clusters: usize,
+    /// Equation (9): raw STRG size (sum over clips).
+    pub strg_bytes: usize,
+    /// Equation (10): index size.
+    pub index_bytes: usize,
+}
+
+/// The end-to-end video database.
+pub struct VideoDatabase {
+    pub(crate) cfg: VideoDbConfig,
+    pub(crate) index: RwLock<StrgIndex<Point2, EgedMetric<Point2>>>,
+    pub(crate) clips: RwLock<Vec<ClipMeta>>,
+    pub(crate) ogs: RwLock<Vec<StoredOg>>,
+    pub(crate) strg_bytes: RwLock<usize>,
+}
+
+impl VideoDatabase {
+    /// Creates an empty database.
+    pub fn new(cfg: VideoDbConfig) -> Self {
+        Self {
+            cfg,
+            index: RwLock::new(StrgIndex::new(EgedMetric::new(), cfg.index)),
+            clips: RwLock::new(Vec::new()),
+            ogs: RwLock::new(Vec::new()),
+            strg_bytes: RwLock::new(0),
+        }
+    }
+
+    /// Ingests a sequence of frames as one video segment.
+    pub fn ingest_frames(&self, name: &str, frames: &[Frame]) -> IngestReport {
+        // 1. Frame -> RAG (§2.1).
+        let rags: Vec<_> = frames
+            .iter()
+            .enumerate()
+            .map(|(i, f)| frame_to_rag(f, FrameId(i as u32), &self.cfg.segment))
+            .collect();
+        // 2. RAGs -> STRG via tracking (§2.2).
+        let strg = build_strg(rags, &self.cfg.tracker);
+        // 3. Decompose (§2.3).
+        let d = decompose(&strg, &self.cfg.decompose);
+        let strg_bytes = strg_graph::decompose::strg_size_bytes(&d);
+        let background_nodes = d.background.rag.node_count();
+
+        // 4/5. Cluster + index (Algorithm 2).
+        let mut ogs_store = self.ogs.write();
+        // Ids must stay unique across clip removals, so continue from the
+        // largest id ever assigned rather than the store length.
+        let base_id = ogs_store.last().map_or(0, |s| s.id + 1);
+        let mut clips = self.clips.write();
+        let clip_idx = clips.len();
+        let mut items = Vec::with_capacity(d.objects.len());
+        let mut og_ids = Vec::with_capacity(d.objects.len());
+        for (i, og) in d.objects.iter().enumerate() {
+            let id = base_id + i as u64;
+            items.push((id, og.centroid_series()));
+            og_ids.push(id);
+            ogs_store.push(StoredOg {
+                id,
+                clip: clip_idx,
+                og: og.clone(),
+            });
+        }
+        let objects = items.len();
+        let mut index = self.index.write();
+        let root_id = index.add_segment(d.background, items);
+        clips.push(ClipMeta {
+            name: name.to_string(),
+            root_id,
+            frames: frames.len(),
+            og_ids,
+        });
+        *self.strg_bytes.write() += strg_bytes;
+
+        IngestReport {
+            root_id,
+            objects,
+            background_nodes,
+            strg_bytes,
+        }
+    }
+
+    /// Renders and ingests a scripted clip.
+    pub fn ingest_clip(&self, clip: &VideoClip, render_seed: u64) -> IngestReport {
+        let frames = clip.render_all(render_seed);
+        self.ingest_frames(&clip.name, &frames)
+    }
+
+    /// k-NN over the whole database: the `k` stored OGs whose centroid
+    /// trajectories are closest (in metric EGED) to `query`.
+    pub fn query_knn(&self, query: &[Point2], k: usize) -> Vec<QueryHit> {
+        let index = self.index.read();
+        let hits = index.knn(query, k);
+        self.resolve(hits)
+    }
+
+    /// The full Algorithm 3 query path: extract the Background Graph from
+    /// the query segment's frames, match it against the root records
+    /// (step 2), then k-NN inside the matched segment. Falls back to the
+    /// global search when no background is similar enough.
+    pub fn query_knn_with_background(
+        &self,
+        query_frames: &[Frame],
+        query: &[Point2],
+        k: usize,
+    ) -> Vec<QueryHit> {
+        let rags: Vec<_> = query_frames
+            .iter()
+            .enumerate()
+            .map(|(i, f)| frame_to_rag(f, FrameId(i as u32), &self.cfg.segment))
+            .collect();
+        let strg = build_strg(rags, &self.cfg.tracker);
+        let d = decompose(&strg, &self.cfg.decompose);
+        let index = self.index.read();
+        let hits = index.knn_with_background(
+            &d.background,
+            &self.cfg.tracker.compat,
+            0.5,
+            query,
+            k,
+        );
+        drop(index);
+        self.resolve(hits)
+    }
+
+    /// k-NN restricted to one clip (background-matched search,
+    /// Algorithm 3 step 2).
+    pub fn query_knn_in_clip(&self, clip_name: &str, query: &[Point2], k: usize) -> Vec<QueryHit> {
+        let clips = self.clips.read();
+        let Some(clip) = clips.iter().find(|c| c.name == clip_name) else {
+            return Vec::new();
+        };
+        let root = clip.root_id;
+        drop(clips);
+        let index = self.index.read();
+        let hits = index.knn_in_root(root, query, k);
+        self.resolve(hits)
+    }
+
+    fn resolve(&self, hits: Vec<Hit>) -> Vec<QueryHit> {
+        let ogs = self.ogs.read();
+        let clips = self.clips.read();
+        hits.into_iter()
+            .filter_map(|h| {
+                // OG ids are assigned monotonically, so the store is sorted
+                // by id even after clip removals.
+                let idx = ogs.binary_search_by_key(&h.og_id, |s| s.id).ok()?;
+                let og = &ogs[idx];
+                Some(QueryHit {
+                    clip: clips[og.clip].name.clone(),
+                    og_id: h.og_id,
+                    dist: h.dist,
+                })
+            })
+            .collect()
+    }
+
+    /// The stored Object Graph with id `id`.
+    pub fn og(&self, id: u64) -> Option<ObjectGraph> {
+        let ogs = self.ogs.read();
+        let idx = ogs.binary_search_by_key(&id, |s| s.id).ok()?;
+        Some(ogs[idx].og.clone())
+    }
+
+    /// Removes a clip and everything extracted from it (its root record,
+    /// clusters, leaf records and stored OGs). Returns the number of OGs
+    /// removed, or `None` if the clip is unknown.
+    pub fn remove_clip(&self, name: &str) -> Option<usize> {
+        let mut clips = self.clips.write();
+        let mut ogs = self.ogs.write();
+        let mut index = self.index.write();
+        let pos = clips.iter().position(|c| c.name == name)?;
+        let root = clips[pos].root_id;
+        let removed = index.remove_segment(root).unwrap_or(0);
+        clips.remove(pos);
+        ogs.retain(|s| s.clip != pos);
+        for s in ogs.iter_mut() {
+            if s.clip > pos {
+                s.clip -= 1;
+            }
+        }
+        Some(removed)
+    }
+
+    /// Names of all ingested clips.
+    pub fn clip_names(&self) -> Vec<String> {
+        self.clips.read().iter().map(|c| c.name.clone()).collect()
+    }
+
+    /// Aggregate statistics (Equations 9 and 10).
+    pub fn stats(&self) -> DbStats {
+        let index = self.index.read();
+        DbStats {
+            clips: self.clips.read().len(),
+            objects: index.len(),
+            clusters: index.cluster_count(),
+            strg_bytes: *self.strg_bytes.read(),
+            index_bytes: index.size_bytes(),
+        }
+    }
+
+    /// Read access to the underlying index (for experiments).
+    pub fn with_index<R>(&self, f: impl FnOnce(&StrgIndex<Point2, EgedMetric<Point2>>) -> R) -> R {
+        f(&self.index.read())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strg_graph::Rgb;
+    use strg_video::{lab_scene, ScenarioConfig, SceneNoise};
+
+    fn small_clip(seed: u64, actors: usize, frames: usize) -> VideoClip {
+        VideoClip {
+            name: format!("clip{seed}"),
+            scene: lab_scene(&ScenarioConfig {
+                n_actors: actors,
+                frames,
+                seed,
+                noise: SceneNoise {
+                    illumination: 2.0,
+                    pixel_noise: 0.0005,
+                    frame_drop: 0.0,
+                },
+            }),
+            fps: 30.0,
+        }
+    }
+
+    #[test]
+    fn end_to_end_ingest_and_query() {
+        let db = VideoDatabase::new(VideoDbConfig::default());
+        let clip = small_clip(11, 2, 60);
+        let report = db.ingest_clip(&clip, 5);
+        assert!(report.objects >= 1, "at least one walker tracked");
+        assert!(report.background_nodes >= 3, "room background summarized");
+        let stats = db.stats();
+        assert_eq!(stats.clips, 1);
+        assert!(stats.index_bytes < stats.strg_bytes, "Eq 10 < Eq 9");
+
+        // Query with one of the stored OG trajectories: it must match
+        // itself at distance ~0.
+        let og = db.og(0).expect("og 0 exists");
+        let hits = db.query_knn(&og.centroid_series(), 1);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].og_id, 0);
+        assert!(hits[0].dist < 1e-9);
+        let _ = Rgb::BLACK;
+    }
+
+    #[test]
+    fn remove_clip_evicts_everything() {
+        let db = VideoDatabase::new(VideoDbConfig::default());
+        db.ingest_clip(&small_clip(31, 1, 50), 1);
+        db.ingest_clip(&small_clip(32, 1, 50), 2);
+        let before = db.stats();
+        assert_eq!(before.clips, 2);
+
+        let removed = db.remove_clip("clip31").expect("known clip");
+        assert!(removed >= 1);
+        let after = db.stats();
+        assert_eq!(after.clips, 1);
+        assert_eq!(after.objects, before.objects - removed);
+        // Queries only see the surviving clip.
+        let q: Vec<Point2> = (0..20).map(|i| Point2::new(4.0 * i as f64, 80.0)).collect();
+        for hit in db.query_knn(&q, 10) {
+            assert_eq!(hit.clip, "clip32");
+        }
+        assert!(db.remove_clip("clip31").is_none(), "already gone");
+        // Removed OGs are no longer resolvable.
+        assert!(db.og(0).is_none());
+    }
+
+    #[test]
+    fn ingest_after_removal_keeps_ids_unique() {
+        let db = VideoDatabase::new(VideoDbConfig::default());
+        db.ingest_clip(&small_clip(41, 1, 50), 1);
+        db.ingest_clip(&small_clip(42, 1, 50), 2);
+        db.remove_clip("clip41").unwrap();
+        db.ingest_clip(&small_clip(43, 1, 50), 3);
+        let ogs_seen: Vec<u64> = {
+            let q: Vec<Point2> =
+                (0..20).map(|i| Point2::new(4.0 * i as f64, 80.0)).collect();
+            db.query_knn(&q, 50).into_iter().map(|h| h.og_id).collect()
+        };
+        let mut dedup = ogs_seen.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ogs_seen.len(), "no duplicate ids");
+        // Every hit resolves to a live clip.
+        for id in dedup {
+            assert!(db.og(id).is_some());
+        }
+    }
+
+    #[test]
+    fn clip_restricted_query() {
+        let db = VideoDatabase::new(VideoDbConfig::default());
+        db.ingest_clip(&small_clip(21, 1, 50), 1);
+        db.ingest_clip(&small_clip(22, 1, 50), 2);
+        assert_eq!(db.clip_names().len(), 2);
+        let og = db.og(0).expect("first clip og");
+        let hits = db.query_knn_in_clip("clip21", &og.centroid_series(), 10);
+        assert!(!hits.is_empty());
+        assert!(hits.iter().all(|h| h.clip == "clip21"));
+        let none = db.query_knn_in_clip("nope", &og.centroid_series(), 10);
+        assert!(none.is_empty());
+    }
+}

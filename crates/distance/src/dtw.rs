@@ -1,0 +1,96 @@
+//! Dynamic Time Warping (Gish & Ng [11]), one of the two baseline distances
+//! the paper compares EGED against in Figure 5.
+
+use crate::traits::SequenceDistance;
+use crate::value::SeqValue;
+
+/// Classic unconstrained DTW: minimum total ground-distance over monotone
+/// alignments of the two sequences. Non-metric (fails the triangle
+/// inequality), so it may drive clustering but not the index.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Dtw;
+
+impl<V: SeqValue> SequenceDistance<V> for Dtw {
+    fn distance(&self, a: &[V], b: &[V]) -> f64 {
+        let m = a.len();
+        let n = b.len();
+        if m == 0 || n == 0 {
+            // Conventional: distance to an empty sequence is the sum of
+            // ground distances to the origin, so that the function stays
+            // total on degenerate inputs.
+            let rest = if m == 0 { b } else { a };
+            return rest.iter().map(|v| v.dist(&V::origin())).sum();
+        }
+        let mut prev = vec![f64::INFINITY; n + 1];
+        let mut cur = vec![f64::INFINITY; n + 1];
+        prev[0] = 0.0;
+        for i in 1..=m {
+            cur[0] = f64::INFINITY;
+            for j in 1..=n {
+                let cost = a[i - 1].dist(&b[j - 1]);
+                let best = prev[j - 1].min(prev[j]).min(cur[j - 1]);
+                cur[j] = cost + best;
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        prev[n]
+    }
+
+    fn name(&self) -> &'static str {
+        "DTW"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dtw(a: &[f64], b: &[f64]) -> f64 {
+        SequenceDistance::distance(&Dtw, a, b)
+    }
+
+    #[test]
+    fn identical_is_zero() {
+        let s = [1.0, 2.0, 3.0];
+        assert_eq!(dtw(&s, &s), 0.0);
+    }
+
+    #[test]
+    fn time_shift_is_free() {
+        // DTW absorbs repeated samples at zero cost.
+        assert_eq!(dtw(&[1.0, 5.0, 9.0], &[1.0, 5.0, 5.0, 5.0, 9.0]), 0.0);
+    }
+
+    #[test]
+    fn simple_offset() {
+        // Offset sequences: the optimal warping matches 1->2 (1), 2->2 (0),
+        // 3->3 (0), 3->4 (1) for a total of 2 — less than the pointwise 3.
+        assert_eq!(dtw(&[1.0, 2.0, 3.0], &[2.0, 3.0, 4.0]), 2.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = [0.0, 1.0, 0.5];
+        let b = [1.0, 1.0];
+        assert_eq!(dtw(&a, &b), dtw(&b, &a));
+    }
+
+    #[test]
+    fn violates_triangle_inequality() {
+        // The well-known failure: DTW(r,t) > DTW(r,s) + DTW(s,t) for these.
+        let r = [0.0];
+        let s = [0.0, 2.0];
+        let t = [0.0, 2.0, 2.0, 2.0];
+        let rt = dtw(&r, &t);
+        let rs = dtw(&r, &s);
+        let st = dtw(&s, &t);
+        assert!(rt > rs + st, "{rt} vs {rs} + {st}");
+    }
+
+    #[test]
+    fn empty_sequences() {
+        assert_eq!(dtw(&[], &[]), 0.0);
+        assert_eq!(dtw(&[], &[3.0, 4.0]), 7.0);
+        assert_eq!(dtw(&[3.0], &[]), 3.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Edit Distance on Real sequences (EDR), the trajectory edit distance of
+//! Chen, Özsu & Oria — the paper's reference [4] uses this family for
+//! "symbolic representation and retrieval of moving object trajectories".
+//!
+//! Elements "match" (substitution cost 0) when their ground distance is at
+//! most `epsilon`, mismatch costs 1, insertions and deletions cost 1. The
+//! result counts edit operations, making EDR robust to outliers (an
+//! outlier costs at most 1 regardless of magnitude) but non-metric.
+
+use crate::traits::SequenceDistance;
+use crate::value::SeqValue;
+
+/// EDR with matching threshold `epsilon`.
+#[derive(Copy, Clone, Debug)]
+pub struct Edr {
+    /// Ground-distance threshold under which two elements match for free.
+    pub epsilon: f64,
+}
+
+impl Default for Edr {
+    /// Matches the default LCS threshold used by the harness.
+    fn default() -> Self {
+        Self { epsilon: 15.0 }
+    }
+}
+
+impl Edr {
+    /// Creates an EDR distance with the given threshold.
+    pub fn new(epsilon: f64) -> Self {
+        Self { epsilon }
+    }
+}
+
+impl<V: SeqValue> SequenceDistance<V> for Edr {
+    fn distance(&self, a: &[V], b: &[V]) -> f64 {
+        let m = a.len();
+        let n = b.len();
+        if m == 0 {
+            return n as f64;
+        }
+        if n == 0 {
+            return m as f64;
+        }
+        let mut prev: Vec<f64> = (0..=n).map(|j| j as f64).collect();
+        let mut cur = vec![0.0f64; n + 1];
+        for i in 1..=m {
+            cur[0] = i as f64;
+            for j in 1..=n {
+                let subcost = if a[i - 1].dist(&b[j - 1]) <= self.epsilon {
+                    0.0
+                } else {
+                    1.0
+                };
+                cur[j] = (prev[j - 1] + subcost)
+                    .min(prev[j] + 1.0)
+                    .min(cur[j - 1] + 1.0);
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        prev[n]
+    }
+
+    fn name(&self) -> &'static str {
+        "EDR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edr(a: &[f64], b: &[f64]) -> f64 {
+        SequenceDistance::distance(&Edr::new(0.5), a, b)
+    }
+
+    #[test]
+    fn identical_is_zero() {
+        let s = [1.0, 2.0, 3.0];
+        assert_eq!(edr(&s, &s), 0.0);
+    }
+
+    #[test]
+    fn counts_edit_operations() {
+        // One substitution.
+        assert_eq!(edr(&[1.0, 2.0, 3.0], &[1.0, 9.0, 3.0]), 1.0);
+        // One insertion.
+        assert_eq!(edr(&[1.0, 3.0], &[1.0, 2.0, 3.0]), 1.0);
+        // Everything different.
+        assert_eq!(edr(&[0.0, 0.0], &[10.0, 10.0]), 2.0);
+    }
+
+    #[test]
+    fn outliers_cost_at_most_one() {
+        let clean = [1.0, 2.0, 3.0, 4.0];
+        let mut spiked = clean;
+        spiked[2] = 1e9;
+        assert_eq!(edr(&clean, &spiked), 1.0, "magnitude does not matter");
+    }
+
+    #[test]
+    fn empty_sequences() {
+        let e: [f64; 0] = [];
+        assert_eq!(edr(&e, &e), 0.0);
+        assert_eq!(edr(&e, &[1.0, 2.0]), 2.0);
+        assert_eq!(edr(&[1.0], &e), 1.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = [0.0, 1.0, 5.0];
+        let b = [1.0, 1.0];
+        assert_eq!(edr(&a, &b), edr(&b, &a));
+    }
+
+    #[test]
+    fn threshold_controls_matching() {
+        let a = [1.0, 2.0];
+        let b = [1.4, 2.4];
+        assert_eq!(SequenceDistance::distance(&Edr::new(0.1), &a[..], &b[..]), 2.0);
+        assert_eq!(SequenceDistance::distance(&Edr::new(0.5), &a[..], &b[..]), 0.0);
+    }
+
+    #[test]
+    fn works_on_points() {
+        use strg_graph::Point2;
+        let a = [Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)];
+        let b = [Point2::new(0.1, 0.1), Point2::new(5.0, 5.0)];
+        let d = Edr::new(0.5);
+        assert_eq!(d.distance(&a, &b), 1.0);
+    }
+}

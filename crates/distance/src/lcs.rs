@@ -1,0 +1,116 @@
+//! Longest Common Subsequence distance ([7], Vlachos-style real-valued
+//! matching), the second baseline of Figure 5.
+
+use crate::traits::SequenceDistance;
+use crate::value::SeqValue;
+
+/// LCS over real-valued sequences: two elements "match" when their ground
+/// distance is at most `epsilon`. The distance is `1 - LCS / min(m, n)`,
+/// in `[0, 1]`; non-metric.
+#[derive(Copy, Clone, Debug)]
+pub struct Lcs {
+    /// Matching threshold between elements.
+    pub epsilon: f64,
+}
+
+impl Default for Lcs {
+    /// `epsilon = 5.0` matches the sigma of the synthetic workload
+    /// generator, the configuration used in the Figure 5 experiments.
+    fn default() -> Self {
+        Self { epsilon: 5.0 }
+    }
+}
+
+impl Lcs {
+    /// Creates an LCS distance with the given matching threshold.
+    pub fn new(epsilon: f64) -> Self {
+        Self { epsilon }
+    }
+
+    /// Length of the longest common subsequence under the threshold.
+    pub fn lcs_len<V: SeqValue>(&self, a: &[V], b: &[V]) -> usize {
+        let m = a.len();
+        let n = b.len();
+        if m == 0 || n == 0 {
+            return 0;
+        }
+        let mut prev = vec![0usize; n + 1];
+        let mut cur = vec![0usize; n + 1];
+        for i in 1..=m {
+            for j in 1..=n {
+                cur[j] = if a[i - 1].dist(&b[j - 1]) <= self.epsilon {
+                    prev[j - 1] + 1
+                } else {
+                    prev[j].max(cur[j - 1])
+                };
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        prev[n]
+    }
+}
+
+impl<V: SeqValue> SequenceDistance<V> for Lcs {
+    fn distance(&self, a: &[V], b: &[V]) -> f64 {
+        let denom = a.len().min(b.len());
+        if denom == 0 {
+            return if a.len() == b.len() { 0.0 } else { 1.0 };
+        }
+        1.0 - self.lcs_len(a, b) as f64 / denom as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "LCS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_is_zero() {
+        let s = [1.0, 2.0, 3.0];
+        assert_eq!(SequenceDistance::distance(&Lcs::new(0.1), &s, &s), 0.0);
+    }
+
+    #[test]
+    fn lcs_length_counts_matches() {
+        let l = Lcs::new(0.5);
+        assert_eq!(l.lcs_len(&[1.0, 2.0, 3.0], &[1.0, 9.0, 3.0]), 2);
+        assert_eq!(l.lcs_len(&[1.0, 2.0], &[5.0, 6.0]), 0);
+    }
+
+    #[test]
+    fn subsequence_not_substring() {
+        let l = Lcs::new(0.1);
+        // 1,3 is a common subsequence despite the interleaving.
+        assert_eq!(l.lcs_len(&[1.0, 7.0, 3.0], &[1.0, 3.0]), 2);
+        let d: f64 = SequenceDistance::distance(&l, [1.0f64, 7.0, 3.0][..].as_ref(), &[1.0, 3.0]);
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn threshold_widens_matches() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.4, 2.4, 3.4];
+        assert_eq!(Lcs::new(0.1).lcs_len(&a, &b), 0);
+        assert_eq!(Lcs::new(0.5).lcs_len(&a, &b), 3);
+    }
+
+    #[test]
+    fn distance_is_bounded() {
+        let a = [0.0, 10.0, 20.0];
+        let b = [100.0, 200.0];
+        let d: f64 = SequenceDistance::distance(&Lcs::new(1.0), &a[..], &b[..]);
+        assert_eq!(d, 1.0);
+    }
+
+    #[test]
+    fn empty_sequences() {
+        let l = Lcs::new(1.0);
+        let e: [f64; 0] = [];
+        assert_eq!(SequenceDistance::distance(&l, &e[..], &e[..]), 0.0);
+        assert_eq!(SequenceDistance::distance(&l, &e[..], &[1.0][..]), 1.0);
+    }
+}

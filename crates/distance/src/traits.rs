@@ -1,0 +1,34 @@
+//! The distance-function abstraction shared by clustering and indexing.
+
+use crate::value::SeqValue;
+
+/// A (dis)similarity function between two sequences.
+///
+/// Lower is more similar; `0` means identical under the function's notion
+/// of equality. Implementations need not be metrics — the paper explicitly
+/// uses the *non-metric* EGED for clustering and the *metric* EGED for
+/// indexing; the [`MetricDistance`] marker separates the two.
+pub trait SequenceDistance<V: SeqValue> {
+    /// Distance between sequences `a` and `b`.
+    fn distance(&self, a: &[V], b: &[V]) -> f64;
+
+    /// Short human-readable name (for experiment output, e.g. `"EGED"`).
+    fn name(&self) -> &'static str;
+}
+
+/// Marker trait asserting that [`SequenceDistance::distance`] satisfies the
+/// metric axioms (non-negativity, identity, symmetry, triangle inequality),
+/// and may therefore drive metric access methods (the STRG-Index leaf keys
+/// and the M-tree both rely on the triangle inequality to prune).
+pub trait MetricDistance<V: SeqValue>: SequenceDistance<V> {}
+
+impl<V: SeqValue, D: SequenceDistance<V> + ?Sized> SequenceDistance<V> for &D {
+    fn distance(&self, a: &[V], b: &[V]) -> f64 {
+        (**self).distance(a, b)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl<V: SeqValue, D: MetricDistance<V> + ?Sized> MetricDistance<V> for &D {}

@@ -1,0 +1,70 @@
+//! Sequence element values.
+//!
+//! The paper's EGED (Definition 9) treats a node as its attribute value
+//! `nu(v)` and measures `|v_i - v_j|`. Object Graphs scalarize to `f64`
+//! sequences, but trajectories are naturally 2-D, so every distance in this
+//! crate is generic over [`SeqValue`]: anything with a metric ground
+//! distance, a midpoint (for the non-metric gap policy), and an origin (the
+//! fixed constant gap of Theorem 2).
+
+use strg_graph::Point2;
+
+/// An element of a time series that the sequence distances can compare.
+///
+/// Implementations must make [`SeqValue::dist`] a metric (non-negative,
+/// symmetric, zero iff equal, triangle inequality); the metric property of
+/// [`crate::EgedMetric`] (Theorem 2) is inherited from it.
+pub trait SeqValue: Copy + std::fmt::Debug + PartialEq {
+    /// Ground distance between two elements (`|v_i - v_j|` in the paper).
+    fn dist(&self, other: &Self) -> f64;
+    /// Midpoint of two elements, for the non-metric gap
+    /// `g_i = (v_{i-1} + v_i) / 2`.
+    fn midpoint(&self, other: &Self) -> Self;
+    /// The canonical fixed gap constant (`g`) that makes EGED a metric.
+    fn origin() -> Self;
+}
+
+impl SeqValue for f64 {
+    fn dist(&self, other: &Self) -> f64 {
+        (self - other).abs()
+    }
+    fn midpoint(&self, other: &Self) -> Self {
+        (self + other) / 2.0
+    }
+    fn origin() -> Self {
+        0.0
+    }
+}
+
+impl SeqValue for Point2 {
+    fn dist(&self, other: &Self) -> f64 {
+        Point2::dist(*self, *other)
+    }
+    fn midpoint(&self, other: &Self) -> Self {
+        Point2::midpoint(*self, *other)
+    }
+    fn origin() -> Self {
+        Point2::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_value() {
+        assert_eq!(SeqValue::dist(&2.0f64, &-1.0), 3.0);
+        assert_eq!(SeqValue::midpoint(&2.0f64, &4.0), 3.0);
+        assert_eq!(f64::origin(), 0.0);
+    }
+
+    #[test]
+    fn point_value() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(3.0, 4.0);
+        assert_eq!(SeqValue::dist(&a, &b), 5.0);
+        assert_eq!(SeqValue::midpoint(&a, &b), Point2::new(1.5, 2.0));
+        assert_eq!(Point2::origin(), Point2::ZERO);
+    }
+}

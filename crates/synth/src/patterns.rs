@@ -1,0 +1,258 @@
+//! The 48 moving patterns of the paper's synthetic workload (§6.1):
+//! 12 vertical, 12 horizontal, 8 diagonal and 16 U-turn patterns, each with
+//! two directions, different object sizes and various time lengths.
+
+use strg_graph::Point2;
+
+/// Canvas the synthetic trajectories live on (pixels).
+pub const CANVAS_W: f64 = 320.0;
+/// Canvas height (pixels).
+pub const CANVAS_H: f64 = 240.0;
+
+/// The family a pattern belongs to.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum PatternKind {
+    /// Straight vertical movement (12 patterns: 6 lanes x 2 directions).
+    Vertical,
+    /// Straight horizontal movement (12 patterns: 6 lanes x 2 directions).
+    Horizontal,
+    /// Straight diagonal movement (8 patterns: 4 paths x 2 directions).
+    Diagonal,
+    /// Movement that reverses: enter, turn around, leave
+    /// (16 patterns: 4 entry sides x 2 turn depths x 2 directions).
+    UTurn,
+}
+
+/// One of the 48 synthetic moving patterns. A pattern owns a waypoint
+/// polyline, a nominal object size and a nominal trajectory length; the
+/// generator samples noisy trajectories around it.
+#[derive(Clone, Debug)]
+pub struct MotionPattern {
+    /// Cluster label, `0..48`.
+    pub id: u32,
+    /// Family of the pattern.
+    pub kind: PatternKind,
+    /// Polyline the ideal trajectory follows, at uniform speed.
+    pub waypoints: Vec<Point2>,
+    /// Nominal object pixel size (patterns differ, per §6.1 "different
+    /// sizes of objects").
+    pub object_size: u32,
+    /// Nominal number of samples ("various time lengths").
+    pub base_len: usize,
+}
+
+impl MotionPattern {
+    /// The ideal (noise-free) trajectory: `len` samples at uniform arc
+    /// length along the waypoints.
+    pub fn ideal(&self, len: usize) -> Vec<Point2> {
+        sample_polyline(&self.waypoints, len)
+    }
+}
+
+/// Samples `len` points at uniform arc length along `poly`.
+pub fn sample_polyline(poly: &[Point2], len: usize) -> Vec<Point2> {
+    assert!(poly.len() >= 2, "polyline needs at least two waypoints");
+    if len == 0 {
+        return Vec::new();
+    }
+    if len == 1 {
+        return vec![poly[0]];
+    }
+    let seg_len: Vec<f64> = poly.windows(2).map(|w| w[0].dist(w[1])).collect();
+    let total: f64 = seg_len.iter().sum();
+    let mut out = Vec::with_capacity(len);
+    for i in 0..len {
+        let target = total * i as f64 / (len - 1) as f64;
+        let mut acc = 0.0;
+        let mut placed = false;
+        for (s, &sl) in seg_len.iter().enumerate() {
+            if target <= acc + sl || s == seg_len.len() - 1 {
+                let t = if sl > 0.0 { ((target - acc) / sl).clamp(0.0, 1.0) } else { 0.0 };
+                out.push(poly[s].lerp(poly[s + 1], t));
+                placed = true;
+                break;
+            }
+            acc += sl;
+        }
+        debug_assert!(placed);
+    }
+    out
+}
+
+/// Builds the full set of 48 patterns.
+///
+/// The layout follows §6.1: vertical (12), horizontal (12), diagonal (8),
+/// U-turn (16); "each pattern has two directions, different sizes of
+/// objects and various time lengths", realized as per-pattern
+/// `object_size` in `{16, ..., 120}` and `base_len` in `{24, ..., 46}`.
+pub fn all_patterns() -> Vec<MotionPattern> {
+    let mut out = Vec::with_capacity(48);
+    let mut id = 0u32;
+    let mut push = |kind: PatternKind, waypoints: Vec<Point2>, size: u32, len: usize| {
+        out.push(MotionPattern {
+            id,
+            kind,
+            waypoints,
+            object_size: size,
+            base_len: len,
+        });
+        id += 1;
+    };
+
+    // --- Vertical: 6 lanes x 2 directions = 12.
+    for lane in 0..6 {
+        let x = CANVAS_W * (lane as f64 + 0.5) / 6.0;
+        let top = Point2::new(x, 12.0);
+        let bottom = Point2::new(x, CANVAS_H - 12.0);
+        let size = 16 + 8 * lane as u32;
+        let len = 24 + 2 * lane;
+        push(PatternKind::Vertical, vec![top, bottom], size, len);
+        push(PatternKind::Vertical, vec![bottom, top], size + 4, len + 4);
+    }
+
+    // --- Horizontal: 6 lanes x 2 directions = 12.
+    for lane in 0..6 {
+        let y = CANVAS_H * (lane as f64 + 0.5) / 6.0;
+        let left = Point2::new(12.0, y);
+        let right = Point2::new(CANVAS_W - 12.0, y);
+        let size = 20 + 10 * lane as u32;
+        let len = 26 + 2 * lane;
+        push(PatternKind::Horizontal, vec![left, right], size, len);
+        push(PatternKind::Horizontal, vec![right, left], size + 6, len + 3);
+    }
+
+    // --- Diagonal: 4 paths x 2 directions = 8.
+    let corners = [
+        (Point2::new(16.0, 16.0), Point2::new(CANVAS_W - 16.0, CANVAS_H - 16.0)),
+        (Point2::new(CANVAS_W - 16.0, 16.0), Point2::new(16.0, CANVAS_H - 16.0)),
+        (Point2::new(16.0, CANVAS_H * 0.25), Point2::new(CANVAS_W - 16.0, CANVAS_H * 0.9)),
+        (Point2::new(16.0, CANVAS_H * 0.9), Point2::new(CANVAS_W - 16.0, CANVAS_H * 0.25)),
+    ];
+    for (i, &(a, b)) in corners.iter().enumerate() {
+        let size = 30 + 12 * i as u32;
+        let len = 30 + 3 * i;
+        push(PatternKind::Diagonal, vec![a, b], size, len);
+        push(PatternKind::Diagonal, vec![b, a], size + 8, len + 2);
+    }
+
+    // --- U-turn: 4 entry sides x 2 turn depths x 2 directions = 16.
+    for side in 0..4 {
+        for depth_i in 0..2 {
+            let depth = if depth_i == 0 { 0.45 } else { 0.75 };
+            let (enter, turn, exit) = match side {
+                // Enter from the left, U-turn, leave left (two lanes).
+                0 => (
+                    Point2::new(12.0, CANVAS_H * 0.35),
+                    Point2::new(CANVAS_W * depth, CANVAS_H * 0.5),
+                    Point2::new(12.0, CANVAS_H * 0.65),
+                ),
+                // From the right.
+                1 => (
+                    Point2::new(CANVAS_W - 12.0, CANVAS_H * 0.35),
+                    Point2::new(CANVAS_W * (1.0 - depth), CANVAS_H * 0.5),
+                    Point2::new(CANVAS_W - 12.0, CANVAS_H * 0.65),
+                ),
+                // From the top.
+                2 => (
+                    Point2::new(CANVAS_W * 0.35, 12.0),
+                    Point2::new(CANVAS_W * 0.5, CANVAS_H * depth),
+                    Point2::new(CANVAS_W * 0.65, 12.0),
+                ),
+                // From the bottom.
+                _ => (
+                    Point2::new(CANVAS_W * 0.35, CANVAS_H - 12.0),
+                    Point2::new(CANVAS_W * 0.5, CANVAS_H * (1.0 - depth)),
+                    Point2::new(CANVAS_W * 0.65, CANVAS_H - 12.0),
+                ),
+            };
+            let size = 24 + 10 * side as u32 + 20 * depth_i as u32;
+            let len = 34 + 4 * side + 6 * depth_i;
+            push(PatternKind::UTurn, vec![enter, turn, exit], size, len);
+            push(PatternKind::UTurn, vec![exit, turn, enter], size + 6, len + 2);
+        }
+    }
+
+    debug_assert_eq!(out.len(), 48);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_48_patterns_with_papers_family_counts() {
+        let pats = all_patterns();
+        assert_eq!(pats.len(), 48);
+        let count = |k: PatternKind| pats.iter().filter(|p| p.kind == k).count();
+        assert_eq!(count(PatternKind::Vertical), 12);
+        assert_eq!(count(PatternKind::Horizontal), 12);
+        assert_eq!(count(PatternKind::Diagonal), 8);
+        assert_eq!(count(PatternKind::UTurn), 16);
+    }
+
+    #[test]
+    fn ids_are_dense_and_unique() {
+        let pats = all_patterns();
+        let mut ids: Vec<u32> = pats.iter().map(|p| p.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..48).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn waypoints_stay_on_canvas() {
+        for p in all_patterns() {
+            for w in &p.waypoints {
+                assert!((0.0..=CANVAS_W).contains(&w.x), "pattern {} x {}", p.id, w.x);
+                assert!((0.0..=CANVAS_H).contains(&w.y), "pattern {} y {}", p.id, w.y);
+            }
+        }
+    }
+
+    #[test]
+    fn ideal_trajectory_hits_endpoints() {
+        for p in all_patterns() {
+            let t = p.ideal(p.base_len);
+            assert_eq!(t.len(), p.base_len);
+            assert!(t[0].dist(p.waypoints[0]) < 1e-9);
+            assert!(t.last().unwrap().dist(*p.waypoints.last().unwrap()) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn uniform_speed_sampling() {
+        let poly = [Point2::new(0.0, 0.0), Point2::new(10.0, 0.0)];
+        let t = sample_polyline(&poly, 5);
+        for (i, p) in t.iter().enumerate() {
+            assert!((p.x - 2.5 * i as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn polyline_with_corner() {
+        let poly = [
+            Point2::new(0.0, 0.0),
+            Point2::new(10.0, 0.0),
+            Point2::new(10.0, 10.0),
+        ];
+        let t = sample_polyline(&poly, 21);
+        // Sample 10 (halfway) sits at the corner.
+        assert!(t[10].dist(Point2::new(10.0, 0.0)) < 1e-9);
+    }
+
+    #[test]
+    fn opposite_directions_reverse_endpoints() {
+        let pats = all_patterns();
+        // Patterns are pushed in (forward, reverse) pairs.
+        let fwd = &pats[0];
+        let rev = &pats[1];
+        assert!(fwd.waypoints[0].dist(*rev.waypoints.last().unwrap()) < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_sampling() {
+        let poly = [Point2::new(0.0, 0.0), Point2::new(1.0, 0.0)];
+        assert!(sample_polyline(&poly, 0).is_empty());
+        assert_eq!(sample_polyline(&poly, 1), vec![Point2::new(0.0, 0.0)]);
+    }
+}

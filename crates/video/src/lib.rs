@@ -1,0 +1,25 @@
+//! # strg-video
+//!
+//! The synthetic video substrate standing in for the paper's cameras and
+//! for EDISON region segmentation (see DESIGN.md, "Substitutions"):
+//!
+//! * [`raster`] — pixel frames,
+//! * [`scene`] — scripted backgrounds + multi-part moving sprites with
+//!   illumination/pixel/frame-drop noise,
+//! * [`scenario`] — the Lab1/Lab2/Traffic1/Traffic2 analogs of Table 1,
+//! * [`segment`] — homogeneous-color region segmentation,
+//! * [`rag_extract`] — frame → Region Adjacency Graph (Definition 1).
+
+#![warn(missing_docs)]
+
+pub mod rag_extract;
+pub mod raster;
+pub mod scenario;
+pub mod scene;
+pub mod segment;
+
+pub use rag_extract::{frame_to_rag, rag_from_segmentation};
+pub use raster::{Frame, Pixel};
+pub use scenario::{lab_scene, table1_clips, table1_clips_scaled, traffic_scene, ScenarioConfig, VideoClip, SCENE_H, SCENE_W};
+pub use scene::{line_path, Actor, BgPatch, Scene, SceneNoise, Sprite, SpritePart};
+pub use segment::{box_blur, segment, Region, SegmentConfig, Segmentation};

@@ -1,0 +1,63 @@
+//! Frame → RAG extraction (the construction of Definition 1).
+
+use strg_graph::{FrameId, NodeAttr, NodeId, Rag};
+
+use crate::raster::Frame;
+use crate::segment::{segment, SegmentConfig, Segmentation};
+
+/// Builds the Region Adjacency Graph of a segmentation.
+pub fn rag_from_segmentation(seg: &Segmentation, frame: FrameId) -> Rag {
+    let mut rag = Rag::new(frame);
+    for r in &seg.regions {
+        let id = rag.add_node(NodeAttr::new(
+            r.size.min(u32::MAX as usize) as u32,
+            r.color,
+            r.centroid,
+        ));
+        debug_assert_eq!(id, NodeId(r.label));
+    }
+    for &(a, b) in &seg.adjacency {
+        rag.add_edge(NodeId(a), NodeId(b));
+    }
+    rag
+}
+
+/// Segments a frame and builds its RAG in one step.
+pub fn frame_to_rag(frame: &Frame, frame_id: FrameId, cfg: &SegmentConfig) -> Rag {
+    rag_from_segmentation(&segment(frame, cfg), frame_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raster::Pixel;
+
+    #[test]
+    fn rag_mirrors_segmentation() {
+        let mut f = Frame::new(40, 30, Pixel::new(20, 20, 20));
+        f.fill_rect(20, 0, 20, 30, Pixel::new(230, 230, 230));
+        f.fill_rect(5, 5, 8, 8, Pixel::new(200, 30, 30));
+        let seg = segment(&f, &SegmentConfig::default());
+        let rag = rag_from_segmentation(&seg, FrameId(42));
+        assert_eq!(rag.frame(), FrameId(42));
+        assert_eq!(rag.node_count(), seg.regions.len());
+        assert_eq!(rag.edge_count(), seg.adjacency.len());
+        // Node attrs match the regions.
+        for r in &seg.regions {
+            let a = rag.attr(NodeId(r.label));
+            assert_eq!(a.size as usize, r.size);
+            assert!(a.centroid.dist(r.centroid) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn edge_attrs_are_centroid_geometry() {
+        let mut f = Frame::new(40, 30, Pixel::new(20, 20, 20));
+        f.fill_rect(20, 0, 20, 30, Pixel::new(230, 230, 230));
+        let rag = frame_to_rag(&f, FrameId(0), &SegmentConfig::default());
+        assert_eq!(rag.node_count(), 2);
+        let e = rag.edge_attr(NodeId(0), NodeId(1)).expect("adjacent");
+        let want = rag.attr(NodeId(0)).centroid.dist(rag.attr(NodeId(1)).centroid);
+        assert!((e.distance - want).abs() < 1e-12);
+    }
+}

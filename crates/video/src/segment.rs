@@ -1,0 +1,453 @@
+//! Region segmentation: the EDISON stand-in (§2.1 of the paper).
+//!
+//! The paper segments each frame into homogeneous color regions with
+//! EDISON (mean-shift) because it is "less sensitive to small changes over
+//! the frames". This module reproduces that *stability property* on the
+//! synthetic rasters with a cheap pipeline:
+//!
+//! 1. color quantization (homogeneous color classes),
+//! 2. mode filtering of the class image (suppresses pixel noise while
+//!    *preserving edges*, like mean-shift's mode seeking — a box blur would
+//!    smear region borders into spurious intermediate bands),
+//! 3. 4-connected component labeling,
+//! 4. merging of small regions into their most similar neighbor.
+//!
+//! The output is exactly what Definition 1 consumes: labeled regions with
+//! size / mean color / centroid plus their adjacency.
+
+use strg_graph::{Point2, Rgb};
+
+use crate::raster::{Frame, Pixel};
+
+/// Configuration of the segmenter.
+#[derive(Copy, Clone, Debug)]
+pub struct SegmentConfig {
+    /// Color quantization levels per channel (>= 2).
+    pub quant_levels: u32,
+    /// Regions smaller than this many pixels are merged into their most
+    /// color-similar neighbor.
+    pub min_region_size: usize,
+    /// Radius of the mode (majority) filter applied to the quantized class
+    /// image (0 disables smoothing).
+    pub smooth_radius: usize,
+}
+
+impl Default for SegmentConfig {
+    fn default() -> Self {
+        Self {
+            quant_levels: 6,
+            min_region_size: 24,
+            smooth_radius: 1,
+        }
+    }
+}
+
+/// One segmented region.
+#[derive(Clone, Debug)]
+pub struct Region {
+    /// Dense region label (index into [`Segmentation::regions`]).
+    pub label: u32,
+    /// Number of pixels.
+    pub size: usize,
+    /// Mean color over the region's pixels (of the *original* frame).
+    pub color: Rgb,
+    /// Pixel centroid.
+    pub centroid: Point2,
+}
+
+/// The result of segmenting one frame.
+#[derive(Clone, Debug)]
+pub struct Segmentation {
+    /// Per-pixel region labels, row major.
+    pub labels: Vec<u32>,
+    /// Frame width the labels refer to.
+    pub width: usize,
+    /// The regions, indexed by label.
+    pub regions: Vec<Region>,
+    /// Adjacent region pairs `(a, b)` with `a < b`, deduplicated.
+    pub adjacency: Vec<(u32, u32)>,
+}
+
+/// Segments a frame into homogeneous color regions.
+pub fn segment(frame: &Frame, cfg: &SegmentConfig) -> Segmentation {
+    let w = frame.width();
+    let h = frame.height();
+
+    // Quantized color classes, encoded as integer keys.
+    let levels = cfg.quant_levels.max(2);
+    let step = 255.0 / (levels - 1) as f64;
+    let key_of = |r: f64, g: f64, b: f64| -> u32 {
+        let q = |v: f64| ((v / step).round() as u32).min(levels - 1);
+        (q(r) * levels + q(g)) * levels + q(b)
+    };
+    let mut classes: Vec<u32> = frame
+        .pixels()
+        .iter()
+        .map(|p| key_of(p.r as f64, p.g as f64, p.b as f64))
+        .collect();
+
+    // Edge-preserving mode filter: each pixel takes the majority class of
+    // its window (the center wins ties).
+    if cfg.smooth_radius > 0 {
+        classes = mode_filter(&classes, w, h, cfg.smooth_radius);
+    }
+
+    // 4-connected components over identical quantized colors.
+    let mut labels = vec![u32::MAX; w * h];
+    let mut next = 0u32;
+    let mut stack = Vec::new();
+    for start in 0..w * h {
+        if labels[start] != u32::MAX {
+            continue;
+        }
+        let class = classes[start];
+        labels[start] = next;
+        stack.push(start);
+        while let Some(i) = stack.pop() {
+            let (x, y) = (i % w, i / w);
+            let mut visit = |j: usize| {
+                if labels[j] == u32::MAX && classes[j] == class {
+                    labels[j] = next;
+                    stack.push(j);
+                }
+            };
+            if x > 0 {
+                visit(i - 1);
+            }
+            if x + 1 < w {
+                visit(i + 1);
+            }
+            if y > 0 {
+                visit(i - w);
+            }
+            if y + 1 < h {
+                visit(i + w);
+            }
+        }
+        next += 1;
+    }
+
+    // Accumulate region statistics from the ORIGINAL pixels.
+    let mut stats = vec![RegionAcc::default(); next as usize];
+    for (i, &l) in labels.iter().enumerate() {
+        let (x, y) = (i % w, i / w);
+        stats[l as usize].add(x as f64, y as f64, frame.pixels()[i].to_rgb());
+    }
+
+    // Merge small regions into their most similar neighbor until stable.
+    // Merges go through a union-find so that mutual choices (A picks B, B
+    // picks A) coalesce instead of livelocking; every union strictly
+    // reduces the number of live regions, so the loop terminates.
+    loop {
+        let adjacency = adjacency_pairs(&labels, w, h);
+        let mut neighbor_of = vec![Vec::new(); stats.len()];
+        for &(a, b) in &adjacency {
+            neighbor_of[a as usize].push(b);
+            neighbor_of[b as usize].push(a);
+        }
+        let mut uf: Vec<u32> = (0..stats.len() as u32).collect();
+        fn find(uf: &mut [u32], mut x: u32) -> u32 {
+            while uf[x as usize] != x {
+                uf[x as usize] = uf[uf[x as usize] as usize];
+                x = uf[x as usize];
+            }
+            x
+        }
+        let mut merged_any = false;
+        for (l, acc) in stats.iter().enumerate() {
+            if acc.count == 0 || acc.count >= cfg.min_region_size {
+                continue;
+            }
+            // Most similar (by mean color) live neighbor.
+            let target = neighbor_of[l]
+                .iter()
+                .filter(|&&n| stats[n as usize].count > 0)
+                .min_by(|&&a, &&b| {
+                    let da = stats[a as usize].mean_color().dist(acc.mean_color());
+                    let db = stats[b as usize].mean_color().dist(acc.mean_color());
+                    da.total_cmp(&db)
+                })
+                .copied();
+            if let Some(t) = target {
+                let (rl, rt) = (find(&mut uf, l as u32), find(&mut uf, t));
+                if rl != rt {
+                    uf[rl as usize] = rt;
+                    merged_any = true;
+                }
+            }
+        }
+        if !merged_any {
+            break;
+        }
+        for l in labels.iter_mut() {
+            *l = find(&mut uf, *l);
+        }
+        // Recompute stats.
+        let mut new_stats = vec![RegionAcc::default(); stats.len()];
+        for (i, &l) in labels.iter().enumerate() {
+            let (x, y) = (i % w, i / w);
+            new_stats[l as usize].add(x as f64, y as f64, frame.pixels()[i].to_rgb());
+        }
+        stats = new_stats;
+    }
+
+    // Compact labels to dense 0..n.
+    let mut dense = vec![u32::MAX; stats.len()];
+    let mut regions = Vec::new();
+    for (l, acc) in stats.iter().enumerate() {
+        if acc.count > 0 {
+            dense[l] = regions.len() as u32;
+            regions.push(Region {
+                label: regions.len() as u32,
+                size: acc.count,
+                color: acc.mean_color(),
+                centroid: acc.centroid(),
+            });
+        }
+    }
+    for l in labels.iter_mut() {
+        *l = dense[*l as usize];
+    }
+    let adjacency = adjacency_pairs(&labels, w, h);
+
+    Segmentation {
+        labels,
+        width: w,
+        regions,
+        adjacency,
+    }
+}
+
+#[derive(Copy, Clone, Debug, Default)]
+struct RegionAcc {
+    count: usize,
+    sum_x: f64,
+    sum_y: f64,
+    sum_r: f64,
+    sum_g: f64,
+    sum_b: f64,
+}
+
+impl RegionAcc {
+    fn add(&mut self, x: f64, y: f64, c: Rgb) {
+        self.count += 1;
+        self.sum_x += x;
+        self.sum_y += y;
+        self.sum_r += c.r;
+        self.sum_g += c.g;
+        self.sum_b += c.b;
+    }
+    fn mean_color(&self) -> Rgb {
+        let n = self.count.max(1) as f64;
+        Rgb::new(self.sum_r / n, self.sum_g / n, self.sum_b / n)
+    }
+    fn centroid(&self) -> Point2 {
+        let n = self.count.max(1) as f64;
+        Point2::new(self.sum_x / n, self.sum_y / n)
+    }
+}
+
+/// Deduplicated adjacent label pairs of a label image.
+fn adjacency_pairs(labels: &[u32], w: usize, h: usize) -> Vec<(u32, u32)> {
+    let mut pairs = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            let l = labels[y * w + x];
+            if x + 1 < w {
+                let r = labels[y * w + x + 1];
+                if r != l {
+                    pairs.push(if l < r { (l, r) } else { (r, l) });
+                }
+            }
+            if y + 1 < h {
+                let d = labels[(y + 1) * w + x];
+                if d != l {
+                    pairs.push(if l < d { (l, d) } else { (d, l) });
+                }
+            }
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+/// Mode (majority) filter over a class image: each output pixel is the most
+/// frequent class in its `(2r+1)^2` window, with the center class winning
+/// ties. Preserves edges while removing isolated noise pixels.
+fn mode_filter(classes: &[u32], w: usize, h: usize, radius: usize) -> Vec<u32> {
+    let r = radius as isize;
+    let mut out = vec![0u32; classes.len()];
+    let mut counts: Vec<(u32, u32)> = Vec::with_capacity(9);
+    for y in 0..h as isize {
+        for x in 0..w as isize {
+            counts.clear();
+            for yy in (y - r).max(0)..=(y + r).min(h as isize - 1) {
+                for xx in (x - r).max(0)..=(x + r).min(w as isize - 1) {
+                    let c = classes[yy as usize * w + xx as usize];
+                    match counts.iter_mut().find(|e| e.0 == c) {
+                        Some(e) => e.1 += 1,
+                        None => counts.push((c, 1)),
+                    }
+                }
+            }
+            let center = classes[y as usize * w + x as usize];
+            let center_n = counts
+                .iter()
+                .find(|e| e.0 == center)
+                .map_or(0, |e| e.1);
+            let best = counts
+                .iter()
+                .max_by_key(|e| e.1)
+                .expect("window non-empty");
+            out[y as usize * w + x as usize] = if best.1 > center_n { best.0 } else { center };
+        }
+    }
+    out
+}
+
+/// Box blur with the given radius (mean over the `(2r+1)^2` window,
+/// clipped at the frame border).
+pub fn box_blur(frame: &Frame, radius: usize) -> Frame {
+    let w = frame.width();
+    let h = frame.height();
+    let r = radius as isize;
+    let mut out = Frame::new(w, h, Pixel::default());
+    for y in 0..h as isize {
+        for x in 0..w as isize {
+            let mut sum = (0u32, 0u32, 0u32);
+            let mut n = 0u32;
+            for yy in (y - r).max(0)..=(y + r).min(h as isize - 1) {
+                for xx in (x - r).max(0)..=(x + r).min(w as isize - 1) {
+                    let p = frame.get(xx as usize, yy as usize);
+                    sum.0 += p.r as u32;
+                    sum.1 += p.g as u32;
+                    sum.2 += p.b as u32;
+                    n += 1;
+                }
+            }
+            out.set(
+                x,
+                y,
+                Pixel::new((sum.0 / n) as u8, (sum.1 / n) as u8, (sum.2 / n) as u8),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A frame split into a dark left half and a bright right half.
+    fn two_region_frame() -> Frame {
+        let mut f = Frame::new(40, 30, Pixel::new(20, 20, 20));
+        f.fill_rect(20, 0, 20, 30, Pixel::new(230, 230, 230));
+        f
+    }
+
+    #[test]
+    fn segments_two_obvious_regions() {
+        let seg = segment(&two_region_frame(), &SegmentConfig::default());
+        assert_eq!(seg.regions.len(), 2);
+        assert_eq!(seg.adjacency.len(), 1);
+        let total: usize = seg.regions.iter().map(|r| r.size).sum();
+        assert_eq!(total, 40 * 30);
+    }
+
+    #[test]
+    fn centroids_land_in_their_halves() {
+        let seg = segment(&two_region_frame(), &SegmentConfig::default());
+        let dark = seg
+            .regions
+            .iter()
+            .find(|r| r.color.r < 128.0)
+            .expect("dark region");
+        let bright = seg
+            .regions
+            .iter()
+            .find(|r| r.color.r >= 128.0)
+            .expect("bright region");
+        assert!(dark.centroid.x < 20.0);
+        assert!(bright.centroid.x >= 20.0);
+    }
+
+    #[test]
+    fn small_regions_are_merged() {
+        let mut f = two_region_frame();
+        // A 3x3 speck that must be absorbed.
+        f.fill_rect(5, 5, 3, 3, Pixel::new(120, 120, 120));
+        let seg = segment(
+            &f,
+            &SegmentConfig {
+                min_region_size: 24,
+                smooth_radius: 0,
+                ..SegmentConfig::default()
+            },
+        );
+        assert_eq!(seg.regions.len(), 2, "speck merged into a big region");
+    }
+
+    #[test]
+    fn smoothing_removes_salt_noise() {
+        let mut f = two_region_frame();
+        // Salt noise: isolated bright pixels inside the dark half.
+        for i in 0..20 {
+            f.set(2 + (i * 7) % 15, (i * 3) % 30, Pixel::new(255, 255, 255));
+        }
+        let seg = segment(&f, &SegmentConfig::default());
+        assert_eq!(seg.regions.len(), 2, "noise should not create regions");
+    }
+
+    #[test]
+    fn labels_match_regions() {
+        let seg = segment(&two_region_frame(), &SegmentConfig::default());
+        for (i, &l) in seg.labels.iter().enumerate() {
+            assert!((l as usize) < seg.regions.len(), "pixel {i} label {l}");
+        }
+        // Region sizes agree with label counts.
+        for r in &seg.regions {
+            let n = seg.labels.iter().filter(|&&l| l == r.label).count();
+            assert_eq!(n, r.size);
+        }
+    }
+
+    #[test]
+    fn uniform_frame_is_one_region() {
+        let f = Frame::new(16, 16, Pixel::new(50, 80, 90));
+        let seg = segment(&f, &SegmentConfig::default());
+        assert_eq!(seg.regions.len(), 1);
+        assert!(seg.adjacency.is_empty());
+        let r = &seg.regions[0];
+        assert_eq!(r.size, 256);
+        assert!(r.centroid.dist(Point2::new(7.5, 7.5)) < 1e-9);
+    }
+
+    #[test]
+    fn quantization_separates_gradient_into_bands() {
+        let mut f = Frame::new(64, 8, Pixel::default());
+        for x in 0..64 {
+            let v = (x * 4) as u8;
+            f.fill_rect(x as isize, 0, 1, 8, Pixel::new(v, v, v));
+        }
+        let seg = segment(
+            &f,
+            &SegmentConfig {
+                quant_levels: 4,
+                min_region_size: 1,
+                smooth_radius: 0,
+            },
+        );
+        assert!(seg.regions.len() >= 3, "bands: {}", seg.regions.len());
+        assert!(seg.regions.len() <= 6);
+    }
+
+    #[test]
+    fn box_blur_averages() {
+        let mut f = Frame::new(3, 3, Pixel::new(0, 0, 0));
+        f.set(1, 1, Pixel::new(90, 90, 90));
+        let b = box_blur(&f, 1);
+        assert_eq!(b.get(1, 1), Pixel::new(10, 10, 10));
+    }
+}

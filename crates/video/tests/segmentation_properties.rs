@@ -1,0 +1,85 @@
+//! Property tests for the region segmenter: whatever the frame contents,
+//! the output must be a valid partition with consistent statistics — the
+//! contract Definition 1's RAG construction relies on.
+
+use proptest::prelude::*;
+use strg_video::{segment, Frame, Pixel, SegmentConfig};
+
+/// Random small frames built from a few rectangles over a base color.
+fn frames() -> impl Strategy<Value = Frame> {
+    (
+        8usize..32,
+        8usize..32,
+        (0u8..=255, 0u8..=255, 0u8..=255),
+        prop::collection::vec(
+            (
+                0isize..24,
+                0isize..24,
+                1usize..16,
+                1usize..16,
+                (0u8..=255, 0u8..=255, 0u8..=255),
+            ),
+            0..5,
+        ),
+    )
+        .prop_map(|(w, h, base, rects)| {
+            let mut f = Frame::new(w, h, Pixel::new(base.0, base.1, base.2));
+            for (x, y, rw, rh, c) in rects {
+                f.fill_rect(x, y, rw, rh, Pixel::new(c.0, c.1, c.2));
+            }
+            f
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn labels_form_a_partition(frame in frames()) {
+        let seg = segment(&frame, &SegmentConfig::default());
+        // Every pixel is labeled with a valid region.
+        prop_assert_eq!(seg.labels.len(), frame.width() * frame.height());
+        for &l in &seg.labels {
+            prop_assert!((l as usize) < seg.regions.len());
+        }
+        // Region sizes sum to the pixel count and match the labels.
+        let total: usize = seg.regions.iter().map(|r| r.size).sum();
+        prop_assert_eq!(total, seg.labels.len());
+        for r in &seg.regions {
+            let n = seg.labels.iter().filter(|&&l| l == r.label).count();
+            prop_assert_eq!(n, r.size);
+            prop_assert!(r.size > 0);
+        }
+    }
+
+    #[test]
+    fn centroids_inside_frame_and_colors_in_range(frame in frames()) {
+        let seg = segment(&frame, &SegmentConfig::default());
+        for r in &seg.regions {
+            prop_assert!(r.centroid.x >= 0.0 && r.centroid.x < frame.width() as f64);
+            prop_assert!(r.centroid.y >= 0.0 && r.centroid.y < frame.height() as f64);
+            for c in [r.color.r, r.color.g, r.color.b] {
+                prop_assert!((0.0..=255.0).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_is_deduplicated_and_valid(frame in frames()) {
+        let seg = segment(&frame, &SegmentConfig::default());
+        let mut seen = std::collections::HashSet::new();
+        for &(a, b) in &seg.adjacency {
+            prop_assert!(a < b, "normalized pair order");
+            prop_assert!((b as usize) < seg.regions.len());
+            prop_assert!(seen.insert((a, b)), "no duplicates");
+        }
+    }
+
+    #[test]
+    fn segmentation_is_deterministic(frame in frames()) {
+        let a = segment(&frame, &SegmentConfig::default());
+        let b = segment(&frame, &SegmentConfig::default());
+        prop_assert_eq!(a.labels, b.labels);
+        prop_assert_eq!(a.regions.len(), b.regions.len());
+    }
+}

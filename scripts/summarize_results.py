@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Summarize results/*.csv into compact paper-vs-measured lines.
+
+Helper for updating EXPERIMENTS.md after `figures -- all` and `ablation`
+runs; prints one block per experiment.
+"""
+import csv
+import os
+import sys
+
+RESULTS = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+def rows(name):
+    path = os.path.join(RESULTS, name)
+    if not os.path.exists(path):
+        return None
+    with open(path) as f:
+        return list(csv.DictReader(f))
+
+
+def fig5():
+    data = rows("fig5_error_rates.csv")
+    if not data:
+        return
+    print("## fig5 (error rate % at lowest/highest noise)")
+    for algo in ["EM", "KM", "KHM"]:
+        line = [algo]
+        for dist in ["EGED", "LCS", "DTW"]:
+            pts = sorted(
+                (float(r["noise_pct"]), float(r["error_rate_pct"]))
+                for r in data
+                if r["algo"] == algo and r["dist"] == dist
+            )
+            if pts:
+                line.append(f"{dist} {pts[0][1]:.0f}->{pts[-1][1]:.0f}")
+        print("  " + "  ".join(line))
+
+
+def fig7():
+    build = rows("fig7a_build.csv")
+    knn = rows("fig7b_knn.csv")
+    pr = rows("fig7c_pr.csv")
+    if build:
+        print("## fig7a (build seconds at largest DB)")
+        biggest = max(int(r["db_size"]) for r in build)
+        for r in build:
+            if int(r["db_size"]) == biggest:
+                print(f"  {r['method']}: {float(r['seconds']):.1f}s [{r['dist_calls']} calls]")
+    if knn:
+        print("## fig7b (distance calls per query, mean over k)")
+        methods = sorted({r["method"] for r in knn})
+        for m in methods:
+            vals = [float(r["dist_calls_per_query"]) for r in knn if r["method"] == m]
+            print(f"  {m}: {sum(vals)/len(vals):.0f}")
+    if pr:
+        print("## fig7c (precision at k=10)")
+        for r in pr:
+            if r["k"] == "10":
+                print(f"  {r['method']}: P {float(r['precision']):.2f} R {float(r['recall']):.2f}")
+
+
+def table2():
+    data = rows("table2_clustering_size.csv")
+    if not data:
+        return
+    print("## table2")
+    for r in data:
+        ratio = int(r["strg_bytes"]) / max(1, int(r["index_bytes"]))
+        print(
+            f"  {r['video']}: err {float(r['em_error_pct']):.1f}%"
+            f"  K {r['found_k']}/{r['optimal_k']}  size ratio {ratio:.1f}x"
+        )
+
+
+if __name__ == "__main__":
+    for fn in [fig5, fig7, table2]:
+        fn()
+        print()
+    sys.exit(0)

@@ -1,0 +1,70 @@
+//! # strg — STRG-Index for large video databases
+//!
+//! A from-scratch Rust reproduction of *STRG-Index: Spatio-Temporal Region
+//! Graph Indexing for Large Video Databases* (Lee, Oh & Hwang, SIGMOD
+//! 2005). This facade crate re-exports the whole workspace:
+//!
+//! | module | paper section | contents |
+//! |---|---|---|
+//! | [`graph`] | §2 | RAG, STRG, isomorphism, `SimGraph`, tracking, ORG/OG/BG decomposition |
+//! | [`video`] | §2.1 / §6.4 | synthetic camera + EDISON-stand-in segmentation |
+//! | [`distance`] | §3 | EGED (non-metric + metric), DTW, LCS, Lp, call counting |
+//! | [`cluster`] | §4 | EM / K-Means / K-Harmonic-Means, BIC model selection |
+//! | [`mtree`] | §6.3 | the M-tree baseline (MT-RA / MT-SA) |
+//! | [`rtree`] | §1 | the 3DR-tree baseline (time as a third R-tree dimension) |
+//! | [`synth`] | §6.1 | the 48-pattern synthetic trajectory workload |
+//! | [`core`] | §5 | the STRG-Index tree and the [`prelude::VideoDatabase`] facade |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use strg::prelude::*;
+//!
+//! // Build a tiny synthetic surveillance clip and index it.
+//! let db = VideoDatabase::new(VideoDbConfig::default());
+//! let clip = VideoClip {
+//!     name: "demo".into(),
+//!     scene: lab_scene(&ScenarioConfig { n_actors: 2, frames: 40, seed: 7, ..Default::default() }),
+//!     fps: 30.0,
+//! };
+//! let report = db.ingest_clip(&clip, 1);
+//! assert!(report.objects >= 1);
+//!
+//! // Query by trajectory: the stored object finds itself.
+//! let og = db.og(0).unwrap();
+//! let hits = db.query_knn(&og.centroid_series(), 1);
+//! assert_eq!(hits[0].og_id, 0);
+//! ```
+
+pub use strg_cluster as cluster;
+pub use strg_core as core;
+pub use strg_distance as distance;
+pub use strg_graph as graph;
+pub use strg_mtree as mtree;
+pub use strg_rtree as rtree;
+pub use strg_synth as synth;
+pub use strg_video as video;
+
+/// Everything a typical user needs, in one import.
+pub mod prelude {
+    pub use strg_cluster::{
+        bic_sweep, clustering_error_rate, Clusterer, Clustering, EmClusterer, EmConfig,
+        HardConfig, KHarmonicMeans, KMeans,
+    };
+    pub use strg_core::{
+        Hit, IngestReport, QueryHit, StrgIndex, StrgIndexConfig, VideoDatabase, VideoDbConfig,
+    };
+    pub use strg_distance::{
+        CountingDistance, Dtw, Edr, Eged, EgedMetric, Lcs, LpNorm, MetricDistance, SequenceDistance,
+    };
+    pub use strg_graph::{
+        decompose, BackgroundGraph, DecomposeConfig, ObjectGraph, Point2, Rag, Rgb,
+        Scalarization, Strg, TrackerConfig,
+    };
+    pub use strg_mtree::{MTree, MTreeConfig, PromotePolicy};
+    pub use strg_rtree::{Aabb3, RTree3};
+    pub use strg_synth::{generate, generate_total, SynthConfig};
+    pub use strg_video::{
+        lab_scene, table1_clips, traffic_scene, Frame, ScenarioConfig, SegmentConfig, VideoClip,
+    };
+}

@@ -1,0 +1,86 @@
+//! Concurrency: the database must serve queries from many threads, also
+//! while another thread ingests — the `parking_lot::RwLock` discipline the
+//! pipeline documents.
+
+use std::sync::Arc;
+
+use strg::prelude::*;
+
+fn clip(seed: u64) -> VideoClip {
+    VideoClip {
+        name: format!("cam{seed}"),
+        scene: lab_scene(&ScenarioConfig {
+            n_actors: 2,
+            frames: 50,
+            seed,
+            ..Default::default()
+        }),
+        fps: 30.0,
+    }
+}
+
+#[test]
+fn parallel_readers_agree() {
+    let db = Arc::new(VideoDatabase::new(VideoDbConfig::default()));
+    db.ingest_clip(&clip(1), 1);
+    let og = db.og(0).expect("first og");
+    let q = og.centroid_series();
+
+    let baseline = db.query_knn(&q, 3);
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let db = Arc::clone(&db);
+        let q = q.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut out = Vec::new();
+            for _ in 0..25 {
+                out.push(db.query_knn(&q, 3));
+            }
+            out
+        }));
+    }
+    for h in handles {
+        for result in h.join().expect("no panics") {
+            assert_eq!(result.len(), baseline.len());
+            for (a, b) in result.iter().zip(&baseline) {
+                assert_eq!(a.og_id, b.og_id);
+            }
+        }
+    }
+}
+
+#[test]
+fn queries_during_ingest_never_see_torn_state() {
+    let db = Arc::new(VideoDatabase::new(VideoDbConfig::default()));
+    db.ingest_clip(&clip(2), 1);
+    let q: Vec<Point2> = (0..20).map(|i| Point2::new(4.0 * i as f64, 80.0)).collect();
+
+    let writer = {
+        let db = Arc::clone(&db);
+        std::thread::spawn(move || {
+            for seed in 10..14u64 {
+                db.ingest_clip(&clip(seed), seed);
+            }
+        })
+    };
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let db = Arc::clone(&db);
+            let q = q.clone();
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    // Every hit must resolve to a live clip and OG.
+                    for hit in db.query_knn(&q, 5) {
+                        assert!(db.og(hit.og_id).is_some());
+                        assert!(!hit.clip.is_empty());
+                    }
+                }
+            })
+        })
+        .collect();
+    writer.join().expect("writer ok");
+    for r in readers {
+        r.join().expect("reader ok");
+    }
+    assert_eq!(db.stats().clips, 5);
+}

@@ -1,0 +1,102 @@
+//! Edge-case behavior of the STRG-Index and M-tree under adversarial data:
+//! duplicates, identical sequences, zero-length sequences, extreme values.
+
+use strg::core::StrgIndex;
+use strg::graph::BackgroundGraph;
+use strg::prelude::*;
+
+fn index_with(items: Vec<(u64, Vec<Point2>)>) -> StrgIndex<Point2, EgedMetric<Point2>> {
+    let mut idx = StrgIndex::new(EgedMetric::<Point2>::new(), StrgIndexConfig::with_k(3));
+    idx.add_segment(BackgroundGraph::default(), items);
+    idx
+}
+
+#[test]
+fn all_identical_sequences() {
+    let seq = vec![Point2::new(5.0, 5.0); 10];
+    let items: Vec<(u64, Vec<Point2>)> = (0..20).map(|i| (i, seq.clone())).collect();
+    let idx = index_with(items);
+    assert_eq!(idx.len(), 20);
+    let hits = idx.knn(&seq, 5);
+    assert_eq!(hits.len(), 5);
+    assert!(hits.iter().all(|h| h.dist < 1e-12));
+    // Range 0 returns everything (all at distance 0).
+    assert_eq!(idx.range(&seq, 0.0).len(), 20);
+}
+
+#[test]
+fn empty_sequences_are_indexable() {
+    // An OG can degenerate to an empty value sequence; the index must not
+    // choke (EGED_M to the empty sequence is the mass of the other).
+    let items: Vec<(u64, Vec<Point2>)> = vec![
+        (0, vec![]),
+        (1, vec![Point2::new(1.0, 0.0)]),
+        (2, vec![Point2::new(100.0, 0.0), Point2::new(101.0, 0.0)]),
+    ];
+    let idx = index_with(items);
+    let hits = idx.knn(&[], 3);
+    assert_eq!(hits.len(), 3);
+    assert_eq!(hits[0].og_id, 0, "empty matches empty at distance 0");
+    assert!(hits[0].dist < 1e-12);
+    assert_eq!(hits[1].og_id, 1, "then the lightest sequence");
+}
+
+#[test]
+fn extreme_coordinates() {
+    let items: Vec<(u64, Vec<Point2>)> = vec![
+        (0, vec![Point2::new(1e12, 1e12)]),
+        (1, vec![Point2::new(-1e12, -1e12)]),
+        (2, vec![Point2::new(0.0, 0.0)]),
+    ];
+    let idx = index_with(items);
+    let hits = idx.knn(&[Point2::new(1.0, 1.0)], 3);
+    assert_eq!(hits[0].og_id, 2);
+    assert!(hits.iter().all(|h| h.dist.is_finite()));
+}
+
+#[test]
+fn duplicate_ids_are_tolerated_by_index_layer() {
+    // The index itself treats ids as opaque; duplicates are the caller's
+    // responsibility (VideoDatabase guarantees uniqueness). Both copies
+    // are stored and retrievable.
+    let seq = vec![Point2::new(1.0, 1.0)];
+    let items = vec![(7u64, seq.clone()), (7u64, seq.clone())];
+    let idx = index_with(items);
+    assert_eq!(idx.len(), 2);
+    let hits = idx.knn(&seq, 2);
+    assert_eq!(hits.len(), 2);
+    assert!(hits.iter().all(|h| h.og_id == 7));
+}
+
+#[test]
+fn mtree_handles_identical_and_empty() {
+    let seq = vec![0.0f64; 4];
+    let mut items: Vec<(u64, Vec<f64>)> = (0..30).map(|i| (i, seq.clone())).collect();
+    items.push((30, vec![]));
+    let t = MTree::bulk_insert(EgedMetric::new(), MTreeConfig::sampling(2), items);
+    assert_eq!(t.len(), 31);
+    t.check_invariants();
+    let hits = t.knn(&seq, 31);
+    assert_eq!(hits.len(), 31);
+}
+
+#[test]
+fn knn_k_one_is_global_minimum() {
+    let ds = generate_total(200, &SynthConfig::with_noise(0.2), 5);
+    let items: Vec<(u64, Vec<Point2>)> = ds
+        .series()
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| (i as u64, s))
+        .collect();
+    let idx = index_with(items.clone());
+    let m = EgedMetric::<Point2>::new();
+    for q in generate_total(5, &SynthConfig::with_noise(0.2), 77).series() {
+        let best = idx.knn(&q, 1)[0].dist;
+        let truth = items
+            .iter()
+            .map(|(_, s)| m.distance(&q, s))
+            .fold(f64::INFINITY, f64::min);
+        assert!((best - truth).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,93 @@
+//! Cross-structure consistency: on the same data and the same metric EGED,
+//! the STRG-Index exact search, both M-tree policies and a brute-force
+//! linear scan must return identical k-NN sets.
+
+use strg::core::StrgIndex;
+use strg::graph::BackgroundGraph;
+use strg::prelude::*;
+
+fn dataset(n: usize, seed: u64) -> Vec<(u64, Vec<Point2>)> {
+    generate_total(n, &SynthConfig::with_noise(0.15), seed)
+        .series()
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| (i as u64, s))
+        .collect()
+}
+
+fn linear_scan(data: &[(u64, Vec<Point2>)], q: &[Point2], k: usize) -> Vec<(u64, f64)> {
+    let m = EgedMetric::<Point2>::new();
+    let mut all: Vec<(u64, f64)> = data.iter().map(|(id, s)| (*id, m.distance(q, s))).collect();
+    all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
+}
+
+#[test]
+fn all_structures_agree_with_linear_scan() {
+    let data = dataset(300, 42);
+    let queries = generate_total(10, &SynthConfig::with_noise(0.15), 777).series();
+
+    let mut strg = StrgIndex::new(EgedMetric::<Point2>::new(), StrgIndexConfig::with_k(24));
+    strg.add_segment(BackgroundGraph::default(), data.clone());
+    let mt_ra = MTree::bulk_insert(EgedMetric::<Point2>::new(), MTreeConfig::random(5), data.clone());
+    let mt_sa = MTree::bulk_insert(EgedMetric::<Point2>::new(), MTreeConfig::sampling(5), data.clone());
+
+    for q in &queries {
+        for k in [1usize, 5, 10] {
+            let truth = linear_scan(&data, q, k);
+            let si: Vec<f64> = strg.knn(q, k).iter().map(|h| h.dist).collect();
+            let ra: Vec<f64> = mt_ra.knn(q, k).iter().map(|n| n.dist).collect();
+            let sa: Vec<f64> = mt_sa.knn(q, k).iter().map(|n| n.dist).collect();
+            for (i, (_, td)) in truth.iter().enumerate() {
+                assert!((si[i] - td).abs() < 1e-9, "STRG-Index k={k} i={i}: {} vs {td}", si[i]);
+                assert!((ra[i] - td).abs() < 1e-9, "MT-RA k={k} i={i}: {} vs {td}", ra[i]);
+                assert!((sa[i] - td).abs() < 1e-9, "MT-SA k={k} i={i}: {} vs {td}", sa[i]);
+            }
+        }
+    }
+}
+
+#[test]
+fn counting_confirms_both_indexes_prune() {
+    let data = dataset(400, 9);
+    let q = generate_total(1, &SynthConfig::with_noise(0.15), 55).series().remove(0);
+
+    let cd1 = CountingDistance::new(EgedMetric::<Point2>::new());
+    let mut strg = StrgIndex::new(cd1.clone(), StrgIndexConfig::with_k(48));
+    strg.add_segment(BackgroundGraph::default(), data.clone());
+    cd1.reset();
+    let _ = strg.knn(&q, 5);
+    assert!(cd1.count() < 400, "STRG-Index pruned: {}", cd1.count());
+
+    let cd2 = CountingDistance::new(EgedMetric::<Point2>::new());
+    let mt = MTree::bulk_insert(cd2.clone(), MTreeConfig::sampling(5), data);
+    cd2.reset();
+    let _ = mt.knn(&q, 5);
+    assert!(cd2.count() < 400, "M-tree pruned: {}", cd2.count());
+}
+
+#[test]
+fn insert_then_query_consistency() {
+    // Build half the data up front, insert the rest, and verify exactness
+    // against the full linear scan (exercises the BIC-gated split path).
+    let data = dataset(200, 3);
+    let (head, tail) = data.split_at(100);
+    let mut cfg = StrgIndexConfig::with_k(12);
+    cfg.leaf_split_threshold = 12;
+    let mut strg = StrgIndex::new(EgedMetric::<Point2>::new(), cfg);
+    let root = strg.add_segment(BackgroundGraph::default(), head.to_vec());
+    for (id, s) in tail {
+        strg.insert(root, *id, s.clone());
+    }
+    assert_eq!(strg.len(), 200);
+
+    let queries = generate_total(5, &SynthConfig::with_noise(0.15), 321).series();
+    for q in &queries {
+        let truth = linear_scan(&data, q, 7);
+        let got = strg.knn(q, 7);
+        for (h, (_, td)) in got.iter().zip(&truth) {
+            assert!((h.dist - td).abs() < 1e-9);
+        }
+    }
+}

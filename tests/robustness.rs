@@ -1,0 +1,130 @@
+//! Failure injection: the pipeline must keep producing usable indexes under
+//! degraded input — heavy pixel noise, strong illumination flicker and
+//! dropped frames — the nuisances the paper's EDISON choice and tracking
+//! design are motivated by.
+
+use strg::prelude::*;
+use strg::video::SceneNoise;
+
+fn clip_with_noise(noise: SceneNoise, seed: u64) -> VideoClip {
+    VideoClip {
+        name: format!("noisy{seed}"),
+        scene: {
+            let mut s = lab_scene(&ScenarioConfig {
+                n_actors: 2,
+                frames: 70,
+                seed,
+                ..Default::default()
+            });
+            s.noise = noise;
+            s
+        },
+        fps: 30.0,
+    }
+}
+
+#[test]
+fn survives_heavy_pixel_noise() {
+    let db = VideoDatabase::new(VideoDbConfig::default());
+    let report = db.ingest_clip(
+        &clip_with_noise(
+            SceneNoise {
+                illumination: 6.0,
+                pixel_noise: 0.01, // 10x the default salt noise
+                frame_drop: 0.0,
+            },
+            5,
+        ),
+        1,
+    );
+    assert!(report.objects >= 1, "walkers still tracked under noise");
+    let og = db.og(0).unwrap();
+    assert!(og.duration() >= 5, "tracks are not shredded to confetti");
+}
+
+#[test]
+fn survives_dropped_frames() {
+    let db = VideoDatabase::new(VideoDbConfig::default());
+    let report = db.ingest_clip(
+        &clip_with_noise(
+            SceneNoise {
+                illumination: 2.0,
+                pixel_noise: 0.0005,
+                frame_drop: 0.08, // ~8% of frames lose all actors
+            },
+            6,
+        ),
+        1,
+    );
+    // Tracks break at dropped frames but fragments must still be objects.
+    assert!(report.objects >= 1, "objects survive frame drops");
+    let stats = db.stats();
+    assert!(stats.index_bytes < stats.strg_bytes);
+    // Queries still work.
+    let og = db.og(0).unwrap();
+    let hits = db.query_knn(&og.centroid_series(), 1);
+    assert_eq!(hits[0].og_id, 0);
+}
+
+#[test]
+fn clean_vs_noisy_extraction_is_comparable() {
+    // The number of extracted objects should not explode under noise
+    // (over-segmentation would poison the index).
+    let quiet = VideoDatabase::new(VideoDbConfig::default());
+    let rq = quiet.ingest_clip(
+        &clip_with_noise(
+            SceneNoise {
+                illumination: 0.0,
+                pixel_noise: 0.0,
+                frame_drop: 0.0,
+            },
+            9,
+        ),
+        1,
+    );
+    let noisy = VideoDatabase::new(VideoDbConfig::default());
+    let rn = noisy.ingest_clip(
+        &clip_with_noise(
+            SceneNoise {
+                illumination: 5.0,
+                pixel_noise: 0.005,
+                frame_drop: 0.0,
+            },
+            9,
+        ),
+        1,
+    );
+    assert!(rn.objects <= rq.objects.max(2) * 3, "quiet {} noisy {}", rq.objects, rn.objects);
+}
+
+#[test]
+fn empty_and_static_videos_are_harmless() {
+    let db = VideoDatabase::new(VideoDbConfig::default());
+    // A static scene: no actors at all.
+    let clip = VideoClip {
+        name: "static".into(),
+        scene: {
+            let mut s = lab_scene(&ScenarioConfig {
+                n_actors: 0,
+                frames: 0,
+                seed: 1,
+                ..Default::default()
+            });
+            s.actors.clear();
+            s
+        },
+        fps: 30.0,
+    };
+    // Zero frames (frame_count is 0 with no actors): ingest an explicit
+    // short render instead.
+    let frames: Vec<Frame> = (0..10)
+        .map(|t| {
+            let mut rng = rand::SeedableRng::seed_from_u64(t as u64);
+            clip.scene.render(t, &mut rng)
+        })
+        .collect();
+    let report = db.ingest_frames("static", &frames);
+    assert_eq!(report.objects, 0, "nothing moves, nothing indexed");
+    assert!(report.background_nodes >= 3);
+    assert!(db.query_knn(&[Point2::new(1.0, 1.0)], 5).is_empty());
+}
