@@ -32,10 +32,22 @@ fn bench_build(c: &mut Criterion) {
             })
         });
         g.bench_with_input(BenchmarkId::new("MT-RA", n), &n, |b, _| {
-            b.iter(|| MTree::bulk_insert(EgedMetric::<Point2>::new(), MTreeConfig::random(1), data.clone()))
+            b.iter(|| {
+                MTree::bulk_insert(
+                    EgedMetric::<Point2>::new(),
+                    MTreeConfig::random(1),
+                    data.clone(),
+                )
+            })
         });
         g.bench_with_input(BenchmarkId::new("MT-SA", n), &n, |b, _| {
-            b.iter(|| MTree::bulk_insert(EgedMetric::<Point2>::new(), MTreeConfig::sampling(1), data.clone()))
+            b.iter(|| {
+                MTree::bulk_insert(
+                    EgedMetric::<Point2>::new(),
+                    MTreeConfig::sampling(1),
+                    data.clone(),
+                )
+            })
         });
     }
     g.finish();

@@ -23,7 +23,11 @@ fn bench_knn(c: &mut Criterion) {
     cfg.em_n_init = 1;
     let mut strg = StrgIndex::new(EgedMetric::<Point2>::new(), cfg);
     strg.add_segment(BackgroundGraph::default(), data.clone());
-    let mt_ra = MTree::bulk_insert(EgedMetric::<Point2>::new(), MTreeConfig::random(1), data.clone());
+    let mt_ra = MTree::bulk_insert(
+        EgedMetric::<Point2>::new(),
+        MTreeConfig::random(1),
+        data.clone(),
+    );
     let mt_sa = MTree::bulk_insert(EgedMetric::<Point2>::new(), MTreeConfig::sampling(1), data);
 
     let mut g = c.benchmark_group("knn_query");

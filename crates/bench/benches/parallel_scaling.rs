@@ -1,0 +1,120 @@
+//! Scaling of the parallel execution layer: every group runs the same
+//! operation pinned to one thread and fanned out over all available cores
+//! (`Threads::Fixed(n)`), so the ratio is the observed speed-up. The
+//! parallel paths are bit-identical to the sequential ones (see
+//! `tests/parallel_equivalence.rs`), so this measures pure scheduling
+//! overhead vs. fan-out gain.
+//!
+//! On a single-core host the two variants should tie (the layer then
+//! measures its own overhead, which must stay negligible).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use strg_cluster::{distance_matrix, Clusterer, EmClusterer, EmConfig};
+use strg_core::{VideoDatabase, VideoDbConfig};
+use strg_distance::Eged;
+use strg_graph::Point2;
+use strg_parallel::Threads;
+use strg_synth::{all_patterns, generate_for_patterns, SynthConfig};
+use strg_video::{frames_to_rags, lab_scene, ScenarioConfig, SegmentConfig, VideoClip};
+
+fn fan_out() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn clip(seed: u64) -> VideoClip {
+    VideoClip {
+        name: format!("bench{seed}"),
+        scene: lab_scene(&ScenarioConfig {
+            n_actors: 2,
+            frames: 40,
+            seed,
+            ..Default::default()
+        }),
+        fps: 30.0,
+    }
+}
+
+fn bench_rag_extraction(c: &mut Criterion) {
+    let frames = clip(1).render_all(1);
+    let cfg = SegmentConfig::default();
+    let n = fan_out();
+
+    let mut g = c.benchmark_group("parallel_rag_extraction");
+    g.bench_function("threads-1", |b| {
+        b.iter(|| frames_to_rags(&frames, &cfg, Threads::Fixed(1)))
+    });
+    g.bench_function(format!("threads-{n}"), |b| {
+        b.iter(|| frames_to_rags(&frames, &cfg, Threads::Fixed(n)))
+    });
+    g.finish();
+}
+
+fn bench_distance_matrix(c: &mut Criterion) {
+    let patterns: Vec<_> = all_patterns().into_iter().step_by(6).collect();
+    let ds = generate_for_patterns(&patterns, 6, &SynthConfig::with_noise(0.1), 5);
+    let data = ds.series();
+    let centroids: Vec<Vec<Point2>> = data.iter().step_by(7).cloned().collect();
+    let n = fan_out();
+
+    let mut g = c.benchmark_group("parallel_distance_matrix");
+    g.bench_function("threads-1", |b| {
+        b.iter(|| distance_matrix(&data, &centroids, &Eged, Threads::Fixed(1)))
+    });
+    g.bench_function(format!("threads-{n}"), |b| {
+        b.iter(|| distance_matrix(&data, &centroids, &Eged, Threads::Fixed(n)))
+    });
+    g.finish();
+}
+
+fn bench_em_fit(c: &mut Criterion) {
+    let patterns: Vec<_> = all_patterns().into_iter().step_by(8).collect();
+    let k = patterns.len();
+    let ds = generate_for_patterns(&patterns, 5, &SynthConfig::with_noise(0.1), 3);
+    let data = ds.series();
+    let n = fan_out();
+
+    let mut g = c.benchmark_group("parallel_em_fit");
+    for threads in [1, n] {
+        g.bench_function(format!("threads-{threads}"), |b| {
+            let mut cfg = EmConfig::new(k)
+                .with_seed(1)
+                .with_threads(Threads::Fixed(threads));
+            cfg.max_iters = 8;
+            cfg.n_init = 1;
+            let em = EmClusterer::new(Eged, cfg);
+            b.iter(|| em.fit(&data))
+        });
+    }
+    g.finish();
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let q: Vec<Point2> = (0..25).map(|i| Point2::new(3.0 * i as f64, 70.0)).collect();
+    let n = fan_out();
+
+    let mut g = c.benchmark_group("parallel_knn");
+    for threads in [1, n] {
+        let db = VideoDatabase::new(VideoDbConfig::default().with_threads(Threads::Fixed(threads)));
+        for seed in [3, 7, 11] {
+            db.ingest_clip(&clip(seed), seed);
+        }
+        g.bench_function(format!("threads-{threads}"), |b| {
+            b.iter(|| db.query_knn(&q, 5))
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_rag_extraction, bench_distance_matrix, bench_em_fit, bench_knn
+}
+criterion_main!(benches);

@@ -17,8 +17,7 @@ use strg_bench::Scale;
 use strg_cluster::{clustering_error_rate, Clusterer, EmClusterer, EmConfig};
 use strg_core::{StrgIndex, StrgIndexConfig};
 use strg_distance::{
-    CountingDistance, Eged, EgedMetric, EgedRepeatGap, GapPolicy, SeqValue,
-    SequenceDistance,
+    CountingDistance, Eged, EgedMetric, EgedRepeatGap, GapPolicy, SeqValue, SequenceDistance,
 };
 use strg_graph::{BackgroundGraph, Point2};
 use strg_synth::{generate_for_patterns, generate_total, SynthConfig};
@@ -76,7 +75,12 @@ fn gap_policy_ablation(scale: &Scale) {
     }
     println!();
     for &noise in &scale.noise_levels {
-        let ds = generate_for_patterns(&patterns, scale.per_cluster, &SynthConfig::with_noise(noise), scale.seed);
+        let ds = generate_for_patterns(
+            &patterns,
+            scale.per_cluster,
+            &SynthConfig::with_noise(noise),
+            scale.seed,
+        );
         let data = ds.series();
         let labels: Vec<u32> = ds
             .items
@@ -99,7 +103,11 @@ fn gap_policy_ablation(scale: &Scale) {
         println!();
         let _ = GapPolicy::Constant(0.0f64); // the enum the library exposes
     }
-    let p = write_csv("ablation_gap_policy.csv", "gap,noise_pct,error_rate_pct", &rows);
+    let p = write_csv(
+        "ablation_gap_policy.csv",
+        "gap,noise_pct,error_rate_pct",
+        &rows,
+    );
     println!("  -> {}", p.display());
 }
 
@@ -127,17 +135,28 @@ fn build_index(
 
 fn search_variant_ablation(scale: &Scale) {
     println!("\n=== Ablation 2: exact best-first vs Algorithm-3 single-cluster ===");
-    let db = generate_total(scale.query_db_size, &SynthConfig::with_noise(0.10), scale.seed);
+    let db = generate_total(
+        scale.query_db_size,
+        &SynthConfig::with_noise(0.10),
+        scale.seed,
+    );
     let items: Vec<(u64, Vec<Point2>)> = db
         .series()
         .into_iter()
         .enumerate()
         .map(|(i, s)| (i as u64, s))
         .collect();
-    let queries = generate_total(scale.queries, &SynthConfig::with_noise(0.10), scale.seed + 999);
+    let queries = generate_total(
+        scale.queries,
+        &SynthConfig::with_noise(0.10),
+        scale.seed + 999,
+    );
     let (idx, cd) = build_index(&items, 48.min(items.len()), usize::MAX, scale.seed);
 
-    println!("  {:>4} {:>16} {:>16} {:>12}", "k", "exact calls", "alg3 calls", "alg3 overlap");
+    println!(
+        "  {:>4} {:>16} {:>16} {:>12}",
+        "k", "exact calls", "alg3 calls", "alg3 overlap"
+    );
     let mut rows = Vec::new();
     for &k in &scale.ks {
         let mut exact_calls = 0u64;
@@ -170,7 +189,11 @@ fn search_variant_ablation(scale: &Scale) {
             overlap / nq as f64
         ));
     }
-    let p = write_csv("ablation_search_variant.csv", "k,exact_calls,alg3_calls,alg3_overlap", &rows);
+    let p = write_csv(
+        "ablation_search_variant.csv",
+        "k,exact_calls,alg3_calls,alg3_overlap",
+        &rows,
+    );
     println!("  -> {}", p.display());
 }
 
@@ -184,9 +207,16 @@ fn split_policy_ablation(scale: &Scale) {
         .enumerate()
         .map(|(i, s)| (i as u64, s))
         .collect();
-    let queries = generate_total(scale.queries, &SynthConfig::with_noise(0.10), scale.seed + 1234);
+    let queries = generate_total(
+        scale.queries,
+        &SynthConfig::with_noise(0.10),
+        scale.seed + 1234,
+    );
 
-    println!("  {:>14} {:>10} {:>14}", "policy", "clusters", "calls/query");
+    println!(
+        "  {:>14} {:>10} {:>14}",
+        "policy", "clusters", "calls/query"
+    );
     let mut rows = Vec::new();
     for (name, threshold) in [
         ("never-split", usize::MAX),
@@ -214,7 +244,11 @@ fn split_policy_ablation(scale: &Scale) {
         println!("  {:>14} {:>10} {:>14.1}", name, idx.cluster_count(), calls);
         rows.push(format!("{},{},{:.1}", name, idx.cluster_count(), calls));
     }
-    let p = write_csv("ablation_split_policy.csv", "policy,clusters,calls_per_query", &rows);
+    let p = write_csv(
+        "ablation_split_policy.csv",
+        "policy,clusters,calls_per_query",
+        &rows,
+    );
     println!("  -> {}", p.display());
 }
 
@@ -222,14 +256,22 @@ fn restart_ablation(scale: &Scale) {
     println!("\n=== Ablation 4: EM restarts (n_init) ===");
     let patterns = scale.patterns();
     let k = patterns.len();
-    let ds = generate_for_patterns(&patterns, scale.per_cluster, &SynthConfig::with_noise(0.15), scale.seed);
+    let ds = generate_for_patterns(
+        &patterns,
+        scale.per_cluster,
+        &SynthConfig::with_noise(0.15),
+        scale.seed,
+    );
     let data = ds.series();
     let labels: Vec<u32> = ds
         .items
         .iter()
         .map(|t| patterns.iter().position(|p| p.id == t.label).unwrap() as u32)
         .collect();
-    println!("  {:>7} {:>12} {:>14}", "n_init", "error %", "log-likelihood");
+    println!(
+        "  {:>7} {:>12} {:>14}",
+        "n_init", "error %", "log-likelihood"
+    );
     let mut rows = Vec::new();
     for n_init in [1usize, 2, 3, 5] {
         let mut cfg = EmConfig::new(k).with_seed(scale.seed);
@@ -240,7 +282,11 @@ fn restart_ablation(scale: &Scale) {
         println!("  {:>7} {:>12.1} {:>14.1}", n_init, err, c.log_likelihood);
         rows.push(format!("{},{:.2},{:.2}", n_init, err, c.log_likelihood));
     }
-    let p = write_csv("ablation_em_restarts.csv", "n_init,error_rate_pct,log_likelihood", &rows);
+    let p = write_csv(
+        "ablation_em_restarts.csv",
+        "n_init,error_rate_pct,log_likelihood",
+        &rows,
+    );
     println!("  -> {}", p.display());
 }
 
@@ -253,14 +299,22 @@ fn restart_ablation(scale: &Scale) {
 fn rtree_similarity_ablation(scale: &Scale) {
     use strg_rtree::RTree3;
     println!("\n=== Ablation 5: 3DR-tree box distance vs STRG-Index EGED (precision@k) ===");
-    let db = generate_total(scale.query_db_size, &SynthConfig::with_noise(0.10), scale.seed + 9);
+    let db = generate_total(
+        scale.query_db_size,
+        &SynthConfig::with_noise(0.10),
+        scale.seed + 9,
+    );
     let items: Vec<(u64, Vec<Point2>)> = db
         .series()
         .into_iter()
         .enumerate()
         .map(|(i, s)| (i as u64, s))
         .collect();
-    let queries = generate_total(scale.queries, &SynthConfig::with_noise(0.10), scale.seed + 4242);
+    let queries = generate_total(
+        scale.queries,
+        &SynthConfig::with_noise(0.10),
+        scale.seed + 4242,
+    );
 
     // 3DR-tree over all trajectories (all clips start at t = 0, as a
     // similarity query has no anchored wall-clock time).

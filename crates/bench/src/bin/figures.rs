@@ -81,9 +81,18 @@ fn run_fig5(scale: &Scale) {
     }
     let csv: Vec<String> = rows
         .iter()
-        .map(|r| format!("{},{},{:.0},{:.2}", r.algo, r.dist, r.noise_pct, r.error_rate))
+        .map(|r| {
+            format!(
+                "{},{},{:.0},{:.2}",
+                r.algo, r.dist, r.noise_pct, r.error_rate
+            )
+        })
         .collect();
-    let p = write_csv("fig5_error_rates.csv", "algo,dist,noise_pct,error_rate_pct", &csv);
+    let p = write_csv(
+        "fig5_error_rates.csv",
+        "algo,dist,noise_pct,error_rate_pct",
+        &csv,
+    );
     println!("\n  -> {}", p.display());
 }
 
@@ -121,9 +130,18 @@ fn run_fig6(scale: &Scale) {
     let csv: Vec<String> = f
         .noise
         .iter()
-        .map(|r| format!("{},{:.0},{:.2},{:.2}", r.algo, r.noise_pct, r.error_rate, r.distortion))
+        .map(|r| {
+            format!(
+                "{},{:.0},{:.2},{:.2}",
+                r.algo, r.noise_pct, r.error_rate, r.distortion
+            )
+        })
         .collect();
-    write_csv("fig6_noise.csv", "algo,noise_pct,error_rate_pct,distortion_px", &csv);
+    write_csv(
+        "fig6_noise.csv",
+        "algo,noise_pct,error_rate_pct,distortion_px",
+        &csv,
+    );
     let csv: Vec<String> = f
         .time
         .iter()
@@ -190,7 +208,11 @@ fn run_fig7(scale: &Scale) {
     for &k in &scale.ks {
         print!("  {:>6}", k);
         for m in fig7::METHODS {
-            let r = f.knn.iter().find(|r| r.method == m && r.k == k).expect("row");
+            let r = f
+                .knn
+                .iter()
+                .find(|r| r.method == m && r.k == k)
+                .expect("row");
             print!(" {:>12.1}", r.dist_calls);
         }
         println!();
@@ -205,7 +227,10 @@ fn run_fig7(scale: &Scale) {
     for &k in &scale.ks {
         print!("  {:>6}", k);
         for m in fig7::METHODS {
-            let r = f.pr.iter().find(|r| r.method == m && r.k == k).expect("row");
+            let r =
+                f.pr.iter()
+                    .find(|r| r.method == m && r.k == k)
+                    .expect("row");
             print!("   P {:>4.2} R {:>4.2} ", r.precision, r.recall);
         }
         println!();
@@ -214,7 +239,12 @@ fn run_fig7(scale: &Scale) {
     let csv: Vec<String> = f
         .build
         .iter()
-        .map(|r| format!("{},{},{:.4},{}", r.method, r.db_size, r.seconds, r.dist_calls))
+        .map(|r| {
+            format!(
+                "{},{},{:.4},{}",
+                r.method, r.db_size, r.seconds, r.dist_calls
+            )
+        })
         .collect();
     write_csv("fig7a_build.csv", "method,db_size,seconds,dist_calls", &csv);
     let csv: Vec<String> = f
@@ -223,11 +253,10 @@ fn run_fig7(scale: &Scale) {
         .map(|r| format!("{},{},{:.1}", r.method, r.k, r.dist_calls))
         .collect();
     write_csv("fig7b_knn.csv", "method,k,dist_calls_per_query", &csv);
-    let csv: Vec<String> = f
-        .pr
-        .iter()
-        .map(|r| format!("{},{},{:.4},{:.4}", r.method, r.k, r.recall, r.precision))
-        .collect();
+    let csv: Vec<String> =
+        f.pr.iter()
+            .map(|r| format!("{},{},{:.4},{:.4}", r.method, r.k, r.recall, r.precision))
+            .collect();
     let p = write_csv("fig7c_pr.csv", "method,k,recall,precision", &csv);
     println!("\n  -> {} (+ fig7a_build.csv, fig7b_knn.csv)", p.display());
 }
@@ -266,7 +295,10 @@ fn print_fig8(v: &fig8::VideoRows) {
 
 fn print_table1(v: &fig8::VideoRows) {
     println!("\n=== Table 1: description of (synthetic) video data ===");
-    println!("  {:<10} {:>8} {:>8} {:>12}", "Video", "# OGs", "frames", "duration");
+    println!(
+        "  {:<10} {:>8} {:>8} {:>12}",
+        "Video", "# OGs", "frames", "duration"
+    );
     let mut total_ogs = 0;
     let mut total_secs = 0.0;
     for r in &v.table1 {
@@ -277,13 +309,20 @@ fn print_table1(v: &fig8::VideoRows) {
         total_ogs += r.n_ogs;
         total_secs += r.duration_secs;
     }
-    println!("  {:<10} {:>8} {:>8} {:>9.1} s", "Total", total_ogs, "", total_secs);
+    println!(
+        "  {:<10} {:>8} {:>8} {:>9.1} s",
+        "Total", total_ogs, "", total_secs
+    );
     let csv: Vec<String> = v
         .table1
         .iter()
         .map(|r| format!("{},{},{},{:.1}", r.name, r.n_ogs, r.frames, r.duration_secs))
         .collect();
-    let p = write_csv("table1_videos.csv", "video,n_ogs,frames,duration_secs", &csv);
+    let p = write_csv(
+        "table1_videos.csv",
+        "video,n_ogs,frames,duration_secs",
+        &csv,
+    );
     println!("\n  -> {}", p.display());
 }
 

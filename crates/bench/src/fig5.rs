@@ -84,7 +84,9 @@ pub fn fit(
 ) -> strg_cluster::Clustering<Point2> {
     // The LCS threshold matches the generator's sigma (the paper's setup).
     match (algo, dist) {
-        ("EM", "EGED") => EmClusterer::new(DistBox::Eged, EmConfig::new(k).with_seed(seed)).fit(data),
+        ("EM", "EGED") => {
+            EmClusterer::new(DistBox::Eged, EmConfig::new(k).with_seed(seed)).fit(data)
+        }
         ("EM", "LCS") => EmClusterer::new(DistBox::Lcs, EmConfig::new(k).with_seed(seed)).fit(data),
         ("EM", "DTW") => EmClusterer::new(DistBox::Dtw, EmConfig::new(k).with_seed(seed)).fit(data),
         ("KM", "EGED") => KMeans::new(DistBox::Eged, HardConfig::new(k).with_seed(seed)).fit(data),

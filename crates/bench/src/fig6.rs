@@ -58,8 +58,7 @@ pub fn run(scale: &Scale) -> Fig6 {
 
     // True centroids for the distortion metric: the ideal trajectories,
     // indexed by the *dense* pattern position.
-    let true_centroids: Vec<Vec<Point2>> =
-        patterns.iter().map(|p| p.ideal(p.base_len)).collect();
+    let true_centroids: Vec<Vec<Point2>> = patterns.iter().map(|p| p.ideal(p.base_len)).collect();
 
     for &noise in &scale.noise_levels {
         let ds = generate_for_patterns(

@@ -6,7 +6,11 @@ use std::path::{Path, PathBuf};
 /// Where result CSVs are written (`results/` under the workspace root, or
 /// the current directory as a fallback).
 pub fn results_dir() -> PathBuf {
-    let candidates = [Path::new("results"), Path::new("../results"), Path::new("../../results")];
+    let candidates = [
+        Path::new("results"),
+        Path::new("../results"),
+        Path::new("../../results"),
+    ];
     for c in candidates {
         if c.is_dir() {
             return c.to_path_buf();

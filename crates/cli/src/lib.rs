@@ -281,8 +281,8 @@ mod tests {
         let _ = std::fs::remove_file(&db);
 
         let out = run(&v(&[
-            "ingest", "--db", &db, "--scene", "lab", "--name", "cam1", "--actors", "2",
-            "--frames", "50", "--seed", "3",
+            "ingest", "--db", &db, "--scene", "lab", "--name", "cam1", "--actors", "2", "--frames",
+            "50", "--seed", "3",
         ]))
         .expect("ingest");
         assert!(out.contains("ingested"), "{out}");

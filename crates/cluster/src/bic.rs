@@ -9,6 +9,7 @@
 //! gates STRG-Index leaf splits (§5.3: split iff `BIC(K=2) > BIC(K=1)`).
 
 use strg_distance::SequenceDistance;
+use strg_parallel::Threads;
 
 use crate::centroid::ClusterValue;
 use crate::em::{EmClusterer, EmConfig};
@@ -47,11 +48,25 @@ pub struct BicPoint {
 
 /// Fits EM for every `K` in `ks` and returns the BIC curve (Figure 8) plus
 /// the index of the winning `K`.
-pub fn bic_sweep<V: ClusterValue, D: SequenceDistance<V> + Clone>(
+pub fn bic_sweep<V: ClusterValue, D: SequenceDistance<V> + Clone + Sync>(
     data: &[Vec<V>],
     dist: &D,
     ks: impl IntoIterator<Item = usize>,
     seed: u64,
+) -> (usize, Vec<BicPoint>) {
+    bic_sweep_threads(data, dist, ks, seed, Threads::Auto)
+}
+
+/// [`bic_sweep`] with an explicit worker-count policy for each EM fit.
+///
+/// The thread count never changes the curve (see [`EmConfig::threads`]);
+/// it only changes how fast each fit runs.
+pub fn bic_sweep_threads<V: ClusterValue, D: SequenceDistance<V> + Clone + Sync>(
+    data: &[Vec<V>],
+    dist: &D,
+    ks: impl IntoIterator<Item = usize>,
+    seed: u64,
+    threads: Threads,
 ) -> (usize, Vec<BicPoint>) {
     let mut curve = Vec::new();
     let mut best_k = 1;
@@ -60,7 +75,10 @@ pub fn bic_sweep<V: ClusterValue, D: SequenceDistance<V> + Clone>(
         if k == 0 || k > data.len() {
             continue;
         }
-        let em = EmClusterer::new(dist.clone(), EmConfig::new(k).with_seed(seed));
+        let em = EmClusterer::new(
+            dist.clone(),
+            EmConfig::new(k).with_seed(seed).with_threads(threads),
+        );
         let c = em.fit(data);
         let b = bic(&c, data.len());
         curve.push(BicPoint {

@@ -19,9 +19,10 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use strg_distance::SequenceDistance;
+use strg_parallel::{par_map_range, Threads};
 
 use crate::centroid::{median_length, weighted_centroid, ClusterValue};
-use crate::init::kmeans_pp_indices;
+use crate::init::{distance_matrix, kmeans_pp_indices_threaded};
 use crate::model::{Clusterer, Clustering};
 
 /// Configuration of the EM clusterer.
@@ -58,6 +59,11 @@ pub struct EmConfig {
     /// sharing the variance keeps the component competition about centroid
     /// proximity, which is what clustering OGs needs.
     pub shared_sigma: bool,
+    /// Worker count for the distance matrix and E-step. The parallel path
+    /// is bit-identical to the sequential one (`Threads::Fixed(1)`): rows
+    /// are merged in item order and the log-likelihood is reduced
+    /// sequentially, so the thread count never changes the fit.
+    pub threads: Threads,
 }
 
 impl EmConfig {
@@ -72,12 +78,19 @@ impl EmConfig {
             sigma_cap_factor: 0.5,
             sigma_scale: 0.5,
             shared_sigma: true,
+            threads: Threads::Auto,
         }
     }
 
     /// Same configuration with a different seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Same configuration with a different worker-count policy.
+    pub fn with_threads(mut self, threads: Threads) -> Self {
+        self.threads = threads;
         self
     }
 }
@@ -108,7 +121,7 @@ impl<D> EmClusterer<D> {
     pub fn fit_full<V>(&self, data: &[Vec<V>]) -> (Clustering<V>, Vec<Vec<f64>>)
     where
         V: ClusterValue,
-        D: SequenceDistance<V>,
+        D: SequenceDistance<V> + Sync,
     {
         let mut best: Option<(Clustering<V>, Vec<Vec<f64>>)> = None;
         for r in 0..self.cfg.n_init.max(1) as u64 {
@@ -130,7 +143,7 @@ impl<D> EmClusterer<D> {
     fn fit_once<V>(&self, data: &[Vec<V>], seed: u64) -> (Clustering<V>, Vec<Vec<f64>>)
     where
         V: ClusterValue,
-        D: SequenceDistance<V>,
+        D: SequenceDistance<V> + Sync,
     {
         let m = data.len();
         let k = self.cfg.k.max(1).min(m.max(1));
@@ -148,15 +161,16 @@ impl<D> EmClusterer<D> {
             );
         }
         let target_len = median_length(data).max(1);
+        let threads = self.cfg.threads;
         let mut rng = StdRng::seed_from_u64(seed);
 
         // Init: k-means++ seeded centroids.
-        let idx = kmeans_pp_indices(data, k, &self.dist, &mut rng);
+        let idx = kmeans_pp_indices_threaded(data, k, &self.dist, &mut rng, threads);
         let mut centroids: Vec<Vec<V>> = idx.iter().map(|&i| data[i].clone()).collect();
         let mut weights = vec![1.0 / k as f64; k];
 
         // Initial sigmas from mean distance to the initial centroids.
-        let mut dists = vec![vec![0.0f64; k]; m];
+        let mut dists: Vec<Vec<f64>>;
         let mut sigmas = vec![0.0f64; k];
         let mut sigma_cap = f64::INFINITY;
         let mut iterations = 0;
@@ -165,12 +179,9 @@ impl<D> EmClusterer<D> {
 
         for iter in 0..self.cfg.max_iters {
             iterations = iter + 1;
-            // Distances (the O(KM) work of one iteration).
-            for (j, y) in data.iter().enumerate() {
-                for (c, mu) in centroids.iter().enumerate() {
-                    dists[j][c] = self.dist.distance(y, mu);
-                }
-            }
+            // Distances (the O(KM) work of one iteration), rows fanned out
+            // across the workers and merged back in item order.
+            dists = distance_matrix(data, &centroids, &self.dist, threads);
             if iter == 0 {
                 // Initialize every sigma at the *within-cluster* scale: the
                 // mean distance from each item to its nearest centroid. A
@@ -189,9 +200,12 @@ impl<D> EmClusterer<D> {
                 }
             }
 
-            // E-step (log domain).
-            log_likelihood = 0.0;
-            for j in 0..m {
+            // E-step (log domain). Rows are independent, so they run on the
+            // workers; each returns its responsibility row plus its additive
+            // log-likelihood term. The terms are then summed on this thread
+            // in item order — the same accumulation order as the sequential
+            // loop, so the total cannot drift with the thread count.
+            let rows = par_map_range(m, threads, |j| {
                 let mut logs = vec![0.0f64; k];
                 for c in 0..k {
                     let s = sigmas[c].max(SIGMA_FLOOR);
@@ -203,10 +217,13 @@ impl<D> EmClusterer<D> {
                 }
                 let mx = logs.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
                 let sum: f64 = logs.iter().map(|l| (l - mx).exp()).sum();
-                log_likelihood += mx + sum.ln();
-                for c in 0..k {
-                    resp[j][c] = (logs[c] - mx).exp() / sum;
-                }
+                let row: Vec<f64> = logs.iter().map(|l| (l - mx).exp() / sum).collect();
+                (row, mx + sum.ln())
+            });
+            log_likelihood = 0.0;
+            for (j, (row, term)) in rows.into_iter().enumerate() {
+                resp[j] = row;
+                log_likelihood += term;
             }
 
             // M-step.
@@ -275,7 +292,7 @@ impl<D> EmClusterer<D> {
     }
 }
 
-impl<V: ClusterValue, D: SequenceDistance<V>> Clusterer<V> for EmClusterer<D> {
+impl<V: ClusterValue, D: SequenceDistance<V> + Sync> Clusterer<V> for EmClusterer<D> {
     fn fit(&self, data: &[Vec<V>]) -> Clustering<V> {
         self.fit_full(data).0
     }
@@ -353,6 +370,30 @@ mod tests {
         let a = em.fit(&data);
         let b = em.fit(&data);
         assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn parallel_fit_is_bit_identical_to_sequential() {
+        let (data, _) = two_groups();
+        let cfg = EmConfig::new(3).with_seed(9);
+        let seq = EmClusterer::new(Eged, cfg.with_threads(Threads::Fixed(1))).fit_full(&data);
+        for threads in [2, 8] {
+            let par =
+                EmClusterer::new(Eged, cfg.with_threads(Threads::Fixed(threads))).fit_full(&data);
+            assert_eq!(seq.0.assignments, par.0.assignments);
+            assert_eq!(seq.0.iterations, par.0.iterations);
+            assert_eq!(
+                seq.0.log_likelihood.to_bits(),
+                par.0.log_likelihood.to_bits(),
+                "log-likelihood must not drift with the thread count"
+            );
+            for (a, b) in seq.0.weights.iter().zip(&par.0.weights) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in seq.1.iter().flatten().zip(par.1.iter().flatten()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

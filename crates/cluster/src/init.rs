@@ -11,15 +11,33 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 use strg_distance::{SeqValue, SequenceDistance};
+use strg_parallel::{par_map, Threads};
 
 /// Picks `k` item indices as initial centroids with k-means++ sampling.
 ///
 /// Costs `O(kM)` distance evaluations. `k` is clamped to the data size.
-pub fn kmeans_pp_indices<V: SeqValue, D: SequenceDistance<V>>(
+pub fn kmeans_pp_indices<V: SeqValue, D: SequenceDistance<V> + Sync>(
     data: &[Vec<V>],
     k: usize,
     dist: &D,
     rng: &mut StdRng,
+) -> Vec<usize> {
+    kmeans_pp_indices_threaded(data, k, dist, rng, Threads::Fixed(1))
+}
+
+/// [`kmeans_pp_indices`] with the per-round distance scans fanned out over
+/// `threads` workers.
+///
+/// Only the distance evaluations move off the calling thread; every RNG
+/// draw happens between rounds on the caller, and the per-item minimum
+/// updates are order-independent per element, so the chosen indices are
+/// identical to the sequential run at any thread count.
+pub fn kmeans_pp_indices_threaded<V: SeqValue, D: SequenceDistance<V> + Sync>(
+    data: &[Vec<V>],
+    k: usize,
+    dist: &D,
+    rng: &mut StdRng,
+    threads: Threads,
 ) -> Vec<usize> {
     let m = data.len();
     let k = k.min(m);
@@ -28,13 +46,10 @@ pub fn kmeans_pp_indices<V: SeqValue, D: SequenceDistance<V>>(
     }
     let mut chosen = Vec::with_capacity(k);
     chosen.push(rng.gen_range(0..m));
-    let mut best_d2: Vec<f64> = data
-        .iter()
-        .map(|y| {
-            let d = dist.distance(y, &data[chosen[0]]);
-            d * d
-        })
-        .collect();
+    let mut best_d2: Vec<f64> = par_map(data, threads, |y| {
+        let d = dist.distance(y, &data[chosen[0]]);
+        d * d
+    });
     while chosen.len() < k {
         let total: f64 = best_d2.iter().sum();
         let next = if total <= 0.0 {
@@ -54,12 +69,33 @@ pub fn kmeans_pp_indices<V: SeqValue, D: SequenceDistance<V>>(
             pick
         };
         chosen.push(next);
-        for (i, y) in data.iter().enumerate() {
+        let d2_next = par_map(data, threads, |y| {
             let d = dist.distance(y, &data[next]);
-            best_d2[i] = best_d2[i].min(d * d);
+            d * d
+        });
+        for (b, d2) in best_d2.iter_mut().zip(d2_next) {
+            *b = b.min(d2);
         }
     }
     chosen
+}
+
+/// The `m x k` matrix of distances from every item to every centroid, rows
+/// fanned out over `threads` workers.
+///
+/// Row `j` holds `dist(data[j], centroids[c])` for each `c`; rows come back
+/// in item order and each row is filled in centroid order, so the matrix is
+/// identical to the sequential double loop at any thread count. This is the
+/// `O(KM)` hot loop shared by EM, K-Means and K-Harmonic-Means.
+pub fn distance_matrix<V: SeqValue, D: SequenceDistance<V> + Sync>(
+    data: &[Vec<V>],
+    centroids: &[Vec<V>],
+    dist: &D,
+    threads: Threads,
+) -> Vec<Vec<f64>> {
+    par_map(data, threads, |y| {
+        centroids.iter().map(|mu| dist.distance(y, mu)).collect()
+    })
 }
 
 #[cfg(test)]
@@ -113,6 +149,34 @@ mod tests {
         assert_eq!(idx.len(), 2);
         let idx = kmeans_pp_indices(&Vec::<Vec<f64>>::new(), 3, &Eged, &mut rng);
         assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn threaded_seeding_matches_sequential() {
+        let data = groups();
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let seq = kmeans_pp_indices(&data, 4, &Eged, &mut rng);
+            for threads in [2, 8] {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let par =
+                    kmeans_pp_indices_threaded(&data, 4, &Eged, &mut rng, Threads::Fixed(threads));
+                assert_eq!(seq, par, "seed {seed} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn distance_matrix_matches_double_loop() {
+        let data = groups();
+        let centroids = vec![data[0].clone(), data[15].clone()];
+        let seq = distance_matrix(&data, &centroids, &Eged, Threads::Fixed(1));
+        let par = distance_matrix(&data, &centroids, &Eged, Threads::Fixed(8));
+        for (a, b) in seq.iter().zip(&par) {
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
     }
 
     #[test]

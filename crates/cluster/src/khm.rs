@@ -14,9 +14,10 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use strg_distance::SequenceDistance;
+use strg_parallel::par_map;
 
 use crate::centroid::{median_length, weighted_centroid, ClusterValue};
-use crate::init::kmeans_pp_indices;
+use crate::init::kmeans_pp_indices_threaded;
 use crate::kmeans::{empty_clustering, HardConfig};
 use crate::model::{Clusterer, Clustering};
 
@@ -43,7 +44,7 @@ impl<D> KHarmonicMeans<D> {
 /// Avoids division by zero for exact centroid hits.
 const D_FLOOR: f64 = 1e-6;
 
-impl<V: ClusterValue, D: SequenceDistance<V>> Clusterer<V> for KHarmonicMeans<D> {
+impl<V: ClusterValue, D: SequenceDistance<V> + Sync> Clusterer<V> for KHarmonicMeans<D> {
     fn fit(&self, data: &[Vec<V>]) -> Clustering<V> {
         let m = data.len();
         let k = self.cfg.k.max(1).min(m.max(1));
@@ -51,19 +52,21 @@ impl<V: ClusterValue, D: SequenceDistance<V>> Clusterer<V> for KHarmonicMeans<D>
             return empty_clustering();
         }
         let target_len = median_length(data).max(1);
+        let threads = self.cfg.threads;
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
-        let idx = kmeans_pp_indices(data, k, &self.dist, &mut rng);
+        let idx = kmeans_pp_indices_threaded(data, k, &self.dist, &mut rng, threads);
         let mut centroids: Vec<Vec<V>> = idx.iter().map(|&i| data[i].clone()).collect();
-        let mut dists = vec![vec![0.0f64; k]; m];
         let mut iterations = 0;
 
         for iter in 0..self.cfg.max_iters {
             iterations = iter + 1;
-            for (j, y) in data.iter().enumerate() {
-                for (c, mu) in centroids.iter().enumerate() {
-                    dists[j][c] = self.dist.distance(y, mu).max(D_FLOOR);
-                }
-            }
+            // The O(KM) distance matrix, rows fanned out in item order.
+            let dists: Vec<Vec<f64>> = par_map(data, threads, |y| {
+                centroids
+                    .iter()
+                    .map(|mu| self.dist.distance(y, mu).max(D_FLOOR))
+                    .collect()
+            });
             // Per-item membership * weight coefficients.
             let mut coeffs = vec![vec![0.0f64; k]; m];
             for j in 0..m {
@@ -73,10 +76,7 @@ impl<V: ClusterValue, D: SequenceDistance<V>> Clusterer<V> for KHarmonicMeans<D>
                     .iter()
                     .map(|&d| (dmin / d).powf(self.p + 2.0))
                     .collect();
-                let inv_p: Vec<f64> = dists[j]
-                    .iter()
-                    .map(|&d| (dmin / d).powf(self.p))
-                    .collect();
+                let inv_p: Vec<f64> = dists[j].iter().map(|&d| (dmin / d).powf(self.p)).collect();
                 let s_p2: f64 = inv_p2.iter().sum();
                 let s_p: f64 = inv_p.iter().sum();
                 // m_jk = inv_p2[c] / s_p2; w_j = (s_p2 / s_p^2) * dmin^(p-2)
@@ -102,17 +102,15 @@ impl<V: ClusterValue, D: SequenceDistance<V>> Clusterer<V> for KHarmonicMeans<D>
             }
         }
 
-        // Hard assignment for evaluation: nearest centroid.
-        let assignments: Vec<usize> = data
-            .iter()
-            .map(|y| {
-                (0..k)
-                    .map(|c| (c, self.dist.distance(y, &centroids[c])))
-                    .min_by(|a, b| a.1.total_cmp(&b.1))
-                    .map(|(c, _)| c)
-                    .unwrap_or(0)
-            })
-            .collect();
+        // Hard assignment for evaluation: nearest centroid (parallel scan,
+        // per-item tie-breaking identical to the sequential `min_by`).
+        let assignments: Vec<usize> = par_map(data, threads, |y| {
+            (0..k)
+                .map(|c| (c, self.dist.distance(y, &centroids[c])))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .map(|(c, _)| c)
+                .unwrap_or(0)
+        });
 
         Clustering {
             assignments,
@@ -175,6 +173,20 @@ mod tests {
         let khm = KHarmonicMeans::new(Eged, HardConfig::new(2).with_seed(1));
         let data = two_groups();
         assert_eq!(khm.fit(&data).assignments, khm.fit(&data).assignments);
+    }
+
+    #[test]
+    fn parallel_fit_matches_sequential() {
+        use strg_parallel::Threads;
+        let data = two_groups();
+        let cfg = HardConfig::new(2).with_seed(3);
+        let seq = KHarmonicMeans::new(Eged, cfg.with_threads(Threads::Fixed(1))).fit(&data);
+        for threads in [2, 8] {
+            let par =
+                KHarmonicMeans::new(Eged, cfg.with_threads(Threads::Fixed(threads))).fit(&data);
+            assert_eq!(seq.assignments, par.assignments);
+            assert_eq!(seq.iterations, par.iterations);
+        }
     }
 
     #[test]

@@ -8,9 +8,10 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use strg_distance::SequenceDistance;
+use strg_parallel::{par_map, par_map_indexed, Threads};
 
 use crate::centroid::{median_length, weighted_centroid, ClusterValue};
-use crate::init::kmeans_pp_indices;
+use crate::init::kmeans_pp_indices_threaded;
 use crate::model::{Clusterer, Clustering};
 
 /// Configuration shared by the hard clusterers (KM and KHM).
@@ -25,6 +26,10 @@ pub struct HardConfig {
     pub tol: f64,
     /// RNG seed for initialization.
     pub seed: u64,
+    /// Worker count for the per-iteration distance scans. The parallel
+    /// path merges per-item results in item order, so the fit is identical
+    /// to the sequential one (`Threads::Fixed(1)`) at any thread count.
+    pub threads: Threads,
 }
 
 impl HardConfig {
@@ -35,12 +40,19 @@ impl HardConfig {
             max_iters: 60,
             tol: 1e-4,
             seed: 0,
+            threads: Threads::Auto,
         }
     }
 
     /// Same configuration with a different seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Same configuration with a different worker-count policy.
+    pub fn with_threads(mut self, threads: Threads) -> Self {
+        self.threads = threads;
         self
     }
 }
@@ -62,7 +74,7 @@ impl<D> KMeans<D> {
     }
 }
 
-impl<V: ClusterValue, D: SequenceDistance<V>> Clusterer<V> for KMeans<D> {
+impl<V: ClusterValue, D: SequenceDistance<V> + Sync> Clusterer<V> for KMeans<D> {
     fn fit(&self, data: &[Vec<V>]) -> Clustering<V> {
         let m = data.len();
         let k = self.cfg.k.max(1).min(m.max(1));
@@ -70,22 +82,27 @@ impl<V: ClusterValue, D: SequenceDistance<V>> Clusterer<V> for KMeans<D> {
             return empty_clustering();
         }
         let target_len = median_length(data).max(1);
+        let threads = self.cfg.threads;
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
-        let idx = kmeans_pp_indices(data, k, &self.dist, &mut rng);
+        let idx = kmeans_pp_indices_threaded(data, k, &self.dist, &mut rng, threads);
         let mut centroids: Vec<Vec<V>> = idx.iter().map(|&i| data[i].clone()).collect();
         let mut assignments = vec![0usize; m];
         let mut iterations = 0;
 
         for iter in 0..self.cfg.max_iters {
             iterations = iter + 1;
-            // Assignment step.
-            let mut changed = false;
-            for (j, y) in data.iter().enumerate() {
-                let best = (0..k)
+            // Assignment step: each item's nearest centroid is independent,
+            // so the scan fans out; results come back in item order and the
+            // per-item `min_by` ties break exactly as in the sequential loop.
+            let best_per_item = par_map(data, threads, |y| {
+                (0..k)
                     .map(|c| (c, self.dist.distance(y, &centroids[c])))
                     .min_by(|a, b| a.1.total_cmp(&b.1))
                     .map(|(c, _)| c)
-                    .unwrap_or(0);
+                    .unwrap_or(0)
+            });
+            let mut changed = false;
+            for (j, &best) in best_per_item.iter().enumerate() {
                 if assignments[j] != best {
                     assignments[j] = best;
                     changed = true;
@@ -101,12 +118,16 @@ impl<V: ClusterValue, D: SequenceDistance<V>> Clusterer<V> for KMeans<D> {
                 let mu = weighted_centroid(data, &w, target_len);
                 if mu.is_empty() {
                     // Empty cluster: re-seed on the item farthest from its
-                    // centroid.
-                    let far = data
+                    // centroid. Distances fan out; the `max_by` over them
+                    // runs on this thread in item order (keeping its
+                    // last-max-wins tie behavior identical).
+                    let d_own = par_map_indexed(data, threads, |j, y| {
+                        self.dist.distance(y, &centroids[assignments[j]])
+                    });
+                    let far = d_own
                         .iter()
                         .enumerate()
-                        .map(|(j, y)| (j, self.dist.distance(y, &centroids[assignments[j]])))
-                        .max_by(|a, b| a.1.total_cmp(&b.1))
+                        .max_by(|a, b| a.1.total_cmp(b.1))
                         .map(|(j, _)| j)
                         .unwrap_or(0);
                     centroids[c] = data[far].clone();
@@ -185,6 +206,20 @@ mod tests {
         let km = KMeans::new(Eged, HardConfig::new(2).with_seed(8));
         let data = two_groups();
         assert_eq!(km.fit(&data).assignments, km.fit(&data).assignments);
+    }
+
+    #[test]
+    fn parallel_fit_matches_sequential() {
+        let data = two_groups();
+        for seed in 0..4u64 {
+            let cfg = HardConfig::new(3).with_seed(seed);
+            let seq = KMeans::new(Eged, cfg.with_threads(Threads::Fixed(1))).fit(&data);
+            for threads in [2, 8] {
+                let par = KMeans::new(Eged, cfg.with_threads(Threads::Fixed(threads))).fit(&data);
+                assert_eq!(seq.assignments, par.assignments, "seed {seed}");
+                assert_eq!(seq.iterations, par.iterations, "seed {seed}");
+            }
+        }
     }
 
     #[test]

@@ -32,19 +32,22 @@
 #![warn(missing_docs)]
 
 pub mod bic;
-pub mod init;
 pub mod centroid;
 pub mod em;
+pub mod init;
 pub mod khm;
 pub mod kmeans;
 pub mod metrics;
 pub mod model;
 
-pub use bic::{bic, bic_sweep, num_params, BicPoint};
+pub use bic::{bic, bic_sweep, bic_sweep_threads, num_params, BicPoint};
 pub use centroid::{median_length, member_centroid, weighted_centroid, ClusterValue};
 pub use em::{EmClusterer, EmConfig};
-pub use init::kmeans_pp_indices;
+pub use init::{distance_matrix, kmeans_pp_indices, kmeans_pp_indices_threaded};
 pub use khm::KHarmonicMeans;
 pub use kmeans::{HardConfig, KMeans};
-pub use metrics::{clustering_error_rate, distortion, majority_labels, normalized_mutual_information};
+pub use metrics::{
+    clustering_error_rate, distortion, majority_labels, normalized_mutual_information,
+};
 pub use model::{Clusterer, Clustering};
+pub use strg_parallel::Threads;

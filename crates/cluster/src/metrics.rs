@@ -70,12 +70,8 @@ pub fn distortion<V: SeqValue + Lerp>(
             continue;
         }
         let rc = resample(c, truth.len());
-        let mean: f64 = rc
-            .iter()
-            .zip(truth)
-            .map(|(a, b)| a.dist(b))
-            .sum::<f64>()
-            / truth.len() as f64;
+        let mean: f64 =
+            rc.iter().zip(truth).map(|(a, b)| a.dist(b)).sum::<f64>() / truth.len() as f64;
         total += mean;
     }
     total

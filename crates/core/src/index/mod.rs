@@ -17,9 +17,10 @@ mod search;
 
 pub use search::Hit;
 
-use strg_cluster::{bic, bic_sweep, ClusterValue, Clusterer, EmClusterer, EmConfig};
+use strg_cluster::{bic, bic_sweep_threads, ClusterValue, Clusterer, EmClusterer, EmConfig};
 use strg_distance::{Eged, MetricDistance, SequenceDistance};
 use strg_graph::BackgroundGraph;
+use strg_parallel::{par_map_indexed, Threads};
 
 /// Configuration of the STRG-Index.
 #[derive(Copy, Clone, Debug)]
@@ -38,6 +39,11 @@ pub struct StrgIndexConfig {
     pub em_n_init: usize,
     /// RNG seed for clustering.
     pub seed: u64,
+    /// Worker count for segment builds (EM distance matrix, leaf keying)
+    /// and searches (centroid scans, candidate evaluation). The parallel
+    /// paths return exactly what the sequential ones
+    /// (`Threads::Fixed(1)`) do at any thread count.
+    pub threads: Threads,
 }
 
 impl Default for StrgIndexConfig {
@@ -49,6 +55,7 @@ impl Default for StrgIndexConfig {
             em_max_iters: 40,
             em_n_init: 2,
             seed: 0,
+            threads: Threads::Auto,
         }
     }
 }
@@ -62,8 +69,16 @@ impl StrgIndexConfig {
         }
     }
 
+    /// Same configuration with a different worker-count policy.
+    pub fn with_threads(mut self, threads: Threads) -> Self {
+        self.threads = threads;
+        self
+    }
+
     fn em_config(&self, k: usize) -> EmConfig {
-        let mut c = EmConfig::new(k).with_seed(self.seed);
+        let mut c = EmConfig::new(k)
+            .with_seed(self.seed)
+            .with_threads(self.threads);
         c.max_iters = self.em_max_iters;
         c.n_init = self.em_n_init;
         c
@@ -99,9 +114,7 @@ impl<V> Default for LeafNode<V> {
 
 impl<V> LeafNode<V> {
     fn insert_sorted(&mut self, rec: LeafRecord<V>) {
-        let pos = self
-            .records
-            .partition_point(|r| r.key <= rec.key);
+        let pos = self.records.partition_point(|r| r.key <= rec.key);
         self.records.insert(pos, rec);
     }
 
@@ -148,7 +161,7 @@ pub struct StrgIndex<V, D> {
     len: usize,
 }
 
-impl<V: ClusterValue, D: MetricDistance<V>> StrgIndex<V, D> {
+impl<V: ClusterValue, D: MetricDistance<V> + Sync> StrgIndex<V, D> {
     /// Creates an empty index.
     pub fn new(metric: D, cfg: StrgIndexConfig) -> Self {
         Self {
@@ -172,7 +185,14 @@ impl<V: ClusterValue, D: MetricDistance<V>> StrgIndex<V, D> {
                 if data.len() <= 2 {
                     1
                 } else {
-                    bic_sweep(&data, &Eged, 1..=self.cfg.k_max.min(data.len()), self.cfg.seed).0
+                    bic_sweep_threads(
+                        &data,
+                        &Eged,
+                        1..=self.cfg.k_max.min(data.len()),
+                        self.cfg.seed,
+                        self.cfg.threads,
+                    )
+                    .0
                 }
             }
         };
@@ -191,10 +211,20 @@ impl<V: ClusterValue, D: MetricDistance<V>> StrgIndex<V, D> {
                     leaf: LeafNode::default(),
                 })
                 .collect();
+            // Leaf keys are independent metric distances: fan them out,
+            // then insert sequentially in OG order so every leaf lays out
+            // exactly as in the sequential build.
+            let keys = par_map_indexed(&ogs, self.cfg.threads, |j, (_, seq)| {
+                self.metric
+                    .distance(seq, &clusters[clustering.assignments[j]].centroid)
+            });
             for (j, (og_id, seq)) in ogs.into_iter().enumerate() {
                 let c = clustering.assignments[j];
-                let key = self.metric.distance(&seq, &clusters[c].centroid);
-                clusters[c].leaf.insert_sorted(LeafRecord { key, og_id, seq });
+                clusters[c].leaf.insert_sorted(LeafRecord {
+                    key: keys[j],
+                    og_id,
+                    seq,
+                });
                 self.len += 1;
             }
             // Drop empty clusters, renumber.
@@ -319,31 +349,52 @@ impl<V: ClusterValue, D: MetricDistance<V>> StrgIndex<V, D> {
     /// Exact k-NN over every segment (best-first over clusters, triangle
     /// pruning on leaf keys). Results ascending by distance.
     pub fn knn(&self, query: &[V], k: usize) -> Vec<Hit> {
-        search::knn(self.roots(), &self.metric, query, k, None)
+        search::knn(self.roots(), &self.metric, query, k, None, self.cfg.threads)
     }
 
     /// Exact k-NN restricted to one root record (used after background
     /// matching, Algorithm 3 step 2).
     pub fn knn_in_root(&self, root_id: u32, query: &[V], k: usize) -> Vec<Hit> {
-        search::knn(self.roots(), &self.metric, query, k, Some(root_id))
+        search::knn(
+            self.roots(),
+            &self.metric,
+            query,
+            k,
+            Some(root_id),
+            self.cfg.threads,
+        )
     }
 
     /// The paper's Algorithm 3 as written: descend into the *single* most
     /// similar cluster and k-NN only inside its leaf. Cheaper but
     /// approximate; Figure 7c quantifies the accuracy trade-off.
     pub fn knn_single_cluster(&self, query: &[V], k: usize) -> Vec<Hit> {
-        search::knn_single_cluster(self.roots(), &self.metric, query, k)
+        search::knn_single_cluster(self.roots(), &self.metric, query, k, self.cfg.threads)
     }
 
     /// Range query: every OG within `radius` of `query`, ascending by
     /// distance (exact, with the same key-band pruning as [`StrgIndex::knn`]).
     pub fn range(&self, query: &[V], radius: f64) -> Vec<Hit> {
-        search::range(self.roots(), &self.metric, query, radius, None)
+        search::range(
+            self.roots(),
+            &self.metric,
+            query,
+            radius,
+            None,
+            self.cfg.threads,
+        )
     }
 
     /// Range query restricted to one root record.
     pub fn range_in_root(&self, root_id: u32, query: &[V], radius: f64) -> Vec<Hit> {
-        search::range(self.roots(), &self.metric, query, radius, Some(root_id))
+        search::range(
+            self.roots(),
+            &self.metric,
+            query,
+            radius,
+            Some(root_id),
+            self.cfg.threads,
+        )
     }
 
     /// Algorithm 3 step 2: matches a query Background Graph against the
@@ -433,7 +484,11 @@ fn split_leaf_if_bic_favors<V: ClusterValue, D: MetricDistance<V>>(
         leaf: LeafNode::default(),
     };
     for (j, rec) in old.leaf.records.into_iter().enumerate() {
-        let target = if c2.assignments[j] == 0 { &mut new_a } else { &mut new_b };
+        let target = if c2.assignments[j] == 0 {
+            &mut new_a
+        } else {
+            &mut new_b
+        };
         let key = metric.distance(&rec.seq, &target.centroid);
         target.leaf.insert_sorted(LeafRecord { key, ..rec });
     }

@@ -11,6 +11,7 @@
 //!   similar centroid and scan only its leaf (approximate; Figure 7c).
 
 use strg_distance::{MetricDistance, SeqValue};
+use strg_parallel::{par_map, Threads};
 
 use super::RootRecord;
 
@@ -27,56 +28,80 @@ pub struct Hit {
     pub dist: f64,
 }
 
+/// A cluster candidate gathered during pass 1.
+struct Cand<'a, V> {
+    root_id: u32,
+    cluster_id: u32,
+    centroid_dist: f64,
+    lower: f64,
+    leaf: &'a super::LeafNode<V>,
+}
+
+/// Pass 1 of the exact searches: distance to every centroid (the
+/// cluster-node scan of Algorithm 3) plus a triangle lower bound per leaf.
+/// Centroid distances fan out over the workers; candidates come back in
+/// root/cluster order, exactly as the sequential double loop gathers them.
+fn gather_cands<'a, V: SeqValue, D: MetricDistance<V> + Sync>(
+    roots: &'a [RootRecord<V>],
+    metric: &D,
+    query: &[V],
+    root_filter: Option<u32>,
+    threads: Threads,
+) -> Vec<Cand<'a, V>> {
+    let refs: Vec<(u32, &super::ClusterRecord<V>)> = roots
+        .iter()
+        .filter(|root| root_filter.is_none_or(|r| r == root.id))
+        .flat_map(|root| root.clusters.iter().map(move |c| (root.id, c)))
+        .collect();
+    par_map(&refs, threads, |&(root_id, c)| {
+        let d = metric.distance(query, &c.centroid);
+        // Any member m satisfies d(q, m) >= |d(q, centroid) - key(m)|;
+        // keys span [min_key, max_key].
+        let min_key = c.leaf.records.first().map_or(0.0, |r| r.key);
+        let max_key = c.leaf.max_key();
+        let lower = if d < min_key {
+            min_key - d
+        } else if d > max_key {
+            d - max_key
+        } else {
+            0.0
+        };
+        Cand {
+            root_id,
+            cluster_id: c.id,
+            centroid_dist: d,
+            lower,
+            leaf: &c.leaf,
+        }
+    })
+}
+
 /// Exact k-NN. `root_filter` restricts the search to one root record when
 /// the query carried a matching background (Algorithm 3 step 2); `None`
 /// searches every cluster node, as the paper does for background-free
 /// queries.
-pub fn knn<V: SeqValue, D: MetricDistance<V>>(
+///
+/// The result is identical at every thread count. With `threads <= 1` the
+/// leaf scan is the fully adaptive sequential one: the key band shrinks
+/// with every improvement of `d_k`, which minimizes distance evaluations
+/// (Figure 7b). The parallel path freezes the band at the `d_k` held on
+/// *entering* the cluster — a superset of the records the sequential scan
+/// evaluates — fans the evaluations out, then replays the adaptive
+/// predicates in record order over the precomputed distances, so the
+/// surviving hits (and all tie-breaks) match the sequential path exactly.
+pub fn knn<V: SeqValue, D: MetricDistance<V> + Sync>(
     roots: &[RootRecord<V>],
     metric: &D,
     query: &[V],
     k: usize,
     root_filter: Option<u32>,
+    threads: Threads,
 ) -> Vec<Hit> {
     if k == 0 {
         return Vec::new();
     }
-    // Pass 1: distance to every centroid (this is the cluster-node scan of
-    // Algorithm 3), plus a lower bound for each leaf.
-    struct Cand<'a, V> {
-        root_id: u32,
-        cluster_id: u32,
-        centroid_dist: f64,
-        lower: f64,
-        leaf: &'a super::LeafNode<V>,
-    }
-    let mut cands: Vec<Cand<V>> = Vec::new();
-    for root in roots {
-        if root_filter.is_some_and(|r| r != root.id) {
-            continue;
-        }
-        for c in &root.clusters {
-            let d = metric.distance(query, &c.centroid);
-            // Any member m satisfies d(q, m) >= |d(q, centroid) - key(m)|;
-            // keys span [min_key, max_key].
-            let min_key = c.leaf.records.first().map_or(0.0, |r| r.key);
-            let max_key = c.leaf.max_key();
-            let lower = if d < min_key {
-                min_key - d
-            } else if d > max_key {
-                d - max_key
-            } else {
-                0.0
-            };
-            cands.push(Cand {
-                root_id: root.id,
-                cluster_id: c.id,
-                centroid_dist: d,
-                lower,
-                leaf: &c.leaf,
-            });
-        }
-    }
+    let parallel = !threads.is_sequential();
+    let mut cands = gather_cands(roots, metric, query, root_filter, threads);
     cands.sort_by(|a, b| a.lower.total_cmp(&b.lower));
 
     let mut best: Vec<Hit> = Vec::new(); // sorted ascending, len <= k
@@ -92,7 +117,18 @@ pub fn knn<V: SeqValue, D: MetricDistance<V>>(
         // Key-band scan: records outside |key - d_q| <= dk cannot qualify.
         let records = &cand.leaf.records;
         let lo = records.partition_point(|r| r.key < cand.centroid_dist - dk);
-        for r in &records[lo..] {
+        // Parallel path: evaluate the dk-at-entry band up front. It covers
+        // every record the adaptive scan below can reach, because d_k only
+        // shrinks while scanning.
+        let (band, dists) = if parallel {
+            let hi = lo + records[lo..].partition_point(|r| r.key <= cand.centroid_dist + dk);
+            let band = &records[lo..hi];
+            let d = par_map(band, threads, |r| metric.distance(query, &r.seq));
+            (band, Some(d))
+        } else {
+            (&records[lo..], None)
+        };
+        for (i, r) in band.iter().enumerate() {
             let dk_now = if best.len() < k {
                 f64::INFINITY
             } else {
@@ -104,7 +140,10 @@ pub fn knn<V: SeqValue, D: MetricDistance<V>>(
             if (r.key - cand.centroid_dist).abs() > dk_now {
                 continue;
             }
-            let d = metric.distance(query, &r.seq);
+            let d = match &dists {
+                Some(d) => d[i],
+                None => metric.distance(query, &r.seq),
+            };
             if d < dk_now || best.len() < k {
                 let hit = Hit {
                     root_id: cand.root_id,
@@ -124,37 +163,34 @@ pub fn knn<V: SeqValue, D: MetricDistance<V>>(
 /// Range query: every OG within `radius` of `query`, ascending by
 /// distance. Uses the same centroid-distance / key-band pruning as
 /// [`knn`], with the fixed radius instead of the adaptive `d_k`.
-pub fn range<V: SeqValue, D: MetricDistance<V>>(
+pub fn range<V: SeqValue, D: MetricDistance<V> + Sync>(
     roots: &[RootRecord<V>],
     metric: &D,
     query: &[V],
     radius: f64,
     root_filter: Option<u32>,
+    threads: Threads,
 ) -> Vec<Hit> {
+    let cands = gather_cands(roots, metric, query, root_filter, threads);
     let mut out = Vec::new();
-    for root in roots {
-        if root_filter.is_some_and(|r| r != root.id) {
-            continue;
-        }
-        for c in &root.clusters {
-            let d = metric.distance(query, &c.centroid);
-            let records = &c.leaf.records;
-            // Members satisfy |key - d| <= d(q, m); skip the whole leaf if
-            // even the closest key band misses.
-            let lo = records.partition_point(|r| r.key < d - radius);
-            for r in &records[lo..] {
-                if r.key > d + radius {
-                    break;
-                }
-                let dist = metric.distance(query, &r.seq);
-                if dist <= radius {
-                    out.push(Hit {
-                        root_id: root.id,
-                        cluster_id: c.id,
-                        og_id: r.og_id,
-                        dist,
-                    });
-                }
+    for cand in &cands {
+        let d = cand.centroid_dist;
+        let records = &cand.leaf.records;
+        // Members satisfy |key - d| <= d(q, m); the fixed radius bounds the
+        // key band up front, so the parallel scan evaluates exactly the
+        // records the sequential one does and appends them in record order.
+        let lo = records.partition_point(|r| r.key < d - radius);
+        let hi = lo + records[lo..].partition_point(|r| r.key <= d + radius);
+        let band = &records[lo..hi];
+        let dists = par_map(band, threads, |r| metric.distance(query, &r.seq));
+        for (r, dist) in band.iter().zip(dists) {
+            if dist <= radius {
+                out.push(Hit {
+                    root_id: cand.root_id,
+                    cluster_id: cand.cluster_id,
+                    og_id: r.og_id,
+                    dist,
+                });
             }
         }
     }
@@ -164,27 +200,41 @@ pub fn range<V: SeqValue, D: MetricDistance<V>>(
 
 /// The literal Algorithm 3: find the most similar `OG_clus`, then k-NN only
 /// within that cluster's leaf.
-pub fn knn_single_cluster<V: SeqValue, D: MetricDistance<V>>(
+pub fn knn_single_cluster<V: SeqValue, D: MetricDistance<V> + Sync>(
     roots: &[RootRecord<V>],
     metric: &D,
     query: &[V],
     k: usize,
+    threads: Threads,
 ) -> Vec<Hit> {
-    let mut best_cluster: Option<(u32, u32, f64, &super::LeafNode<V>)> = None;
-    for root in roots {
-        for c in &root.clusters {
-            let d = metric.distance(query, &c.centroid);
-            if best_cluster.as_ref().is_none_or(|&(_, _, bd, _)| d < bd) {
-                best_cluster = Some((root.id, c.id, d, &c.leaf));
-            }
+    // Centroid scan in parallel; the winner is picked on this thread in
+    // cluster order (strict `<`, so ties keep the earlier cluster exactly
+    // as the sequential scan does).
+    let cands = gather_cands(roots, metric, query, None, threads);
+    let mut best_cluster: Option<&Cand<V>> = None;
+    for cand in &cands {
+        if best_cluster.is_none_or(|b| cand.centroid_dist < b.centroid_dist) {
+            best_cluster = Some(cand);
         }
     }
-    let Some((root_id, cluster_id, dq, leaf)) = best_cluster else {
+    let Some(cand) = best_cluster else {
         return Vec::new();
     };
-    // Scan the leaf around Key_q = EGED_M(q, OG_clus) outwards.
+    let (root_id, cluster_id, dq, leaf) =
+        (cand.root_id, cand.cluster_id, cand.centroid_dist, cand.leaf);
+    // Scan the leaf around Key_q = EGED_M(q, OG_clus) outwards. The
+    // parallel path evaluates the whole leaf up front (the adaptive key
+    // prune below only ever skips records, so the precomputed distances are
+    // a superset), then replays the sequential predicates in record order.
+    let dists = if threads.is_sequential() {
+        None
+    } else {
+        Some(par_map(&leaf.records, threads, |r| {
+            metric.distance(query, &r.seq)
+        }))
+    };
     let mut hits: Vec<Hit> = Vec::new();
-    for r in &leaf.records {
+    for (i, r) in leaf.records.iter().enumerate() {
         // Key pruning with the current k-th distance.
         let dk = if hits.len() < k {
             f64::INFINITY
@@ -194,7 +244,10 @@ pub fn knn_single_cluster<V: SeqValue, D: MetricDistance<V>>(
         if (r.key - dq).abs() > dk {
             continue;
         }
-        let d = metric.distance(query, &r.seq);
+        let d = match &dists {
+            Some(d) => d[i],
+            None => metric.distance(query, &r.seq),
+        };
         let pos = hits.partition_point(|h| h.dist <= d);
         hits.insert(
             pos,
@@ -298,6 +351,94 @@ mod tests {
     }
 
     #[test]
+    fn parallel_searches_match_sequential_exactly() {
+        use strg_parallel::Threads;
+        let mut idx_seq = StrgIndex::new(
+            EgedMetric::<f64>::new(),
+            StrgIndexConfig::with_k(4).with_threads(Threads::Fixed(1)),
+        );
+        idx_seq.add_segment(BackgroundGraph::default(), dataset());
+        let queries = [
+            vec![82.0, 83.0, 84.0],
+            vec![0.0, 0.0, 0.0],
+            vec![161.0, 162.0, 163.0],
+            vec![500.0, 1.0, 2.0],
+        ];
+        for threads in [2, 8] {
+            let mut idx_par = StrgIndex::new(
+                EgedMetric::<f64>::new(),
+                StrgIndexConfig::with_k(4).with_threads(Threads::Fixed(threads)),
+            );
+            idx_par.add_segment(BackgroundGraph::default(), dataset());
+            for q in &queries {
+                for k in [1, 5, 60] {
+                    let a = idx_seq.knn(q, k);
+                    let b = idx_par.knn(q, k);
+                    assert_eq!(a.len(), b.len(), "knn k={k}");
+                    for (x, y) in a.iter().zip(&b) {
+                        assert_eq!(x.og_id, y.og_id);
+                        assert_eq!(x.dist.to_bits(), y.dist.to_bits());
+                    }
+                    let a = idx_seq.knn_single_cluster(q, k);
+                    let b = idx_par.knn_single_cluster(q, k);
+                    assert_eq!(
+                        a.iter().map(|h| h.og_id).collect::<Vec<_>>(),
+                        b.iter().map(|h| h.og_id).collect::<Vec<_>>(),
+                        "single-cluster k={k}"
+                    );
+                }
+                for radius in [0.0, 20.0, 1e6] {
+                    let a = idx_seq.range(q, radius);
+                    let b = idx_par.range(q, radius);
+                    assert_eq!(a.len(), b.len(), "range r={radius}");
+                    for (x, y) in a.iter().zip(&b) {
+                        assert_eq!(x.og_id, y.og_id);
+                        assert_eq!(x.dist.to_bits(), y.dist.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_range_keeps_exact_call_counts() {
+        use strg_parallel::Threads;
+        // The range band is fixed by the radius, so the parallel path must
+        // evaluate exactly as many distances as the sequential one.
+        let mut counts = Vec::new();
+        for threads in [1, 8] {
+            let cd = CountingDistance::new(EgedMetric::<f64>::new());
+            let mut idx = StrgIndex::new(
+                cd.clone(),
+                StrgIndexConfig::with_k(4).with_threads(Threads::Fixed(threads)),
+            );
+            idx.add_segment(BackgroundGraph::default(), dataset());
+            cd.reset();
+            idx.range(&[81.0, 82.0, 83.0], 20.0);
+            counts.push(cd.count());
+        }
+        assert_eq!(counts[0], counts[1]);
+    }
+
+    #[test]
+    fn parallel_knn_still_prunes() {
+        use strg_parallel::Threads;
+        // The dk-at-entry band is a superset of the adaptive scan, but it
+        // must still be far below a linear scan of all 60 OGs.
+        let cd = CountingDistance::new(EgedMetric::<f64>::new());
+        let mut idx = StrgIndex::new(
+            cd.clone(),
+            StrgIndexConfig::with_k(4).with_threads(Threads::Fixed(8)),
+        );
+        idx.add_segment(BackgroundGraph::default(), dataset());
+        cd.reset();
+        let hits = idx.knn(&[82.0, 83.0, 84.0], 5);
+        assert_eq!(hits.len(), 5);
+        let calls = cd.count();
+        assert!(calls < 60, "pruning expected: {calls} calls for 60 OGs");
+    }
+
+    #[test]
     fn k_zero_and_empty() {
         let idx = StrgIndex::new(EgedMetric::<f64>::new(), StrgIndexConfig::default());
         assert!(idx.knn(&[1.0], 0).is_empty());
@@ -312,10 +453,7 @@ mod tests {
         let hits = idx.knn(&[0.5, 1.5, 2.5], 3);
         for h in &hits {
             assert_eq!(h.root_id, 0);
-            assert!(idx.roots()[0]
-                .clusters
-                .iter()
-                .any(|c| c.id == h.cluster_id));
+            assert!(idx.roots()[0].clusters.iter().any(|c| c.id == h.cluster_id));
         }
     }
 }

@@ -16,5 +16,8 @@ pub mod index;
 pub mod persist;
 pub mod pipeline;
 
-pub use index::{Hit, LeafNode, LeafRecord, ClusterRecord, RootRecord, StrgIndex, StrgIndexConfig};
-pub use pipeline::{ClipMeta, DbStats, IngestReport, QueryHit, StoredOg, VideoDatabase, VideoDbConfig};
+pub use index::{ClusterRecord, Hit, LeafNode, LeafRecord, RootRecord, StrgIndex, StrgIndexConfig};
+pub use pipeline::{
+    ClipMeta, DbStats, IngestReport, QueryHit, StoredOg, VideoDatabase, VideoDbConfig,
+};
+pub use strg_parallel::Threads;

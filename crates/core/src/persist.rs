@@ -28,7 +28,9 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-use strg_graph::{BackgroundGraph, FrameId, NodeAttr, NodeId, ObjectGraph, OgSample, Point2, Rag, Rgb};
+use strg_graph::{
+    BackgroundGraph, FrameId, NodeAttr, NodeId, ObjectGraph, OgSample, Point2, Rag, Rgb,
+};
 
 use crate::pipeline::{ClipMeta, StoredOg, VideoDatabase, VideoDbConfig};
 
@@ -50,8 +52,7 @@ fn bad(msg: impl Into<String>) -> io::Error {
 }
 
 fn parse<T: std::str::FromStr>(s: &str, what: &str) -> io::Result<T> {
-    s.parse()
-        .map_err(|_| bad(format!("bad {what}: {s:?}")))
+    s.parse().map_err(|_| bad(format!("bad {what}: {s:?}")))
 }
 
 impl VideoDatabase {
@@ -142,17 +143,23 @@ impl VideoDatabase {
         // clips
         let l = lines.next().ok_or_else(|| bad("missing clips line"))?;
         let n_clips: usize = parse(
-            l.strip_prefix("clips ").ok_or_else(|| bad("expected 'clips'"))?,
+            l.strip_prefix("clips ")
+                .ok_or_else(|| bad("expected 'clips'"))?,
             "clip count",
         )?;
         let mut clip_meta: Vec<(usize, String)> = Vec::with_capacity(n_clips);
         for _ in 0..n_clips {
             let l = lines.next().ok_or_else(|| bad("missing clip line"))?;
-            let rest = l.strip_prefix("clip ").ok_or_else(|| bad("expected 'clip'"))?;
+            let rest = l
+                .strip_prefix("clip ")
+                .ok_or_else(|| bad("expected 'clip'"))?;
             let mut it = rest.splitn(3, ' ');
             let frames: usize = parse(it.next().unwrap_or(""), "clip frames")?;
             let _legacy: u64 = parse(it.next().unwrap_or(""), "clip reserved")?;
-            let name = it.next().ok_or_else(|| bad("missing clip name"))?.to_string();
+            let name = it
+                .next()
+                .ok_or_else(|| bad("missing clip name"))?
+                .to_string();
             clip_meta.push((frames, name));
         }
 
@@ -199,7 +206,10 @@ impl VideoDatabase {
                 if p.len() != 2 {
                     return Err(bad("bgedge arity"));
                 }
-                rag.add_edge(NodeId(parse(p[0], "edge u")?), NodeId(parse(p[1], "edge v")?));
+                rag.add_edge(
+                    NodeId(parse(p[0], "edge u")?),
+                    NodeId(parse(p[1], "edge v")?),
+                );
             }
             bgs.push(BackgroundGraph {
                 rag,
@@ -210,7 +220,8 @@ impl VideoDatabase {
         // ogs
         let l = lines.next().ok_or_else(|| bad("missing ogs line"))?;
         let n_ogs: usize = parse(
-            l.strip_prefix("ogs ").ok_or_else(|| bad("expected 'ogs'"))?,
+            l.strip_prefix("ogs ")
+                .ok_or_else(|| bad("expected 'ogs'"))?,
             "og count",
         )?;
         let mut stored: Vec<StoredOg> = Vec::with_capacity(n_ogs);

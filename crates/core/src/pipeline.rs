@@ -9,13 +9,18 @@
 //!
 //! The index is guarded by a `parking_lot::RwLock`, so concurrent readers
 //! can query while ingest takes the write lock.
+//!
+//! **Lock order.** Every method that holds more than one of the four locks
+//! acquires them in the fixed order `ogs → clips → index → strg_bytes`
+//! (and the query paths drop the index guard before resolving hits against
+//! the OG store). Violating this order can deadlock against a concurrent
+//! ingest or removal, which takes all write locks in that order.
 
 use parking_lot::RwLock;
 use strg_distance::EgedMetric;
-use strg_graph::{
-    build_strg, decompose, DecomposeConfig, FrameId, ObjectGraph, Point2, TrackerConfig,
-};
-use strg_video::{frame_to_rag, Frame, SegmentConfig, VideoClip};
+use strg_graph::{build_strg, decompose, DecomposeConfig, ObjectGraph, Point2, TrackerConfig};
+use strg_parallel::Threads;
+use strg_video::{frames_to_rags, Frame, SegmentConfig, VideoClip};
 
 use crate::index::{Hit, StrgIndex, StrgIndexConfig};
 
@@ -30,6 +35,22 @@ pub struct VideoDbConfig {
     pub decompose: DecomposeConfig,
     /// Index parameters (§5).
     pub index: StrgIndexConfig,
+    /// Worker count for frame → RAG extraction during ingest and
+    /// background-matched queries. Clustering and search take theirs from
+    /// [`StrgIndexConfig::threads`]; [`VideoDbConfig::with_threads`] sets
+    /// both. Every parallel path returns exactly what the sequential one
+    /// does, so this knob only affects throughput.
+    pub threads: Threads,
+}
+
+impl VideoDbConfig {
+    /// Same configuration with one worker-count policy for every stage
+    /// (frame extraction, clustering, and search).
+    pub fn with_threads(mut self, threads: Threads) -> Self {
+        self.threads = threads;
+        self.index.threads = threads;
+        self
+    }
 }
 
 /// Metadata of one ingested clip.
@@ -118,12 +139,8 @@ impl VideoDatabase {
 
     /// Ingests a sequence of frames as one video segment.
     pub fn ingest_frames(&self, name: &str, frames: &[Frame]) -> IngestReport {
-        // 1. Frame -> RAG (§2.1).
-        let rags: Vec<_> = frames
-            .iter()
-            .enumerate()
-            .map(|(i, f)| frame_to_rag(f, FrameId(i as u32), &self.cfg.segment))
-            .collect();
+        // 1. Frame -> RAG (§2.1), fanned out across frames.
+        let rags = frames_to_rags(frames, &self.cfg.segment, self.cfg.threads);
         // 2. RAGs -> STRG via tracking (§2.2).
         let strg = build_strg(rags, &self.cfg.tracker);
         // 3. Decompose (§2.3).
@@ -180,6 +197,7 @@ impl VideoDatabase {
     pub fn query_knn(&self, query: &[Point2], k: usize) -> Vec<QueryHit> {
         let index = self.index.read();
         let hits = index.knn(query, k);
+        drop(index);
         self.resolve(hits)
     }
 
@@ -193,21 +211,12 @@ impl VideoDatabase {
         query: &[Point2],
         k: usize,
     ) -> Vec<QueryHit> {
-        let rags: Vec<_> = query_frames
-            .iter()
-            .enumerate()
-            .map(|(i, f)| frame_to_rag(f, FrameId(i as u32), &self.cfg.segment))
-            .collect();
+        let rags = frames_to_rags(query_frames, &self.cfg.segment, self.cfg.threads);
         let strg = build_strg(rags, &self.cfg.tracker);
         let d = decompose(&strg, &self.cfg.decompose);
         let index = self.index.read();
-        let hits = index.knn_with_background(
-            &d.background,
-            &self.cfg.tracker.compat,
-            0.5,
-            query,
-            k,
-        );
+        let hits =
+            index.knn_with_background(&d.background, &self.cfg.tracker.compat, 0.5, query, k);
         drop(index);
         self.resolve(hits)
     }
@@ -223,6 +232,7 @@ impl VideoDatabase {
         drop(clips);
         let index = self.index.read();
         let hits = index.knn_in_root(root, query, k);
+        drop(index);
         self.resolve(hits)
     }
 
@@ -255,8 +265,8 @@ impl VideoDatabase {
     /// clusters, leaf records and stored OGs). Returns the number of OGs
     /// removed, or `None` if the clip is unknown.
     pub fn remove_clip(&self, name: &str) -> Option<usize> {
-        let mut clips = self.clips.write();
         let mut ogs = self.ogs.write();
+        let mut clips = self.clips.write();
         let mut index = self.index.write();
         let pos = clips.iter().position(|c| c.name == name)?;
         let root = clips[pos].root_id;
@@ -278,9 +288,10 @@ impl VideoDatabase {
 
     /// Aggregate statistics (Equations 9 and 10).
     pub fn stats(&self) -> DbStats {
+        let clips = self.clips.read();
         let index = self.index.read();
         DbStats {
-            clips: self.clips.read().len(),
+            clips: clips.len(),
             objects: index.len(),
             clusters: index.cluster_count(),
             strg_bytes: *self.strg_bytes.read(),
@@ -369,8 +380,7 @@ mod tests {
         db.remove_clip("clip41").unwrap();
         db.ingest_clip(&small_clip(43, 1, 50), 3);
         let ogs_seen: Vec<u64> = {
-            let q: Vec<Point2> =
-                (0..20).map(|i| Point2::new(4.0 * i as f64, 80.0)).collect();
+            let q: Vec<Point2> = (0..20).map(|i| Point2::new(4.0 * i as f64, 80.0)).collect();
             db.query_knn(&q, 50).into_iter().map(|h| h.og_id).collect()
         };
         let mut dedup = ogs_seen.clone();

@@ -88,7 +88,10 @@ mod tests {
     fn delegates_value() {
         let d = CountingDistance::new(EgedMetric::<f64>::new());
         let raw = EgedMetric::<f64>::new();
-        assert_eq!(d.distance(&[1.0, 2.0], &[3.0]), raw.distance(&[1.0, 2.0], &[3.0]));
+        assert_eq!(
+            d.distance(&[1.0, 2.0], &[3.0]),
+            raw.distance(&[1.0, 2.0], &[3.0])
+        );
         assert_eq!(SequenceDistance::<f64>::name(&d), "EGED_M");
     }
 }

@@ -116,8 +116,14 @@ mod tests {
     fn threshold_controls_matching() {
         let a = [1.0, 2.0];
         let b = [1.4, 2.4];
-        assert_eq!(SequenceDistance::distance(&Edr::new(0.1), &a[..], &b[..]), 2.0);
-        assert_eq!(SequenceDistance::distance(&Edr::new(0.5), &a[..], &b[..]), 0.0);
+        assert_eq!(
+            SequenceDistance::distance(&Edr::new(0.1), &a[..], &b[..]),
+            2.0
+        );
+        assert_eq!(
+            SequenceDistance::distance(&Edr::new(0.5), &a[..], &b[..]),
+            0.0
+        );
     }
 
     #[test]

@@ -235,7 +235,10 @@ mod tests {
         let a = [1.0, 5.0, 9.0];
         let b = [1.0, 5.0, 5.0, 9.0];
         // Deleting the duplicate 5 at cost |5 - 5| = 0.
-        assert_eq!(SequenceDistance::<f64>::distance(&EgedRepeatGap, &a, &b), 0.0);
+        assert_eq!(
+            SequenceDistance::<f64>::distance(&EgedRepeatGap, &a, &b),
+            0.0
+        );
     }
 
     #[test]
@@ -249,7 +252,11 @@ mod tests {
     fn works_on_points() {
         use strg_graph::Point2;
         let a = [Point2::new(0.0, 0.0), Point2::new(1.0, 0.0)];
-        let b = [Point2::new(0.0, 0.0), Point2::new(1.0, 0.0), Point2::new(1.0, 1.0)];
+        let b = [
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.0),
+        ];
         let d = EgedMetric::<Point2>::new();
         // Best: match both, add (1,1) at |(1,1)| = sqrt(2).
         assert!((d.distance(&a, &b) - 2.0f64.sqrt()).abs() < 1e-12);
@@ -258,6 +265,9 @@ mod tests {
     #[test]
     fn names() {
         assert_eq!(SequenceDistance::<f64>::name(&Eged), "EGED");
-        assert_eq!(SequenceDistance::<f64>::name(&EgedMetric::<f64>::new()), "EGED_M");
+        assert_eq!(
+            SequenceDistance::<f64>::name(&EgedMetric::<f64>::new()),
+            "EGED_M"
+        );
     }
 }

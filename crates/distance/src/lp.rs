@@ -95,17 +95,9 @@ impl<V: SeqValue + Lerp> SequenceDistance<V> for LpNorm {
             (&ra, &rb)
         };
         if self.p.is_infinite() {
-            return a
-                .iter()
-                .zip(b)
-                .map(|(x, y)| x.dist(y))
-                .fold(0.0, f64::max);
+            return a.iter().zip(b).map(|(x, y)| x.dist(y)).fold(0.0, f64::max);
         }
-        let sum: f64 = a
-            .iter()
-            .zip(b)
-            .map(|(x, y)| x.dist(y).powf(self.p))
-            .sum();
+        let sum: f64 = a.iter().zip(b).map(|(x, y)| x.dist(y).powf(self.p)).sum();
         sum.powf(1.0 / self.p)
     }
 

@@ -14,7 +14,11 @@ use strg_graph::Point2;
 /// Implementations must make [`SeqValue::dist`] a metric (non-negative,
 /// symmetric, zero iff equal, triangle inequality); the metric property of
 /// [`crate::EgedMetric`] (Theorem 2) is inherited from it.
-pub trait SeqValue: Copy + std::fmt::Debug + PartialEq {
+///
+/// `Send + Sync` lets the clustering and search layers fan sequences out
+/// across scoped worker threads; element values are plain `Copy` data, so
+/// every sensible implementor satisfies both already.
+pub trait SeqValue: Copy + std::fmt::Debug + PartialEq + Send + Sync {
     /// Ground distance between two elements (`|v_i - v_j|` in the paper).
     fn dist(&self, other: &Self) -> f64;
     /// Midpoint of two elements, for the non-metric gap

@@ -1,0 +1,83 @@
+//! `CountingDistance` under concurrency.
+//!
+//! The paper's cost model is the exact number of distance evaluations
+//! (§6.3), and the parallel search paths in `strg-core` report pruning
+//! power through this counter. These tests pin down that the shared
+//! `Arc<AtomicU64>` counter never loses an increment, whether the calls
+//! come from raw `std::thread` workers or from `strg_parallel::par_map`
+//! at any thread count.
+
+use std::sync::Arc;
+
+use strg_distance::{CountingDistance, EgedMetric, SequenceDistance};
+use strg_parallel::{par_map, Threads};
+
+fn workload(n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| (0..8).map(|j| (i * 8 + j) as f64 * 0.25).collect())
+        .collect()
+}
+
+#[test]
+fn count_is_exact_under_raw_threads() {
+    const THREADS: usize = 8;
+    const CALLS_PER_THREAD: usize = 500;
+
+    let d = CountingDistance::new(EgedMetric::<f64>::new());
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            // Clones share one counter; each worker hammers its own clone.
+            let d = d.clone();
+            s.spawn(move || {
+                let a: Vec<f64> = (0..6).map(|i| (t * 6 + i) as f64).collect();
+                let b: Vec<f64> = a.iter().map(|x| x + 0.5).collect();
+                for _ in 0..CALLS_PER_THREAD {
+                    let _ = d.distance(&a, &b);
+                }
+            });
+        }
+    });
+    assert_eq!(
+        d.count(),
+        (THREADS * CALLS_PER_THREAD) as u64,
+        "every evaluation from every thread must be counted exactly once"
+    );
+}
+
+#[test]
+fn count_is_exact_under_par_map() {
+    let queries = workload(64);
+    let refs = workload(16);
+    let expected = (queries.len() * refs.len()) as u64;
+
+    for threads in [1, 2, 4, 8, 32] {
+        let d = CountingDistance::new(EgedMetric::<f64>::new());
+        // One full distance matrix through the deterministic fork/join
+        // helper: the counter must equal rows x cols at every thread count.
+        let rows = par_map(&queries, Threads::Fixed(threads), |q| {
+            refs.iter().map(|r| d.distance(q, r)).collect::<Vec<f64>>()
+        });
+        assert_eq!(rows.len(), queries.len());
+        assert_eq!(d.count(), expected, "threads = {threads}");
+    }
+}
+
+#[test]
+fn reset_between_parallel_phases_is_clean() {
+    let queries = workload(24);
+    let d = Arc::new(CountingDistance::new(EgedMetric::<f64>::new()));
+    let probe: Vec<f64> = (0..8).map(|i| i as f64).collect();
+
+    let _ = par_map(&queries, Threads::Fixed(4), |q| d.distance(q, &probe));
+    assert_eq!(d.count(), queries.len() as u64);
+
+    d.reset();
+    assert_eq!(d.count(), 0, "reset must zero the shared counter");
+
+    let _ = par_map(&queries, Threads::Fixed(4), |q| d.distance(q, &probe));
+    assert_eq!(
+        d.count(),
+        queries.len() as u64,
+        "counts after reset start fresh"
+    );
+}

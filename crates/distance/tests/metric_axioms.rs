@@ -15,7 +15,10 @@ fn nonempty_seq() -> impl Strategy<Value = Vec<f64>> {
 }
 
 fn point_seq() -> impl Strategy<Value = Vec<Point2>> {
-    prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0).prop_map(|(x, y)| Point2::new(x, y)), 0..10)
+    prop::collection::vec(
+        (-50.0f64..50.0, -50.0f64..50.0).prop_map(|(x, y)| Point2::new(x, y)),
+        0..10,
+    )
 }
 
 const EPS: f64 = 1e-9;
@@ -137,5 +140,8 @@ fn non_metric_eged_triangle_violation_witness() {
             }
         }
     }
-    assert!(violated, "non-metric EGED should violate the triangle inequality somewhere");
+    assert!(
+        violated,
+        "non-metric EGED should violate the triangle inequality somewhere"
+    );
 }

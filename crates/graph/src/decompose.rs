@@ -75,7 +75,8 @@ pub fn extract_orgs(strg: &Strg) -> Vec<Org> {
         return Vec::new();
     }
     // Per frame-pair: from-node -> edge.
-    let mut out: Vec<HashMap<NodeId, (NodeId, TemporalEdgeAttr)>> = Vec::with_capacity(n.saturating_sub(1));
+    let mut out: Vec<HashMap<NodeId, (NodeId, TemporalEdgeAttr)>> =
+        Vec::with_capacity(n.saturating_sub(1));
     for m in 0..n.saturating_sub(1) {
         let mut map = HashMap::new();
         for e in strg.temporal_edges(m) {
@@ -142,10 +143,12 @@ pub fn should_merge(a: &Org, b: &Org, cfg: &DecomposeConfig) -> bool {
         return false;
     }
     // Direction only matters for actually-moving fragments.
-    if a.mean_velocity() > 0.25 && b.mean_velocity() > 0.25
-        && angle_diff(a.mean_direction(), b.mean_direction()) > cfg.merge_direction_tol {
-            return false;
-        }
+    if a.mean_velocity() > 0.25
+        && b.mean_velocity() > 0.25
+        && angle_diff(a.mean_direction(), b.mean_direction()) > cfg.merge_direction_tol
+    {
+        return false;
+    }
     let mut dist_sum = 0.0;
     let mut count = 0usize;
     for f in lo..=hi {
@@ -209,7 +212,11 @@ fn merge_group(id: u32, group: &[&Org]) -> ObjectGraph {
 /// mean attributes), and representatives are connected when their regions
 /// were spatially adjacent in the track's first frame.
 fn build_background(strg: &Strg, background: &[&Org]) -> BackgroundGraph {
-    let mut rag = Rag::new(strg.rags().first().map_or(crate::rag::FrameId(0), |r| r.frame()));
+    let mut rag = Rag::new(
+        strg.rags()
+            .first()
+            .map_or(crate::rag::FrameId(0), |r| r.frame()),
+    );
     // Map (frame, node) -> representative node, for adjacency wiring.
     let mut rep_of: HashMap<(usize, NodeId), NodeId> = HashMap::new();
     for org in background {
@@ -306,7 +313,10 @@ pub fn decompose(strg: &Strg, cfg: &DecomposeConfig) -> Decomposition {
 /// Size of the raw STRG per Equation (9): the OGs plus one BG *per frame*
 /// (the un-deduplicated background).
 pub fn strg_size_bytes(d: &Decomposition) -> usize {
-    d.objects.iter().map(ObjectGraph::approx_bytes).sum::<usize>()
+    d.objects
+        .iter()
+        .map(ObjectGraph::approx_bytes)
+        .sum::<usize>()
         + d.background.frames_covered as usize * d.background.approx_bytes()
 }
 
@@ -326,10 +336,22 @@ mod tests {
             let mut rag = Rag::new(FrameId(m as u32));
             let x = 10.0 + 5.0 * m as f64;
             // part A and part B of the object move together
-            let a = rag.add_node(NodeAttr::new(50, Rgb::new(200.0, 0.0, 0.0), Point2::new(x, 20.0)));
-            let b = rag.add_node(NodeAttr::new(80, Rgb::new(0.0, 200.0, 0.0), Point2::new(x, 30.0)));
+            let a = rag.add_node(NodeAttr::new(
+                50,
+                Rgb::new(200.0, 0.0, 0.0),
+                Point2::new(x, 20.0),
+            ));
+            let b = rag.add_node(NodeAttr::new(
+                80,
+                Rgb::new(0.0, 200.0, 0.0),
+                Point2::new(x, 30.0),
+            ));
             // static background
-            let c = rag.add_node(NodeAttr::new(1000, Rgb::new(90.0, 90.0, 90.0), Point2::new(160.0, 120.0)));
+            let c = rag.add_node(NodeAttr::new(
+                1000,
+                Rgb::new(90.0, 90.0, 90.0),
+                Point2::new(160.0, 120.0),
+            ));
             rag.add_edge(a, b);
             rag.add_edge(b, c);
             rags.push(rag);
@@ -365,7 +387,11 @@ mod tests {
         let orgs = extract_orgs(&strg);
         let cfg = DecomposeConfig::default();
         let moving: Vec<_> = orgs.iter().filter(|o| is_foreground(o, &cfg)).collect();
-        assert_eq!(moving.len(), 2, "the two object parts move, background does not");
+        assert_eq!(
+            moving.len(),
+            2,
+            "the two object parts move, background does not"
+        );
     }
 
     #[test]
@@ -397,8 +423,16 @@ mod tests {
         let frames = 8;
         for m in 0..frames {
             let mut rag = Rag::new(FrameId(m as u32));
-            rag.add_node(NodeAttr::new(50, Rgb::new(200.0, 0.0, 0.0), Point2::new(10.0 + 5.0 * m as f64, 50.0)));
-            rag.add_node(NodeAttr::new(50, Rgb::new(0.0, 0.0, 200.0), Point2::new(80.0 - 5.0 * m as f64, 50.0)));
+            rag.add_node(NodeAttr::new(
+                50,
+                Rgb::new(200.0, 0.0, 0.0),
+                Point2::new(10.0 + 5.0 * m as f64, 50.0),
+            ));
+            rag.add_node(NodeAttr::new(
+                50,
+                Rgb::new(0.0, 0.0, 200.0),
+                Point2::new(80.0 - 5.0 * m as f64, 50.0),
+            ));
             rags.push(rag);
         }
         let mut temporal = Vec::new();
@@ -407,7 +441,10 @@ mod tests {
                 .map(|v| TemporalEdge {
                     from: NodeId(v),
                     to: NodeId(v),
-                    attr: TemporalEdgeAttr::between(rags[m].attr(NodeId(v)), rags[m + 1].attr(NodeId(v))),
+                    attr: TemporalEdgeAttr::between(
+                        rags[m].attr(NodeId(v)),
+                        rags[m + 1].attr(NodeId(v)),
+                    ),
                 })
                 .collect();
             temporal.push(edges);

@@ -81,7 +81,10 @@ impl<'a> Matcher<'a> {
         if self.used & (1 << v2) != 0 {
             return false;
         }
-        if !self.p.nodes_compatible(self.g1.label(v1), self.g2.label(v2)) {
+        if !self
+            .p
+            .nodes_compatible(self.g1.label(v1), self.g2.label(v2))
+        {
             return false;
         }
         if self.g1.degree(v1) > self.g2.degree(v2) {

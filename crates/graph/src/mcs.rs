@@ -306,7 +306,15 @@ fn augment(
         visited[ri] = true;
         let free = match match_r[ri] {
             None => true,
-            Some(prev_li) => augment(prev_li, left[prev_li], left, right, compat, match_r, visited),
+            Some(prev_li) => augment(
+                prev_li,
+                left[prev_li],
+                left,
+                right,
+                compat,
+                match_r,
+                visited,
+            ),
         };
         if free {
             match_r[ri] = Some(li);
@@ -516,9 +524,18 @@ mod tests {
     fn star_specialization_matches_generic_clique_search() {
         let p = loose();
         let cases = [
-            (star(10.0, &[0.0, 50.0, 100.0]), star(10.0, &[0.0, 50.0, 100.0])),
-            (star(10.0, &[0.0, 50.0, 100.0]), star(10.0, &[0.0, 50.0, 200.0])),
-            (star(10.0, &[0.0, 50.0]), star(10.0, &[0.0, 50.0, 100.0, 150.0])),
+            (
+                star(10.0, &[0.0, 50.0, 100.0]),
+                star(10.0, &[0.0, 50.0, 100.0]),
+            ),
+            (
+                star(10.0, &[0.0, 50.0, 100.0]),
+                star(10.0, &[0.0, 50.0, 200.0]),
+            ),
+            (
+                star(10.0, &[0.0, 50.0]),
+                star(10.0, &[0.0, 50.0, 100.0, 150.0]),
+            ),
             (star(10.0, &[20.0, 30.0]), star(200.0, &[220.0, 230.0])),
             (star(10.0, &[0.0]), star(10.0, &[0.0])),
             // Incompatible centers but compatible leaves: centerless MCS.

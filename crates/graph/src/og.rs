@@ -131,7 +131,13 @@ impl ObjectGraph {
     /// the same size and color. Used to convert synthetic workload
     /// trajectories into the OG format (§6.1's "converted to temporal
     /// subgraph format").
-    pub fn from_centroids(id: u32, start_frame: usize, centroids: &[Point2], size: u32, color: Rgb) -> Self {
+    pub fn from_centroids(
+        id: u32,
+        start_frame: usize,
+        centroids: &[Point2],
+        size: u32,
+        color: Rgb,
+    ) -> Self {
         let mut samples: Vec<OgSample> = centroids
             .iter()
             .map(|&c| OgSample {
@@ -332,7 +338,7 @@ mod tests {
     }
 
     #[test]
-    fn og_bytes_scale_with_length(){
+    fn og_bytes_scale_with_length() {
         let short = ObjectGraph::from_centroids(0, 0, &[Point2::ZERO; 2], 1, Rgb::BLACK);
         let long = ObjectGraph::from_centroids(0, 0, &[Point2::ZERO; 20], 1, Rgb::BLACK);
         assert!(long.approx_bytes() > short.approx_bytes());

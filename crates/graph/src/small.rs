@@ -185,9 +185,7 @@ mod tests {
     #[test]
     fn induced_subgraph_keeps_inner_edges_only() {
         let mut rag = Rag::new(FrameId(0));
-        let n: Vec<_> = (0..4)
-            .map(|i| rag.add_node(attr(i as f64)))
-            .collect();
+        let n: Vec<_> = (0..4).map(|i| rag.add_node(attr(i as f64))).collect();
         rag.add_edge(n[0], n[1]);
         rag.add_edge(n[1], n[2]);
         rag.add_edge(n[2], n[3]);

@@ -45,8 +45,14 @@ impl Strg {
         );
         for (m, edges) in temporal.iter().enumerate() {
             for e in edges {
-                assert!(e.from.idx() < frames[m].node_count(), "edge source in range");
-                assert!(e.to.idx() < frames[m + 1].node_count(), "edge target in range");
+                assert!(
+                    e.from.idx() < frames[m].node_count(),
+                    "edge source in range"
+                );
+                assert!(
+                    e.to.idx() < frames[m + 1].node_count(),
+                    "edge target in range"
+                );
             }
         }
         Self { frames, temporal }
@@ -85,10 +91,7 @@ impl Strg {
     /// The outgoing temporal edge of node `v` of frame `m`, if any.
     /// Algorithm 1 adds at most one outgoing edge per node.
     pub fn out_edge(&self, m: usize, v: NodeId) -> Option<&TemporalEdge> {
-        self.temporal
-            .get(m)?
-            .iter()
-            .find(|e| e.from == v)
+        self.temporal.get(m)?.iter().find(|e| e.from == v)
     }
 
     /// Whether node `v` of frame `m` has an incoming temporal edge from
@@ -186,11 +189,7 @@ mod tests {
     fn rag(frame: u32, n: usize) -> Rag {
         let mut g = Rag::new(FrameId(frame));
         for i in 0..n {
-            g.add_node(NodeAttr::new(
-                10,
-                Rgb::BLACK,
-                Point2::new(i as f64, 0.0),
-            ));
+            g.add_node(NodeAttr::new(10, Rgb::BLACK, Point2::new(i as f64, 0.0)));
         }
         g
     }

@@ -266,11 +266,17 @@ mod tests {
 
     #[test]
     fn build_strg_tracks_across_all_frames() {
-        let frames: Vec<_> = (0..5).map(|i| frame(i, 50.0 + 4.0 * i as f64, 50.0)).collect();
+        let frames: Vec<_> = (0..5)
+            .map(|i| frame(i, 50.0 + 4.0 * i as f64, 50.0))
+            .collect();
         let strg = build_strg(frames, &TrackerConfig::default());
         assert_eq!(strg.frame_count(), 5);
         for m in 0..4 {
-            assert_eq!(strg.temporal_edges(m).len(), 4, "all regions tracked at step {m}");
+            assert_eq!(
+                strg.temporal_edges(m).len(),
+                4,
+                "all regions tracked at step {m}"
+            );
         }
     }
 }

@@ -37,9 +37,9 @@ fn star(center: (u8, u8), leaves: &[(u8, u8, u8)]) -> SmallGraph {
 
 fn params() -> CompatParams {
     CompatParams {
-        color_tol: 30.0,     // color indices differ by 60: only same idx matches
-        size_rel_tol: 0.35,  // sizes 10..14: all compatible
-        edge_dist_tol: 5.0,  // edge lengths differ by 10: only same idx matches
+        color_tol: 30.0,    // color indices differ by 60: only same idx matches
+        size_rel_tol: 0.35, // sizes 10..14: all compatible
+        edge_dist_tol: 5.0, // edge lengths differ by 10: only same idx matches
         edge_orient_tol: 1.0,
     }
 }

@@ -144,7 +144,14 @@ impl<V: SeqValue, D: MetricDistance<V>> MTree<V, D> {
         let policy = self.cfg.policy;
         // Take the root out to appease the borrow checker.
         let mut root = std::mem::replace(&mut self.root, Node::Leaf(Vec::new()));
-        if let Some((e1, e2)) = insert_rec(&mut root, entry, &self.dist, capacity, policy, &mut self.rng) {
+        if let Some((e1, e2)) = insert_rec(
+            &mut root,
+            entry,
+            &self.dist,
+            capacity,
+            policy,
+            &mut self.rng,
+        ) {
             // Root split: grow a new root.
             drop(root);
             self.root = Node::Internal(vec![e1, e2]);
@@ -275,7 +282,10 @@ mod tests {
             .map(|i| {
                 let base = (i % 10) as f64 * 50.0;
                 let j = (i / 10) as f64;
-                (i as u64, vec![base + j * 0.5, base + 1.0, base + 2.0 + j * 0.25])
+                (
+                    i as u64,
+                    vec![base + j * 0.5, base + 1.0, base + 2.0 + j * 0.25],
+                )
             })
             .collect()
     }

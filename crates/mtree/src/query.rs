@@ -109,9 +109,7 @@ pub fn knn<V: SeqValue, D: MetricDistance<V>>(
             Node::Internal(entries) => {
                 for r in entries {
                     let dk = current_bound(&best, k);
-                    if !p.dq_pivot.is_nan()
-                        && (p.dq_pivot - r.parent_dist).abs() > dk + r.radius
-                    {
+                    if !p.dq_pivot.is_nan() && (p.dq_pivot - r.parent_dist).abs() > dk + r.radius {
                         continue;
                     }
                     let d = dist.distance(query, &r.pivot);

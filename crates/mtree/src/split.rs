@@ -190,7 +190,12 @@ mod tests {
         let entries = leaf_entries(&[0.0, 1.0, 2.0, 100.0, 101.0, 102.0]);
         let mut rng = StdRng::seed_from_u64(0);
         let d = EgedMetric::<f64>::new();
-        let (e1, e2) = split_leaf(entries, &d, PromotePolicy::Sampling { samples: 6 }, &mut rng);
+        let (e1, e2) = split_leaf(
+            entries,
+            &d,
+            PromotePolicy::Sampling { samples: 6 },
+            &mut rng,
+        );
         assert_eq!(e1.child.object_count() + e2.child.object_count(), 6);
         // Sampled promotion on this data must separate the two groups.
         let radii = [e1.radius, e2.radius];
@@ -226,7 +231,12 @@ mod tests {
         let entries = vec![mk(0.0, 3.0), mk(1.0, 1.0), mk(100.0, 5.0)];
         let mut rng = StdRng::seed_from_u64(1);
         let d = EgedMetric::<f64>::new();
-        let (e1, e2) = split_internal(entries, &d, PromotePolicy::Sampling { samples: 3 }, &mut rng);
+        let (e1, e2) = split_internal(
+            entries,
+            &d,
+            PromotePolicy::Sampling { samples: 3 },
+            &mut rng,
+        );
         // Every group radius must be >= the max child radius in the group.
         for e in [&e1, &e2] {
             if let Node::Internal(children) = e.child.as_ref() {

@@ -1,0 +1,261 @@
+//! Deterministic fork/join helpers built on `std::thread::scope`.
+//!
+//! The STRG pipeline has three embarrassingly parallel hot paths — frame →
+//! RAG extraction, the pairwise EGED distance matrix inside clustering, and
+//! candidate-distance evaluation during index search. All three are
+//! `map`-shaped: independent per-item work whose results are consumed in
+//! input order. This crate provides exactly that shape and nothing more:
+//!
+//! * [`par_map`] / [`par_map_indexed`] split the input into one contiguous
+//!   chunk per worker, run the chunks on scoped threads, and concatenate the
+//!   chunk outputs **in chunk order**. The result vector is therefore
+//!   identical to a sequential `iter().map().collect()` — same values, same
+//!   order — no matter how many threads ran. Any reduction a caller performs
+//!   over that vector happens on the caller's thread in index order, so
+//!   float accumulation order (and hence the bits of the result) cannot
+//!   drift with the thread count.
+//! * [`Threads`] is the knob every configurable layer exposes: `Auto`
+//!   consults the `STRG_THREADS` environment variable and falls back to
+//!   [`std::thread::available_parallelism`]; `Fixed(n)` pins the count, and
+//!   `Fixed(1)` runs the plain sequential loop on the calling thread —
+//!   the retained sequential path behind the same API.
+//!
+//! No work stealing, no channels, no unsafe, no dependencies.
+
+use std::any::Any;
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// Environment variable consulted by [`Threads::Auto`].
+pub const THREADS_ENV: &str = "STRG_THREADS";
+
+/// Worker-count policy for the parallel helpers.
+///
+/// `Auto` resolves at call time: the `STRG_THREADS` environment variable if
+/// set to a positive integer, otherwise [`std::thread::available_parallelism`].
+/// `Fixed(n)` ignores the environment; `Fixed(1)` (and `Fixed(0)`) select the
+/// sequential code path on the calling thread.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum Threads {
+    /// `STRG_THREADS` env var, else the machine's available parallelism.
+    #[default]
+    Auto,
+    /// Exactly this many workers (`<= 1` means sequential).
+    Fixed(usize),
+}
+
+impl Threads {
+    /// The number of workers this policy selects right now (always `>= 1`).
+    pub fn resolve(self) -> usize {
+        match self {
+            Threads::Fixed(n) => n.max(1),
+            Threads::Auto => match std::env::var(THREADS_ENV) {
+                Ok(v) => match v.trim().parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => available(),
+                },
+                Err(_) => available(),
+            },
+        }
+    }
+
+    /// Convenience: does this policy resolve to the sequential path?
+    pub fn is_sequential(self) -> bool {
+        self.resolve() <= 1
+    }
+}
+
+fn available() -> usize {
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items`, returning outputs in input order.
+///
+/// With `threads <= 1` (or fewer than two items) this is a plain sequential
+/// loop on the calling thread. Otherwise the slice is split into one
+/// contiguous chunk per worker and the per-chunk outputs are concatenated in
+/// chunk order, so the result is element-for-element identical to the
+/// sequential run. A panic on any worker is re-raised on the caller.
+pub fn par_map<T, R, F>(items: &[T], threads: Threads, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed(items, threads, |_, item| f(item))
+}
+
+/// [`par_map`] variant whose closure also receives the item's index.
+pub fn par_map_indexed<T, R, F>(items: &[T], threads: Threads, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.resolve().min(n);
+    if workers <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let f = &f;
+    let chunk_results: Vec<thread::Result<Vec<R>>> = thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, slice)| {
+                let base = ci * chunk;
+                scope.spawn(move || {
+                    slice
+                        .iter()
+                        .enumerate()
+                        .map(|(j, item)| f(base + j, item))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join()).collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    let mut panic: Option<Box<dyn Any + Send>> = None;
+    for res in chunk_results {
+        match res {
+            Ok(mut part) => out.append(&mut part),
+            Err(p) => panic = Some(p),
+        }
+    }
+    if let Some(p) = panic {
+        std::panic::resume_unwind(p);
+    }
+    out
+}
+
+/// Runs `f` over the index range `0..n`, returning outputs in index order.
+///
+/// Useful when the per-item work reads shared state by index rather than
+/// through a slice (e.g. a distance matrix addressed by row).
+pub fn par_map_range<R, F>(n: usize, threads: Threads, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    // A unit slice per index keeps the chunking/merging logic in one place.
+    let indices: Vec<usize> = (0..n).collect();
+    par_map(&indices, threads, |&i| f(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_input_order_at_every_thread_count() {
+        let items: Vec<u64> = (0..103).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 64, 200] {
+            let got = par_map(&items, Threads::Fixed(threads), |x| x * 3 + 1);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn indexed_variant_sees_global_indices() {
+        let items = vec!["a"; 37];
+        let got = par_map_indexed(&items, Threads::Fixed(4), |i, _| i);
+        assert_eq!(got, (0..37).collect::<Vec<_>>());
+        let got = par_map_range(37, Threads::Fixed(4), |i| i * 2);
+        assert_eq!(got, (0..37).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn float_results_are_bit_identical_across_thread_counts() {
+        let items: Vec<f64> = (0..512).map(|i| (i as f64).sin() * 1e3).collect();
+        let seq = par_map(&items, Threads::Fixed(1), |x| x.sqrt().abs().ln_1p());
+        for threads in [2, 5, 8] {
+            let par = par_map(&items, Threads::Fixed(threads), |x| x.sqrt().abs().ln_1p());
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<i32> = vec![];
+        assert!(par_map(&empty, Threads::Fixed(8), |x| *x).is_empty());
+        assert_eq!(par_map(&[7], Threads::Fixed(8), |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn really_runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let items: Vec<u32> = (0..64).collect();
+        // A tiny sleep keeps early workers alive until late spawns happen.
+        par_map(&items, Threads::Fixed(4), |_| {
+            seen.lock().unwrap().insert(thread::current().id());
+            thread::sleep(std::time::Duration::from_millis(1));
+        });
+        assert!(
+            seen.lock().unwrap().len() > 1,
+            "expected multiple worker threads"
+        );
+    }
+
+    #[test]
+    fn sequential_path_stays_on_calling_thread() {
+        let caller = thread::current().id();
+        par_map(&[1, 2, 3], Threads::Fixed(1), |_| {
+            assert_eq!(thread::current().id(), caller);
+        });
+    }
+
+    #[test]
+    fn worker_panics_propagate_and_threads_are_joined() {
+        let completed = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..16).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_map(&items, Threads::Fixed(4), |&x| {
+                if x == 5 {
+                    panic!("boom");
+                }
+                completed.fetch_add(1, Ordering::SeqCst);
+            });
+        }));
+        assert!(result.is_err(), "panic must surface to the caller");
+        // The panicking worker abandons the rest of its chunk, but every
+        // other chunk runs to completion (scope joins every worker).
+        assert!(completed.load(Ordering::SeqCst) >= 12);
+    }
+
+    #[test]
+    fn fixed_counts_resolve_without_env() {
+        assert_eq!(Threads::Fixed(0).resolve(), 1);
+        assert_eq!(Threads::Fixed(1).resolve(), 1);
+        assert_eq!(Threads::Fixed(9).resolve(), 9);
+        assert!(Threads::Fixed(1).is_sequential());
+        assert!(!Threads::Fixed(2).is_sequential());
+    }
+
+    // Env-var tests mutate process state; keep them in one test so they
+    // cannot race each other under the parallel test runner.
+    #[test]
+    fn auto_reads_env_knob() {
+        std::env::set_var(THREADS_ENV, "7");
+        assert_eq!(Threads::Auto.resolve(), 7);
+        std::env::set_var(THREADS_ENV, "not a number");
+        assert!(Threads::Auto.resolve() >= 1);
+        std::env::set_var(THREADS_ENV, "0");
+        assert!(Threads::Auto.resolve() >= 1);
+        std::env::remove_var(THREADS_ENV);
+        assert!(Threads::Auto.resolve() >= 1);
+    }
+}

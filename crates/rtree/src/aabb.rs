@@ -71,11 +71,11 @@ impl Aabb3 {
     /// Minimum Euclidean distance from a point to the box (0 inside).
     pub fn min_dist(&self, p: [f64; 3]) -> f64 {
         let mut s = 0.0;
-        for d in 0..3 {
-            let v = if p[d] < self.min[d] {
-                self.min[d] - p[d]
-            } else if p[d] > self.max[d] {
-                p[d] - self.max[d]
+        for (d, &x) in p.iter().enumerate() {
+            let v = if x < self.min[d] {
+                self.min[d] - x
+            } else if x > self.max[d] {
+                x - self.max[d]
             } else {
                 0.0
             };
@@ -107,7 +107,10 @@ mod tests {
     fn intersection_tests() {
         let a = unit();
         assert!(a.intersects(&Aabb3::new([0.5; 3], [2.0; 3])));
-        assert!(a.intersects(&Aabb3::point([1.0, 1.0, 1.0])), "touching counts");
+        assert!(
+            a.intersects(&Aabb3::point([1.0, 1.0, 1.0])),
+            "touching counts"
+        );
         assert!(!a.intersects(&Aabb3::new([1.1; 3], [2.0; 3])));
     }
 

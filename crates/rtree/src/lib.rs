@@ -55,17 +55,10 @@ enum Node {
 impl Node {
     fn bbox(&self) -> Option<Aabb3> {
         match self {
-            Node::Leaf(items) => items
-                .iter()
-                .map(|i| i.bbox)
-                .reduce(|a, b| a.union(&b)),
-            Node::Internal(children) => children
-                .iter()
-                .map(|(b, _)| *b)
-                .reduce(|a, b| a.union(&b)),
+            Node::Leaf(items) => items.iter().map(|i| i.bbox).reduce(|a, b| a.union(&b)),
+            Node::Internal(children) => children.iter().map(|(b, _)| *b).reduce(|a, b| a.union(&b)),
         }
     }
-
 }
 
 /// The 3DR-tree.
@@ -264,8 +257,16 @@ fn insert_rec(node: &mut Node, item: Item) -> Option<(Aabb3, Node, Aabb3, Node)>
             if items.len() > MAX_ENTRIES {
                 let full = std::mem::take(items);
                 let (g1, g2) = quadratic_split(full, |i| i.bbox);
-                let b1 = g1.iter().map(|i| i.bbox).reduce(|a, b| a.union(&b)).unwrap();
-                let b2 = g2.iter().map(|i| i.bbox).reduce(|a, b| a.union(&b)).unwrap();
+                let b1 = g1
+                    .iter()
+                    .map(|i| i.bbox)
+                    .reduce(|a, b| a.union(&b))
+                    .unwrap();
+                let b2 = g2
+                    .iter()
+                    .map(|i| i.bbox)
+                    .reduce(|a, b| a.union(&b))
+                    .unwrap();
                 Some((b1, Node::Leaf(g1), b2, Node::Leaf(g2)))
             } else {
                 None
@@ -279,7 +280,8 @@ fn insert_rec(node: &mut Node, item: Item) -> Option<(Aabb3, Node, Aabb3, Node)>
                 .min_by(|(_, (ba, _)), (_, (bb, _))| {
                     let ea = ba.enlargement(&item.bbox);
                     let eb = bb.enlargement(&item.bbox);
-                    ea.total_cmp(&eb).then(ba.measure().total_cmp(&bb.measure()))
+                    ea.total_cmp(&eb)
+                        .then(ba.measure().total_cmp(&bb.measure()))
                 })
                 .map(|(i, _)| i)
                 .expect("internal node non-empty");
@@ -295,8 +297,16 @@ fn insert_rec(node: &mut Node, item: Item) -> Option<(Aabb3, Node, Aabb3, Node)>
                 if children.len() > MAX_ENTRIES {
                     let full = std::mem::take(children);
                     let (g1, g2) = quadratic_split(full, |(b, _)| *b);
-                    let b1 = g1.iter().map(|(b, _)| *b).reduce(|a, b| a.union(&b)).unwrap();
-                    let b2 = g2.iter().map(|(b, _)| *b).reduce(|a, b| a.union(&b)).unwrap();
+                    let b1 = g1
+                        .iter()
+                        .map(|(b, _)| *b)
+                        .reduce(|a, b| a.union(&b))
+                        .unwrap();
+                    let b2 = g2
+                        .iter()
+                        .map(|(b, _)| *b)
+                        .reduce(|a, b| a.union(&b))
+                        .unwrap();
                     return Some((b1, Node::Internal(g1), b2, Node::Internal(g2)));
                 }
             }
@@ -355,7 +365,7 @@ fn quadratic_split<T>(mut entries: Vec<T>, bbox: impl Fn(&T) -> Aabb3) -> (Vec<T
     (g1, g2)
 }
 
-fn window_rec<'a>(node: &'a Node, window: &Aabb3, out: &mut Vec<Item>) {
+fn window_rec(node: &Node, window: &Aabb3, out: &mut Vec<Item>) {
     match node {
         Node::Leaf(items) => {
             for it in items {

@@ -1,0 +1,313 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API this
+//! workspace's benches use. The build container has no crates.io access,
+//! so the workspace vendors a minimal timing harness with the same
+//! surface: [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`black_box`], [`criterion_group!`] and
+//! [`criterion_main!`].
+//!
+//! Measurement model: each benchmark warms up for `warm_up_time`, then
+//! runs batches until `measurement_time` elapses and reports the mean
+//! time per iteration. Under `cargo test` (no `--bench` argument) every
+//! benchmark body executes **once** so bench targets double as smoke
+//! tests without slowing the suite down; passing `--bench` (as
+//! `cargo bench` does) or setting `STRG_BENCH_FULL=1` enables real
+//! measurement.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Whether full measurement was requested (vs. smoke mode).
+fn full_measurement() -> bool {
+    std::env::args().any(|a| a == "--bench")
+        || std::env::var("STRG_BENCH_FULL").is_ok_and(|v| v == "1")
+}
+
+/// The benchmark harness: collects and times benchmark closures.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    full: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_millis(500),
+            sample_size: 10,
+            full: full_measurement(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the nominal sample count (kept for API compatibility).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Upstream reads CLI flags here; the shim already did in `default`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, name, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(c: &Criterion, name: &str, mut f: F) {
+    let mut b = Bencher {
+        warm_up: c.warm_up,
+        measurement: c.measurement,
+        full: c.full,
+        mean_ns: 0.0,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters > 0 {
+        eprintln!(
+            "bench: {name:<40} {:>12.1} ns/iter ({} iters{})",
+            b.mean_ns,
+            b.iters,
+            if b.full { "" } else { ", smoke" }
+        );
+    }
+}
+
+/// A named collection of benchmarks sharing the harness configuration.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        run_one(self.c, &full, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, P, F>(&mut self, id: I, input: &P, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        P: ?Sized,
+        F: FnMut(&mut Bencher, &P),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        run_one(self.c, &full, |b| f(b, input));
+        self
+    }
+
+    /// Overrides the sample count for this group (API compatibility).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.c.sample_size = n;
+        self
+    }
+
+    /// Overrides the measurement time for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.c.measurement = d;
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(pub String);
+
+impl BenchmarkId {
+    /// `name/parameter` id.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self(format!("{name}/{parameter}"))
+    }
+
+    /// Id carrying only a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+/// Conversion into [`BenchmarkId`] (accepts strings and ids).
+pub trait IntoBenchmarkId {
+    /// Performs the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// Times a closure passed to [`Bencher::iter`].
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    full: bool,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `f`, storing the mean latency.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if !self.full {
+            // Smoke mode: execute once for correctness, skip measurement.
+            black_box(f());
+            self.mean_ns = 0.0;
+            self.iters = 1;
+            return;
+        }
+        // Warm-up.
+        let start = Instant::now();
+        while start.elapsed() < self.warm_up {
+            black_box(f());
+        }
+        // Measurement: batches of geometrically growing size.
+        let mut total_iters: u64 = 0;
+        let mut total_time = Duration::ZERO;
+        let mut batch: u64 = 1;
+        while total_time < self.measurement {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total_time += t0.elapsed();
+            total_iters += batch;
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+        self.iters = total_iters;
+        self.mean_ns = total_time.as_nanos() as f64 / total_iters as f64;
+    }
+
+    /// `iter_batched` with per-iteration setup (API compatibility).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.iter(|| {
+            let input = setup();
+            routine(input)
+        });
+    }
+}
+
+/// Batch sizing hint (ignored by the shim).
+#[derive(Copy, Clone, Debug)]
+pub enum BatchSize {
+    /// Small input batches.
+    SmallInput,
+    /// Large input batches.
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+/// Declares a group of benchmark targets, as upstream `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("smoke", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("group");
+        g.bench_function(BenchmarkId::new("a", 1), |b| b.iter(|| 2 * 2));
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4usize, |b, n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2))
+            .sample_size(10);
+        targets = target
+    }
+
+    #[test]
+    fn harness_runs_all_targets() {
+        benches();
+    }
+}

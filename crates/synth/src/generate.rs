@@ -185,7 +185,11 @@ mod tests {
             assert_eq!(x.points, y.points);
         }
         let c = generate(2, &SynthConfig::default(), 100);
-        assert!(a.items.iter().zip(&c.items).any(|(x, y)| x.points != y.points));
+        assert!(a
+            .items
+            .iter()
+            .zip(&c.items)
+            .any(|(x, y)| x.points != y.points));
     }
 
     #[test]
@@ -195,7 +199,10 @@ mod tests {
         for t in &ds.items {
             let base = pats[t.label as usize].base_len as f64;
             let len = t.points.len() as f64;
-            assert!(len >= base * 0.75 && len <= base * 1.25, "len {len} base {base}");
+            assert!(
+                len >= base * 0.75 && len <= base * 1.25,
+                "len {len} base {base}"
+            );
         }
     }
 

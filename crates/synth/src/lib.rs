@@ -14,5 +14,7 @@ pub mod generate;
 pub mod noise;
 pub mod patterns;
 
-pub use generate::{generate, generate_for_patterns, generate_total, Dataset, LabeledTrajectory, SynthConfig};
+pub use generate::{
+    generate, generate_for_patterns, generate_total, Dataset, LabeledTrajectory, SynthConfig,
+};
 pub use patterns::{all_patterns, MotionPattern, PatternKind, CANVAS_H, CANVAS_W};

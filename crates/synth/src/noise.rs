@@ -75,10 +75,15 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut pts = vec![Point2::new(100.0, 100.0); 200];
         gaussian_jitter(&mut rng, &mut pts, 5.0);
-        let moved = pts.iter().filter(|p| p.dist(Point2::new(100.0, 100.0)) > 1e-12).count();
+        let moved = pts
+            .iter()
+            .filter(|p| p.dist(Point2::new(100.0, 100.0)) > 1e-12)
+            .count();
         assert!(moved > 190);
         // 6-sigma sanity bound.
-        assert!(pts.iter().all(|p| p.dist(Point2::new(100.0, 100.0)) < 6.0 * 5.0 * 1.5));
+        assert!(pts
+            .iter()
+            .all(|p| p.dist(Point2::new(100.0, 100.0)) < 6.0 * 5.0 * 1.5));
     }
 
     #[test]

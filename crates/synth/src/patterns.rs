@@ -67,7 +67,11 @@ pub fn sample_polyline(poly: &[Point2], len: usize) -> Vec<Point2> {
         let mut placed = false;
         for (s, &sl) in seg_len.iter().enumerate() {
             if target <= acc + sl || s == seg_len.len() - 1 {
-                let t = if sl > 0.0 { ((target - acc) / sl).clamp(0.0, 1.0) } else { 0.0 };
+                let t = if sl > 0.0 {
+                    ((target - acc) / sl).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
                 out.push(poly[s].lerp(poly[s + 1], t));
                 placed = true;
                 break;
@@ -118,15 +122,32 @@ pub fn all_patterns() -> Vec<MotionPattern> {
         let size = 20 + 10 * lane as u32;
         let len = 26 + 2 * lane;
         push(PatternKind::Horizontal, vec![left, right], size, len);
-        push(PatternKind::Horizontal, vec![right, left], size + 6, len + 3);
+        push(
+            PatternKind::Horizontal,
+            vec![right, left],
+            size + 6,
+            len + 3,
+        );
     }
 
     // --- Diagonal: 4 paths x 2 directions = 8.
     let corners = [
-        (Point2::new(16.0, 16.0), Point2::new(CANVAS_W - 16.0, CANVAS_H - 16.0)),
-        (Point2::new(CANVAS_W - 16.0, 16.0), Point2::new(16.0, CANVAS_H - 16.0)),
-        (Point2::new(16.0, CANVAS_H * 0.25), Point2::new(CANVAS_W - 16.0, CANVAS_H * 0.9)),
-        (Point2::new(16.0, CANVAS_H * 0.9), Point2::new(CANVAS_W - 16.0, CANVAS_H * 0.25)),
+        (
+            Point2::new(16.0, 16.0),
+            Point2::new(CANVAS_W - 16.0, CANVAS_H - 16.0),
+        ),
+        (
+            Point2::new(CANVAS_W - 16.0, 16.0),
+            Point2::new(16.0, CANVAS_H - 16.0),
+        ),
+        (
+            Point2::new(16.0, CANVAS_H * 0.25),
+            Point2::new(CANVAS_W - 16.0, CANVAS_H * 0.9),
+        ),
+        (
+            Point2::new(16.0, CANVAS_H * 0.9),
+            Point2::new(CANVAS_W - 16.0, CANVAS_H * 0.25),
+        ),
     ];
     for (i, &(a, b)) in corners.iter().enumerate() {
         let size = 30 + 12 * i as u32;
@@ -168,7 +189,12 @@ pub fn all_patterns() -> Vec<MotionPattern> {
             let size = 24 + 10 * side as u32 + 20 * depth_i as u32;
             let len = 34 + 4 * side + 6 * depth_i;
             push(PatternKind::UTurn, vec![enter, turn, exit], size, len);
-            push(PatternKind::UTurn, vec![exit, turn, enter], size + 6, len + 2);
+            push(
+                PatternKind::UTurn,
+                vec![exit, turn, enter],
+                size + 6,
+                len + 2,
+            );
         }
     }
 
@@ -203,8 +229,18 @@ mod tests {
     fn waypoints_stay_on_canvas() {
         for p in all_patterns() {
             for w in &p.waypoints {
-                assert!((0.0..=CANVAS_W).contains(&w.x), "pattern {} x {}", p.id, w.x);
-                assert!((0.0..=CANVAS_H).contains(&w.y), "pattern {} y {}", p.id, w.y);
+                assert!(
+                    (0.0..=CANVAS_W).contains(&w.x),
+                    "pattern {} x {}",
+                    p.id,
+                    w.x
+                );
+                assert!(
+                    (0.0..=CANVAS_H).contains(&w.y),
+                    "pattern {} y {}",
+                    p.id,
+                    w.y
+                );
             }
         }
     }

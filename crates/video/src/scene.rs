@@ -273,12 +273,7 @@ mod tests {
         let f0 = s.render(0, &mut rng);
         let f5 = s.render(5, &mut rng);
         // Frame 0 has no shirt-red pixels, frame 5 does.
-        let red = |f: &Frame| {
-            f.pixels()
-                .iter()
-                .filter(|p| p.r > 150 && p.g < 100)
-                .count()
-        };
+        let red = |f: &Frame| f.pixels().iter().filter(|p| p.r > 150 && p.g < 100).count();
         assert_eq!(red(&f0), 0);
         assert!(red(&f5) > 10);
     }

@@ -292,14 +292,8 @@ fn mode_filter(classes: &[u32], w: usize, h: usize, radius: usize) -> Vec<u32> {
                 }
             }
             let center = classes[y as usize * w + x as usize];
-            let center_n = counts
-                .iter()
-                .find(|e| e.0 == center)
-                .map_or(0, |e| e.1);
-            let best = counts
-                .iter()
-                .max_by_key(|e| e.1)
-                .expect("window non-empty");
+            let center_n = counts.iter().find(|e| e.0 == center).map_or(0, |e| e.1);
+            let best = counts.iter().max_by_key(|e| e.1).expect("window non-empty");
             out[y as usize * w + x as usize] = if best.1 > center_n { best.0 } else { center };
         }
     }

@@ -44,7 +44,10 @@ fn main() {
     // Queries: held-out trajectories.
     let queries = generate_total(20, &SynthConfig::with_noise(0.10), 999);
     println!("\nmean distance computations per k-NN query (20 queries):");
-    println!("  {:>4}  {:>12} {:>10} {:>10} {:>12}", "k", "STRG-Index", "MT-RA", "MT-SA", "linear scan");
+    println!(
+        "  {:>4}  {:>12} {:>10} {:>10} {:>12}",
+        "k", "STRG-Index", "MT-RA", "MT-SA", "linear scan"
+    );
     for k in [5usize, 10, 20, 30] {
         let mut c_strg = 0u64;
         let mut c_ra = 0u64;

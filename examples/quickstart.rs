@@ -37,9 +37,7 @@ fn main() {
     );
 
     // Query: a left-to-right walk at floor height.
-    let query: Vec<Point2> = (0..40)
-        .map(|i| Point2::new(4.0 * i as f64, 80.0))
-        .collect();
+    let query: Vec<Point2> = (0..40).map(|i| Point2::new(4.0 * i as f64, 80.0)).collect();
     println!("\n3 nearest stored objects to a left-to-right walking query:");
     for hit in db.query_knn(&query, 3) {
         let og = db.og(hit.og_id).expect("stored og");

@@ -51,13 +51,19 @@ fn main() {
     // (Algorithm 3's background-matched search path).
     println!("\nquery 'lab walker' restricted to clip Lab1:");
     for hit in db.query_knn_in_clip("Lab1", &walker, 3) {
-        println!("    {:<9} og #{:<3} dist {:>9.1}", hit.clip, hit.og_id, hit.dist);
+        println!(
+            "    {:<9} og #{:<3} dist {:>9.1}",
+            hit.clip, hit.og_id, hit.dist
+        );
     }
 }
 
 fn report_query(db: &VideoDatabase, label: &str, query: &[Point2], k: usize) {
     println!("\nquery '{label}' — top {k}:");
     for hit in db.query_knn(query, k) {
-        println!("    {:<9} og #{:<3} dist {:>9.1}", hit.clip, hit.og_id, hit.dist);
+        println!(
+            "    {:<9} og #{:<3} dist {:>9.1}",
+            hit.clip, hit.og_id, hit.dist
+        );
     }
 }

@@ -18,12 +18,8 @@ fn main() {
     println!("clustering {k} trajectory patterns, 8 instances each\n");
 
     for noise in [0.05, 0.25] {
-        let ds = strg::synth::generate_for_patterns(
-            &patterns,
-            8,
-            &SynthConfig::with_noise(noise),
-            1,
-        );
+        let ds =
+            strg::synth::generate_for_patterns(&patterns, 8, &SynthConfig::with_noise(noise), 1);
         let data = ds.series();
         // Labels must be dense 0..k for the error-rate metric.
         let labels: Vec<u32> = ds

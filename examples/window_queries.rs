@@ -53,7 +53,10 @@ fn main() {
     println!("\nSTRG-Index similarity query (diagonal crossing), top 5:");
     for h in strg.knn(&query, 5) {
         let label = ds.items[h.og_id as usize].label;
-        println!("  og #{:<4} pattern {:<2} dist {:>8.1}", h.og_id, label, h.dist);
+        println!(
+            "  og #{:<4} pattern {:<2} dist {:>8.1}",
+            h.og_id, label, h.dist
+        );
     }
 
     // And the mismatch demonstration: the window tells you *presence*, not

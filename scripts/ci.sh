@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full CI gate: formatting, lints, build, the whole test suite, and the
+# parallel/sequential equivalence suite pinned to both extremes of the
+# STRG_THREADS knob. Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> sequential-equivalence suite under STRG_THREADS=1"
+STRG_THREADS=1 cargo test -q --test parallel_equivalence
+
+echo "==> sequential-equivalence suite under STRG_THREADS=8"
+STRG_THREADS=8 cargo test -q --test parallel_equivalence
+
+echo "CI gate passed."

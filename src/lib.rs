@@ -11,6 +11,7 @@
 //! | [`distance`] | §3 | EGED (non-metric + metric), DTW, LCS, Lp, call counting |
 //! | [`cluster`] | §4 | EM / K-Means / K-Harmonic-Means, BIC model selection |
 //! | [`mtree`] | §6.3 | the M-tree baseline (MT-RA / MT-SA) |
+//! | [`parallel`] | — | deterministic fork/join helpers (`par_map`, the `STRG_THREADS` knob) |
 //! | [`rtree`] | §1 | the 3DR-tree baseline (time as a third R-tree dimension) |
 //! | [`synth`] | §6.1 | the 48-pattern synthetic trajectory workload |
 //! | [`core`] | §5 | the STRG-Index tree and the [`prelude::VideoDatabase`] facade |
@@ -41,6 +42,7 @@ pub use strg_core as core;
 pub use strg_distance as distance;
 pub use strg_graph as graph;
 pub use strg_mtree as mtree;
+pub use strg_parallel as parallel;
 pub use strg_rtree as rtree;
 pub use strg_synth as synth;
 pub use strg_video as video;
@@ -48,8 +50,8 @@ pub use strg_video as video;
 /// Everything a typical user needs, in one import.
 pub mod prelude {
     pub use strg_cluster::{
-        bic_sweep, clustering_error_rate, Clusterer, Clustering, EmClusterer, EmConfig,
-        HardConfig, KHarmonicMeans, KMeans,
+        bic_sweep, clustering_error_rate, Clusterer, Clustering, EmClusterer, EmConfig, HardConfig,
+        KHarmonicMeans, KMeans,
     };
     pub use strg_core::{
         Hit, IngestReport, QueryHit, StrgIndex, StrgIndexConfig, VideoDatabase, VideoDbConfig,
@@ -58,10 +60,11 @@ pub mod prelude {
         CountingDistance, Dtw, Edr, Eged, EgedMetric, Lcs, LpNorm, MetricDistance, SequenceDistance,
     };
     pub use strg_graph::{
-        decompose, BackgroundGraph, DecomposeConfig, ObjectGraph, Point2, Rag, Rgb,
-        Scalarization, Strg, TrackerConfig,
+        decompose, BackgroundGraph, DecomposeConfig, ObjectGraph, Point2, Rag, Rgb, Scalarization,
+        Strg, TrackerConfig,
     };
     pub use strg_mtree::{MTree, MTreeConfig, PromotePolicy};
+    pub use strg_parallel::{par_map, Threads};
     pub use strg_rtree::{Aabb3, RTree3};
     pub use strg_synth::{generate, generate_total, SynthConfig};
     pub use strg_video::{

@@ -84,3 +84,136 @@ fn queries_during_ingest_never_see_torn_state() {
     }
     assert_eq!(db.stats().clips, 5);
 }
+
+#[test]
+fn concurrent_writers_produce_consistent_database() {
+    // Multi-writer stress: several threads ingest distinct clips while
+    // readers hammer queries and stats. Whatever interleaving the scheduler
+    // picks, OG ids must stay unique, every clip must land exactly once,
+    // and the final statistics must add up.
+    let db = Arc::new(VideoDatabase::new(VideoDbConfig::default()));
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let q: Vec<Point2> = (0..20).map(|i| Point2::new(4.0 * i as f64, 80.0)).collect();
+
+    let writers: Vec<_> = (0..3u64)
+        .map(|w| {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                let mut reported = Vec::new();
+                for i in 0..3u64 {
+                    let seed = 100 * (w + 1) + i;
+                    reported.push(db.ingest_clip(&clip(seed), seed).objects);
+                }
+                reported
+            })
+        })
+        .collect();
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let db = Arc::clone(&db);
+            let q = q.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let stats = db.stats();
+                    // A snapshot can never report more clips than exist.
+                    assert!(stats.clips <= 9);
+                    for hit in db.query_knn(&q, 5) {
+                        assert!(db.og(hit.og_id).is_some());
+                        assert!(!hit.clip.is_empty());
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let mut total_objects = 0;
+    for w in writers {
+        total_objects += w.join().expect("writer ok").iter().sum::<usize>();
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for r in readers {
+        r.join().expect("reader ok");
+    }
+
+    // Every clip landed exactly once.
+    let mut names = db.clip_names();
+    assert_eq!(names.len(), 9);
+    names.sort();
+    names.dedup();
+    assert_eq!(names.len(), 9, "no clip ingested twice");
+
+    // Stats add up to what the writers reported.
+    let stats = db.stats();
+    assert_eq!(stats.clips, 9);
+    assert_eq!(stats.objects, total_objects);
+
+    // OG ids are globally unique: querying with a huge k surfaces every
+    // object exactly once.
+    let all = db.query_knn(&q, total_objects + 10);
+    assert_eq!(all.len(), total_objects);
+    let mut ids: Vec<u64> = all.iter().map(|h| h.og_id).collect();
+    ids.sort_unstable();
+    let n = ids.len();
+    ids.dedup();
+    assert_eq!(ids.len(), n, "duplicate OG ids across concurrent ingests");
+}
+
+#[test]
+fn concurrent_ingest_and_removal_stay_consistent() {
+    // One thread repeatedly removes clips while another adds new ones and
+    // readers resolve hits; ids must never collide or dangle.
+    let db = Arc::new(VideoDatabase::new(VideoDbConfig::default()));
+    for seed in 0..3u64 {
+        db.ingest_clip(&clip(seed), seed);
+    }
+    let q: Vec<Point2> = (0..20).map(|i| Point2::new(4.0 * i as f64, 80.0)).collect();
+
+    let adder = {
+        let db = Arc::clone(&db);
+        std::thread::spawn(move || {
+            for seed in 50..54u64 {
+                db.ingest_clip(&clip(seed), seed);
+            }
+        })
+    };
+    let remover = {
+        let db = Arc::clone(&db);
+        std::thread::spawn(move || {
+            for seed in 0..3u64 {
+                db.remove_clip(&format!("cam{seed}"));
+            }
+        })
+    };
+    let reader = {
+        let db = Arc::clone(&db);
+        let q = q.clone();
+        std::thread::spawn(move || {
+            for _ in 0..60 {
+                for hit in db.query_knn(&q, 5) {
+                    // A hit observed in a snapshot must resolve in that
+                    // snapshot; by the time we re-resolve it the clip may
+                    // be gone, which must yield None, never a panic.
+                    let _ = db.og(hit.og_id);
+                }
+            }
+        })
+    };
+    adder.join().expect("adder ok");
+    remover.join().expect("remover ok");
+    reader.join().expect("reader ok");
+
+    let stats = db.stats();
+    assert_eq!(stats.clips, 4, "3 removed, 4 added on top of 3");
+    let all = db.query_knn(&q, 1000);
+    assert_eq!(all.len(), stats.objects);
+    let mut ids: Vec<u64> = all.iter().map(|h| h.og_id).collect();
+    ids.sort_unstable();
+    let n = ids.len();
+    ids.dedup();
+    assert_eq!(ids.len(), n);
+    for name in db.clip_names() {
+        let seed: u64 = name.trim_start_matches("cam").parse().unwrap();
+        assert!((50..54).contains(&seed), "only added clips survive: {name}");
+    }
+}

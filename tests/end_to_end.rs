@@ -22,9 +22,20 @@ fn ingest_extracts_moving_objects() {
     let db = VideoDatabase::new(VideoDbConfig::default());
     let clip = demo_clip(3, 3, 80);
     let report = db.ingest_clip(&clip, 1);
-    assert!(report.objects >= 2, "three walkers scheduled, got {}", report.objects);
-    assert!(report.objects <= 8, "no rampant over-segmentation: {}", report.objects);
-    assert!(report.background_nodes >= 3, "room has several background regions");
+    assert!(
+        report.objects >= 2,
+        "three walkers scheduled, got {}",
+        report.objects
+    );
+    assert!(
+        report.objects <= 8,
+        "no rampant over-segmentation: {}",
+        report.objects
+    );
+    assert!(
+        report.background_nodes >= 3,
+        "room has several background regions"
+    );
 }
 
 #[test]
@@ -161,7 +172,9 @@ fn queries_across_scene_types_rank_matching_motion_first() {
             scene: traffic_scene(&ScenarioConfig {
                 n_actors: 3,
                 frames: 80,
-                seed: 32,
+                // A seed whose coin flips schedule at least one eastbound
+                // car in the y = 50 lane the query trajectory drives down.
+                seed: 30,
                 ..Default::default()
             }),
             fps: 30.0,
@@ -175,5 +188,8 @@ fn queries_across_scene_types_rank_matching_motion_first() {
     // traffic OG first.
     let q: Vec<Point2> = (0..30).map(|i| Point2::new(6.0 * i as f64, 50.0)).collect();
     let hits = db.query_knn(&q, 1);
-    assert_eq!(hits[0].clip, "traffic", "traffic query matches traffic clip");
+    assert_eq!(
+        hits[0].clip, "traffic",
+        "traffic query matches traffic clip"
+    );
 }

@@ -30,8 +30,16 @@ fn all_structures_agree_with_linear_scan() {
 
     let mut strg = StrgIndex::new(EgedMetric::<Point2>::new(), StrgIndexConfig::with_k(24));
     strg.add_segment(BackgroundGraph::default(), data.clone());
-    let mt_ra = MTree::bulk_insert(EgedMetric::<Point2>::new(), MTreeConfig::random(5), data.clone());
-    let mt_sa = MTree::bulk_insert(EgedMetric::<Point2>::new(), MTreeConfig::sampling(5), data.clone());
+    let mt_ra = MTree::bulk_insert(
+        EgedMetric::<Point2>::new(),
+        MTreeConfig::random(5),
+        data.clone(),
+    );
+    let mt_sa = MTree::bulk_insert(
+        EgedMetric::<Point2>::new(),
+        MTreeConfig::sampling(5),
+        data.clone(),
+    );
 
     for q in &queries {
         for k in [1usize, 5, 10] {
@@ -40,9 +48,21 @@ fn all_structures_agree_with_linear_scan() {
             let ra: Vec<f64> = mt_ra.knn(q, k).iter().map(|n| n.dist).collect();
             let sa: Vec<f64> = mt_sa.knn(q, k).iter().map(|n| n.dist).collect();
             for (i, (_, td)) in truth.iter().enumerate() {
-                assert!((si[i] - td).abs() < 1e-9, "STRG-Index k={k} i={i}: {} vs {td}", si[i]);
-                assert!((ra[i] - td).abs() < 1e-9, "MT-RA k={k} i={i}: {} vs {td}", ra[i]);
-                assert!((sa[i] - td).abs() < 1e-9, "MT-SA k={k} i={i}: {} vs {td}", sa[i]);
+                assert!(
+                    (si[i] - td).abs() < 1e-9,
+                    "STRG-Index k={k} i={i}: {} vs {td}",
+                    si[i]
+                );
+                assert!(
+                    (ra[i] - td).abs() < 1e-9,
+                    "MT-RA k={k} i={i}: {} vs {td}",
+                    ra[i]
+                );
+                assert!(
+                    (sa[i] - td).abs() < 1e-9,
+                    "MT-SA k={k} i={i}: {} vs {td}",
+                    sa[i]
+                );
             }
         }
     }
@@ -51,7 +71,9 @@ fn all_structures_agree_with_linear_scan() {
 #[test]
 fn counting_confirms_both_indexes_prune() {
     let data = dataset(400, 9);
-    let q = generate_total(1, &SynthConfig::with_noise(0.15), 55).series().remove(0);
+    let q = generate_total(1, &SynthConfig::with_noise(0.15), 55)
+        .series()
+        .remove(0);
 
     let cd1 = CountingDistance::new(EgedMetric::<Point2>::new());
     let mut strg = StrgIndex::new(cd1.clone(), StrgIndexConfig::with_k(48));

@@ -107,7 +107,10 @@ proptest! {
 #[test]
 fn clustering_error_rates_bounded() {
     use strg::cluster::Clusterer;
-    let patterns: Vec<_> = strg::synth::all_patterns().into_iter().step_by(12).collect();
+    let patterns: Vec<_> = strg::synth::all_patterns()
+        .into_iter()
+        .step_by(12)
+        .collect();
     let k = patterns.len();
     let ds = strg::synth::generate_for_patterns(&patterns, 6, &SynthConfig::with_noise(0.2), 9);
     let data = ds.series();

@@ -1,0 +1,164 @@
+//! Sequential-equivalence suite for the parallel execution layer.
+//!
+//! Every parallel path in the pipeline (frame → RAG extraction, the EM
+//! distance matrix / E-step, leaf keying, and k-NN candidate evaluation)
+//! must produce output **identical** to the sequential path, no matter the
+//! thread count: chunk results merge in input order and every float
+//! reduction runs on the calling thread in that order, so there is nothing
+//! for a scheduler to reorder. These tests build the same database at
+//! `threads = 1`, `2` and `8` and require the reports, statistics and query
+//! answers to agree bit-for-bit.
+//!
+//! `scripts/ci.sh` additionally runs this binary under `STRG_THREADS=1` and
+//! `STRG_THREADS=8`, which the `default_config_…` test below picks up via
+//! `Threads::Auto`.
+
+use strg::prelude::*;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn clip(seed: u64, actors: usize, frames: usize) -> VideoClip {
+    VideoClip {
+        name: format!("clip{seed}"),
+        scene: lab_scene(&ScenarioConfig {
+            n_actors: actors,
+            frames,
+            seed,
+            ..Default::default()
+        }),
+        fps: 30.0,
+    }
+}
+
+fn db_with(threads: Threads) -> VideoDatabase {
+    VideoDatabase::new(VideoDbConfig::default().with_threads(threads))
+}
+
+fn ingest_all(db: &VideoDatabase, seeds: &[u64]) -> Vec<IngestReport> {
+    seeds
+        .iter()
+        .map(|&s| db.ingest_clip(&clip(s, 2, 50), s))
+        .collect()
+}
+
+fn assert_reports_equal(a: &IngestReport, b: &IngestReport, ctx: &str) {
+    assert_eq!(a.root_id, b.root_id, "{ctx}: root_id");
+    assert_eq!(a.objects, b.objects, "{ctx}: objects");
+    assert_eq!(
+        a.background_nodes, b.background_nodes,
+        "{ctx}: background_nodes"
+    );
+    assert_eq!(a.strg_bytes, b.strg_bytes, "{ctx}: strg_bytes");
+}
+
+fn assert_hits_equal(a: &[QueryHit], b: &[QueryHit], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: hit count");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.og_id, y.og_id, "{ctx}: og id");
+        assert_eq!(x.clip, y.clip, "{ctx}: clip");
+        assert_eq!(
+            x.dist.to_bits(),
+            y.dist.to_bits(),
+            "{ctx}: distance must be bit-identical ({} vs {})",
+            x.dist,
+            y.dist
+        );
+    }
+}
+
+#[test]
+fn ingest_reports_identical_across_thread_counts() {
+    for seeds in [vec![3], vec![7, 11]] {
+        let baseline = ingest_all(&db_with(Threads::Fixed(1)), &seeds);
+        for &t in &THREAD_COUNTS[1..] {
+            let reports = ingest_all(&db_with(Threads::Fixed(t)), &seeds);
+            for (a, b) in baseline.iter().zip(&reports) {
+                assert_reports_equal(a, b, &format!("seeds {seeds:?} threads {t}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn db_stats_identical_across_thread_counts() {
+    let seeds = [5, 9];
+    let base_db = db_with(Threads::Fixed(1));
+    ingest_all(&base_db, &seeds);
+    let base = base_db.stats();
+    for &t in &THREAD_COUNTS[1..] {
+        let db = db_with(Threads::Fixed(t));
+        ingest_all(&db, &seeds);
+        let stats = db.stats();
+        assert_eq!(base.clips, stats.clips, "threads {t}");
+        assert_eq!(base.objects, stats.objects, "threads {t}");
+        assert_eq!(base.clusters, stats.clusters, "threads {t}");
+        assert_eq!(base.strg_bytes, stats.strg_bytes, "threads {t}");
+        assert_eq!(base.index_bytes, stats.index_bytes, "threads {t}");
+    }
+}
+
+#[test]
+fn knn_answers_identical_across_thread_counts() {
+    let seeds = [13, 17];
+    let queries: Vec<Vec<Point2>> = vec![
+        (0..25).map(|i| Point2::new(3.0 * i as f64, 70.0)).collect(),
+        (0..25)
+            .map(|i| Point2::new(100.0 - 3.0 * i as f64, 80.0))
+            .collect(),
+        vec![Point2::new(40.0, 75.0); 10],
+    ];
+    let base_db = db_with(Threads::Fixed(1));
+    ingest_all(&base_db, &seeds);
+    for &t in &THREAD_COUNTS[1..] {
+        let db = db_with(Threads::Fixed(t));
+        ingest_all(&db, &seeds);
+        for (qi, q) in queries.iter().enumerate() {
+            for k in [1, 3, 100] {
+                let a = base_db.query_knn(q, k);
+                let b = db.query_knn(q, k);
+                assert_hits_equal(&a, &b, &format!("query {qi} k {k} threads {t}"));
+            }
+        }
+        // Stored trajectories must find themselves in both databases.
+        let n = db.stats().objects as u64;
+        for id in 0..n {
+            let og = db.og(id).expect("stored");
+            let a = base_db.query_knn(&og.centroid_series(), 2);
+            let b = db.query_knn(&og.centroid_series(), 2);
+            assert_hits_equal(&a, &b, &format!("self-query og {id} threads {t}"));
+        }
+    }
+}
+
+#[test]
+fn background_matched_queries_identical_across_thread_counts() {
+    let q_frames = clip(23, 1, 30).render_all(4);
+    let q: Vec<Point2> = (0..20).map(|i| Point2::new(4.0 * i as f64, 72.0)).collect();
+    let base_db = db_with(Threads::Fixed(1));
+    ingest_all(&base_db, &[19, 29]);
+    let base = base_db.query_knn_with_background(&q_frames, &q, 4);
+    for &t in &THREAD_COUNTS[1..] {
+        let db = db_with(Threads::Fixed(t));
+        ingest_all(&db, &[19, 29]);
+        let hits = db.query_knn_with_background(&q_frames, &q, 4);
+        assert_hits_equal(&base, &hits, &format!("background query threads {t}"));
+    }
+}
+
+/// `Threads::Auto` (the default config) must agree with the pinned
+/// sequential build whatever `STRG_THREADS` says — this is the test the CI
+/// script runs under `STRG_THREADS=1` and `STRG_THREADS=8`.
+#[test]
+fn default_config_matches_pinned_sequential() {
+    let auto_db = VideoDatabase::new(VideoDbConfig::default());
+    let seq_db = db_with(Threads::Fixed(1));
+    let a = auto_db.ingest_clip(&clip(37, 2, 50), 37);
+    let b = seq_db.ingest_clip(&clip(37, 2, 50), 37);
+    assert_reports_equal(&a, &b, "auto vs sequential");
+    let q: Vec<Point2> = (0..25).map(|i| Point2::new(3.0 * i as f64, 70.0)).collect();
+    assert_hits_equal(
+        &auto_db.query_knn(&q, 5),
+        &seq_db.query_knn(&q, 5),
+        "auto vs sequential knn",
+    );
+}

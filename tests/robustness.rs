@@ -94,7 +94,12 @@ fn clean_vs_noisy_extraction_is_comparable() {
         ),
         1,
     );
-    assert!(rn.objects <= rq.objects.max(2) * 3, "quiet {} noisy {}", rq.objects, rn.objects);
+    assert!(
+        rn.objects <= rq.objects.max(2) * 3,
+        "quiet {} noisy {}",
+        rq.objects,
+        rn.objects
+    );
 }
 
 #[test]
