@@ -10,7 +10,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use strg_cluster::{distance_matrix, Clusterer, EmClusterer, EmConfig};
-use strg_core::{VideoDatabase, VideoDbConfig};
+use strg_core::{Query, VideoDatabase, VideoDbConfig};
 use strg_distance::Eged;
 use strg_graph::Point2;
 use strg_parallel::Threads;
@@ -99,7 +99,7 @@ fn bench_knn(c: &mut Criterion) {
             db.ingest_clip(&clip(seed), seed);
         }
         g.bench_function(format!("threads-{threads}"), |b| {
-            b.iter(|| db.query_knn(&q, 5))
+            b.iter(|| db.query(Query::knn(5).trajectory(&q)))
         });
     }
     g.finish();

@@ -1,0 +1,119 @@
+//! Machine-readable query-cost trajectory: STRG-Index vs the M-tree
+//! baselines on the 48-pattern synthetic workload, measured with the
+//! production cost accounting (`*_with_cost`) instead of test-only
+//! counting wrappers.
+//!
+//! Writes `results/BENCH_costs.json` with mean distance calls, node
+//! accesses and pruned records per k-NN query, per method and `k`, so
+//! future changes to the pruning logic show up as a diff in one file.
+//!
+//! Run with: `cargo run --release -p strg-bench --bin costs [-- --quick]`
+
+use strg_bench::report::results_dir;
+use strg_bench::Scale;
+use strg_core::{QueryCost, StrgIndex, StrgIndexConfig};
+use strg_distance::EgedMetric;
+use strg_graph::{BackgroundGraph, Point2};
+use strg_mtree::{MTree, MTreeConfig};
+use strg_obs::Json;
+use strg_synth::{generate_total, SynthConfig};
+
+enum Index {
+    Strg(StrgIndex<Point2, EgedMetric<Point2>>),
+    MTree(MTree<Point2, EgedMetric<Point2>>),
+}
+
+fn build(method: &str, items: Vec<(u64, Vec<Point2>)>, seed: u64) -> Index {
+    let dist = EgedMetric::<Point2>::new();
+    match method {
+        "STRG-Index" => {
+            let mut cfg = StrgIndexConfig::with_k(48.min(items.len().max(1)));
+            cfg.seed = seed;
+            cfg.em_max_iters = 10;
+            cfg.em_n_init = 1;
+            let mut idx = StrgIndex::new(dist, cfg);
+            idx.add_segment(BackgroundGraph::default(), items);
+            Index::Strg(idx)
+        }
+        "MT-RA" => Index::MTree(MTree::bulk_insert(dist, MTreeConfig::random(seed), items)),
+        "MT-SA" => Index::MTree(MTree::bulk_insert(dist, MTreeConfig::sampling(seed), items)),
+        _ => panic!("unknown method {method}"),
+    }
+}
+
+fn query_cost(index: &Index, q: &[Point2], k: usize) -> QueryCost {
+    match index {
+        Index::Strg(i) => i.knn_with_cost(q, k).1,
+        Index::MTree(t) => t.knn_with_cost(q, k).1,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick {
+        Scale::quick()
+    } else {
+        Scale::paper()
+    };
+
+    let cfg = SynthConfig::with_noise(0.10);
+    let db = generate_total(scale.query_db_size, &cfg, scale.seed + 1);
+    let items: Vec<(u64, Vec<Point2>)> = db
+        .series()
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| (i as u64, s))
+        .collect();
+    let queries = generate_total(scale.queries, &cfg, scale.seed + 999);
+
+    let mut methods = Vec::new();
+    for method in ["STRG-Index", "MT-RA", "MT-SA"] {
+        let index = build(method, items.clone(), scale.seed);
+        let mut rows = Vec::new();
+        for &k in &scale.ks {
+            let mut total = QueryCost::default();
+            for q in queries.items.iter() {
+                total.merge(&query_cost(&index, &q.points, k));
+            }
+            let nq = queries.len().max(1) as f64;
+            eprintln!(
+                "{method:>10}  k={k:<3} mean distance calls {:>9.1}  node accesses {:>8.1}  pruned {:>9.1}",
+                total.distance_calls as f64 / nq,
+                total.node_accesses as f64 / nq,
+                total.pruned as f64 / nq,
+            );
+            rows.push(Json::obj(vec![
+                ("k", Json::U64(k as u64)),
+                ("queries", Json::U64(queries.len() as u64)),
+                ("distance_calls", Json::U64(total.distance_calls)),
+                ("node_accesses", Json::U64(total.node_accesses)),
+                ("pruned", Json::U64(total.pruned)),
+                (
+                    "mean_distance_calls",
+                    Json::F64(total.distance_calls as f64 / nq),
+                ),
+                (
+                    "mean_node_accesses",
+                    Json::F64(total.node_accesses as f64 / nq),
+                ),
+            ]));
+        }
+        methods.push((method.to_string(), Json::Array(rows)));
+    }
+
+    let doc = Json::obj(vec![
+        ("db_size", Json::U64(items.len() as u64)),
+        ("seed", Json::U64(scale.seed)),
+        ("quick", Json::Bool(quick)),
+        (
+            "methods",
+            Json::Object(methods.into_iter().collect::<Vec<_>>()),
+        ),
+    ]);
+    let path = results_dir().join("BENCH_costs.json");
+    if let Err(e) = std::fs::write(&path, doc.render()) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", path.display());
+}

@@ -9,8 +9,9 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
-use strg_core::{VideoDatabase, VideoDbConfig};
+use strg_core::{Query, VideoDatabase, VideoDbConfig};
 use strg_graph::Point2;
+use strg_obs::Json;
 use strg_video::{lab_scene, traffic_scene, ScenarioConfig, VideoClip};
 
 /// A CLI error: message for the user, non-zero exit.
@@ -40,15 +41,17 @@ strgdb — STRG-Index video database CLI
 
 USAGE:
   strgdb ingest --db <file> --scene <lab|traffic> --name <name>
-                [--actors N] [--frames N] [--seed N]
+                [--actors N] [--frames N] [--seed N] [--json]
   strgdb query  --db <file> --from <x,y> --to <x,y> [--steps N] [-k N]
-                [--clip <name>]
-  strgdb stats  --db <file>
+                [--clip <name>] [--json]
+  strgdb stats  --db <file> [--json]
   strgdb clips  --db <file>
   strgdb remove --db <file> --clip <name>
 
 Creates <file> on first ingest; later commands load and (for mutations)
-rewrite it.";
+rewrite it. `--json` switches ingest/query/stats to machine-readable
+output, including the per-query cost record and the database's metrics
+snapshot (same serialization as `VideoDatabase::metrics_snapshot`).";
 
 /// Simple `--flag value` argument map.
 pub struct Args<'a> {
@@ -61,24 +64,34 @@ impl<'a> Args<'a> {
         Self { rest }
     }
 
-    /// The value after `flag`, if present.
-    pub fn get(&self, flag: &str) -> Option<&'a str> {
-        self.rest
-            .iter()
-            .position(|a| a == flag)
-            .and_then(|i| self.rest.get(i + 1))
-            .map(String::as_str)
+    /// The value after `flag`. Absence is `Ok(None)`; a flag that is
+    /// present but has nothing after it is an error, not a silent absence
+    /// (otherwise `strgdb query ... -k` would quietly fall back to the
+    /// default instead of telling the user their value went missing).
+    pub fn get(&self, flag: &str) -> Result<Option<&'a str>, CliError> {
+        match self.rest.iter().position(|a| a == flag) {
+            None => Ok(None),
+            Some(i) => match self.rest.get(i + 1) {
+                Some(v) => Ok(Some(v.as_str())),
+                None => Err(CliError(format!("flag {flag} expects a value"))),
+            },
+        }
+    }
+
+    /// True when the bare switch `flag` appears (no value expected).
+    pub fn has(&self, flag: &str) -> bool {
+        self.rest.iter().any(|a| a == flag)
     }
 
     /// Required flag value.
     pub fn require(&self, flag: &str) -> Result<&'a str, CliError> {
-        self.get(flag)
+        self.get(flag)?
             .ok_or_else(|| CliError(format!("missing required flag {flag}")))
     }
 
     /// Parsed optional flag with default.
     pub fn parse_or<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, CliError> {
-        match self.get(flag) {
+        match self.get(flag)? {
             None => Ok(default),
             Some(v) => v
                 .parse()
@@ -143,6 +156,20 @@ pub fn cmd_ingest(args: &Args) -> CmdResult {
     }
     let report = db.ingest_clip(&clip, seed);
     db.save(db_path)?;
+    if args.has("--json") {
+        return Ok(Json::obj(vec![
+            ("clip", Json::str(name)),
+            ("frames", Json::U64(clip.frame_count() as u64)),
+            ("objects", Json::U64(report.objects as u64)),
+            (
+                "background_nodes",
+                Json::U64(report.background_nodes as u64),
+            ),
+            ("strg_bytes", Json::U64(report.strg_bytes as u64)),
+            ("metrics", db.metrics_snapshot().to_json()),
+        ])
+        .render());
+    }
     Ok(format!(
         "ingested {:?}: {} frames, {} objects, background {} regions -> {}",
         name,
@@ -168,18 +195,40 @@ pub fn cmd_query(args: &Args) -> CmdResult {
     let query: Vec<Point2> = (0..steps)
         .map(|i| from.lerp(to, i as f64 / (steps - 1) as f64))
         .collect();
-    let hits = match args.get("--clip") {
-        Some(clip) => db.query_knn_in_clip(clip, &query, k),
-        None => db.query_knn(&query, k),
-    };
-    if hits.is_empty() {
+    let mut q = Query::knn(k).trajectory(&query).with_cost();
+    if let Some(clip) = args.get("--clip")? {
+        q = q.in_clip(clip);
+    }
+    let result = db.query(q);
+    if args.has("--json") {
+        let hits = result
+            .hits
+            .iter()
+            .map(|h| {
+                Json::obj(vec![
+                    ("clip", Json::str(&h.clip)),
+                    ("og_id", Json::U64(h.og_id)),
+                    ("distance", Json::F64(h.dist)),
+                ])
+            })
+            .collect();
+        let cost = result.cost.expect("with_cost() requested it");
+        return Ok(Json::obj(vec![("hits", Json::Array(hits)), ("cost", cost.to_json())]).render());
+    }
+    if result.hits.is_empty() {
         return Ok("no results".into());
     }
     let mut out = String::new();
     let _ = writeln!(out, "{:<12} {:>6} {:>12}", "clip", "og", "distance");
-    for h in hits {
+    for h in &result.hits {
         let _ = writeln!(out, "{:<12} {:>6} {:>12.1}", h.clip, h.og_id, h.dist);
     }
+    let cost = result.cost.expect("with_cost() requested it");
+    let _ = write!(
+        out,
+        "({} distance calls, {} node accesses, {} pruned)",
+        cost.distance_calls, cost.node_accesses, cost.pruned
+    );
     Ok(out.trim_end().to_string())
 }
 
@@ -188,6 +237,17 @@ pub fn cmd_stats(args: &Args) -> CmdResult {
     let db_path = args.require("--db")?;
     let db = load_or_new(db_path)?;
     let s = db.stats();
+    if args.has("--json") {
+        return Ok(Json::obj(vec![
+            ("clips", Json::U64(s.clips as u64)),
+            ("objects", Json::U64(s.objects as u64)),
+            ("clusters", Json::U64(s.clusters as u64)),
+            ("strg_bytes", Json::U64(s.strg_bytes as u64)),
+            ("index_bytes", Json::U64(s.index_bytes as u64)),
+            ("metrics", db.metrics_snapshot().to_json()),
+        ])
+        .render());
+    }
     Ok(format!(
         "clips {}  objects {}  clusters {}  raw-STRG {} B  index {} B ({:.1}x smaller)",
         s.clips,
@@ -258,13 +318,31 @@ mod tests {
 
     #[test]
     fn args_parsing() {
-        let raw = v(&["--db", "x.db", "-k", "7"]);
+        let raw = v(&["--db", "x.db", "-k", "7", "--json"]);
         let a = Args::new(&raw);
-        assert_eq!(a.get("--db"), Some("x.db"));
+        assert_eq!(a.get("--db").unwrap(), Some("x.db"));
         assert_eq!(a.parse_or("-k", 5).unwrap(), 7);
         assert_eq!(a.parse_or("--steps", 30).unwrap(), 30);
         assert!(a.require("--nope").is_err());
         assert!(a.parse_or::<usize>("--db", 1).is_err());
+        assert!(a.has("--json"));
+        assert!(!a.has("--quiet"));
+    }
+
+    /// Regression: a flag sitting at the end of the argument list with no
+    /// value used to be indistinguishable from an absent flag, so
+    /// `parse_or` silently returned the default. It must be an error.
+    #[test]
+    fn trailing_flag_without_value_is_an_error() {
+        let raw = v(&["--db", "x.db", "-k"]);
+        let a = Args::new(&raw);
+        assert!(a.get("-k").is_err());
+        assert!(a.parse_or("-k", 5usize).is_err());
+        assert!(a.require("-k").is_err());
+        // A present-and-valued flag still parses.
+        assert_eq!(a.require("--db").unwrap(), "x.db");
+        // And a genuinely absent flag still falls back to the default.
+        assert_eq!(a.parse_or("--steps", 30usize).unwrap(), 30);
     }
 
     #[test]
@@ -304,6 +382,19 @@ mod tests {
             "ingest", "--db", &db, "--scene", "lab", "--name", "cam1",
         ]))
         .is_err());
+
+        // JSON mode: structured output with the query cost and metrics.
+        let out = run(&v(&[
+            "query", "--db", &db, "--from", "0,80", "--to", "160,80", "-k", "3", "--json",
+        ]))
+        .expect("query --json");
+        assert!(out.starts_with('{'), "{out}");
+        assert!(out.contains("\"hits\""), "{out}");
+        assert!(out.contains("\"distance_calls\""), "{out}");
+
+        let out = run(&v(&["stats", "--db", &db, "--json"])).expect("stats --json");
+        assert!(out.contains("\"clips\":1"), "{out}");
+        assert!(out.contains("\"metrics\""), "{out}");
 
         let out = run(&v(&["remove", "--db", &db, "--clip", "cam1"])).expect("remove");
         assert!(out.contains("removed"), "{out}");

@@ -19,6 +19,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use strg_distance::SequenceDistance;
+use strg_obs::Recorder;
 use strg_parallel::{par_map_range, Threads};
 
 use crate::centroid::{median_length, weighted_centroid, ClusterValue};
@@ -103,12 +104,25 @@ pub struct EmClusterer<D> {
     pub dist: D,
     /// Fitting parameters.
     pub cfg: EmConfig,
+    recorder: Option<Recorder>,
 }
 
 impl<D> EmClusterer<D> {
     /// Creates an EM clusterer.
     pub fn new(dist: D, cfg: EmConfig) -> Self {
-        Self { dist, cfg }
+        Self {
+            dist,
+            cfg,
+            recorder: None,
+        }
+    }
+
+    /// Records fit statistics (`cluster.em.fits`, `cluster.em.iterations`,
+    /// `cluster.em.reseeds`) into `recorder`. The fit is bit-identical at
+    /// any thread count, so these counters are deterministic.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 }
 
@@ -174,6 +188,7 @@ impl<D> EmClusterer<D> {
         let mut sigmas = vec![0.0f64; k];
         let mut sigma_cap = f64::INFINITY;
         let mut iterations = 0;
+        let mut reseeds = 0u64;
         let mut resp = vec![vec![0.0f64; k]; m];
         let mut log_likelihood = f64::NEG_INFINITY;
 
@@ -236,6 +251,7 @@ impl<D> EmClusterer<D> {
                 weights[c] = new_w;
                 if nk < 1e-9 {
                     // Empty component: re-seed on a pseudo-random item.
+                    reseeds += 1;
                     let j = (iter * 31 + c * 7) % m;
                     centroids[c] = data[j].clone();
                     sigmas[c] = sigmas.iter().cloned().fold(0.0, f64::max).max(1.0);
@@ -264,6 +280,12 @@ impl<D> EmClusterer<D> {
             if max_dw < self.cfg.tol {
                 break;
             }
+        }
+
+        if let Some(r) = &self.recorder {
+            r.add("cluster.em.fits", 1);
+            r.add("cluster.em.iterations", iterations as u64);
+            r.add("cluster.em.reseeds", reseeds);
         }
 
         // Final assignment (Equation 7: maximum posterior responsibility).
@@ -394,6 +416,19 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn recorder_counts_fits_and_iterations() {
+        let (data, _) = two_groups();
+        let r = Recorder::new();
+        let em = EmClusterer::new(Eged, EmConfig::new(2).with_seed(1)).with_recorder(r.clone());
+        let c = em.fit(&data);
+        let s = r.snapshot();
+        // n_init = 3 restarts, each one recorded fit.
+        assert_eq!(s.counter("cluster.em.fits"), Some(3));
+        assert!(s.counter("cluster.em.iterations").unwrap() >= c.iterations as u64);
+        assert!(s.counter("cluster.em.reseeds").is_some());
     }
 
     #[test]

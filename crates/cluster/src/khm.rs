@@ -14,6 +14,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use strg_distance::SequenceDistance;
+use strg_obs::Recorder;
 use strg_parallel::par_map;
 
 use crate::centroid::{median_length, weighted_centroid, ClusterValue};
@@ -32,12 +33,26 @@ pub struct KHarmonicMeans<D> {
     /// The harmonic exponent `p` (>= 2; the literature default is 3.5, we
     /// default to 3.0 which behaved robustly on trajectory data).
     pub p: f64,
+    recorder: Option<Recorder>,
 }
 
 impl<D> KHarmonicMeans<D> {
     /// Creates a KHM clusterer with the default exponent.
     pub fn new(dist: D, cfg: HardConfig) -> Self {
-        Self { dist, cfg, p: 3.0 }
+        Self {
+            dist,
+            cfg,
+            p: 3.0,
+            recorder: None,
+        }
+    }
+
+    /// Records fit statistics (`cluster.khm.fits`, `cluster.khm.iterations`)
+    /// into `recorder`. The fit is bit-identical at any thread count, so
+    /// these counters are deterministic.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 }
 
@@ -100,6 +115,11 @@ impl<V: ClusterValue, D: SequenceDistance<V> + Sync> Clusterer<V> for KHarmonicM
             if moved < self.cfg.tol {
                 break;
             }
+        }
+
+        if let Some(r) = &self.recorder {
+            r.add("cluster.khm.fits", 1);
+            r.add("cluster.khm.iterations", iterations as u64);
         }
 
         // Hard assignment for evaluation: nearest centroid (parallel scan,

@@ -8,6 +8,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use strg_distance::SequenceDistance;
+use strg_obs::Recorder;
 use strg_parallel::{par_map, par_map_indexed, Threads};
 
 use crate::centroid::{median_length, weighted_centroid, ClusterValue};
@@ -65,12 +66,25 @@ pub struct KMeans<D> {
     pub dist: D,
     /// Fitting parameters.
     pub cfg: HardConfig,
+    recorder: Option<Recorder>,
 }
 
 impl<D> KMeans<D> {
     /// Creates a K-Means clusterer.
     pub fn new(dist: D, cfg: HardConfig) -> Self {
-        Self { dist, cfg }
+        Self {
+            dist,
+            cfg,
+            recorder: None,
+        }
+    }
+
+    /// Records fit statistics (`cluster.km.fits`, `cluster.km.iterations`,
+    /// `cluster.km.reseeds`) into `recorder`. The fit is bit-identical at
+    /// any thread count, so these counters are deterministic.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 }
 
@@ -88,6 +102,7 @@ impl<V: ClusterValue, D: SequenceDistance<V> + Sync> Clusterer<V> for KMeans<D> 
         let mut centroids: Vec<Vec<V>> = idx.iter().map(|&i| data[i].clone()).collect();
         let mut assignments = vec![0usize; m];
         let mut iterations = 0;
+        let mut reseeds = 0u64;
 
         for iter in 0..self.cfg.max_iters {
             iterations = iter + 1;
@@ -117,6 +132,7 @@ impl<V: ClusterValue, D: SequenceDistance<V> + Sync> Clusterer<V> for KMeans<D> 
                     .collect();
                 let mu = weighted_centroid(data, &w, target_len);
                 if mu.is_empty() {
+                    reseeds += 1;
                     // Empty cluster: re-seed on the item farthest from its
                     // centroid. Distances fan out; the `max_by` over them
                     // runs on this thread in item order (keeping its
@@ -141,6 +157,12 @@ impl<V: ClusterValue, D: SequenceDistance<V> + Sync> Clusterer<V> for KMeans<D> 
             if !changed && moved < self.cfg.tol {
                 break;
             }
+        }
+
+        if let Some(r) = &self.recorder {
+            r.add("cluster.km.fits", 1);
+            r.add("cluster.km.iterations", iterations as u64);
+            r.add("cluster.km.reseeds", reseeds);
         }
 
         Clustering {
@@ -227,6 +249,19 @@ mod tests {
         let km = KMeans::new(Eged, HardConfig::new(2));
         let c = km.fit(&Vec::<Vec<f64>>::new());
         assert!(c.assignments.is_empty());
+    }
+
+    #[test]
+    fn recorder_counts_iterations() {
+        let r = Recorder::new();
+        let km = KMeans::new(Eged, HardConfig::new(2).with_seed(4)).with_recorder(r.clone());
+        let c = km.fit(&two_groups());
+        let s = r.snapshot();
+        assert_eq!(s.counter("cluster.km.fits"), Some(1));
+        assert_eq!(
+            s.counter("cluster.km.iterations"),
+            Some(c.iterations as u64)
+        );
     }
 
     #[test]

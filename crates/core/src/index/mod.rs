@@ -20,6 +20,7 @@ pub use search::Hit;
 use strg_cluster::{bic, bic_sweep_threads, ClusterValue, Clusterer, EmClusterer, EmConfig};
 use strg_distance::{Eged, MetricDistance, SequenceDistance};
 use strg_graph::BackgroundGraph;
+use strg_obs::{QueryCost, Recorder};
 use strg_parallel::{par_map_indexed, Threads};
 
 /// Configuration of the STRG-Index.
@@ -159,6 +160,7 @@ pub struct StrgIndex<V, D> {
     metric: D,
     roots: Vec<RootRecord<V>>,
     len: usize,
+    recorder: Option<Recorder>,
 }
 
 impl<V: ClusterValue, D: MetricDistance<V> + Sync> StrgIndex<V, D> {
@@ -169,7 +171,16 @@ impl<V: ClusterValue, D: MetricDistance<V> + Sync> StrgIndex<V, D> {
             metric,
             roots: Vec::new(),
             len: 0,
+            recorder: None,
         }
+    }
+
+    /// Records build statistics into `recorder`: `index.build.segments`,
+    /// `index.build.clusters`, `index.build.bic_sweeps`,
+    /// `index.build.inserts`, `index.build.splits`, plus the EM clusterer's
+    /// `cluster.em.*` counters. All deterministic at any thread count.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = Some(recorder);
     }
 
     /// Builds the index for one video segment (Algorithm 2): cluster the
@@ -185,6 +196,9 @@ impl<V: ClusterValue, D: MetricDistance<V> + Sync> StrgIndex<V, D> {
                 if data.len() <= 2 {
                     1
                 } else {
+                    if let Some(r) = &self.recorder {
+                        r.add("index.build.bic_sweeps", 1);
+                    }
                     bic_sweep_threads(
                         &data,
                         &Eged,
@@ -199,7 +213,10 @@ impl<V: ClusterValue, D: MetricDistance<V> + Sync> StrgIndex<V, D> {
         let clusters = if data.is_empty() {
             Vec::new()
         } else {
-            let em = EmClusterer::new(Eged, self.cfg.em_config(k));
+            let mut em = EmClusterer::new(Eged, self.cfg.em_config(k));
+            if let Some(r) = &self.recorder {
+                em = em.with_recorder(r.clone());
+            }
             let clustering = em.fit(&data);
             let mut clusters: Vec<ClusterRecord<V>> = clustering
                 .centroids
@@ -234,6 +251,10 @@ impl<V: ClusterValue, D: MetricDistance<V> + Sync> StrgIndex<V, D> {
             }
             clusters
         };
+        if let Some(r) = &self.recorder {
+            r.add("index.build.segments", 1);
+            r.add("index.build.clusters", clusters.len() as u64);
+        }
         self.roots.push(RootRecord {
             id: root_id,
             bg,
@@ -274,9 +295,18 @@ impl<V: ClusterValue, D: MetricDistance<V> + Sync> StrgIndex<V, D> {
             .leaf
             .insert_sorted(LeafRecord { key, og_id, seq });
         self.len += 1;
+        if let Some(r) = &self.recorder {
+            r.add("index.build.inserts", 1);
+        }
 
         if root.clusters[best].leaf.records.len() > self.cfg.leaf_split_threshold {
+            let before = root.clusters.len();
             split_leaf_if_bic_favors(root, best, &self.metric, &self.cfg);
+            if root.clusters.len() > before {
+                if let Some(r) = &self.recorder {
+                    r.add("index.build.splits", 1);
+                }
+            }
         }
     }
 
@@ -349,52 +379,122 @@ impl<V: ClusterValue, D: MetricDistance<V> + Sync> StrgIndex<V, D> {
     /// Exact k-NN over every segment (best-first over clusters, triangle
     /// pruning on leaf keys). Results ascending by distance.
     pub fn knn(&self, query: &[V], k: usize) -> Vec<Hit> {
-        search::knn(self.roots(), &self.metric, query, k, None, self.cfg.threads)
+        self.knn_with_cost(query, k).0
+    }
+
+    /// Like [`StrgIndex::knn`], but also reports the query's [`QueryCost`].
+    /// The work fields (`distance_calls`, `node_accesses`, `pruned`) are
+    /// bit-identical at any thread count; see `crate::index::search`.
+    pub fn knn_with_cost(&self, query: &[V], k: usize) -> (Vec<Hit>, QueryCost) {
+        self.timed(|cost| {
+            search::knn(
+                &self.roots,
+                &self.metric,
+                query,
+                k,
+                None,
+                self.cfg.threads,
+                cost,
+            )
+        })
     }
 
     /// Exact k-NN restricted to one root record (used after background
     /// matching, Algorithm 3 step 2).
     pub fn knn_in_root(&self, root_id: u32, query: &[V], k: usize) -> Vec<Hit> {
-        search::knn(
-            self.roots(),
-            &self.metric,
-            query,
-            k,
-            Some(root_id),
-            self.cfg.threads,
-        )
+        self.knn_in_root_with_cost(root_id, query, k).0
+    }
+
+    /// Like [`StrgIndex::knn_in_root`], but also reports the [`QueryCost`].
+    pub fn knn_in_root_with_cost(
+        &self,
+        root_id: u32,
+        query: &[V],
+        k: usize,
+    ) -> (Vec<Hit>, QueryCost) {
+        self.timed(|cost| {
+            search::knn(
+                &self.roots,
+                &self.metric,
+                query,
+                k,
+                Some(root_id),
+                self.cfg.threads,
+                cost,
+            )
+        })
     }
 
     /// The paper's Algorithm 3 as written: descend into the *single* most
     /// similar cluster and k-NN only inside its leaf. Cheaper but
     /// approximate; Figure 7c quantifies the accuracy trade-off.
     pub fn knn_single_cluster(&self, query: &[V], k: usize) -> Vec<Hit> {
-        search::knn_single_cluster(self.roots(), &self.metric, query, k, self.cfg.threads)
+        self.knn_single_cluster_with_cost(query, k).0
+    }
+
+    /// Like [`StrgIndex::knn_single_cluster`], but also reports the
+    /// [`QueryCost`].
+    pub fn knn_single_cluster_with_cost(&self, query: &[V], k: usize) -> (Vec<Hit>, QueryCost) {
+        self.timed(|cost| {
+            search::knn_single_cluster(&self.roots, &self.metric, query, k, self.cfg.threads, cost)
+        })
     }
 
     /// Range query: every OG within `radius` of `query`, ascending by
     /// distance (exact, with the same key-band pruning as [`StrgIndex::knn`]).
     pub fn range(&self, query: &[V], radius: f64) -> Vec<Hit> {
-        search::range(
-            self.roots(),
-            &self.metric,
-            query,
-            radius,
-            None,
-            self.cfg.threads,
-        )
+        self.range_with_cost(query, radius).0
+    }
+
+    /// Like [`StrgIndex::range`], but also reports the [`QueryCost`].
+    pub fn range_with_cost(&self, query: &[V], radius: f64) -> (Vec<Hit>, QueryCost) {
+        self.timed(|cost| {
+            search::range(
+                &self.roots,
+                &self.metric,
+                query,
+                radius,
+                None,
+                self.cfg.threads,
+                cost,
+            )
+        })
     }
 
     /// Range query restricted to one root record.
     pub fn range_in_root(&self, root_id: u32, query: &[V], radius: f64) -> Vec<Hit> {
-        search::range(
-            self.roots(),
-            &self.metric,
-            query,
-            radius,
-            Some(root_id),
-            self.cfg.threads,
-        )
+        self.range_in_root_with_cost(root_id, query, radius).0
+    }
+
+    /// Like [`StrgIndex::range_in_root`], but also reports the
+    /// [`QueryCost`].
+    pub fn range_in_root_with_cost(
+        &self,
+        root_id: u32,
+        query: &[V],
+        radius: f64,
+    ) -> (Vec<Hit>, QueryCost) {
+        self.timed(|cost| {
+            search::range(
+                &self.roots,
+                &self.metric,
+                query,
+                radius,
+                Some(root_id),
+                self.cfg.threads,
+                cost,
+            )
+        })
+    }
+
+    /// Runs `f` with a fresh [`QueryCost`], stamping the wall-clock elapsed
+    /// time afterwards.
+    fn timed<T>(&self, f: impl FnOnce(&mut QueryCost) -> T) -> (T, QueryCost) {
+        let start = std::time::Instant::now();
+        let mut cost = QueryCost::default();
+        let out = f(&mut cost);
+        cost.elapsed = start.elapsed();
+        (out, cost)
     }
 
     /// Algorithm 3 step 2: matches a query Background Graph against the
@@ -423,10 +523,37 @@ impl<V: ClusterValue, D: MetricDistance<V> + Sync> StrgIndex<V, D> {
         query: &[V],
         k: usize,
     ) -> Vec<Hit> {
-        match self.match_root(bg, compat) {
-            Some((root, sim)) if sim >= min_similarity => self.knn_in_root(root, query, k),
-            _ => self.knn(query, k),
-        }
+        self.knn_with_background_with_cost(bg, compat, min_similarity, query, k)
+            .0
+    }
+
+    /// Like [`StrgIndex::knn_with_background`], but also reports the
+    /// [`QueryCost`]. The root-record scan of the background match is
+    /// charged as one node access per root.
+    pub fn knn_with_background_with_cost(
+        &self,
+        bg: &strg_graph::BackgroundGraph,
+        compat: &strg_graph::CompatParams,
+        min_similarity: f64,
+        query: &[V],
+        k: usize,
+    ) -> (Vec<Hit>, QueryCost) {
+        let start = std::time::Instant::now();
+        let matched = self.match_root(bg, compat);
+        let (hits, mut cost) = match matched {
+            Some((root, sim)) if sim >= min_similarity => {
+                self.knn_in_root_with_cost(root, query, k)
+            }
+            _ => self.knn_with_cost(query, k),
+        };
+        let mut total = QueryCost {
+            node_accesses: self.roots.len() as u64, // background matching scan
+            ..QueryCost::default()
+        };
+        total.merge(&cost);
+        cost = total;
+        cost.elapsed = start.elapsed();
+        (hits, cost)
     }
 
     /// Size of the index per Equation (10): member OGs + centroid OGs + one

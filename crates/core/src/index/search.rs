@@ -9,8 +9,17 @@
 //!   search Figure 7b's distance-computation counts are about.
 //! * [`knn_single_cluster`] — the literal Algorithm 3: pick the single most
 //!   similar centroid and scan only its leaf (approximate; Figure 7c).
+//!
+//! Every search threads a [`QueryCost`]. The counts are *logical*: they
+//! charge the work of the sequential decision sequence (which the parallel
+//! path replays over precomputed values), so they are bit-identical at any
+//! thread count and — at `Threads::Fixed(1)` — equal to the physical call
+//! count a [`strg_distance::CountingDistance`] observes. Speculative
+//! evaluations the parallel k-NN band performs beyond what the adaptive
+//! sequential scan needs are intentionally *not* charged (see DESIGN.md §8).
 
 use strg_distance::{MetricDistance, SeqValue};
+use strg_obs::QueryCost;
 use strg_parallel::{par_map, Threads};
 
 use super::RootRecord;
@@ -47,12 +56,21 @@ fn gather_cands<'a, V: SeqValue, D: MetricDistance<V> + Sync>(
     query: &[V],
     root_filter: Option<u32>,
     threads: Threads,
+    cost: &mut QueryCost,
 ) -> Vec<Cand<'a, V>> {
+    let visited_roots = roots
+        .iter()
+        .filter(|root| root_filter.is_none_or(|r| r == root.id))
+        .count() as u64;
     let refs: Vec<(u32, &super::ClusterRecord<V>)> = roots
         .iter()
         .filter(|root| root_filter.is_none_or(|r| r == root.id))
         .flat_map(|root| root.clusters.iter().map(move |c| (root.id, c)))
         .collect();
+    // One root-node access per visited root record, one cluster-node access
+    // and one centroid distance per cluster record scanned.
+    cost.node_accesses += visited_roots + refs.len() as u64;
+    cost.distance_calls += refs.len() as u64;
     par_map(&refs, threads, |&(root_id, c)| {
         let d = metric.distance(query, &c.centroid);
         // Any member m satisfies d(q, m) >= |d(q, centroid) - key(m)|;
@@ -96,27 +114,36 @@ pub fn knn<V: SeqValue, D: MetricDistance<V> + Sync>(
     k: usize,
     root_filter: Option<u32>,
     threads: Threads,
+    cost: &mut QueryCost,
 ) -> Vec<Hit> {
     if k == 0 {
         return Vec::new();
     }
     let parallel = !threads.is_sequential();
-    let mut cands = gather_cands(roots, metric, query, root_filter, threads);
+    let mut cands = gather_cands(roots, metric, query, root_filter, threads, cost);
     cands.sort_by(|a, b| a.lower.total_cmp(&b.lower));
 
     let mut best: Vec<Hit> = Vec::new(); // sorted ascending, len <= k
-    for cand in cands {
+    for (ci, cand) in cands.iter().enumerate() {
         let dk = if best.len() < k {
             f64::INFINITY
         } else {
             best[k - 1].dist
         };
         if cand.lower > dk {
-            break; // clusters are sorted by lower bound
+            // Clusters are sorted by lower bound: this and every remaining
+            // candidate's leaf records are excluded without evaluation.
+            cost.pruned += cands[ci..]
+                .iter()
+                .map(|c| c.leaf.records.len() as u64)
+                .sum::<u64>();
+            break;
         }
-        // Key-band scan: records outside |key - d_q| <= dk cannot qualify.
+        cost.node_accesses += 1; // the candidate's leaf node
+                                 // Key-band scan: records outside |key - d_q| <= dk cannot qualify.
         let records = &cand.leaf.records;
         let lo = records.partition_point(|r| r.key < cand.centroid_dist - dk);
+        cost.pruned += lo as u64;
         // Parallel path: evaluate the dk-at-entry band up front. It covers
         // every record the adaptive scan below can reach, because d_k only
         // shrinks while scanning.
@@ -128,6 +155,12 @@ pub fn knn<V: SeqValue, D: MetricDistance<V> + Sync>(
         } else {
             (&records[lo..], None)
         };
+        // `reached` is where the adaptive scan stops; records past it are
+        // pruned in bulk below. When the frozen parallel band is exhausted
+        // without a break, the sequential scan would break right at `hi`
+        // (every later key exceeds centroid_dist + dk-at-entry >= dk_now),
+        // so the bulk charge is identical on both paths.
+        let mut reached = band.len();
         for (i, r) in band.iter().enumerate() {
             let dk_now = if best.len() < k {
                 f64::INFINITY
@@ -135,11 +168,14 @@ pub fn knn<V: SeqValue, D: MetricDistance<V> + Sync>(
                 best[k - 1].dist
             };
             if r.key > cand.centroid_dist + dk_now {
+                reached = i;
                 break;
             }
             if (r.key - cand.centroid_dist).abs() > dk_now {
+                cost.pruned += 1;
                 continue;
             }
+            cost.distance_calls += 1;
             let d = match &dists {
                 Some(d) => d[i],
                 None => metric.distance(query, &r.seq),
@@ -156,6 +192,7 @@ pub fn knn<V: SeqValue, D: MetricDistance<V> + Sync>(
                 best.truncate(k);
             }
         }
+        cost.pruned += (records.len() - lo - reached) as u64;
     }
     best
 }
@@ -170,8 +207,9 @@ pub fn range<V: SeqValue, D: MetricDistance<V> + Sync>(
     radius: f64,
     root_filter: Option<u32>,
     threads: Threads,
+    cost: &mut QueryCost,
 ) -> Vec<Hit> {
-    let cands = gather_cands(roots, metric, query, root_filter, threads);
+    let cands = gather_cands(roots, metric, query, root_filter, threads, cost);
     let mut out = Vec::new();
     for cand in &cands {
         let d = cand.centroid_dist;
@@ -182,6 +220,9 @@ pub fn range<V: SeqValue, D: MetricDistance<V> + Sync>(
         let lo = records.partition_point(|r| r.key < d - radius);
         let hi = lo + records[lo..].partition_point(|r| r.key <= d + radius);
         let band = &records[lo..hi];
+        cost.node_accesses += 1;
+        cost.distance_calls += band.len() as u64;
+        cost.pruned += (records.len() - band.len()) as u64;
         let dists = par_map(band, threads, |r| metric.distance(query, &r.seq));
         for (r, dist) in band.iter().zip(dists) {
             if dist <= radius {
@@ -206,11 +247,12 @@ pub fn knn_single_cluster<V: SeqValue, D: MetricDistance<V> + Sync>(
     query: &[V],
     k: usize,
     threads: Threads,
+    cost: &mut QueryCost,
 ) -> Vec<Hit> {
     // Centroid scan in parallel; the winner is picked on this thread in
     // cluster order (strict `<`, so ties keep the earlier cluster exactly
     // as the sequential scan does).
-    let cands = gather_cands(roots, metric, query, None, threads);
+    let cands = gather_cands(roots, metric, query, None, threads, cost);
     let mut best_cluster: Option<&Cand<V>> = None;
     for cand in &cands {
         if best_cluster.is_none_or(|b| cand.centroid_dist < b.centroid_dist) {
@@ -222,10 +264,18 @@ pub fn knn_single_cluster<V: SeqValue, D: MetricDistance<V> + Sync>(
     };
     let (root_id, cluster_id, dq, leaf) =
         (cand.root_id, cand.cluster_id, cand.centroid_dist, cand.leaf);
-    // Scan the leaf around Key_q = EGED_M(q, OG_clus) outwards. The
-    // parallel path evaluates the whole leaf up front (the adaptive key
-    // prune below only ever skips records, so the precomputed distances are
-    // a superset), then replays the sequential predicates in record order.
+    // Every non-winning cluster's leaf is skipped wholesale — that is the
+    // approximation Algorithm 3 trades accuracy for.
+    cost.pruned += cands
+        .iter()
+        .filter(|c| !std::ptr::eq(*c, cand))
+        .map(|c| c.leaf.records.len() as u64)
+        .sum::<u64>();
+    cost.node_accesses += 1; // the winning leaf
+                             // Scan the leaf around Key_q = EGED_M(q, OG_clus) outwards. The
+                             // parallel path evaluates the whole leaf up front (the adaptive key
+                             // prune below only ever skips records, so the precomputed distances are
+                             // a superset), then replays the sequential predicates in record order.
     let dists = if threads.is_sequential() {
         None
     } else {
@@ -242,8 +292,10 @@ pub fn knn_single_cluster<V: SeqValue, D: MetricDistance<V> + Sync>(
             hits[k - 1].dist
         };
         if (r.key - dq).abs() > dk {
+            cost.pruned += 1;
             continue;
         }
+        cost.distance_calls += 1;
         let d = match &dists {
             Some(d) => d[i],
             None => metric.distance(query, &r.seq),
@@ -436,6 +488,86 @@ mod tests {
         assert_eq!(hits.len(), 5);
         let calls = cd.count();
         assert!(calls < 60, "pruning expected: {calls} calls for 60 OGs");
+    }
+
+    #[test]
+    fn query_cost_matches_counting_distance_sequential() {
+        use strg_parallel::Threads;
+        let cd = CountingDistance::new(EgedMetric::<f64>::new());
+        let mut idx = StrgIndex::new(
+            cd.clone(),
+            StrgIndexConfig::with_k(4).with_threads(Threads::Fixed(1)),
+        );
+        idx.add_segment(BackgroundGraph::default(), dataset());
+        for q in [
+            vec![82.0, 83.0, 84.0],
+            vec![0.0, 0.0, 0.0],
+            vec![500.0, 1.0, 2.0],
+        ] {
+            for k in [1, 5, 60] {
+                cd.reset();
+                let (_, cost) = idx.knn_with_cost(&q, k);
+                assert_eq!(cost.distance_calls, cd.count(), "knn k={k}");
+                cd.reset();
+                let (_, cost) = idx.knn_single_cluster_with_cost(&q, k);
+                assert_eq!(cost.distance_calls, cd.count(), "single k={k}");
+            }
+            for radius in [0.0, 20.0, 1e6] {
+                cd.reset();
+                let (_, cost) = idx.range_with_cost(&q, radius);
+                assert_eq!(cost.distance_calls, cd.count(), "range r={radius}");
+            }
+        }
+    }
+
+    #[test]
+    fn query_cost_identical_across_thread_counts() {
+        use strg_parallel::Threads;
+        let build = |threads| {
+            let mut idx = StrgIndex::new(
+                EgedMetric::<f64>::new(),
+                StrgIndexConfig::with_k(4).with_threads(threads),
+            );
+            idx.add_segment(BackgroundGraph::default(), dataset());
+            idx
+        };
+        let seq = build(Threads::Fixed(1));
+        for threads in [2, 8] {
+            let par = build(Threads::Fixed(threads));
+            for q in [
+                vec![82.0, 83.0, 84.0],
+                vec![0.0, 0.0, 0.0],
+                vec![161.0, 162.0, 163.0],
+            ] {
+                for k in [1, 5, 60] {
+                    let (_, a) = seq.knn_with_cost(&q, k);
+                    let (_, b) = par.knn_with_cost(&q, k);
+                    assert!(a.same_work(&b), "knn k={k}: {a:?} vs {b:?}");
+                    let (_, a) = seq.knn_single_cluster_with_cost(&q, k);
+                    let (_, b) = par.knn_single_cluster_with_cost(&q, k);
+                    assert!(a.same_work(&b), "single k={k}: {a:?} vs {b:?}");
+                }
+                for radius in [0.0, 20.0, 1e6] {
+                    let (_, a) = seq.range_with_cost(&q, radius);
+                    let (_, b) = par.range_with_cost(&q, radius);
+                    assert!(a.same_work(&b), "range r={radius}: {a:?} vs {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn query_cost_accounts_every_leaf_record() {
+        // distance_calls + pruned covers every leaf record in the index
+        // (evaluated or excluded), for both knn and range.
+        let mut idx = StrgIndex::new(EgedMetric::<f64>::new(), StrgIndexConfig::with_k(4));
+        idx.add_segment(BackgroundGraph::default(), dataset());
+        let n = idx.len() as u64;
+        let centroids = idx.cluster_count() as u64;
+        let (_, cost) = idx.knn_with_cost(&[82.0, 83.0, 84.0], 5);
+        assert_eq!(cost.distance_calls + cost.pruned, n + centroids);
+        let (_, cost) = idx.range_with_cost(&[82.0, 83.0, 84.0], 20.0);
+        assert_eq!(cost.distance_calls + cost.pruned, n + centroids);
     }
 
     #[test]

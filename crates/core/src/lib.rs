@@ -15,9 +15,12 @@
 pub mod index;
 pub mod persist;
 pub mod pipeline;
+pub mod query;
 
 pub use index::{ClusterRecord, Hit, LeafNode, LeafRecord, RootRecord, StrgIndex, StrgIndexConfig};
 pub use pipeline::{
     ClipMeta, DbStats, IngestReport, QueryHit, StoredOg, VideoDatabase, VideoDbConfig,
 };
+pub use query::{Query, QueryResult};
+pub use strg_obs::{QueryCost, Recorder, Snapshot};
 pub use strg_parallel::Threads;

@@ -360,8 +360,8 @@ mod tests {
         // Queries agree (index rebuilt deterministically).
         if a.objects > 0 {
             let q = db.og(0).unwrap().centroid_series();
-            let ha = db.query_knn(&q, 3);
-            let hb = loaded.query_knn(&q, 3);
+            let ha = db.query(crate::Query::knn(3).trajectory(&q)).hits;
+            let hb = loaded.query(crate::Query::knn(3).trajectory(&q)).hits;
             assert_eq!(ha.len(), hb.len());
             for (x, y) in ha.iter().zip(&hb) {
                 assert_eq!(x.og_id, y.og_id);

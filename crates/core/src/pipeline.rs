@@ -19,10 +19,12 @@
 use parking_lot::RwLock;
 use strg_distance::EgedMetric;
 use strg_graph::{build_strg, decompose, DecomposeConfig, ObjectGraph, Point2, TrackerConfig};
+use strg_obs::{QueryCost, Recorder, Snapshot};
 use strg_parallel::Threads;
 use strg_video::{frames_to_rags, Frame, SegmentConfig, VideoClip};
 
 use crate::index::{Hit, StrgIndex, StrgIndexConfig};
+use crate::query::{Query, QueryKind, QueryResult};
 
 /// Configuration of the full ingest pipeline.
 #[derive(Copy, Clone, Debug, Default)]
@@ -123,28 +125,61 @@ pub struct VideoDatabase {
     pub(crate) clips: RwLock<Vec<ClipMeta>>,
     pub(crate) ogs: RwLock<Vec<StoredOg>>,
     pub(crate) strg_bytes: RwLock<usize>,
+    pub(crate) recorder: Recorder,
 }
 
 impl VideoDatabase {
     /// Creates an empty database.
     pub fn new(cfg: VideoDbConfig) -> Self {
+        let recorder = Recorder::new();
+        let mut index = StrgIndex::new(EgedMetric::new(), cfg.index);
+        index.set_recorder(recorder.clone());
         Self {
             cfg,
-            index: RwLock::new(StrgIndex::new(EgedMetric::new(), cfg.index)),
+            index: RwLock::new(index),
             clips: RwLock::new(Vec::new()),
             ogs: RwLock::new(Vec::new()),
             strg_bytes: RwLock::new(0),
+            recorder,
         }
     }
 
-    /// Ingests a sequence of frames as one video segment.
+    /// The database's metric recorder. Every ingest and query records into
+    /// it; clones share the same registry.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// A point-in-time snapshot of every recorded metric (sorted by name).
+    /// Serialize with [`Snapshot::to_json_string`]; compare across thread
+    /// counts with [`Snapshot::deterministic_json`], which drops wall-clock
+    /// histograms and volatile counters.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.recorder.snapshot()
+    }
+
+    /// Ingests a sequence of frames as one video segment. Stage timings
+    /// land in the `ingest.segment_ns` / `ingest.track_ns` /
+    /// `ingest.decompose_ns` / `ingest.index_ns` histograms; deterministic
+    /// volume counters in `ingest.clips` / `ingest.frames` /
+    /// `ingest.objects`.
     pub fn ingest_frames(&self, name: &str, frames: &[Frame]) -> IngestReport {
+        let _total = self.recorder.span("ingest.total");
         // 1. Frame -> RAG (§2.1), fanned out across frames.
-        let rags = frames_to_rags(frames, &self.cfg.segment, self.cfg.threads);
+        let rags = {
+            let _s = self.recorder.span("ingest.segment");
+            frames_to_rags(frames, &self.cfg.segment, self.cfg.threads)
+        };
         // 2. RAGs -> STRG via tracking (§2.2).
-        let strg = build_strg(rags, &self.cfg.tracker);
+        let strg = {
+            let _s = self.recorder.span("ingest.track");
+            build_strg(rags, &self.cfg.tracker)
+        };
         // 3. Decompose (§2.3).
-        let d = decompose(&strg, &self.cfg.decompose);
+        let d = {
+            let _s = self.recorder.span("ingest.decompose");
+            decompose(&strg, &self.cfg.decompose)
+        };
         let strg_bytes = strg_graph::decompose::strg_size_bytes(&d);
         let background_nodes = d.background.rag.node_count();
 
@@ -169,7 +204,10 @@ impl VideoDatabase {
         }
         let objects = items.len();
         let mut index = self.index.write();
-        let root_id = index.add_segment(d.background, items);
+        let root_id = {
+            let _s = self.recorder.span("ingest.index");
+            index.add_segment(d.background, items)
+        };
         clips.push(ClipMeta {
             name: name.to_string(),
             root_id,
@@ -177,6 +215,9 @@ impl VideoDatabase {
             og_ids,
         });
         *self.strg_bytes.write() += strg_bytes;
+        self.recorder.add("ingest.clips", 1);
+        self.recorder.add("ingest.frames", frames.len() as u64);
+        self.recorder.add("ingest.objects", objects as u64);
 
         IngestReport {
             root_id,
@@ -192,48 +233,125 @@ impl VideoDatabase {
         self.ingest_frames(&clip.name, &frames)
     }
 
+    /// Executes a [`Query`] built with [`Query::knn`] or [`Query::range`].
+    ///
+    /// The query's [`QueryCost`] is always recorded into the database's
+    /// metrics (under `query.knn.*` / `query.range.*`); it is returned in
+    /// [`QueryResult::cost`] iff the query asked via [`Query::with_cost`].
+    /// The work fields of the cost are bit-identical at any thread count.
+    pub fn query(&self, q: Query<'_>) -> QueryResult {
+        enum Scope {
+            All,
+            Root(u32),
+            Miss,
+            Background(strg_graph::BackgroundGraph),
+        }
+        let start = std::time::Instant::now();
+        // Resolve the scope first (lock order: clips before index). The
+        // explicit clip wins over background matching.
+        let scope = if let Some(name) = &q.clip {
+            let clips = self.clips.read();
+            match clips.iter().find(|c| c.name == *name) {
+                Some(c) => Scope::Root(c.root_id),
+                None => Scope::Miss,
+            }
+        } else if let Some(frames) = q.background {
+            let rags = frames_to_rags(frames, &self.cfg.segment, self.cfg.threads);
+            let strg = build_strg(rags, &self.cfg.tracker);
+            let d = decompose(&strg, &self.cfg.decompose);
+            Scope::Background(d.background)
+        } else {
+            Scope::All
+        };
+
+        let index = self.index.read();
+        let (hits, mut cost) = match (q.kind, &scope) {
+            (_, Scope::Miss) => (Vec::new(), QueryCost::default()),
+            (QueryKind::Knn(k), Scope::All) => index.knn_with_cost(q.trajectory, k),
+            (QueryKind::Knn(k), Scope::Root(r)) => index.knn_in_root_with_cost(*r, q.trajectory, k),
+            (QueryKind::Knn(k), Scope::Background(bg)) => index.knn_with_background_with_cost(
+                bg,
+                &self.cfg.tracker.compat,
+                0.5,
+                q.trajectory,
+                k,
+            ),
+            (QueryKind::Range(radius), Scope::All) => index.range_with_cost(q.trajectory, radius),
+            (QueryKind::Range(radius), Scope::Root(r)) => {
+                index.range_in_root_with_cost(*r, q.trajectory, radius)
+            }
+            (QueryKind::Range(radius), Scope::Background(bg)) => {
+                // The root-record scan of the background match is charged as
+                // one node access per root, as in the k-NN path.
+                let mut total = QueryCost {
+                    node_accesses: index.roots().len() as u64,
+                    ..QueryCost::default()
+                };
+                let (hits, inner) = match index.match_root(bg, &self.cfg.tracker.compat) {
+                    Some((root, sim)) if sim >= 0.5 => {
+                        index.range_in_root_with_cost(root, q.trajectory, radius)
+                    }
+                    _ => index.range_with_cost(q.trajectory, radius),
+                };
+                total.merge(&inner);
+                (hits, total)
+            }
+        };
+        drop(index);
+        let hits = self.resolve(hits);
+        cost.elapsed = start.elapsed();
+        let prefix = match q.kind {
+            QueryKind::Knn(_) => "query.knn",
+            QueryKind::Range(_) => "query.range",
+        };
+        self.recorder.record_cost(prefix, &cost);
+        QueryResult {
+            hits,
+            cost: q.want_cost.then_some(cost),
+        }
+    }
+
     /// k-NN over the whole database: the `k` stored OGs whose centroid
     /// trajectories are closest (in metric EGED) to `query`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `db.query(Query::knn(k).trajectory(query))`"
+    )]
     pub fn query_knn(&self, query: &[Point2], k: usize) -> Vec<QueryHit> {
-        let index = self.index.read();
-        let hits = index.knn(query, k);
-        drop(index);
-        self.resolve(hits)
+        self.query(Query::knn(k).trajectory(query)).hits
     }
 
     /// The full Algorithm 3 query path: extract the Background Graph from
     /// the query segment's frames, match it against the root records
     /// (step 2), then k-NN inside the matched segment. Falls back to the
     /// global search when no background is similar enough.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `db.query(Query::knn(k).trajectory(query).with_background(query_frames))`"
+    )]
     pub fn query_knn_with_background(
         &self,
         query_frames: &[Frame],
         query: &[Point2],
         k: usize,
     ) -> Vec<QueryHit> {
-        let rags = frames_to_rags(query_frames, &self.cfg.segment, self.cfg.threads);
-        let strg = build_strg(rags, &self.cfg.tracker);
-        let d = decompose(&strg, &self.cfg.decompose);
-        let index = self.index.read();
-        let hits =
-            index.knn_with_background(&d.background, &self.cfg.tracker.compat, 0.5, query, k);
-        drop(index);
-        self.resolve(hits)
+        self.query(
+            Query::knn(k)
+                .trajectory(query)
+                .with_background(query_frames),
+        )
+        .hits
     }
 
     /// k-NN restricted to one clip (background-matched search,
     /// Algorithm 3 step 2).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `db.query(Query::knn(k).trajectory(query).in_clip(clip_name))`"
+    )]
     pub fn query_knn_in_clip(&self, clip_name: &str, query: &[Point2], k: usize) -> Vec<QueryHit> {
-        let clips = self.clips.read();
-        let Some(clip) = clips.iter().find(|c| c.name == clip_name) else {
-            return Vec::new();
-        };
-        let root = clip.root_id;
-        drop(clips);
-        let index = self.index.read();
-        let hits = index.knn_in_root(root, query, k);
-        drop(index);
-        self.resolve(hits)
+        self.query(Query::knn(k).trajectory(query).in_clip(clip_name))
+            .hits
     }
 
     fn resolve(&self, hits: Vec<Hit>) -> Vec<QueryHit> {
@@ -342,10 +460,19 @@ mod tests {
         // Query with one of the stored OG trajectories: it must match
         // itself at distance ~0.
         let og = db.og(0).expect("og 0 exists");
-        let hits = db.query_knn(&og.centroid_series(), 1);
-        assert_eq!(hits.len(), 1);
-        assert_eq!(hits[0].og_id, 0);
-        assert!(hits[0].dist < 1e-9);
+        let result = db.query(Query::knn(1).trajectory(&og.centroid_series()).with_cost());
+        assert_eq!(result.hits.len(), 1);
+        assert_eq!(result.hits[0].og_id, 0);
+        assert!(result.hits[0].dist < 1e-9);
+        let cost = result.cost.expect("with_cost() requested it");
+        assert!(cost.distance_calls >= 1);
+        // The same work is visible through the db-wide metrics.
+        let snap = db.metrics_snapshot();
+        assert_eq!(snap.counter("query.knn.count"), Some(1));
+        assert_eq!(
+            snap.counter("query.knn.distance_calls"),
+            Some(cost.distance_calls)
+        );
         let _ = Rgb::BLACK;
     }
 
@@ -364,7 +491,7 @@ mod tests {
         assert_eq!(after.objects, before.objects - removed);
         // Queries only see the surviving clip.
         let q: Vec<Point2> = (0..20).map(|i| Point2::new(4.0 * i as f64, 80.0)).collect();
-        for hit in db.query_knn(&q, 10) {
+        for hit in db.query(Query::knn(10).trajectory(&q)).hits {
             assert_eq!(hit.clip, "clip32");
         }
         assert!(db.remove_clip("clip31").is_none(), "already gone");
@@ -381,7 +508,11 @@ mod tests {
         db.ingest_clip(&small_clip(43, 1, 50), 3);
         let ogs_seen: Vec<u64> = {
             let q: Vec<Point2> = (0..20).map(|i| Point2::new(4.0 * i as f64, 80.0)).collect();
-            db.query_knn(&q, 50).into_iter().map(|h| h.og_id).collect()
+            db.query(Query::knn(50).trajectory(&q))
+                .hits
+                .into_iter()
+                .map(|h| h.og_id)
+                .collect()
         };
         let mut dedup = ogs_seen.clone();
         dedup.sort_unstable();
@@ -400,10 +531,13 @@ mod tests {
         db.ingest_clip(&small_clip(22, 1, 50), 2);
         assert_eq!(db.clip_names().len(), 2);
         let og = db.og(0).expect("first clip og");
-        let hits = db.query_knn_in_clip("clip21", &og.centroid_series(), 10);
+        let q = og.centroid_series();
+        let hits = db
+            .query(Query::knn(10).trajectory(&q).in_clip("clip21"))
+            .hits;
         assert!(!hits.is_empty());
         assert!(hits.iter().all(|h| h.clip == "clip21"));
-        let none = db.query_knn_in_clip("nope", &og.centroid_series(), 10);
+        let none = db.query(Query::knn(10).trajectory(&q).in_clip("nope")).hits;
         assert!(none.is_empty());
     }
 }

@@ -8,8 +8,9 @@
 //!   key function of the STRG-Index and of the M-tree baseline;
 //! * [`Dtw`], [`Lcs`], [`LpNorm`] — the baselines of the paper's
 //!   evaluation (Figure 5 and the introduction's discussion);
-//! * [`CountingDistance`] — instrumentation for the paper's cost model
-//!   (number of distance evaluations, §6.3).
+//! * [`CountingDistance`] / [`ObservedDistance`] — instrumentation for the
+//!   paper's cost model (number of distance evaluations, §6.3); the latter
+//!   records into a shared [`strg_obs::Recorder`].
 //!
 //! Everything is generic over [`SeqValue`] so the same code measures 1-D
 //! scalarized Object Graphs and 2-D centroid trajectories.
@@ -40,6 +41,7 @@ mod edr;
 mod eged;
 mod lcs;
 mod lp;
+mod observed;
 mod traits;
 mod value;
 
@@ -49,5 +51,6 @@ pub use edr::Edr;
 pub use eged::{Eged, EgedMetric, EgedRepeatGap, Erp, GapPolicy};
 pub use lcs::Lcs;
 pub use lp::{resample, Lerp, LpNorm};
+pub use observed::ObservedDistance;
 pub use traits::{MetricDistance, SequenceDistance};
 pub use value::SeqValue;

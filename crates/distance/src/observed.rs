@@ -1,0 +1,101 @@
+//! Recorder-backed distance instrumentation.
+//!
+//! [`CountingDistance`](crate::CountingDistance) counts raw calls through a
+//! private atomic — fine for a single experiment, invisible to the rest of
+//! the stack. [`ObservedDistance`] records into a shared
+//! [`strg_obs::Recorder`] instead, so distance work shows up in the same
+//! snapshot as node accesses, cluster iterations and query latencies. Two
+//! counters are kept:
+//!
+//! * `<prefix>.calls` — one per [`SequenceDistance::distance`] evaluation;
+//! * `<prefix>.value_ops` — the DP-lattice size `(|a|+1)·(|b|+1)` of each
+//!   evaluation, a machine-independent proxy for value-level work (every
+//!   distance in this crate fills such a lattice or an O(|a|·|b|) band).
+
+use strg_obs::{Counter, Recorder};
+
+use crate::traits::{MetricDistance, SequenceDistance};
+use crate::value::SeqValue;
+
+/// Wraps a distance, recording calls and value-level work into a
+/// [`Recorder`]. Clones share the same counters.
+#[derive(Clone, Debug)]
+pub struct ObservedDistance<D> {
+    inner: D,
+    calls: Counter,
+    value_ops: Counter,
+}
+
+impl<D> ObservedDistance<D> {
+    /// Wraps `inner`, registering `<prefix>.calls` and `<prefix>.value_ops`
+    /// on `recorder`.
+    pub fn new(inner: D, recorder: &Recorder, prefix: &str) -> Self {
+        Self {
+            inner,
+            calls: recorder.counter(&format!("{prefix}.calls")),
+            value_ops: recorder.counter(&format!("{prefix}.value_ops")),
+        }
+    }
+
+    /// Number of distance evaluations so far.
+    pub fn calls(&self) -> u64 {
+        self.calls.get()
+    }
+
+    /// Accumulated DP-lattice cells across all evaluations.
+    pub fn value_ops(&self) -> u64 {
+        self.value_ops.get()
+    }
+
+    /// The wrapped distance.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+}
+
+impl<V: SeqValue, D: SequenceDistance<V>> SequenceDistance<V> for ObservedDistance<D> {
+    fn distance(&self, a: &[V], b: &[V]) -> f64 {
+        self.calls.incr();
+        self.value_ops.add(((a.len() + 1) * (b.len() + 1)) as u64);
+        self.inner.distance(a, b)
+    }
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+impl<V: SeqValue, D: MetricDistance<V>> MetricDistance<V> for ObservedDistance<D> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eged::EgedMetric;
+
+    #[test]
+    fn records_calls_and_value_ops() {
+        let r = Recorder::new();
+        let d = ObservedDistance::new(EgedMetric::<f64>::new(), &r, "distance");
+        let _ = d.distance(&[1.0, 2.0], &[3.0]);
+        let _ = d.distance(&[1.0], &[2.0]);
+        assert_eq!(d.calls(), 2);
+        // (2+1)*(1+1) + (1+1)*(1+1) = 6 + 4 = 10.
+        assert_eq!(d.value_ops(), 10);
+        let s = r.snapshot();
+        assert_eq!(s.counter("distance.calls"), Some(2));
+        assert_eq!(s.counter("distance.value_ops"), Some(10));
+    }
+
+    #[test]
+    fn clones_share_counters_and_delegate() {
+        let r = Recorder::new();
+        let d = ObservedDistance::new(EgedMetric::<f64>::new(), &r, "d");
+        let d2 = d.clone();
+        let raw = EgedMetric::<f64>::new();
+        assert_eq!(
+            d2.distance(&[1.0, 2.0], &[3.0]),
+            raw.distance(&[1.0, 2.0], &[3.0])
+        );
+        assert_eq!(d.calls(), 1);
+        assert_eq!(SequenceDistance::<f64>::name(&d), "EGED_M");
+    }
+}

@@ -285,7 +285,11 @@ pub fn decompose(strg: &Strg, cfg: &DecomposeConfig) -> Decomposition {
             }
         }
     }
-    let mut groups: HashMap<usize, Vec<&Org>> = HashMap::new();
+    // BTreeMap, not HashMap: `values()` below fixes the pre-sort OG ids,
+    // and the (start_frame, id) sort breaks start-frame ties with them, so
+    // the grouping must iterate in a deterministic order.
+    let mut groups: std::collections::BTreeMap<usize, Vec<&Org>> =
+        std::collections::BTreeMap::new();
     for (i, org) in fg.iter().enumerate() {
         let r = find(&mut parent, i);
         groups.entry(r).or_default().push(org);

@@ -32,6 +32,7 @@ mod split;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use strg_distance::{MetricDistance, SeqValue};
+use strg_obs::QueryCost;
 
 use node::{LeafEntry, Node, RoutingEntry};
 pub use query::Neighbor;
@@ -163,12 +164,31 @@ impl<V: SeqValue, D: MetricDistance<V>> MTree<V, D> {
 
     /// k-nearest-neighbor query; results sorted by ascending distance.
     pub fn knn(&self, query: &[V], k: usize) -> Vec<Neighbor> {
-        query::knn(&self.root, &self.dist, query, k)
+        self.knn_with_cost(query, k).0
+    }
+
+    /// Like [`MTree::knn`], but also reports the query's [`QueryCost`]
+    /// (distance calls, node accesses, pruned entries, wall-clock).
+    pub fn knn_with_cost(&self, query: &[V], k: usize) -> (Vec<Neighbor>, QueryCost) {
+        let start = std::time::Instant::now();
+        let mut cost = QueryCost::default();
+        let out = query::knn(&self.root, &self.dist, query, k, &mut cost);
+        cost.elapsed = start.elapsed();
+        (out, cost)
     }
 
     /// Range query: every object within `radius` of `query`.
     pub fn range(&self, query: &[V], radius: f64) -> Vec<Neighbor> {
-        query::range(&self.root, &self.dist, query, radius)
+        self.range_with_cost(query, radius).0
+    }
+
+    /// Like [`MTree::range`], but also reports the query's [`QueryCost`].
+    pub fn range_with_cost(&self, query: &[V], radius: f64) -> (Vec<Neighbor>, QueryCost) {
+        let start = std::time::Instant::now();
+        let mut cost = QueryCost::default();
+        let out = query::range(&self.root, &self.dist, query, radius, &mut cost);
+        cost.elapsed = start.elapsed();
+        (out, cost)
     }
 
     /// Verifies the covering-radius invariant of every routing entry;
@@ -378,6 +398,23 @@ mod tests {
             calls < 300,
             "k-NN must prune: {calls} distance calls for 300 objects"
         );
+    }
+
+    #[test]
+    fn query_cost_matches_counting_distance() {
+        use strg_distance::CountingDistance;
+        let data = items(300);
+        let cd = CountingDistance::new(EgedMetric::<f64>::new());
+        let t = MTree::bulk_insert(cd.clone(), MTreeConfig::sampling(5), data);
+        cd.reset();
+        let (hits, cost) = t.knn_with_cost(&[100.0, 101.0, 102.0], 5);
+        assert_eq!(hits.len(), 5);
+        assert_eq!(cost.distance_calls, cd.count());
+        assert!(cost.node_accesses > 0);
+        cd.reset();
+        let (_, rcost) = t.range_with_cost(&[100.0, 101.0, 102.0], 25.0);
+        assert_eq!(rcost.distance_calls, cd.count());
+        assert!(rcost.node_accesses > 0);
     }
 
     #[test]

@@ -1,12 +1,14 @@
 //! M-tree search: k-NN with a priority queue over lower-bound distances and
 //! range search, both using parent-distance pre-filtering so that pruned
 //! entries cost *zero* distance evaluations — the quantity Figure 7b
-//! measures.
+//! measures. Every search threads a [`QueryCost`] so the baseline reports
+//! the same cost model as the STRG-Index.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use strg_distance::{MetricDistance, SeqValue};
+use strg_obs::QueryCost;
 
 use crate::node::Node;
 
@@ -67,11 +69,14 @@ impl Ord for Best {
 }
 
 /// k-nearest neighbors of `query`, sorted by ascending distance.
+/// `cost` accumulates distance calls, node accesses (every node popped and
+/// examined) and pruned entries (skipped without a distance evaluation).
 pub fn knn<V: SeqValue, D: MetricDistance<V>>(
     root: &Node<V>,
     dist: &D,
     query: &[V],
     k: usize,
+    cost: &mut QueryCost,
 ) -> Vec<Neighbor> {
     if k == 0 || root.object_count() == 0 {
         return Vec::new();
@@ -87,16 +92,22 @@ pub fn knn<V: SeqValue, D: MetricDistance<V>>(
     while let Some(p) = pending.pop() {
         let dk = current_bound(&best, k);
         if p.dmin > dk {
-            break; // everything left is further away
+            // Everything left is further away: charge the abandoned
+            // subtrees (including this one) as pruned.
+            cost.pruned += 1 + pending.len() as u64;
+            break;
         }
+        cost.node_accesses += 1;
         match p.node {
             Node::Leaf(entries) => {
                 for e in entries {
                     // Parent-distance pruning: |d(q, pivot) - d(o, pivot)|
                     // lower-bounds d(q, o).
                     if !p.dq_pivot.is_nan() && (p.dq_pivot - e.parent_dist).abs() > dk {
+                        cost.pruned += 1;
                         continue;
                     }
+                    cost.distance_calls += 1;
                     let d = dist.distance(query, &e.seq);
                     if d <= current_bound(&best, k) {
                         best.push(Best { dist: d, id: e.id });
@@ -110,8 +121,10 @@ pub fn knn<V: SeqValue, D: MetricDistance<V>>(
                 for r in entries {
                     let dk = current_bound(&best, k);
                     if !p.dq_pivot.is_nan() && (p.dq_pivot - r.parent_dist).abs() > dk + r.radius {
+                        cost.pruned += 1;
                         continue;
                     }
+                    cost.distance_calls += 1;
                     let d = dist.distance(query, &r.pivot);
                     let dmin = (d - r.radius).max(0.0);
                     if dmin <= dk {
@@ -120,6 +133,8 @@ pub fn knn<V: SeqValue, D: MetricDistance<V>>(
                             dmin,
                             dq_pivot: d,
                         });
+                    } else {
+                        cost.pruned += 1;
                     }
                 }
             }
@@ -147,19 +162,21 @@ fn current_bound(best: &BinaryHeap<Best>, k: usize) -> f64 {
 }
 
 /// Range query: all objects within `radius` of `query`, ascending by
-/// distance.
+/// distance. `cost` accumulates as in [`knn`].
 pub fn range<V: SeqValue, D: MetricDistance<V>>(
     root: &Node<V>,
     dist: &D,
     query: &[V],
     radius: f64,
+    cost: &mut QueryCost,
 ) -> Vec<Neighbor> {
     let mut out = Vec::new();
-    walk(root, dist, query, radius, f64::NAN, &mut out);
+    walk(root, dist, query, radius, f64::NAN, &mut out, cost);
     out.sort_by(|a, b| a.dist.total_cmp(&b.dist));
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn walk<V: SeqValue, D: MetricDistance<V>>(
     node: &Node<V>,
     dist: &D,
@@ -167,13 +184,17 @@ fn walk<V: SeqValue, D: MetricDistance<V>>(
     radius: f64,
     dq_pivot: f64,
     out: &mut Vec<Neighbor>,
+    cost: &mut QueryCost,
 ) {
+    cost.node_accesses += 1;
     match node {
         Node::Leaf(entries) => {
             for e in entries {
                 if !dq_pivot.is_nan() && (dq_pivot - e.parent_dist).abs() > radius {
+                    cost.pruned += 1;
                     continue;
                 }
+                cost.distance_calls += 1;
                 let d = dist.distance(query, &e.seq);
                 if d <= radius {
                     out.push(Neighbor { id: e.id, dist: d });
@@ -183,11 +204,15 @@ fn walk<V: SeqValue, D: MetricDistance<V>>(
         Node::Internal(entries) => {
             for r in entries {
                 if !dq_pivot.is_nan() && (dq_pivot - r.parent_dist).abs() > radius + r.radius {
+                    cost.pruned += 1;
                     continue;
                 }
+                cost.distance_calls += 1;
                 let d = dist.distance(query, &r.pivot);
                 if d <= radius + r.radius {
-                    walk(&r.child, dist, query, radius, d, out);
+                    walk(&r.child, dist, query, radius, d, out, cost);
+                } else {
+                    cost.pruned += 1;
                 }
             }
         }

@@ -1,0 +1,109 @@
+//! Per-query cost accounting — the paper's cost model as a return value.
+
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// The cost of one query, in the units the paper's evaluation uses
+/// (Figures 7–8): distance computations and node accesses, plus how much
+/// work pruning saved and the wall-clock spent.
+///
+/// **Determinism.** `distance_calls`, `node_accesses` and `pruned` count
+/// the *algorithmic* work of the sequential search and are bit-identical
+/// at any `STRG_THREADS` setting (the parallel search replays the
+/// sequential decision sequence over pre-computed values). `elapsed` is
+/// wall-clock and exempt — compare costs with [`QueryCost::same_work`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueryCost {
+    /// Number of sequence-distance evaluations the search charged.
+    pub distance_calls: u64,
+    /// Root, cluster and leaf node records accessed.
+    pub node_accesses: u64,
+    /// Leaf records excluded without a distance evaluation (triangle /
+    /// key-band pruning), plus cluster candidates cut by the best-first
+    /// lower bound.
+    pub pruned: u64,
+    /// Wall-clock duration of the query.
+    pub elapsed: Duration,
+}
+
+impl QueryCost {
+    /// Accumulates another cost into this one (durations add).
+    pub fn merge(&mut self, other: &QueryCost) {
+        self.distance_calls += other.distance_calls;
+        self.node_accesses += other.node_accesses;
+        self.pruned += other.pruned;
+        self.elapsed += other.elapsed;
+    }
+
+    /// Whether two costs describe the same algorithmic work — equality of
+    /// every field except the wall-clock `elapsed`.
+    pub fn same_work(&self, other: &QueryCost) -> bool {
+        self.distance_calls == other.distance_calls
+            && self.node_accesses == other.node_accesses
+            && self.pruned == other.pruned
+    }
+
+    /// JSON form:
+    /// `{"distance_calls":..,"node_accesses":..,"pruned":..,"elapsed_ns":..}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("distance_calls", Json::U64(self.distance_calls)),
+            ("node_accesses", Json::U64(self.node_accesses)),
+            ("pruned", Json::U64(self.pruned)),
+            (
+                "elapsed_ns",
+                Json::U64(self.elapsed.as_nanos().min(u64::MAX as u128) as u64),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = QueryCost {
+            distance_calls: 1,
+            node_accesses: 2,
+            pruned: 3,
+            elapsed: Duration::from_nanos(5),
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.distance_calls, 2);
+        assert_eq!(a.node_accesses, 4);
+        assert_eq!(a.pruned, 6);
+        assert_eq!(a.elapsed, Duration::from_nanos(10));
+    }
+
+    #[test]
+    fn same_work_ignores_elapsed() {
+        let a = QueryCost {
+            distance_calls: 1,
+            node_accesses: 2,
+            pruned: 3,
+            elapsed: Duration::from_secs(1),
+        };
+        let mut b = a;
+        b.elapsed = Duration::ZERO;
+        assert!(a.same_work(&b));
+        b.pruned = 0;
+        assert!(!a.same_work(&b));
+    }
+
+    #[test]
+    fn json_shape() {
+        let c = QueryCost {
+            distance_calls: 7,
+            node_accesses: 3,
+            pruned: 11,
+            elapsed: Duration::from_nanos(42),
+        };
+        assert_eq!(
+            c.to_json().render(),
+            r#"{"distance_calls":7,"node_accesses":3,"pruned":11,"elapsed_ns":42}"#
+        );
+    }
+}

@@ -1,0 +1,252 @@
+//! The atomic metric primitives: [`Counter`], [`Histogram`], [`Span`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::snapshot::{BucketCount, HistogramSnapshot};
+
+/// A lock-free monotonic counter. Clones share the same cell, so a call
+/// site can hold a handle while the registry keeps the original.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `v`.
+    #[inline]
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of power-of-two buckets: bucket `i` holds values whose bit width
+/// is `i`, i.e. the range `[2^(i-1), 2^i - 1]` (bucket 0 holds only 0).
+const BUCKETS: usize = 65;
+
+#[derive(Debug)]
+struct HistInner {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A fixed-bucket histogram over `u64` values (power-of-two bucket edges),
+/// all updates lock-free. Used for latency distributions in nanoseconds;
+/// histogram contents are wall-clock and therefore never part of the
+/// deterministic snapshot.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    inner: Arc<HistInner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            inner: Arc::new(HistInner {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value.
+    pub fn record(&self, v: u64) {
+        let idx = (u64::BITS - v.leading_zeros()) as usize; // 0 for v == 0
+        let h = &*self.inner;
+        h.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.sum.fetch_add(v, Ordering::Relaxed);
+        h.min.fetch_min(v, Ordering::Relaxed);
+        h.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Clears all buckets and aggregates.
+    pub fn reset(&self) {
+        let h = &*self.inner;
+        for b in &h.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        h.count.store(0, Ordering::Relaxed);
+        h.sum.store(0, Ordering::Relaxed);
+        h.min.store(u64::MAX, Ordering::Relaxed);
+        h.max.store(0, Ordering::Relaxed);
+    }
+
+    /// Snapshot under `name`; only non-empty buckets are kept, each tagged
+    /// with its inclusive upper edge.
+    pub fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let h = &*self.inner;
+        let count = h.count.load(Ordering::Relaxed);
+        let buckets = h
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                if c == 0 {
+                    return None;
+                }
+                let le = if i == 0 {
+                    0
+                } else if i >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                };
+                Some(BucketCount { le, count: c })
+            })
+            .collect();
+        HistogramSnapshot {
+            name: name.to_string(),
+            count,
+            sum: h.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                h.min.load(Ordering::Relaxed)
+            },
+            max: h.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A drop-guard timer: records the elapsed nanoseconds since construction
+/// into its histogram when dropped.
+#[derive(Debug)]
+pub struct Span {
+    hist: Histogram,
+    start: Instant,
+}
+
+impl Span {
+    /// Starts timing now.
+    pub fn start(hist: Histogram) -> Self {
+        Self {
+            hist,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let ns = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.hist.record(ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_values_by_bit_width() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 1000, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(
+            h.sum(),
+            0u64.wrapping_add(1 + 2 + 3 + 4 + 1000)
+                .wrapping_add(u64::MAX)
+        );
+        let s = h.snapshot("t");
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, u64::MAX);
+        // 0 -> le 0; 1 -> le 1; 2,3 -> le 3; 4 -> le 7; 1000 -> le 1023.
+        let find = |le: u64| s.buckets.iter().find(|b| b.le == le).map(|b| b.count);
+        assert_eq!(find(0), Some(1));
+        assert_eq!(find(1), Some(1));
+        assert_eq!(find(3), Some(2));
+        assert_eq!(find(7), Some(1));
+        assert_eq!(find(1023), Some(1));
+        assert_eq!(find(u64::MAX), Some(1));
+        let total: u64 = s.buckets.iter().map(|b| b.count).sum();
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot() {
+        let h = Histogram::new();
+        let s = h.snapshot("e");
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert!(s.buckets.is_empty());
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn span_records_on_drop() {
+        let h = Histogram::new();
+        {
+            let _s = Span::start(h.clone());
+        }
+        assert_eq!(h.count(), 1);
+    }
+}

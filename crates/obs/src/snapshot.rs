@@ -1,0 +1,186 @@
+//! Point-in-time metric snapshots and their JSON serialization.
+
+use crate::json::Json;
+
+/// One counter's snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: u64,
+    /// Whether the counter is exempt from the determinism contract.
+    pub volatile: bool,
+}
+
+/// One non-empty histogram bucket.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BucketCount {
+    /// Inclusive upper edge of the bucket.
+    pub le: u64,
+    /// Number of recorded values in the bucket.
+    pub count: u64,
+}
+
+/// One histogram's snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets, ascending by edge.
+    pub buckets: Vec<BucketCount>,
+}
+
+/// A point-in-time view of a [`crate::Recorder`], sorted by metric name.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// All counters.
+    pub counters: Vec<CounterSnapshot>,
+    /// All histograms.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// The value of counter `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// The snapshot restricted to the deterministic contract: volatile
+    /// counters and all histograms (wall-clock) are dropped. Two
+    /// deterministic snapshots of the same workload must be equal at any
+    /// thread count — compare them directly or via
+    /// [`Snapshot::deterministic_json`].
+    pub fn deterministic(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .filter(|c| !c.volatile)
+                .cloned()
+                .collect(),
+            histograms: Vec::new(),
+        }
+    }
+
+    /// JSON form of the full snapshot:
+    /// `{"counters":{...},"histograms":{...}}` with names sorted.
+    pub fn to_json(&self) -> Json {
+        let counters = Json::Object(
+            self.counters
+                .iter()
+                .map(|c| (c.name.clone(), Json::U64(c.value)))
+                .collect(),
+        );
+        let histograms = Json::Object(
+            self.histograms
+                .iter()
+                .map(|h| {
+                    (
+                        h.name.clone(),
+                        Json::obj(vec![
+                            ("count", Json::U64(h.count)),
+                            ("sum", Json::U64(h.sum)),
+                            ("min", Json::U64(h.min)),
+                            ("max", Json::U64(h.max)),
+                            (
+                                "buckets",
+                                Json::Array(
+                                    h.buckets
+                                        .iter()
+                                        .map(|b| {
+                                            Json::Array(vec![Json::U64(b.le), Json::U64(b.count)])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Json::obj(vec![("counters", counters), ("histograms", histograms)])
+    }
+
+    /// Rendered JSON of the full snapshot.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Rendered JSON of [`Snapshot::deterministic`] — byte-identical across
+    /// thread counts on the same workload.
+    pub fn deterministic_json(&self) -> String {
+        self.deterministic().to_json().render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            counters: vec![
+                CounterSnapshot {
+                    name: "a".into(),
+                    value: 3,
+                    volatile: false,
+                },
+                CounterSnapshot {
+                    name: "b.spec".into(),
+                    value: 9,
+                    volatile: true,
+                },
+            ],
+            histograms: vec![HistogramSnapshot {
+                name: "lat_ns".into(),
+                count: 2,
+                sum: 10,
+                min: 3,
+                max: 7,
+                buckets: vec![
+                    BucketCount { le: 3, count: 1 },
+                    BucketCount { le: 7, count: 1 },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn json_shape() {
+        let j = sample().to_json_string();
+        assert_eq!(
+            j,
+            r#"{"counters":{"a":3,"b.spec":9},"histograms":{"lat_ns":{"count":2,"sum":10,"min":3,"max":7,"buckets":[[3,1],[7,1]]}}}"#
+        );
+    }
+
+    #[test]
+    fn deterministic_drops_volatile_and_histograms() {
+        let d = sample().deterministic();
+        assert_eq!(d.counters.len(), 1);
+        assert!(d.histograms.is_empty());
+        assert_eq!(
+            sample().deterministic_json(),
+            r#"{"counters":{"a":3},"histograms":{}}"#
+        );
+    }
+
+    #[test]
+    fn counter_lookup() {
+        let s = sample();
+        assert_eq!(s.counter("a"), Some(3));
+        assert_eq!(s.counter("zz"), None);
+    }
+}

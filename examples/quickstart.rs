@@ -39,7 +39,8 @@ fn main() {
     // Query: a left-to-right walk at floor height.
     let query: Vec<Point2> = (0..40).map(|i| Point2::new(4.0 * i as f64, 80.0)).collect();
     println!("\n3 nearest stored objects to a left-to-right walking query:");
-    for hit in db.query_knn(&query, 3) {
+    let result = db.query(Query::knn(3).trajectory(&query).with_cost());
+    for hit in &result.hits {
         let og = db.og(hit.og_id).expect("stored og");
         println!(
             "  clip {:>9}  og #{:<3} dist {:>8.1}  lifetime {} frames, mean speed {:.1} px/frame",
@@ -50,4 +51,10 @@ fn main() {
             og.mean_velocity()
         );
     }
+    // Work counts only — elapsed time would make the stdout nondeterministic.
+    let cost = result.cost.expect("with_cost() requested it");
+    println!(
+        "cost: {} distance calls, {} node accesses, {} pruned",
+        cost.distance_calls, cost.node_accesses, cost.pruned
+    );
 }

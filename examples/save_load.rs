@@ -38,8 +38,8 @@ fn main() {
 
     // The rebuilt index answers identically.
     let q = db.og(0).expect("og 0").centroid_series();
-    let a = db.query_knn(&q, 3);
-    let b = loaded.query_knn(&q, 3);
+    let a = db.query(Query::knn(3).trajectory(&q)).hits;
+    let b = loaded.query(Query::knn(3).trajectory(&q)).hits;
     println!("\nquery agreement after reload:");
     for (x, y) in a.iter().zip(&b) {
         println!(

@@ -50,7 +50,10 @@ fn main() {
     // Query 4: the same walker, but restricted to the Lab1 clip only
     // (Algorithm 3's background-matched search path).
     println!("\nquery 'lab walker' restricted to clip Lab1:");
-    for hit in db.query_knn_in_clip("Lab1", &walker, 3) {
+    for hit in db
+        .query(Query::knn(3).trajectory(&walker).in_clip("Lab1"))
+        .hits
+    {
         println!(
             "    {:<9} og #{:<3} dist {:>9.1}",
             hit.clip, hit.og_id, hit.dist
@@ -60,10 +63,16 @@ fn main() {
 
 fn report_query(db: &VideoDatabase, label: &str, query: &[Point2], k: usize) {
     println!("\nquery '{label}' — top {k}:");
-    for hit in db.query_knn(query, k) {
+    let result = db.query(Query::knn(k).trajectory(query).with_cost());
+    for hit in &result.hits {
         println!(
             "    {:<9} og #{:<3} dist {:>9.1}",
             hit.clip, hit.og_id, hit.dist
         );
     }
+    let cost = result.cost.expect("with_cost() requested it");
+    println!(
+        "    ({} distance calls, {} node accesses, {} pruned)",
+        cost.distance_calls, cost.node_accesses, cost.pruned
+    );
 }

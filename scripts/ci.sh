@@ -23,4 +23,10 @@ STRG_THREADS=1 cargo test -q --test parallel_equivalence
 echo "==> sequential-equivalence suite under STRG_THREADS=8"
 STRG_THREADS=8 cargo test -q --test parallel_equivalence
 
+echo "==> observability-equivalence suite under STRG_THREADS=1"
+STRG_THREADS=1 cargo test -q --test obs_equivalence
+
+echo "==> observability-equivalence suite under STRG_THREADS=8"
+STRG_THREADS=8 cargo test -q --test obs_equivalence
+
 echo "CI gate passed."

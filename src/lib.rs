@@ -11,6 +11,7 @@
 //! | [`distance`] | §3 | EGED (non-metric + metric), DTW, LCS, Lp, call counting |
 //! | [`cluster`] | §4 | EM / K-Means / K-Harmonic-Means, BIC model selection |
 //! | [`mtree`] | §6.3 | the M-tree baseline (MT-RA / MT-SA) |
+//! | [`obs`] | §6.3 cost model | lock-free metrics: counters, histograms, spans, `QueryCost` |
 //! | [`parallel`] | — | deterministic fork/join helpers (`par_map`, the `STRG_THREADS` knob) |
 //! | [`rtree`] | §1 | the 3DR-tree baseline (time as a third R-tree dimension) |
 //! | [`synth`] | §6.1 | the 48-pattern synthetic trajectory workload |
@@ -33,8 +34,9 @@
 //!
 //! // Query by trajectory: the stored object finds itself.
 //! let og = db.og(0).unwrap();
-//! let hits = db.query_knn(&og.centroid_series(), 1);
-//! assert_eq!(hits[0].og_id, 0);
+//! let result = db.query(Query::knn(1).trajectory(&og.centroid_series()).with_cost());
+//! assert_eq!(result.hits[0].og_id, 0);
+//! assert!(result.cost.unwrap().distance_calls >= 1);
 //! ```
 
 pub use strg_cluster as cluster;
@@ -42,6 +44,7 @@ pub use strg_core as core;
 pub use strg_distance as distance;
 pub use strg_graph as graph;
 pub use strg_mtree as mtree;
+pub use strg_obs as obs;
 pub use strg_parallel as parallel;
 pub use strg_rtree as rtree;
 pub use strg_synth as synth;
@@ -54,7 +57,8 @@ pub mod prelude {
         KHarmonicMeans, KMeans,
     };
     pub use strg_core::{
-        Hit, IngestReport, QueryHit, StrgIndex, StrgIndexConfig, VideoDatabase, VideoDbConfig,
+        Hit, IngestReport, Query, QueryCost, QueryHit, QueryResult, Recorder, Snapshot, StrgIndex,
+        StrgIndexConfig, VideoDatabase, VideoDbConfig,
     };
     pub use strg_distance::{
         CountingDistance, Dtw, Edr, Eged, EgedMetric, Lcs, LpNorm, MetricDistance, SequenceDistance,

@@ -26,7 +26,7 @@ fn parallel_readers_agree() {
     let og = db.og(0).expect("first og");
     let q = og.centroid_series();
 
-    let baseline = db.query_knn(&q, 3);
+    let baseline = db.query(Query::knn(3).trajectory(&q).with_cost());
     let mut handles = Vec::new();
     for _ in 0..4 {
         let db = Arc::clone(&db);
@@ -34,17 +34,20 @@ fn parallel_readers_agree() {
         handles.push(std::thread::spawn(move || {
             let mut out = Vec::new();
             for _ in 0..25 {
-                out.push(db.query_knn(&q, 3));
+                out.push(db.query(Query::knn(3).trajectory(&q).with_cost()));
             }
             out
         }));
     }
+    let base_cost = baseline.cost.expect("with_cost() requested it");
     for h in handles {
         for result in h.join().expect("no panics") {
-            assert_eq!(result.len(), baseline.len());
-            for (a, b) in result.iter().zip(&baseline) {
+            assert_eq!(result.hits.len(), baseline.hits.len());
+            for (a, b) in result.hits.iter().zip(&baseline.hits) {
                 assert_eq!(a.og_id, b.og_id);
             }
+            // The index is static here: every reader does the same work.
+            assert!(result.cost.unwrap().same_work(&base_cost));
         }
     }
 }
@@ -70,7 +73,7 @@ fn queries_during_ingest_never_see_torn_state() {
             std::thread::spawn(move || {
                 for _ in 0..50 {
                     // Every hit must resolve to a live clip and OG.
-                    for hit in db.query_knn(&q, 5) {
+                    for hit in db.query(Query::knn(5).trajectory(&q)).hits {
                         assert!(db.og(hit.og_id).is_some());
                         assert!(!hit.clip.is_empty());
                     }
@@ -118,7 +121,7 @@ fn concurrent_writers_produce_consistent_database() {
                     let stats = db.stats();
                     // A snapshot can never report more clips than exist.
                     assert!(stats.clips <= 9);
-                    for hit in db.query_knn(&q, 5) {
+                    for hit in db.query(Query::knn(5).trajectory(&q)).hits {
                         assert!(db.og(hit.og_id).is_some());
                         assert!(!hit.clip.is_empty());
                     }
@@ -150,7 +153,7 @@ fn concurrent_writers_produce_consistent_database() {
 
     // OG ids are globally unique: querying with a huge k surfaces every
     // object exactly once.
-    let all = db.query_knn(&q, total_objects + 10);
+    let all = db.query(Query::knn(total_objects + 10).trajectory(&q)).hits;
     assert_eq!(all.len(), total_objects);
     let mut ids: Vec<u64> = all.iter().map(|h| h.og_id).collect();
     ids.sort_unstable();
@@ -190,7 +193,7 @@ fn concurrent_ingest_and_removal_stay_consistent() {
         let q = q.clone();
         std::thread::spawn(move || {
             for _ in 0..60 {
-                for hit in db.query_knn(&q, 5) {
+                for hit in db.query(Query::knn(5).trajectory(&q)).hits {
                     // A hit observed in a snapshot must resolve in that
                     // snapshot; by the time we re-resolve it the clip may
                     // be gone, which must yield None, never a panic.
@@ -205,7 +208,7 @@ fn concurrent_ingest_and_removal_stay_consistent() {
 
     let stats = db.stats();
     assert_eq!(stats.clips, 4, "3 removed, 4 added on top of 3");
-    let all = db.query_knn(&q, 1000);
+    let all = db.query(Query::knn(1000).trajectory(&q)).hits;
     assert_eq!(all.len(), stats.objects);
     let mut ids: Vec<u64> = all.iter().map(|h| h.og_id).collect();
     ids.sort_unstable();

@@ -62,9 +62,14 @@ fn self_query_returns_self_first() {
     let stats = db.stats();
     for id in 0..stats.objects as u64 {
         let og = db.og(id).unwrap();
-        let hits = db.query_knn(&og.centroid_series(), 1);
-        assert_eq!(hits[0].og_id, id, "own trajectory is its own 1-NN");
-        assert!(hits[0].dist < 1e-9);
+        let q = og.centroid_series();
+        let result = db.query(Query::knn(1).trajectory(&q).with_cost());
+        assert_eq!(result.hits[0].og_id, id, "own trajectory is its own 1-NN");
+        assert!(result.hits[0].dist < 1e-9);
+        // Finding one neighbor among n stored OGs must do real, bounded work.
+        let cost = result.cost.expect("with_cost() requested it");
+        assert!(cost.distance_calls >= 1);
+        assert!(cost.distance_calls + cost.pruned >= stats.objects as u64);
     }
 }
 
@@ -91,7 +96,11 @@ fn multiple_clips_are_isolated_per_root() {
     assert_eq!(stats.clips, 2);
     // Every OG retrieved from a clip-restricted query belongs to that clip.
     let og = db.og(0).unwrap();
-    for hit in db.query_knn_in_clip("demo11", &og.centroid_series(), 10) {
+    let q = og.centroid_series();
+    for hit in db
+        .query(Query::knn(10).trajectory(&q).in_clip("demo11"))
+        .hits
+    {
         assert_eq!(hit.clip, "demo11");
     }
 }
@@ -141,7 +150,9 @@ fn background_matched_query_routes_to_right_scene() {
     };
     let q_frames = q_clip.render_all(5);
     let q: Vec<Point2> = (0..30).map(|i| Point2::new(6.0 * i as f64, 50.0)).collect();
-    let hits = db.query_knn_with_background(&q_frames, &q, 3);
+    let hits = db
+        .query(Query::knn(3).trajectory(&q).with_background(&q_frames))
+        .hits;
     assert!(!hits.is_empty());
     assert!(
         hits.iter().all(|h| h.clip == "traffic"),
@@ -187,7 +198,7 @@ fn queries_across_scene_types_rank_matching_motion_first() {
     // A fast left-to-right trajectory in the traffic lane should retrieve a
     // traffic OG first.
     let q: Vec<Point2> = (0..30).map(|i| Point2::new(6.0 * i as f64, 50.0)).collect();
-    let hits = db.query_knn(&q, 1);
+    let hits = db.query(Query::knn(1).trajectory(&q)).hits;
     assert_eq!(
         hits[0].clip, "traffic",
         "traffic query matches traffic clip"

@@ -114,17 +114,23 @@ fn knn_answers_identical_across_thread_counts() {
         ingest_all(&db, &seeds);
         for (qi, q) in queries.iter().enumerate() {
             for k in [1, 3, 100] {
-                let a = base_db.query_knn(q, k);
-                let b = db.query_knn(q, k);
-                assert_hits_equal(&a, &b, &format!("query {qi} k {k} threads {t}"));
+                let a = base_db.query(Query::knn(k).trajectory(q).with_cost());
+                let b = db.query(Query::knn(k).trajectory(q).with_cost());
+                assert_hits_equal(&a.hits, &b.hits, &format!("query {qi} k {k} threads {t}"));
+                // The logical cost must not depend on the thread count.
+                assert!(
+                    a.cost.unwrap().same_work(&b.cost.unwrap()),
+                    "query {qi} k {k} threads {t}: cost diverged"
+                );
             }
         }
         // Stored trajectories must find themselves in both databases.
         let n = db.stats().objects as u64;
         for id in 0..n {
             let og = db.og(id).expect("stored");
-            let a = base_db.query_knn(&og.centroid_series(), 2);
-            let b = db.query_knn(&og.centroid_series(), 2);
+            let q = og.centroid_series();
+            let a = base_db.query(Query::knn(2).trajectory(&q)).hits;
+            let b = db.query(Query::knn(2).trajectory(&q)).hits;
             assert_hits_equal(&a, &b, &format!("self-query og {id} threads {t}"));
         }
     }
@@ -136,12 +142,30 @@ fn background_matched_queries_identical_across_thread_counts() {
     let q: Vec<Point2> = (0..20).map(|i| Point2::new(4.0 * i as f64, 72.0)).collect();
     let base_db = db_with(Threads::Fixed(1));
     ingest_all(&base_db, &[19, 29]);
-    let base = base_db.query_knn_with_background(&q_frames, &q, 4);
+    let base = base_db.query(
+        Query::knn(4)
+            .trajectory(&q)
+            .with_background(&q_frames)
+            .with_cost(),
+    );
     for &t in &THREAD_COUNTS[1..] {
         let db = db_with(Threads::Fixed(t));
         ingest_all(&db, &[19, 29]);
-        let hits = db.query_knn_with_background(&q_frames, &q, 4);
-        assert_hits_equal(&base, &hits, &format!("background query threads {t}"));
+        let r = db.query(
+            Query::knn(4)
+                .trajectory(&q)
+                .with_background(&q_frames)
+                .with_cost(),
+        );
+        assert_hits_equal(
+            &base.hits,
+            &r.hits,
+            &format!("background query threads {t}"),
+        );
+        assert!(
+            base.cost.unwrap().same_work(&r.cost.unwrap()),
+            "background query threads {t}: cost diverged"
+        );
     }
 }
 
@@ -157,8 +181,8 @@ fn default_config_matches_pinned_sequential() {
     assert_reports_equal(&a, &b, "auto vs sequential");
     let q: Vec<Point2> = (0..25).map(|i| Point2::new(3.0 * i as f64, 70.0)).collect();
     assert_hits_equal(
-        &auto_db.query_knn(&q, 5),
-        &seq_db.query_knn(&q, 5),
+        &auto_db.query(Query::knn(5).trajectory(&q)).hits,
+        &seq_db.query(Query::knn(5).trajectory(&q)).hits,
         "auto vs sequential knn",
     );
 }

@@ -62,7 +62,8 @@ fn survives_dropped_frames() {
     assert!(stats.index_bytes < stats.strg_bytes);
     // Queries still work.
     let og = db.og(0).unwrap();
-    let hits = db.query_knn(&og.centroid_series(), 1);
+    let q = og.centroid_series();
+    let hits = db.query(Query::knn(1).trajectory(&q)).hits;
     assert_eq!(hits[0].og_id, 0);
 }
 
@@ -131,5 +132,15 @@ fn empty_and_static_videos_are_harmless() {
     let report = db.ingest_frames("static", &frames);
     assert_eq!(report.objects, 0, "nothing moves, nothing indexed");
     assert!(report.background_nodes >= 3);
-    assert!(db.query_knn(&[Point2::new(1.0, 1.0)], 5).is_empty());
+    let r = db.query(
+        Query::knn(5)
+            .trajectory(&[Point2::new(1.0, 1.0)])
+            .with_cost(),
+    );
+    assert!(r.hits.is_empty());
+    assert_eq!(
+        r.cost.unwrap().distance_calls,
+        0,
+        "empty index does no work"
+    );
 }
