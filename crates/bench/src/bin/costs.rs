@@ -77,10 +77,11 @@ fn main() {
             }
             let nq = queries.len().max(1) as f64;
             eprintln!(
-                "{method:>10}  k={k:<3} mean distance calls {:>9.1}  node accesses {:>8.1}  pruned {:>9.1}",
+                "{method:>10}  k={k:<3} mean distance calls {:>9.1}  node accesses {:>8.1}  pruned {:>9.1}  lb-pruned {:>8.1}",
                 total.distance_calls as f64 / nq,
                 total.node_accesses as f64 / nq,
                 total.pruned as f64 / nq,
+                total.lb_pruned as f64 / nq,
             );
             rows.push(Json::obj(vec![
                 ("k", Json::U64(k as u64)),
@@ -88,6 +89,8 @@ fn main() {
                 ("distance_calls", Json::U64(total.distance_calls)),
                 ("node_accesses", Json::U64(total.node_accesses)),
                 ("pruned", Json::U64(total.pruned)),
+                ("lb_pruned", Json::U64(total.lb_pruned)),
+                ("early_abandoned", Json::U64(total.early_abandoned)),
                 (
                     "mean_distance_calls",
                     Json::F64(total.distance_calls as f64 / nq),

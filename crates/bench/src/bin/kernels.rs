@@ -1,0 +1,174 @@
+//! Bounded-kernel effectiveness: how much refined (full-DP) distance work
+//! the admissible lower bounds and early-abandoning kernels remove from
+//! k-NN search, per method, `k` and database size.
+//!
+//! For every configuration the workload runs twice over the same index:
+//! once with the kernels active and once under `STRG_NO_LB=1` (full
+//! evaluations, identical logical costs). The bin verifies the hit lists
+//! are byte-identical — the kernels are exactness-preserving — and writes
+//! `results/BENCH_kernels.json` with:
+//!
+//! * `refined_with_bounds` — full-DP evaluations actually completed
+//!   (`distance_calls - early_abandoned`);
+//! * `refined_without_bounds` — evaluations an unbounded scan performs
+//!   (`distance_calls + lb_pruned`);
+//! * `reduction` — the fraction of refined work the kernels removed;
+//! * wall-clock per mode (the no-LB mode additionally pays the hatch's
+//!   speculative refinement, so compare its `wall_ns` qualitatively).
+//!
+//! Run with: `cargo run --release -p strg-bench --bin kernels [-- --quick]`
+
+use strg_bench::report::results_dir;
+use strg_bench::Scale;
+use strg_core::{QueryCost, StrgIndex, StrgIndexConfig};
+use strg_distance::{EgedMetric, NO_LB_ENV};
+use strg_graph::{BackgroundGraph, Point2};
+use strg_mtree::{MTree, MTreeConfig};
+use strg_obs::Json;
+use strg_synth::{generate_total, SynthConfig};
+
+enum Index {
+    Strg(StrgIndex<Point2, EgedMetric<Point2>>),
+    MTree(MTree<Point2, EgedMetric<Point2>>),
+}
+
+fn build(method: &str, items: Vec<(u64, Vec<Point2>)>, seed: u64) -> Index {
+    let dist = EgedMetric::<Point2>::new();
+    match method {
+        "STRG-Index" => {
+            let mut cfg = StrgIndexConfig::with_k(48.min(items.len().max(1)));
+            cfg.seed = seed;
+            cfg.em_max_iters = 10;
+            cfg.em_n_init = 1;
+            let mut idx = StrgIndex::new(dist, cfg);
+            idx.add_segment(BackgroundGraph::default(), items);
+            Index::Strg(idx)
+        }
+        "MT-RA" => Index::MTree(MTree::bulk_insert(dist, MTreeConfig::random(seed), items)),
+        "MT-SA" => Index::MTree(MTree::bulk_insert(dist, MTreeConfig::sampling(seed), items)),
+        _ => panic!("unknown method {method}"),
+    }
+}
+
+/// Runs every query at `k`, returning the per-query hits (ids and distance
+/// bits) and the summed cost.
+fn run(index: &Index, queries: &[Vec<Point2>], k: usize) -> (Vec<Vec<(u64, u64)>>, QueryCost) {
+    let mut total = QueryCost::default();
+    let mut hits = Vec::with_capacity(queries.len());
+    for q in queries {
+        let row: Vec<(u64, u64)> = match index {
+            Index::Strg(i) => {
+                let (h, c) = i.knn_with_cost(q, k);
+                total.merge(&c);
+                h.iter().map(|x| (x.og_id, x.dist.to_bits())).collect()
+            }
+            Index::MTree(t) => {
+                let (h, c) = t.knn_with_cost(q, k);
+                total.merge(&c);
+                h.iter().map(|x| (x.id, x.dist.to_bits())).collect()
+            }
+        };
+        hits.push(row);
+    }
+    (hits, total)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick {
+        Scale::quick()
+    } else {
+        Scale::reduced()
+    };
+
+    let cfg = SynthConfig::with_noise(0.10);
+    let queries: Vec<Vec<Point2>> = generate_total(scale.queries, &cfg, scale.seed + 999)
+        .items
+        .into_iter()
+        .map(|q| q.points)
+        .collect();
+
+    let mut methods: Vec<(String, Json)> = Vec::new();
+    for method in ["STRG-Index", "MT-RA", "MT-SA"] {
+        let mut rows = Vec::new();
+        for &db_size in &scale.db_sizes {
+            let db = generate_total(db_size, &cfg, scale.seed + 1);
+            let items: Vec<(u64, Vec<Point2>)> = db
+                .series()
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| (i as u64, s))
+                .collect();
+            let index = build(method, items, scale.seed);
+            for &k in &scale.ks {
+                std::env::remove_var(NO_LB_ENV);
+                let t0 = std::time::Instant::now();
+                let (hits_lb, cost) = run(&index, &queries, k);
+                let wall_with = t0.elapsed();
+
+                std::env::set_var(NO_LB_ENV, "1");
+                let t0 = std::time::Instant::now();
+                let (hits_raw, cost_raw) = run(&index, &queries, k);
+                let wall_without = t0.elapsed();
+                std::env::remove_var(NO_LB_ENV);
+
+                assert_eq!(
+                    hits_lb, hits_raw,
+                    "{method} n={db_size} k={k}: bounded kernels changed the hit lists"
+                );
+                assert!(
+                    cost.same_work(&cost_raw),
+                    "{method} n={db_size} k={k}: logical costs diverged between modes"
+                );
+
+                let refined_with = cost.distance_calls - cost.early_abandoned;
+                let refined_without = cost.distance_calls + cost.lb_pruned;
+                let reduction = if refined_without > 0 {
+                    1.0 - refined_with as f64 / refined_without as f64
+                } else {
+                    0.0
+                };
+                eprintln!(
+                    "{method:>10}  n={db_size:<5} k={k:<3} refined {refined_with:>7} / {refined_without:<7} \
+                     (-{:.1}%)  lb_pruned {:>6}  early_abandoned {:>6}",
+                    reduction * 100.0,
+                    cost.lb_pruned,
+                    cost.early_abandoned,
+                );
+                rows.push(Json::obj(vec![
+                    ("db_size", Json::U64(db_size as u64)),
+                    ("k", Json::U64(k as u64)),
+                    ("queries", Json::U64(queries.len() as u64)),
+                    ("hits_identical", Json::Bool(true)),
+                    ("distance_calls", Json::U64(cost.distance_calls)),
+                    ("lb_pruned", Json::U64(cost.lb_pruned)),
+                    ("early_abandoned", Json::U64(cost.early_abandoned)),
+                    ("refined_with_bounds", Json::U64(refined_with)),
+                    ("refined_without_bounds", Json::U64(refined_without)),
+                    ("reduction", Json::F64(reduction)),
+                    (
+                        "wall_ns_with_bounds",
+                        Json::U64(wall_with.as_nanos().min(u64::MAX as u128) as u64),
+                    ),
+                    (
+                        "wall_ns_without_bounds",
+                        Json::U64(wall_without.as_nanos().min(u64::MAX as u128) as u64),
+                    ),
+                ]));
+            }
+        }
+        methods.push((method.to_string(), Json::Array(rows)));
+    }
+
+    let doc = Json::obj(vec![
+        ("seed", Json::U64(scale.seed)),
+        ("quick", Json::Bool(quick)),
+        ("methods", Json::Object(methods)),
+    ]);
+    let path = results_dir().join("BENCH_kernels.json");
+    if let Err(e) = std::fs::write(&path, doc.render()) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", path.display());
+}

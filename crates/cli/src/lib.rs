@@ -226,8 +226,8 @@ pub fn cmd_query(args: &Args) -> CmdResult {
     let cost = result.cost.expect("with_cost() requested it");
     let _ = write!(
         out,
-        "({} distance calls, {} node accesses, {} pruned)",
-        cost.distance_calls, cost.node_accesses, cost.pruned
+        "({} distance calls, {} node accesses, {} pruned, {} lb-pruned, {} early-abandoned)",
+        cost.distance_calls, cost.node_accesses, cost.pruned, cost.lb_pruned, cost.early_abandoned
     );
     Ok(out.trim_end().to_string())
 }
@@ -248,14 +248,25 @@ pub fn cmd_stats(args: &Args) -> CmdResult {
         ])
         .render());
     }
+    // Cumulative kernel counters for this process's queries (counters are
+    // in-memory, so a freshly loaded database reports zeros).
+    let snap = db.metrics_snapshot();
+    let c = |name: &str| snap.counter(name).unwrap_or(0);
+    let calls = c("query.knn.distance_calls") + c("query.range.distance_calls");
+    let lb = c("query.knn.lb_pruned") + c("query.range.lb_pruned");
+    let ea = c("query.knn.early_abandoned") + c("query.range.early_abandoned");
     Ok(format!(
-        "clips {}  objects {}  clusters {}  raw-STRG {} B  index {} B ({:.1}x smaller)",
+        "clips {}  objects {}  clusters {}  raw-STRG {} B  index {} B ({:.1}x smaller)\n\
+         kernels: {} distance calls, {} lb-pruned, {} early-abandoned (cumulative)",
         s.clips,
         s.objects,
         s.clusters,
         s.strg_bytes,
         s.index_bytes,
-        s.strg_bytes as f64 / s.index_bytes.max(1) as f64
+        s.strg_bytes as f64 / s.index_bytes.max(1) as f64,
+        calls,
+        lb,
+        ea,
     ))
 }
 
@@ -376,6 +387,8 @@ mod tests {
         ]))
         .expect("query");
         assert!(out.contains("cam1"), "{out}");
+        assert!(out.contains("lb-pruned"), "{out}");
+        assert!(out.contains("early-abandoned"), "{out}");
 
         // Duplicate name rejected.
         assert!(run(&v(&[
@@ -391,6 +404,11 @@ mod tests {
         assert!(out.starts_with('{'), "{out}");
         assert!(out.contains("\"hits\""), "{out}");
         assert!(out.contains("\"distance_calls\""), "{out}");
+        assert!(out.contains("\"lb_pruned\""), "{out}");
+        assert!(out.contains("\"early_abandoned\""), "{out}");
+
+        let out = run(&v(&["stats", "--db", &db])).expect("stats text");
+        assert!(out.contains("kernels:"), "{out}");
 
         let out = run(&v(&["stats", "--db", &db, "--json"])).expect("stats --json");
         assert!(out.contains("\"clips\":1"), "{out}");

@@ -18,7 +18,9 @@ mod search;
 pub use search::Hit;
 
 use strg_cluster::{bic, bic_sweep_threads, ClusterValue, Clusterer, EmClusterer, EmConfig};
-use strg_distance::{Eged, MetricDistance, SequenceDistance};
+use strg_distance::{
+    BoundedDistance, Eged, LowerBound, MetricDistance, SeqSummary, SequenceDistance,
+};
 use strg_graph::BackgroundGraph;
 use strg_obs::{QueryCost, Recorder};
 use strg_parallel::{par_map_indexed, Threads};
@@ -96,6 +98,11 @@ pub struct LeafRecord<V> {
     pub og_id: u64,
     /// The member OG's value sequence.
     pub seq: Vec<V>,
+    /// Precomputed summary of `seq` under the index metric, feeding the
+    /// admissible lower-bound filter at query time (see
+    /// `strg_distance::LowerBound`). Depends only on `seq` and the metric's
+    /// gap constant, so it survives leaf splits unchanged.
+    pub summary: SeqSummary<V>,
 }
 
 /// A leaf node: member records sorted by key.
@@ -163,7 +170,9 @@ pub struct StrgIndex<V, D> {
     recorder: Option<Recorder>,
 }
 
-impl<V: ClusterValue, D: MetricDistance<V> + Sync> StrgIndex<V, D> {
+impl<V: ClusterValue, D: MetricDistance<V> + BoundedDistance<V> + LowerBound<V> + Sync>
+    StrgIndex<V, D>
+{
     /// Creates an empty index.
     pub fn new(metric: D, cfg: StrgIndexConfig) -> Self {
         Self {
@@ -237,10 +246,12 @@ impl<V: ClusterValue, D: MetricDistance<V> + Sync> StrgIndex<V, D> {
             });
             for (j, (og_id, seq)) in ogs.into_iter().enumerate() {
                 let c = clustering.assignments[j];
+                let summary = self.metric.summarize(&seq);
                 clusters[c].leaf.insert_sorted(LeafRecord {
                     key: keys[j],
                     og_id,
                     seq,
+                    summary,
                 });
                 self.len += 1;
             }
@@ -291,9 +302,13 @@ impl<V: ClusterValue, D: MetricDistance<V> + Sync> StrgIndex<V, D> {
             .map(|(i, _)| i)
             .expect("at least one cluster");
         let key = self.metric.distance(&seq, &root.clusters[best].centroid);
-        root.clusters[best]
-            .leaf
-            .insert_sorted(LeafRecord { key, og_id, seq });
+        let summary = self.metric.summarize(&seq);
+        root.clusters[best].leaf.insert_sorted(LeafRecord {
+            key,
+            og_id,
+            seq,
+            summary,
+        });
         self.len += 1;
         if let Some(r) = &self.recorder {
             r.add("index.build.inserts", 1);

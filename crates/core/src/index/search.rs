@@ -17,8 +17,18 @@
 //! count a [`strg_distance::CountingDistance`] observes. Speculative
 //! evaluations the parallel k-NN band performs beyond what the adaptive
 //! sequential scan needs are intentionally *not* charged (see DESIGN.md §8).
+//!
+//! Refinement is filtered and bounded (DESIGN.md §9): before evaluating a
+//! band record the search checks an admissible summary lower bound against
+//! the current cutoff (charging `lb_pruned` on exclusion), and the
+//! evaluation itself runs through `distance_upto` with the cutoff so the DP
+//! can abandon early (charging `early_abandoned`, still within
+//! `distance_calls`). The `STRG_NO_LB` escape hatch changes only *physical*
+//! evaluation — the same predicates are computed and charged, but excluded
+//! candidates are speculatively refined and offered to the result set, so
+//! an inadmissible bound would surface as a hit-list difference.
 
-use strg_distance::{MetricDistance, SeqValue};
+use strg_distance::{lower_bounds_enabled, BoundedDistance, LowerBound, MetricDistance, SeqValue};
 use strg_obs::QueryCost;
 use strg_parallel::{par_map, Threads};
 
@@ -107,7 +117,7 @@ fn gather_cands<'a, V: SeqValue, D: MetricDistance<V> + Sync>(
 /// evaluates — fans the evaluations out, then replays the adaptive
 /// predicates in record order over the precomputed distances, so the
 /// surviving hits (and all tie-breaks) match the sequential path exactly.
-pub fn knn<V: SeqValue, D: MetricDistance<V> + Sync>(
+pub fn knn<V: SeqValue, D: MetricDistance<V> + BoundedDistance<V> + LowerBound<V> + Sync>(
     roots: &[RootRecord<V>],
     metric: &D,
     query: &[V],
@@ -120,6 +130,8 @@ pub fn knn<V: SeqValue, D: MetricDistance<V> + Sync>(
         return Vec::new();
     }
     let parallel = !threads.is_sequential();
+    let lb_active = lower_bounds_enabled();
+    let qsum = metric.summarize(query);
     let mut cands = gather_cands(roots, metric, query, root_filter, threads, cost);
     cands.sort_by(|a, b| a.lower.total_cmp(&b.lower));
 
@@ -146,11 +158,20 @@ pub fn knn<V: SeqValue, D: MetricDistance<V> + Sync>(
         cost.pruned += lo as u64;
         // Parallel path: evaluate the dk-at-entry band up front. It covers
         // every record the adaptive scan below can reach, because d_k only
-        // shrinks while scanning.
+        // shrinks while scanning. With lower bounds active the speculative
+        // evaluations are bounded by dk-at-entry: a `None` in the replay
+        // certifies d > dk-at-entry >= dk_now, exactly what the sequential
+        // `distance_upto(.., dk_now)` would have concluded.
         let (band, dists) = if parallel {
             let hi = lo + records[lo..].partition_point(|r| r.key <= cand.centroid_dist + dk);
             let band = &records[lo..hi];
-            let d = par_map(band, threads, |r| metric.distance(query, &r.seq));
+            let d = par_map(band, threads, |r| {
+                if lb_active {
+                    metric.distance_upto(query, &r.seq, dk)
+                } else {
+                    Some(metric.distance(query, &r.seq))
+                }
+            });
             (band, Some(d))
         } else {
             (&records[lo..], None)
@@ -175,11 +196,47 @@ pub fn knn<V: SeqValue, D: MetricDistance<V> + Sync>(
                 cost.pruned += 1;
                 continue;
             }
-            cost.distance_calls += 1;
+            // Summary lower bound: an excluded record is charged to
+            // lb_pruned in both modes; only the hatch refines it anyway
+            // (speculatively, uncharged) to expose an inadmissible bound.
+            let lb_cut = metric.lower_bound(query, &qsum, &r.summary) > dk_now;
+            if lb_cut {
+                cost.lb_pruned += 1;
+                if lb_active {
+                    continue;
+                }
+            } else {
+                cost.distance_calls += 1;
+            }
             let d = match &dists {
-                Some(d) => d[i],
-                None => metric.distance(query, &r.seq),
+                Some(ds) => match ds[i] {
+                    Some(d) => d,
+                    None => {
+                        // d > dk-at-entry >= dk_now: the sequential bounded
+                        // call would have abandoned too.
+                        cost.early_abandoned += 1;
+                        continue;
+                    }
+                },
+                None => {
+                    if lb_cut {
+                        metric.distance(query, &r.seq)
+                    } else if lb_active {
+                        match metric.distance_upto(query, &r.seq, dk_now) {
+                            Some(d) => d,
+                            None => {
+                                cost.early_abandoned += 1;
+                                continue;
+                            }
+                        }
+                    } else {
+                        metric.distance(query, &r.seq)
+                    }
+                }
             };
+            if !lb_cut && d > dk_now {
+                cost.early_abandoned += 1;
+            }
             if d < dk_now || best.len() < k {
                 let hit = Hit {
                     root_id: cand.root_id,
@@ -200,7 +257,7 @@ pub fn knn<V: SeqValue, D: MetricDistance<V> + Sync>(
 /// Range query: every OG within `radius` of `query`, ascending by
 /// distance. Uses the same centroid-distance / key-band pruning as
 /// [`knn`], with the fixed radius instead of the adaptive `d_k`.
-pub fn range<V: SeqValue, D: MetricDistance<V> + Sync>(
+pub fn range<V: SeqValue, D: MetricDistance<V> + BoundedDistance<V> + LowerBound<V> + Sync>(
     roots: &[RootRecord<V>],
     metric: &D,
     query: &[V],
@@ -209,6 +266,8 @@ pub fn range<V: SeqValue, D: MetricDistance<V> + Sync>(
     threads: Threads,
     cost: &mut QueryCost,
 ) -> Vec<Hit> {
+    let lb_active = lower_bounds_enabled();
+    let qsum = metric.summarize(query);
     let cands = gather_cands(roots, metric, query, root_filter, threads, cost);
     let mut out = Vec::new();
     for cand in &cands {
@@ -221,17 +280,54 @@ pub fn range<V: SeqValue, D: MetricDistance<V> + Sync>(
         let hi = lo + records[lo..].partition_point(|r| r.key <= d + radius);
         let band = &records[lo..hi];
         cost.node_accesses += 1;
-        cost.distance_calls += band.len() as u64;
         cost.pruned += (records.len() - band.len()) as u64;
-        let dists = par_map(band, threads, |r| metric.distance(query, &r.seq));
-        for (r, dist) in band.iter().zip(dists) {
-            if dist <= radius {
-                out.push(Hit {
-                    root_id: cand.root_id,
-                    cluster_id: cand.cluster_id,
-                    og_id: r.og_id,
-                    dist,
-                });
+        // The lb predicate depends only on the fixed radius, so it commutes
+        // with scan order: filter the band up front, fan out only the
+        // survivors. The hatch evaluates everything fully instead, with the
+        // same charges, and lets lb-cut records compete for the result set.
+        let keep: Vec<bool> = band
+            .iter()
+            .map(|r| metric.lower_bound(query, &qsum, &r.summary) <= radius)
+            .collect();
+        let mut push = |r: &super::LeafRecord<V>, dist: f64| {
+            out.push(Hit {
+                root_id: cand.root_id,
+                cluster_id: cand.cluster_id,
+                og_id: r.og_id,
+                dist,
+            });
+        };
+        if lb_active {
+            let survivors: Vec<&super::LeafRecord<V>> = band
+                .iter()
+                .zip(&keep)
+                .filter_map(|(r, &keep)| keep.then_some(r))
+                .collect();
+            cost.lb_pruned += (band.len() - survivors.len()) as u64;
+            cost.distance_calls += survivors.len() as u64;
+            let dists = par_map(&survivors, threads, |r| {
+                metric.distance_upto(query, &r.seq, radius)
+            });
+            for (r, dist) in survivors.iter().zip(dists) {
+                match dist {
+                    Some(dist) => push(r, dist),
+                    None => cost.early_abandoned += 1,
+                }
+            }
+        } else {
+            let dists = par_map(band, threads, |r| metric.distance(query, &r.seq));
+            for ((r, &keep), dist) in band.iter().zip(&keep).zip(dists) {
+                if keep {
+                    cost.distance_calls += 1;
+                    if dist > radius {
+                        cost.early_abandoned += 1;
+                    }
+                } else {
+                    cost.lb_pruned += 1;
+                }
+                if dist <= radius {
+                    push(r, dist);
+                }
             }
         }
     }
@@ -241,7 +337,10 @@ pub fn range<V: SeqValue, D: MetricDistance<V> + Sync>(
 
 /// The literal Algorithm 3: find the most similar `OG_clus`, then k-NN only
 /// within that cluster's leaf.
-pub fn knn_single_cluster<V: SeqValue, D: MetricDistance<V> + Sync>(
+pub fn knn_single_cluster<
+    V: SeqValue,
+    D: MetricDistance<V> + BoundedDistance<V> + LowerBound<V> + Sync,
+>(
     roots: &[RootRecord<V>],
     metric: &D,
     query: &[V],
@@ -249,6 +348,8 @@ pub fn knn_single_cluster<V: SeqValue, D: MetricDistance<V> + Sync>(
     threads: Threads,
     cost: &mut QueryCost,
 ) -> Vec<Hit> {
+    let lb_active = lower_bounds_enabled();
+    let qsum = metric.summarize(query);
     // Centroid scan in parallel; the winner is picked on this thread in
     // cluster order (strict `<`, so ties keep the earlier cluster exactly
     // as the sequential scan does).
@@ -295,11 +396,37 @@ pub fn knn_single_cluster<V: SeqValue, D: MetricDistance<V> + Sync>(
             cost.pruned += 1;
             continue;
         }
-        cost.distance_calls += 1;
+        let lb_cut = metric.lower_bound(query, &qsum, &r.summary) > dk;
+        if lb_cut {
+            cost.lb_pruned += 1;
+            if lb_active {
+                continue;
+            }
+        } else {
+            cost.distance_calls += 1;
+        }
         let d = match &dists {
             Some(d) => d[i],
-            None => metric.distance(query, &r.seq),
+            None => {
+                if lb_cut || !lb_active {
+                    metric.distance(query, &r.seq)
+                } else {
+                    match metric.distance_upto(query, &r.seq, dk) {
+                        Some(d) => d,
+                        None => {
+                            cost.early_abandoned += 1;
+                            continue;
+                        }
+                    }
+                }
+            }
         };
+        if !lb_cut && d > dk {
+            cost.early_abandoned += 1;
+        }
+        // Insertion past position k is truncated right away, so a record
+        // with d > dk (abandoned on the sequential bounded path) is a no-op
+        // here too — the replay stays exact.
         let pos = hits.partition_point(|h| h.dist <= d);
         hits.insert(
             pos,
@@ -558,16 +685,42 @@ mod tests {
 
     #[test]
     fn query_cost_accounts_every_leaf_record() {
-        // distance_calls + pruned covers every leaf record in the index
-        // (evaluated or excluded), for both knn and range.
+        // distance_calls + pruned + lb_pruned covers every leaf record in
+        // the index (evaluated or excluded), for both knn and range.
         let mut idx = StrgIndex::new(EgedMetric::<f64>::new(), StrgIndexConfig::with_k(4));
         idx.add_segment(BackgroundGraph::default(), dataset());
         let n = idx.len() as u64;
         let centroids = idx.cluster_count() as u64;
         let (_, cost) = idx.knn_with_cost(&[82.0, 83.0, 84.0], 5);
-        assert_eq!(cost.distance_calls + cost.pruned, n + centroids);
+        assert_eq!(
+            cost.distance_calls + cost.pruned + cost.lb_pruned,
+            n + centroids
+        );
+        assert!(cost.early_abandoned <= cost.distance_calls);
         let (_, cost) = idx.range_with_cost(&[82.0, 83.0, 84.0], 20.0);
-        assert_eq!(cost.distance_calls + cost.pruned, n + centroids);
+        assert_eq!(
+            cost.distance_calls + cost.pruned + cost.lb_pruned,
+            n + centroids
+        );
+        assert!(cost.early_abandoned <= cost.distance_calls);
+    }
+
+    #[test]
+    fn bounded_kernels_reduce_refined_work() {
+        // The filter-and-refine machinery must actually fire on clustered
+        // data: some in-band candidates are excluded by the summary bound
+        // or abandoned mid-DP, and the number of *completed* full DPs
+        // (distance_calls - early_abandoned) stays well below the record
+        // count.
+        let mut idx = StrgIndex::new(EgedMetric::<f64>::new(), StrgIndexConfig::with_k(4));
+        idx.add_segment(BackgroundGraph::default(), dataset());
+        let (hits, cost) = idx.knn_with_cost(&[82.0, 83.0, 84.0], 5);
+        assert_eq!(hits.len(), 5);
+        assert!(
+            cost.lb_pruned + cost.early_abandoned > 0,
+            "no candidate filtered or abandoned: {cost:?}"
+        );
+        assert!(cost.distance_calls - cost.early_abandoned < idx.len() as u64);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use crate::bounded::{BoundedDistance, LowerBound, SeqSummary};
 use crate::traits::{MetricDistance, SequenceDistance};
 use crate::value::SeqValue;
 
@@ -59,6 +60,32 @@ impl<V: SeqValue, D: SequenceDistance<V>> SequenceDistance<V> for CountingDistan
 }
 
 impl<V: SeqValue, D: MetricDistance<V>> MetricDistance<V> for CountingDistance<D> {}
+
+impl<V: SeqValue, D: BoundedDistance<V>> BoundedDistance<V> for CountingDistance<D> {
+    /// A bounded evaluation counts as one distance evaluation, whether or
+    /// not it abandons — the cost model charges the *decision to refine*,
+    /// and early abandoning is how a refine gets cheaper, not free.
+    fn distance_upto(&self, a: &[V], b: &[V], cutoff: f64) -> Option<f64> {
+        self.counter.fetch_add(1, Ordering::Relaxed);
+        self.inner.distance_upto(a, b, cutoff)
+    }
+}
+
+impl<V: SeqValue, D: LowerBound<V>> LowerBound<V> for CountingDistance<D> {
+    // Summaries and lower bounds are filter-side work, not distance
+    // evaluations: they are deliberately not counted.
+    fn summarize(&self, seq: &[V]) -> SeqSummary<V> {
+        self.inner.summarize(seq)
+    }
+    fn lower_bound(
+        &self,
+        query: &[V],
+        query_summary: &SeqSummary<V>,
+        candidate: &SeqSummary<V>,
+    ) -> f64 {
+        self.inner.lower_bound(query, query_summary, candidate)
+    }
+}
 
 #[cfg(test)]
 mod tests {

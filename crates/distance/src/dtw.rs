@@ -10,30 +10,51 @@ use crate::value::SeqValue;
 #[derive(Copy, Clone, Debug, Default)]
 pub struct Dtw;
 
+/// Cutoff-bounded DTW: `Some(d)` iff `d <= cutoff` (with `d` bit-identical
+/// to the unbounded DP), `None` iff the distance exceeds `cutoff`.
+///
+/// Same row-minimum argument as EGED: warping costs are non-negative, every
+/// cell extends some cell of the previous or current row, so the final value
+/// is `>=` the minimum of any completed row.
+pub(crate) fn dtw_upto<V: SeqValue>(a: &[V], b: &[V], cutoff: f64) -> Option<f64> {
+    let m = a.len();
+    let n = b.len();
+    if m == 0 || n == 0 {
+        // Conventional: distance to an empty sequence is the sum of
+        // ground distances to the origin, so that the function stays
+        // total on degenerate inputs.
+        let rest = if m == 0 { b } else { a };
+        let d: f64 = rest.iter().map(|v| v.dist(&V::origin())).sum();
+        return if d <= cutoff { Some(d) } else { None };
+    }
+    let mut prev = vec![f64::INFINITY; n + 1];
+    let mut cur = vec![f64::INFINITY; n + 1];
+    prev[0] = 0.0;
+    for i in 1..=m {
+        cur[0] = f64::INFINITY;
+        let mut row_min = f64::INFINITY;
+        for j in 1..=n {
+            let cost = a[i - 1].dist(&b[j - 1]);
+            let best = prev[j - 1].min(prev[j]).min(cur[j - 1]);
+            cur[j] = cost + best;
+            row_min = row_min.min(cur[j]);
+        }
+        if row_min > cutoff {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let d = prev[n];
+    if d <= cutoff {
+        Some(d)
+    } else {
+        None
+    }
+}
+
 impl<V: SeqValue> SequenceDistance<V> for Dtw {
     fn distance(&self, a: &[V], b: &[V]) -> f64 {
-        let m = a.len();
-        let n = b.len();
-        if m == 0 || n == 0 {
-            // Conventional: distance to an empty sequence is the sum of
-            // ground distances to the origin, so that the function stays
-            // total on degenerate inputs.
-            let rest = if m == 0 { b } else { a };
-            return rest.iter().map(|v| v.dist(&V::origin())).sum();
-        }
-        let mut prev = vec![f64::INFINITY; n + 1];
-        let mut cur = vec![f64::INFINITY; n + 1];
-        prev[0] = 0.0;
-        for i in 1..=m {
-            cur[0] = f64::INFINITY;
-            for j in 1..=n {
-                let cost = a[i - 1].dist(&b[j - 1]);
-                let best = prev[j - 1].min(prev[j]).min(cur[j - 1]);
-                cur[j] = cost + best;
-            }
-            std::mem::swap(&mut prev, &mut cur);
-        }
-        prev[n]
+        dtw_upto(a, b, f64::INFINITY).expect("infinite cutoff never abandons")
     }
 
     fn name(&self) -> &'static str {

@@ -50,10 +50,29 @@ pub enum GapPolicy<V> {
 /// `m = 0` / `n = 0` rows, which its metric variant requires); interior
 /// cells take the minimum of replace / delete / add per Definition 9.
 pub(crate) fn eged_dp<V: SeqValue>(a: &[V], b: &[V], policy: &GapPolicy<V>) -> f64 {
+    // With an infinite cutoff the bounded DP never abandons and performs
+    // exactly the unbounded recurrence, so the value is bit-identical.
+    eged_dp_upto(a, b, policy, f64::INFINITY).expect("infinite cutoff never abandons")
+}
+
+/// Cutoff-bounded EGED: `Some(d)` iff `d <= cutoff` (with `d` bit-identical
+/// to [`eged_dp`]), `None` iff the distance exceeds `cutoff`.
+///
+/// Early abandoning is exact: every edit cost is non-negative, so each DP
+/// cell is `>=` some cell of the previous row and the final value is `>=`
+/// the minimum of any row. Once a row's minimum exceeds `cutoff`, the true
+/// distance must too. Floating point preserves the argument — adding a
+/// non-negative `f64` never rounds below the addend, and `min` is exact.
+pub(crate) fn eged_dp_upto<V: SeqValue>(
+    a: &[V],
+    b: &[V],
+    policy: &GapPolicy<V>,
+    cutoff: f64,
+) -> Option<f64> {
     let m = a.len();
     let n = b.len();
     if m == 0 && n == 0 {
-        return 0.0;
+        return if 0.0 <= cutoff { Some(0.0) } else { None };
     }
     // Cost of deleting `v` when the other sequence is positioned at `opp`
     // (None when the other sequence is empty).
@@ -79,15 +98,25 @@ pub(crate) fn eged_dp<V: SeqValue>(a: &[V], b: &[V], policy: &GapPolicy<V>) -> f
     }
     for i in 1..=m {
         cur[0] = prev[0] + edit(&a[i - 1], b.first());
+        let mut row_min = cur[0];
         for j in 1..=n {
             let replace = prev[j - 1] + a[i - 1].dist(&b[j - 1]);
             let delete = prev[j] + edit(&a[i - 1], Some(&b[j - 1]));
             let add = cur[j - 1] + edit(&b[j - 1], Some(&a[i - 1]));
             cur[j] = replace.min(delete).min(add);
+            row_min = row_min.min(cur[j]);
+        }
+        if row_min > cutoff {
+            return None;
         }
         std::mem::swap(&mut prev, &mut cur);
     }
-    prev[n]
+    let d = prev[n];
+    if d <= cutoff {
+        Some(d)
+    } else {
+        None
+    }
 }
 
 /// The non-metric EGED with the midpoint gap `g_i = (v_{i-1} + v_i) / 2`
@@ -219,7 +248,7 @@ mod tests {
         let a = [0.0, 3.0, 1.0];
         let b = [2.0, 2.0];
         assert_eq!(eged_m(&a, &b), eged_m(&b, &a));
-        assert_eq!(eged(&a, &b), eged(&a, &b));
+        assert_eq!(eged(&a, &b), eged(&b, &a));
     }
 
     #[test]

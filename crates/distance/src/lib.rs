@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+mod bounded;
 mod counting;
 mod dtw;
 mod edr;
@@ -45,6 +46,7 @@ mod observed;
 mod traits;
 mod value;
 
+pub use bounded::{lower_bounds_enabled, BoundedDistance, LowerBound, SeqSummary, NO_LB_ENV};
 pub use counting::CountingDistance;
 pub use dtw::Dtw;
 pub use edr::Edr;

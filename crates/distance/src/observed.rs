@@ -14,6 +14,7 @@
 
 use strg_obs::{Counter, Recorder};
 
+use crate::bounded::{BoundedDistance, LowerBound, SeqSummary};
 use crate::traits::{MetricDistance, SequenceDistance};
 use crate::value::SeqValue;
 
@@ -65,6 +66,31 @@ impl<V: SeqValue, D: SequenceDistance<V>> SequenceDistance<V> for ObservedDistan
 }
 
 impl<V: SeqValue, D: MetricDistance<V>> MetricDistance<V> for ObservedDistance<D> {}
+
+impl<V: SeqValue, D: BoundedDistance<V>> BoundedDistance<V> for ObservedDistance<D> {
+    /// Charged like a full evaluation (including the full lattice in
+    /// `value_ops`): the recorder tracks the logical cost model, in which a
+    /// bounded evaluation *is* a distance evaluation.
+    fn distance_upto(&self, a: &[V], b: &[V], cutoff: f64) -> Option<f64> {
+        self.calls.incr();
+        self.value_ops.add(((a.len() + 1) * (b.len() + 1)) as u64);
+        self.inner.distance_upto(a, b, cutoff)
+    }
+}
+
+impl<V: SeqValue, D: LowerBound<V>> LowerBound<V> for ObservedDistance<D> {
+    fn summarize(&self, seq: &[V]) -> SeqSummary<V> {
+        self.inner.summarize(seq)
+    }
+    fn lower_bound(
+        &self,
+        query: &[V],
+        query_summary: &SeqSummary<V>,
+        candidate: &SeqSummary<V>,
+    ) -> f64 {
+        self.inner.lower_bound(query, query_summary, candidate)
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -31,7 +31,7 @@ mod split;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use strg_distance::{MetricDistance, SeqValue};
+use strg_distance::{BoundedDistance, LowerBound, MetricDistance, SeqValue};
 use strg_obs::QueryCost;
 
 use node::{LeafEntry, Node, RoutingEntry};
@@ -88,7 +88,7 @@ pub struct MTree<V, D> {
     len: usize,
 }
 
-impl<V: SeqValue, D: MetricDistance<V>> MTree<V, D> {
+impl<V: SeqValue, D: MetricDistance<V> + BoundedDistance<V> + LowerBound<V>> MTree<V, D> {
     /// Creates an empty tree.
     pub fn new(dist: D, cfg: MTreeConfig) -> Self {
         Self {
@@ -136,10 +136,12 @@ impl<V: SeqValue, D: MetricDistance<V>> MTree<V, D> {
 
     /// Inserts an object.
     pub fn insert(&mut self, id: u64, seq: Vec<V>) {
+        let summary = self.dist.summarize(&seq);
         let entry = LeafEntry {
             id,
             seq,
             parent_dist: 0.0,
+            summary,
         };
         let capacity = self.cfg.node_capacity;
         let policy = self.cfg.policy;

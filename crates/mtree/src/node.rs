@@ -5,6 +5,12 @@
 //! pivot (which enables triangle-inequality pruning without extra distance
 //! computations). Leaves hold the indexed objects with their distance to
 //! the leaf's pivot.
+//!
+//! Every entry additionally carries a [`SeqSummary`] of its sequence (or
+//! pivot), computed once at insert time, so searches can evaluate a cheap
+//! admissible lower bound before paying for a full distance evaluation.
+
+use strg_distance::SeqSummary;
 
 /// An object stored in a leaf.
 #[derive(Clone, Debug)]
@@ -15,6 +21,9 @@ pub struct LeafEntry<V> {
     pub seq: Vec<V>,
     /// Distance to the parent routing pivot.
     pub parent_dist: f64,
+    /// O(1) summary of `seq` for lower-bound filtering. Depends only on
+    /// the sequence and the metric's constants, so it survives splits.
+    pub summary: SeqSummary<V>,
 }
 
 /// A routing entry of an internal node.
@@ -27,6 +36,8 @@ pub struct RoutingEntry<V> {
     pub radius: f64,
     /// Distance from `pivot` to the parent routing pivot.
     pub parent_dist: f64,
+    /// O(1) summary of `pivot` for lower-bound filtering.
+    pub summary: SeqSummary<V>,
     /// The subtree.
     pub child: Box<Node<V>>,
 }
@@ -86,10 +97,14 @@ mod tests {
     fn leaf(ids: &[u64]) -> Node<f64> {
         Node::Leaf(
             ids.iter()
-                .map(|&id| LeafEntry {
-                    id,
-                    seq: vec![id as f64],
-                    parent_dist: 0.0,
+                .map(|&id| {
+                    let seq = vec![id as f64];
+                    LeafEntry {
+                        id,
+                        summary: SeqSummary::of(&seq, &0.0),
+                        seq,
+                        parent_dist: 0.0,
+                    }
                 })
                 .collect(),
         )
@@ -112,12 +127,14 @@ mod tests {
                 pivot: vec![0.0],
                 radius: 1.0,
                 parent_dist: 0.0,
+                summary: SeqSummary::of(&[0.0], &0.0),
                 child: Box::new(leaf(&[1, 2])),
             },
             RoutingEntry {
                 pivot: vec![10.0],
                 radius: 1.0,
                 parent_dist: 0.0,
+                summary: SeqSummary::of(&[10.0], &0.0),
                 child: Box::new(leaf(&[3])),
             },
         ]);

@@ -3,11 +3,21 @@
 //! entries cost *zero* distance evaluations — the quantity Figure 7b
 //! measures. Every search threads a [`QueryCost`] so the baseline reports
 //! the same cost model as the STRG-Index.
+//!
+//! On top of parent-distance pruning, both searches apply the same
+//! filter-and-refine discipline as the STRG-Index leaf scan: an admissible
+//! summary lower bound (charged as `lb_pruned`) cuts candidates before any
+//! distance evaluation, and surviving candidates are refined with
+//! [`BoundedDistance::distance_upto`] so hopeless alignments abandon early
+//! (charged as `early_abandoned`, still counted in `distance_calls`).
+//! Setting `STRG_NO_LB=1` disables the physical shortcuts while charging
+//! the identical logical costs, so results and [`QueryCost`] are
+//! byte-identical in both modes whenever the bounds are admissible.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use strg_distance::{MetricDistance, SeqValue};
+use strg_distance::{lower_bounds_enabled, BoundedDistance, LowerBound, MetricDistance, SeqValue};
 use strg_obs::QueryCost;
 
 use crate::node::Node;
@@ -71,7 +81,7 @@ impl Ord for Best {
 /// k-nearest neighbors of `query`, sorted by ascending distance.
 /// `cost` accumulates distance calls, node accesses (every node popped and
 /// examined) and pruned entries (skipped without a distance evaluation).
-pub fn knn<V: SeqValue, D: MetricDistance<V>>(
+pub fn knn<V: SeqValue, D: MetricDistance<V> + BoundedDistance<V> + LowerBound<V>>(
     root: &Node<V>,
     dist: &D,
     query: &[V],
@@ -81,6 +91,8 @@ pub fn knn<V: SeqValue, D: MetricDistance<V>>(
     if k == 0 || root.object_count() == 0 {
         return Vec::new();
     }
+    let lb_active = lower_bounds_enabled();
+    let qsum = dist.summarize(query);
     let mut best: BinaryHeap<Best> = BinaryHeap::new();
     let mut pending = BinaryHeap::new();
     pending.push(PendingNode {
@@ -101,14 +113,40 @@ pub fn knn<V: SeqValue, D: MetricDistance<V>>(
         match p.node {
             Node::Leaf(entries) => {
                 for e in entries {
+                    let dk_now = current_bound(&best, k);
                     // Parent-distance pruning: |d(q, pivot) - d(o, pivot)|
                     // lower-bounds d(q, o).
-                    if !p.dq_pivot.is_nan() && (p.dq_pivot - e.parent_dist).abs() > dk {
+                    if !p.dq_pivot.is_nan() && (p.dq_pivot - e.parent_dist).abs() > dk_now {
                         cost.pruned += 1;
                         continue;
                     }
-                    cost.distance_calls += 1;
-                    let d = dist.distance(query, &e.seq);
+                    // Summary lower bound: cut without any distance work.
+                    let lb_cut = dist.lower_bound(query, &qsum, &e.summary) > dk_now;
+                    if lb_cut {
+                        cost.lb_pruned += 1;
+                        if lb_active {
+                            continue;
+                        }
+                    } else {
+                        cost.distance_calls += 1;
+                    }
+                    // With `STRG_NO_LB=1` a cut candidate is still refined
+                    // (uncharged) and offered to the result set, so an
+                    // inadmissible bound surfaces as a hit-list diff.
+                    let d = if lb_active {
+                        match dist.distance_upto(query, &e.seq, dk_now) {
+                            Some(d) => d,
+                            None => {
+                                cost.early_abandoned += 1;
+                                continue;
+                            }
+                        }
+                    } else {
+                        dist.distance(query, &e.seq)
+                    };
+                    if !lb_cut && d > dk_now {
+                        cost.early_abandoned += 1;
+                    }
                     if d <= current_bound(&best, k) {
                         best.push(Best { dist: d, id: e.id });
                         if best.len() > k {
@@ -119,21 +157,42 @@ pub fn knn<V: SeqValue, D: MetricDistance<V>>(
             }
             Node::Internal(entries) => {
                 for r in entries {
-                    let dk = current_bound(&best, k);
-                    if !p.dq_pivot.is_nan() && (p.dq_pivot - r.parent_dist).abs() > dk + r.radius {
+                    let dk_now = current_bound(&best, k);
+                    // A subtree survives iff d(q, pivot) <= dk + radius.
+                    let cutoff = dk_now + r.radius;
+                    if !p.dq_pivot.is_nan() && (p.dq_pivot - r.parent_dist).abs() > cutoff {
                         cost.pruned += 1;
                         continue;
                     }
-                    cost.distance_calls += 1;
-                    let d = dist.distance(query, &r.pivot);
-                    let dmin = (d - r.radius).max(0.0);
-                    if dmin <= dk {
+                    let lb_cut = dist.lower_bound(query, &qsum, &r.summary) > cutoff;
+                    if lb_cut {
+                        cost.lb_pruned += 1;
+                        if lb_active {
+                            continue;
+                        }
+                    } else {
+                        cost.distance_calls += 1;
+                    }
+                    let d = if lb_active {
+                        match dist.distance_upto(query, &r.pivot, cutoff) {
+                            Some(d) => d,
+                            None => {
+                                cost.early_abandoned += 1;
+                                cost.pruned += 1;
+                                continue;
+                            }
+                        }
+                    } else {
+                        dist.distance(query, &r.pivot)
+                    };
+                    if d <= cutoff {
                         pending.push(PendingNode {
                             node: &r.child,
-                            dmin,
+                            dmin: (d - r.radius).max(0.0),
                             dq_pivot: d,
                         });
-                    } else {
+                    } else if !lb_cut {
+                        cost.early_abandoned += 1;
                         cost.pruned += 1;
                     }
                 }
@@ -163,24 +222,38 @@ fn current_bound(best: &BinaryHeap<Best>, k: usize) -> f64 {
 
 /// Range query: all objects within `radius` of `query`, ascending by
 /// distance. `cost` accumulates as in [`knn`].
-pub fn range<V: SeqValue, D: MetricDistance<V>>(
+pub fn range<V: SeqValue, D: MetricDistance<V> + BoundedDistance<V> + LowerBound<V>>(
     root: &Node<V>,
     dist: &D,
     query: &[V],
     radius: f64,
     cost: &mut QueryCost,
 ) -> Vec<Neighbor> {
+    let lb_active = lower_bounds_enabled();
+    let qsum = dist.summarize(query);
     let mut out = Vec::new();
-    walk(root, dist, query, radius, f64::NAN, &mut out, cost);
+    walk(
+        root,
+        dist,
+        query,
+        &qsum,
+        lb_active,
+        radius,
+        f64::NAN,
+        &mut out,
+        cost,
+    );
     out.sort_by(|a, b| a.dist.total_cmp(&b.dist));
     out
 }
 
 #[allow(clippy::too_many_arguments)]
-fn walk<V: SeqValue, D: MetricDistance<V>>(
+fn walk<V: SeqValue, D: MetricDistance<V> + BoundedDistance<V> + LowerBound<V>>(
     node: &Node<V>,
     dist: &D,
     query: &[V],
+    qsum: &strg_distance::SeqSummary<V>,
+    lb_active: bool,
     radius: f64,
     dq_pivot: f64,
     out: &mut Vec<Neighbor>,
@@ -194,8 +267,29 @@ fn walk<V: SeqValue, D: MetricDistance<V>>(
                     cost.pruned += 1;
                     continue;
                 }
-                cost.distance_calls += 1;
-                let d = dist.distance(query, &e.seq);
+                let lb_cut = dist.lower_bound(query, qsum, &e.summary) > radius;
+                if lb_cut {
+                    cost.lb_pruned += 1;
+                    if lb_active {
+                        continue;
+                    }
+                } else {
+                    cost.distance_calls += 1;
+                }
+                let d = if lb_active {
+                    match dist.distance_upto(query, &e.seq, radius) {
+                        Some(d) => d,
+                        None => {
+                            cost.early_abandoned += 1;
+                            continue;
+                        }
+                    }
+                } else {
+                    dist.distance(query, &e.seq)
+                };
+                if !lb_cut && d > radius {
+                    cost.early_abandoned += 1;
+                }
                 if d <= radius {
                     out.push(Neighbor { id: e.id, dist: d });
                 }
@@ -203,15 +297,36 @@ fn walk<V: SeqValue, D: MetricDistance<V>>(
         }
         Node::Internal(entries) => {
             for r in entries {
-                if !dq_pivot.is_nan() && (dq_pivot - r.parent_dist).abs() > radius + r.radius {
+                let cutoff = radius + r.radius;
+                if !dq_pivot.is_nan() && (dq_pivot - r.parent_dist).abs() > cutoff {
                     cost.pruned += 1;
                     continue;
                 }
-                cost.distance_calls += 1;
-                let d = dist.distance(query, &r.pivot);
-                if d <= radius + r.radius {
-                    walk(&r.child, dist, query, radius, d, out, cost);
+                let lb_cut = dist.lower_bound(query, qsum, &r.summary) > cutoff;
+                if lb_cut {
+                    cost.lb_pruned += 1;
+                    if lb_active {
+                        continue;
+                    }
                 } else {
+                    cost.distance_calls += 1;
+                }
+                let d = if lb_active {
+                    match dist.distance_upto(query, &r.pivot, cutoff) {
+                        Some(d) => d,
+                        None => {
+                            cost.early_abandoned += 1;
+                            cost.pruned += 1;
+                            continue;
+                        }
+                    }
+                } else {
+                    dist.distance(query, &r.pivot)
+                };
+                if d <= cutoff {
+                    walk(&r.child, dist, query, qsum, lb_active, radius, d, out, cost);
+                } else if !lb_cut {
+                    cost.early_abandoned += 1;
                     cost.pruned += 1;
                 }
             }

@@ -37,6 +37,8 @@ pub fn split_leaf<V: SeqValue, D: MetricDistance<V>>(
     let (p1, p2) = promote(&seqs, dist, policy, rng);
     let pivot1 = entries[p1].seq.clone();
     let pivot2 = entries[p2].seq.clone();
+    let sum1 = entries[p1].summary;
+    let sum2 = entries[p2].summary;
 
     let mut g1 = Vec::new();
     let mut g2 = Vec::new();
@@ -60,12 +62,14 @@ pub fn split_leaf<V: SeqValue, D: MetricDistance<V>>(
             pivot: pivot1,
             radius: r1,
             parent_dist: 0.0,
+            summary: sum1,
             child: Box::new(Node::Leaf(g1)),
         },
         RoutingEntry {
             pivot: pivot2,
             radius: r2,
             parent_dist: 0.0,
+            summary: sum2,
             child: Box::new(Node::Leaf(g2)),
         },
     )
@@ -82,6 +86,8 @@ pub fn split_internal<V: SeqValue, D: MetricDistance<V>>(
     let (p1, p2) = promote(&seqs, dist, policy, rng);
     let pivot1 = entries[p1].pivot.clone();
     let pivot2 = entries[p2].pivot.clone();
+    let sum1 = entries[p1].summary;
+    let sum2 = entries[p2].summary;
 
     let mut g1 = Vec::new();
     let mut g2 = Vec::new();
@@ -105,12 +111,14 @@ pub fn split_internal<V: SeqValue, D: MetricDistance<V>>(
             pivot: pivot1,
             radius: r1,
             parent_dist: 0.0,
+            summary: sum1,
             child: Box::new(Node::Internal(g1)),
         },
         RoutingEntry {
             pivot: pivot2,
             radius: r2,
             parent_dist: 0.0,
+            summary: sum2,
             child: Box::new(Node::Internal(g2)),
         },
     )
@@ -172,7 +180,7 @@ fn promote<V: SeqValue, D: MetricDistance<V>>(
 mod tests {
     use super::*;
     use rand::SeedableRng;
-    use strg_distance::EgedMetric;
+    use strg_distance::{EgedMetric, SeqSummary};
 
     fn leaf_entries(vals: &[f64]) -> Vec<LeafEntry<f64>> {
         vals.iter()
@@ -181,6 +189,7 @@ mod tests {
                 id: i as u64,
                 seq: vec![v],
                 parent_dist: 0.0,
+                summary: SeqSummary::of(&[v], &0.0),
             })
             .collect()
     }
@@ -226,6 +235,7 @@ mod tests {
             pivot: vec![v],
             radius: r,
             parent_dist: 0.0,
+            summary: SeqSummary::of(&[v], &0.0),
             child: Box::new(Node::Leaf(leaf_entries(&[v]))),
         };
         let entries = vec![mk(0.0, 3.0), mk(1.0, 1.0), mk(100.0, 5.0)];

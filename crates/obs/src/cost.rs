@@ -23,6 +23,15 @@ pub struct QueryCost {
     /// key-band pruning), plus cluster candidates cut by the best-first
     /// lower bound.
     pub pruned: u64,
+    /// Candidates excluded by an admissible summary lower bound before any
+    /// distance evaluation. Together with `distance_calls` and `pruned`
+    /// these partition the candidate set: `distance_calls + pruned +
+    /// lb_pruned == records + clusters` for a full STRG-Index search.
+    pub lb_pruned: u64,
+    /// Distance evaluations (already charged in `distance_calls`) that the
+    /// bounded kernel cut short once no alignment could beat the cutoff.
+    /// Always `<= distance_calls`.
+    pub early_abandoned: u64,
     /// Wall-clock duration of the query.
     pub elapsed: Duration,
 }
@@ -33,6 +42,8 @@ impl QueryCost {
         self.distance_calls += other.distance_calls;
         self.node_accesses += other.node_accesses;
         self.pruned += other.pruned;
+        self.lb_pruned += other.lb_pruned;
+        self.early_abandoned += other.early_abandoned;
         self.elapsed += other.elapsed;
     }
 
@@ -42,15 +53,19 @@ impl QueryCost {
         self.distance_calls == other.distance_calls
             && self.node_accesses == other.node_accesses
             && self.pruned == other.pruned
+            && self.lb_pruned == other.lb_pruned
+            && self.early_abandoned == other.early_abandoned
     }
 
-    /// JSON form:
-    /// `{"distance_calls":..,"node_accesses":..,"pruned":..,"elapsed_ns":..}`.
+    /// JSON form: `{"distance_calls":..,"node_accesses":..,"pruned":..,
+    /// "lb_pruned":..,"early_abandoned":..,"elapsed_ns":..}`.
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
             ("distance_calls", Json::U64(self.distance_calls)),
             ("node_accesses", Json::U64(self.node_accesses)),
             ("pruned", Json::U64(self.pruned)),
+            ("lb_pruned", Json::U64(self.lb_pruned)),
+            ("early_abandoned", Json::U64(self.early_abandoned)),
             (
                 "elapsed_ns",
                 Json::U64(self.elapsed.as_nanos().min(u64::MAX as u128) as u64),
@@ -69,12 +84,16 @@ mod tests {
             distance_calls: 1,
             node_accesses: 2,
             pruned: 3,
+            lb_pruned: 4,
+            early_abandoned: 1,
             elapsed: Duration::from_nanos(5),
         };
         a.merge(&a.clone());
         assert_eq!(a.distance_calls, 2);
         assert_eq!(a.node_accesses, 4);
         assert_eq!(a.pruned, 6);
+        assert_eq!(a.lb_pruned, 8);
+        assert_eq!(a.early_abandoned, 2);
         assert_eq!(a.elapsed, Duration::from_nanos(10));
     }
 
@@ -84,12 +103,20 @@ mod tests {
             distance_calls: 1,
             node_accesses: 2,
             pruned: 3,
+            lb_pruned: 4,
+            early_abandoned: 1,
             elapsed: Duration::from_secs(1),
         };
         let mut b = a;
         b.elapsed = Duration::ZERO;
         assert!(a.same_work(&b));
         b.pruned = 0;
+        assert!(!a.same_work(&b));
+        b = a;
+        b.lb_pruned = 0;
+        assert!(!a.same_work(&b));
+        b = a;
+        b.early_abandoned = 0;
         assert!(!a.same_work(&b));
     }
 
@@ -99,11 +126,13 @@ mod tests {
             distance_calls: 7,
             node_accesses: 3,
             pruned: 11,
+            lb_pruned: 2,
+            early_abandoned: 1,
             elapsed: Duration::from_nanos(42),
         };
         assert_eq!(
             c.to_json().render(),
-            r#"{"distance_calls":7,"node_accesses":3,"pruned":11,"elapsed_ns":42}"#
+            r#"{"distance_calls":7,"node_accesses":3,"pruned":11,"lb_pruned":2,"early_abandoned":1,"elapsed_ns":42}"#
         );
     }
 }

@@ -146,13 +146,16 @@ impl Recorder {
 
     /// Adds a [`QueryCost`] under `prefix`: deterministic counters
     /// `<prefix>.distance_calls`, `<prefix>.node_accesses`,
-    /// `<prefix>.pruned` and `<prefix>.count`, plus the latency histogram
-    /// `<prefix>.latency_ns`.
+    /// `<prefix>.pruned`, `<prefix>.lb_pruned`,
+    /// `<prefix>.early_abandoned` and `<prefix>.count`, plus the latency
+    /// histogram `<prefix>.latency_ns`.
     pub fn record_cost(&self, prefix: &str, cost: &QueryCost) {
         self.add(&format!("{prefix}.count"), 1);
         self.add(&format!("{prefix}.distance_calls"), cost.distance_calls);
         self.add(&format!("{prefix}.node_accesses"), cost.node_accesses);
         self.add(&format!("{prefix}.pruned"), cost.pruned);
+        self.add(&format!("{prefix}.lb_pruned"), cost.lb_pruned);
+        self.add(&format!("{prefix}.early_abandoned"), cost.early_abandoned);
         self.histogram(&format!("{prefix}.latency_ns"))
             .record(cost.elapsed.as_nanos().min(u64::MAX as u128) as u64);
     }
@@ -267,6 +270,8 @@ mod tests {
             distance_calls: 10,
             node_accesses: 4,
             pruned: 6,
+            lb_pruned: 3,
+            early_abandoned: 2,
             elapsed: std::time::Duration::from_micros(3),
         };
         r.record_cost("query", &cost);
@@ -275,6 +280,8 @@ mod tests {
         assert_eq!(r.counter("query.distance_calls").get(), 20);
         assert_eq!(r.counter("query.node_accesses").get(), 8);
         assert_eq!(r.counter("query.pruned").get(), 12);
+        assert_eq!(r.counter("query.lb_pruned").get(), 6);
+        assert_eq!(r.counter("query.early_abandoned").get(), 4);
         {
             let _s = r.span("work");
         }

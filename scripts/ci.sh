@@ -29,4 +29,13 @@ STRG_THREADS=1 cargo test -q --test obs_equivalence
 echo "==> observability-equivalence suite under STRG_THREADS=8"
 STRG_THREADS=8 cargo test -q --test obs_equivalence
 
+echo "==> kernel-equivalence suite under STRG_THREADS=1"
+STRG_THREADS=1 cargo test -q --test kernel_equivalence
+
+echo "==> kernel-equivalence suite under STRG_THREADS=8"
+STRG_THREADS=8 cargo test -q --test kernel_equivalence
+
+echo "==> bounded-kernel bench smoke (--quick)"
+cargo run --release -p strg-bench --bin kernels -- --quick
+
 echo "CI gate passed."

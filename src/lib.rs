@@ -61,7 +61,8 @@ pub mod prelude {
         StrgIndexConfig, VideoDatabase, VideoDbConfig,
     };
     pub use strg_distance::{
-        CountingDistance, Dtw, Edr, Eged, EgedMetric, Lcs, LpNorm, MetricDistance, SequenceDistance,
+        lower_bounds_enabled, BoundedDistance, CountingDistance, Dtw, Edr, Eged, EgedMetric, Lcs,
+        LowerBound, LpNorm, MetricDistance, SeqSummary, SequenceDistance, NO_LB_ENV,
     };
     pub use strg_graph::{
         decompose, BackgroundGraph, DecomposeConfig, ObjectGraph, Point2, Rag, Rgb, Scalarization,

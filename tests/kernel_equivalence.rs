@@ -1,0 +1,183 @@
+//! Kernel equivalence suite: early abandoning and lower-bound filtering
+//! are *physical* optimizations only.
+//!
+//! `STRG_NO_LB=1` disables the bounded kernels and the summary filter
+//! physically while still charging the identical logical costs (DESIGN.md
+//! §9). For every query, both modes must therefore produce byte-identical
+//! hit lists **and** byte-identical work fields in [`QueryCost`] — on the
+//! STRG-Index and on both M-tree variants. An inadmissible lower bound or
+//! a kernel that abandons too eagerly shows up here as a hit-list or cost
+//! diff.
+//!
+//! `scripts/ci.sh` runs this binary under `STRG_THREADS=1` and
+//! `STRG_THREADS=8`, so the equivalence is also pinned against the frozen
+//! parallel band.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use strg::prelude::*;
+
+/// Serializes every test that toggles `STRG_NO_LB`: the flag is process
+/// global, so two modes must never overlap in time.
+fn env_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f` twice — once with lower bounds active, once with
+/// `STRG_NO_LB=1` — and returns both results, restoring the environment.
+fn in_both_modes<T>(f: impl Fn() -> T) -> (T, T) {
+    let _guard = env_lock();
+    std::env::remove_var(NO_LB_ENV);
+    assert!(lower_bounds_enabled());
+    let with_lb = f();
+    std::env::set_var(NO_LB_ENV, "1");
+    assert!(!lower_bounds_enabled());
+    let without_lb = f();
+    std::env::remove_var(NO_LB_ENV);
+    (with_lb, without_lb)
+}
+
+fn dataset() -> Vec<(u64, Vec<f64>)> {
+    let mut out = Vec::new();
+    let mut id = 0;
+    for g in 0..4 {
+        let base = 90.0 * g as f64;
+        for i in 0..12 {
+            out.push((id, vec![base + 0.5 * i as f64, base + 1.0, base + 2.0]));
+            id += 1;
+        }
+    }
+    out
+}
+
+fn queries() -> Vec<Vec<f64>> {
+    vec![
+        vec![91.0, 92.0, 93.0],
+        vec![0.0, 0.0, 0.0],
+        vec![181.0, 182.0, 183.0],
+        vec![500.0, 1.0, 2.0],
+    ]
+}
+
+#[test]
+fn strg_index_knn_identical_without_lb() {
+    let mut idx = StrgIndex::new(EgedMetric::<f64>::new(), StrgIndexConfig::with_k(4));
+    idx.add_segment(Default::default(), dataset());
+    let mut kernels_fired = false;
+    for q in queries() {
+        for k in [1, 5, 48] {
+            let (a, b) = in_both_modes(|| idx.knn_with_cost(&q, k));
+            assert_eq!(a.0.len(), b.0.len(), "k {k}: hit count");
+            for (x, y) in a.0.iter().zip(&b.0) {
+                assert_eq!(x.og_id, y.og_id, "k {k}: hit id");
+                assert_eq!(x.dist.to_bits(), y.dist.to_bits(), "k {k}: hit distance");
+            }
+            assert!(
+                a.1.same_work(&b.1),
+                "k {k}: cost diverged: {:?} vs {:?}",
+                a.1,
+                b.1
+            );
+            kernels_fired |= a.1.lb_pruned + a.1.early_abandoned > 0;
+        }
+    }
+    assert!(
+        kernels_fired,
+        "no query exercised lb_pruned or early_abandoned — the suite is vacuous"
+    );
+}
+
+#[test]
+fn strg_index_range_identical_without_lb() {
+    let mut idx = StrgIndex::new(EgedMetric::<f64>::new(), StrgIndexConfig::with_k(4));
+    idx.add_segment(Default::default(), dataset());
+    let mut kernels_fired = false;
+    for q in queries() {
+        for radius in [0.0, 2.0, 5.0, 15.0, 1e6] {
+            let (a, b) = in_both_modes(|| idx.range_with_cost(&q, radius));
+            assert_eq!(a.0.len(), b.0.len(), "r {radius}: hit count");
+            for (x, y) in a.0.iter().zip(&b.0) {
+                assert_eq!(x.og_id, y.og_id, "r {radius}: hit id");
+                assert_eq!(
+                    x.dist.to_bits(),
+                    y.dist.to_bits(),
+                    "r {radius}: hit distance"
+                );
+            }
+            assert!(
+                a.1.same_work(&b.1),
+                "r {radius}: cost diverged: {:?} vs {:?}",
+                a.1,
+                b.1
+            );
+            kernels_fired |= a.1.lb_pruned + a.1.early_abandoned > 0;
+        }
+    }
+    assert!(kernels_fired, "range never exercised the bounded kernels");
+}
+
+#[test]
+fn mtree_identical_without_lb() {
+    let data = dataset();
+    for cfg in [MTreeConfig::random(1), MTreeConfig::sampling(1)] {
+        let tree = MTree::bulk_insert(EgedMetric::<f64>::new(), cfg, data.clone());
+        let mut kernels_fired = false;
+        for q in queries() {
+            for k in [1, 5, 10] {
+                let (a, b) = in_both_modes(|| tree.knn_with_cost(&q, k));
+                assert_eq!(a.0, b.0, "knn k {k}: hits diverged");
+                assert!(
+                    a.1.same_work(&b.1),
+                    "knn k {k}: cost diverged: {:?} vs {:?}",
+                    a.1,
+                    b.1
+                );
+                kernels_fired |= a.1.lb_pruned + a.1.early_abandoned > 0;
+            }
+            for radius in [0.0, 15.0, 120.0] {
+                let (a, b) = in_both_modes(|| tree.range_with_cost(&q, radius));
+                assert_eq!(a.0, b.0, "range r {radius}: hits diverged");
+                assert!(
+                    a.1.same_work(&b.1),
+                    "range r {radius}: cost diverged: {:?} vs {:?}",
+                    a.1,
+                    b.1
+                );
+                kernels_fired |= a.1.lb_pruned + a.1.early_abandoned > 0;
+            }
+        }
+        assert!(
+            kernels_fired,
+            "{cfg:?}: M-tree never exercised the bounded kernels"
+        );
+    }
+}
+
+/// The conservation partition holds with the kernels active *and* under
+/// the hatch — `lb_pruned` joins `distance_calls` and `pruned` as the
+/// third class of the per-record accounting.
+#[test]
+fn conservation_holds_in_both_modes() {
+    let data = dataset();
+    let n = data.len() as u64;
+    let mut idx = StrgIndex::new(EgedMetric::<f64>::new(), StrgIndexConfig::with_k(4));
+    idx.add_segment(Default::default(), data);
+    let clusters = idx.cluster_count() as u64;
+    for k in [1, 5, 48] {
+        let (a, b) = in_both_modes(|| idx.knn_with_cost(&[91.0, 92.0, 93.0], k).1);
+        for (mode, cost) in [("lb", &a), ("no-lb", &b)] {
+            assert_eq!(
+                cost.distance_calls + cost.pruned + cost.lb_pruned,
+                n + clusters,
+                "k {k} mode {mode}: conservation"
+            );
+            assert!(
+                cost.early_abandoned <= cost.distance_calls,
+                "k {k} mode {mode}: abandoned calls are still calls"
+            );
+        }
+    }
+}

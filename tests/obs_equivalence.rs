@@ -95,9 +95,10 @@ fn cost_matches_counting_distance_exactly() {
     }
 }
 
-/// Invariant 1, conservation form: every stored OG is either evaluated or
-/// pruned — the two counters partition the database (plus one evaluation
-/// per cluster centroid).
+/// Invariant 1, conservation form: every stored OG is either evaluated,
+/// key-band/best-first pruned, or lower-bound pruned — the three counters
+/// partition the database (plus one evaluation per cluster centroid), and
+/// early abandonment only ever shortens charged evaluations.
 #[test]
 fn cost_partitions_the_database() {
     let data = dataset();
@@ -111,9 +112,13 @@ fn cost_partitions_the_database() {
     for k in [1, 5, 48] {
         let (_, cost) = idx.knn_with_cost(&[91.0, 92.0, 93.0], k);
         assert_eq!(
-            cost.distance_calls + cost.pruned,
+            cost.distance_calls + cost.pruned + cost.lb_pruned,
             n + clusters,
             "k {k}: every record accounted exactly once"
+        );
+        assert!(
+            cost.early_abandoned <= cost.distance_calls,
+            "k {k}: abandoned calls are still calls"
         );
     }
 }
