@@ -126,6 +126,20 @@ impl<V> LeafNode<V> {
         self.records.insert(pos, rec);
     }
 
+    /// Sorts the records ascending by key with a *stable* sort, leaving
+    /// equal keys in push order. Because [`LeafNode::insert_sorted`]
+    /// places each record *after* all equal keys, pushing records in OG
+    /// order and stable-sorting once yields the byte-identical layout of
+    /// N repeated insertions — this is the bulk-load contract of
+    /// `add_segment` (DESIGN.md §10).
+    fn sort_records(&mut self) {
+        self.records.sort_by(|a, b| {
+            a.key
+                .partial_cmp(&b.key)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+    }
+
     /// Largest key in the leaf (the cluster's covering radius around its
     /// centroid), 0 when empty.
     pub fn max_key(&self) -> f64 {
@@ -237,23 +251,40 @@ impl<V: ClusterValue, D: MetricDistance<V> + BoundedDistance<V> + LowerBound<V> 
                     leaf: LeafNode::default(),
                 })
                 .collect();
-            // Leaf keys are independent metric distances: fan them out,
-            // then insert sequentially in OG order so every leaf lays out
-            // exactly as in the sequential build.
-            let keys = par_map_indexed(&ogs, self.cfg.threads, |j, (_, seq)| {
-                self.metric
-                    .distance(seq, &clusters[clustering.assignments[j]].centroid)
-            });
-            for (j, (og_id, seq)) in ogs.into_iter().enumerate() {
+            // Leaf keys and lower-bound summaries are independent per-OG
+            // computations: fan both out in one pass.
+            let prepared = par_map_indexed(&ogs, self.cfg.threads, |j, (_, seq)| {
                 let c = clustering.assignments[j];
-                let summary = self.metric.summarize(&seq);
-                clusters[c].leaf.insert_sorted(LeafRecord {
-                    key: keys[j],
+                (
+                    self.metric.distance(seq, &clusters[c].centroid),
+                    self.metric.summarize(seq),
+                )
+            });
+            // Bulk load: push records per cluster in OG order, then sort
+            // each leaf once — byte-identical to N sorted insertions (see
+            // `LeafNode::sort_records`) at a fraction of the moves. The
+            // `STRG_NAIVE_SEGMENT` hatch keeps the one-at-a-time insertion
+            // path alive for the equivalence suite.
+            let naive = strg_video::naive_segmentation_enabled();
+            for (j, ((og_id, seq), (key, summary))) in ogs.into_iter().zip(prepared).enumerate() {
+                let c = clustering.assignments[j];
+                let rec = LeafRecord {
+                    key,
                     og_id,
                     seq,
                     summary,
-                });
+                };
+                if naive {
+                    clusters[c].leaf.insert_sorted(rec);
+                } else {
+                    clusters[c].leaf.records.push(rec);
+                }
                 self.len += 1;
+            }
+            if !naive {
+                for c in clusters.iter_mut() {
+                    c.leaf.sort_records();
+                }
             }
             // Drop empty clusters, renumber.
             clusters.retain(|c| !c.leaf.records.is_empty());

@@ -21,7 +21,7 @@ use strg_distance::EgedMetric;
 use strg_graph::{build_strg, decompose, DecomposeConfig, ObjectGraph, Point2, TrackerConfig};
 use strg_obs::{QueryCost, Recorder, Snapshot};
 use strg_parallel::Threads;
-use strg_video::{frames_to_rags, Frame, SegmentConfig, VideoClip};
+use strg_video::{frames_to_rags, frames_to_rags_with_stats, Frame, SegmentConfig, VideoClip};
 
 use crate::index::{Hit, StrgIndex, StrgIndexConfig};
 use crate::query::{Query, QueryKind, QueryResult};
@@ -162,13 +162,25 @@ impl VideoDatabase {
     /// land in the `ingest.segment_ns` / `ingest.track_ns` /
     /// `ingest.decompose_ns` / `ingest.index_ns` histograms; deterministic
     /// volume counters in `ingest.clips` / `ingest.frames` /
-    /// `ingest.objects`.
+    /// `ingest.objects`. Per-worker scratch-arena telemetry lands in the
+    /// *volatile* counters `ingest.scratch_workers` /
+    /// `ingest.scratch_bytes` / `ingest.scratch_grows` (volatile because
+    /// the arena count follows the worker count).
     pub fn ingest_frames(&self, name: &str, frames: &[Frame]) -> IngestReport {
         let _total = self.recorder.span("ingest.total");
-        // 1. Frame -> RAG (§2.1), fanned out across frames.
+        // 1. Frame -> RAG (§2.1), fanned out across frames with one
+        // reusable segmentation arena per worker.
         let rags = {
             let _s = self.recorder.span("ingest.segment");
-            frames_to_rags(frames, &self.cfg.segment, self.cfg.threads)
+            let (rags, scratch) =
+                frames_to_rags_with_stats(frames, &self.cfg.segment, self.cfg.threads);
+            self.recorder
+                .volatile_add("ingest.scratch_workers", scratch.workers as u64);
+            self.recorder
+                .volatile_add("ingest.scratch_bytes", scratch.scratch_bytes as u64);
+            self.recorder
+                .volatile_add("ingest.scratch_grows", scratch.scratch_grows);
+            rags
         };
         // 2. RAGs -> STRG via tracking (§2.2).
         let strg = {

@@ -46,6 +46,18 @@ impl Rag {
         }
     }
 
+    /// Creates an empty RAG with node storage pre-reserved for `nodes`
+    /// regions, avoiding push-time reallocation when the region count is
+    /// known up front (as it is for a finished segmentation).
+    pub fn with_capacity(frame: FrameId, nodes: usize) -> Self {
+        Self {
+            frame,
+            nodes: Vec::with_capacity(nodes),
+            adj: Vec::with_capacity(nodes),
+            edges: BTreeMap::new(),
+        }
+    }
+
     /// The frame this RAG was extracted from.
     pub fn frame(&self) -> FrameId {
         self.frame

@@ -138,6 +138,13 @@ impl Recorder {
         self.counter(name).add(v);
     }
 
+    /// Adds `v` to the *volatile* counter `name` (registering it if
+    /// needed). Use for quantities that legitimately vary with the worker
+    /// count, such as per-worker scratch-arena footprints.
+    pub fn volatile_add(&self, name: &str, v: u64) {
+        self.volatile_counter(name).add(v);
+    }
+
     /// Starts a span whose elapsed nanoseconds land in the histogram
     /// `<name>_ns` when the returned guard drops.
     pub fn span(&self, name: &str) -> Span {

@@ -18,12 +18,18 @@ pub mod scenario;
 pub mod scene;
 pub mod segment;
 
-pub use rag_extract::{frame_to_rag, frames_to_rags, rag_from_segmentation};
+pub use rag_extract::{
+    frame_to_rag, frame_to_rag_with, frames_to_rags, frames_to_rags_with_stats,
+    rag_from_segmentation, ExtractStats,
+};
 pub use raster::{Frame, Pixel};
 pub use scenario::{
     lab_scene, table1_clips, table1_clips_scaled, traffic_scene, ScenarioConfig, VideoClip,
     SCENE_H, SCENE_W,
 };
 pub use scene::{line_path, Actor, BgPatch, Scene, SceneNoise, Sprite, SpritePart};
-pub use segment::{box_blur, segment, Region, SegmentConfig, Segmentation};
+pub use segment::{
+    box_blur, naive_segmentation_enabled, segment, segment_into, Region, SegScratch, SegmentConfig,
+    Segmentation, NAIVE_SEGMENT_ENV,
+};
 pub use strg_parallel::Threads;

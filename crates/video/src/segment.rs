@@ -14,10 +14,49 @@
 //!
 //! The output is exactly what Definition 1 consumes: labeled regions with
 //! size / mean color / centroid plus their adjacency.
+//!
+//! ## Hot-path kernels (DESIGN.md §10)
+//!
+//! The mode filter and [`box_blur`] are the per-pixel hot path of ingest.
+//! Both ship two implementations with **byte-identical outputs**:
+//!
+//! * the *fast* kernels (default): a Huang-style incremental sliding
+//!   histogram for the mode filter (add/remove one clipped column per step
+//!   instead of rescanning the `(2r+1)^2` window) and a two-pass separable
+//!   running-sum filter with exact `u32` integer accumulators for the box
+//!   blur — per-pixel cost `O(r)` resp. `O(1)` instead of `O(r^2)`;
+//! * the *naïve* reference kernels, kept behind the
+//!   [`NAIVE_SEGMENT_ENV`] (`STRG_NAIVE_SEGMENT=1`) hatch. The top-level
+//!   `tests/ingest_equivalence.rs` suite diffs the two paths
+//!   label-for-label; `bench --bin ingest` measures the gap.
+//!
+//! Per-frame buffers live in a reusable [`SegScratch`] arena so that
+//! steady-state segmentation performs **zero heap allocations** (pinned by
+//! `tests/ingest_alloc.rs`); `frames_to_rags` threads one arena per worker
+//! through the frame fan-out.
 
 use strg_graph::{Point2, Rgb};
 
 use crate::raster::{Frame, Pixel};
+
+/// Environment variable selecting the naïve reference kernels (the escape
+/// hatch for equivalence testing): set to `1` (or any non-empty value other
+/// than `0`) to run the `O(r^2)`-per-pixel rescan implementations of the
+/// mode filter and [`box_blur`], plus one-at-a-time sorted insertion on the
+/// index-build side. Outputs are byte-identical in both modes.
+pub const NAIVE_SEGMENT_ENV: &str = "STRG_NAIVE_SEGMENT";
+
+/// Whether the naïve reference kernels are active (i.e. [`NAIVE_SEGMENT_ENV`]
+/// is set to a non-empty value other than `0`).
+pub fn naive_segmentation_enabled() -> bool {
+    match std::env::var(NAIVE_SEGMENT_ENV) {
+        Ok(v) => {
+            let v = v.trim();
+            !(v.is_empty() || v == "0")
+        }
+        Err(_) => false,
+    }
+}
 
 /// Configuration of the segmenter.
 #[derive(Copy, Clone, Debug)]
@@ -56,7 +95,7 @@ pub struct Region {
 }
 
 /// The result of segmenting one frame.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct Segmentation {
     /// Per-pixel region labels, row major.
     pub labels: Vec<u32>,
@@ -68,35 +107,215 @@ pub struct Segmentation {
     pub adjacency: Vec<(u32, u32)>,
 }
 
+/// Class images with more distinct key values than this are remapped to a
+/// dense id space before histogramming (`quant_levels^3` stays far below
+/// the limit for every realistic configuration).
+const DENSE_CLASS_LIMIT: usize = 1 << 20;
+
+/// Reusable per-worker scratch arena for [`segment_into`].
+///
+/// Owns every intermediate buffer of the segmentation pipeline (class
+/// planes, sliding histogram, labeling stack, union-find, region
+/// statistics, adjacency accumulators) plus the output [`Segmentation`]
+/// itself. Buffers are grown on demand and **never shrink**, so repeated
+/// calls on same-sized frames reach a steady state with zero heap
+/// allocations (`tests/ingest_alloc.rs` pins this). One arena serves one
+/// worker; `frames_to_rags` creates one per `par_map` worker via
+/// `strg_parallel::par_map_with`.
+#[derive(Debug, Default)]
+pub struct SegScratch {
+    // Quantized class planes.
+    classes: Vec<u32>,
+    smoothed: Vec<u32>,
+    // Sliding-histogram mode filter.
+    hist: Vec<u32>,
+    freq: Vec<u32>,
+    present: Vec<u32>,
+    present_pos: Vec<u32>,
+    remap_keys: Vec<u32>,
+    remapped: Vec<u32>,
+    tie_counts: Vec<(u32, u32)>,
+    // Connected-component labeling and region merging.
+    stack: Vec<usize>,
+    stats: Vec<RegionAcc>,
+    stats_next: Vec<RegionAcc>,
+    pairs: Vec<(u32, u32)>,
+    nbr_off: Vec<u32>,
+    nbr_cursor: Vec<u32>,
+    nbr: Vec<u32>,
+    uf: Vec<u32>,
+    dense: Vec<u32>,
+    // Reused output.
+    out: Segmentation,
+    grows: u64,
+}
+
+impl SegScratch {
+    /// Creates an empty arena; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total heap bytes currently reserved by the arena's buffers
+    /// (including the reused output segmentation).
+    pub fn alloc_bytes(&self) -> usize {
+        fn cap<T>(v: &Vec<T>) -> usize {
+            v.capacity() * std::mem::size_of::<T>()
+        }
+        cap(&self.classes)
+            + cap(&self.smoothed)
+            + cap(&self.hist)
+            + cap(&self.freq)
+            + cap(&self.present)
+            + cap(&self.present_pos)
+            + cap(&self.remap_keys)
+            + cap(&self.remapped)
+            + cap(&self.tie_counts)
+            + cap(&self.stack)
+            + cap(&self.stats)
+            + cap(&self.stats_next)
+            + cap(&self.pairs)
+            + cap(&self.nbr_off)
+            + cap(&self.nbr_cursor)
+            + cap(&self.nbr)
+            + cap(&self.uf)
+            + cap(&self.dense)
+            + cap(&self.out.labels)
+            + cap(&self.out.regions)
+            + cap(&self.out.adjacency)
+    }
+
+    /// Number of buffer-growth events since creation. Zero growth across a
+    /// call means the call performed no heap allocation.
+    pub fn grow_events(&self) -> u64 {
+        self.grows
+    }
+
+    /// Moves the most recent segmentation out of the arena (the arena keeps
+    /// its other buffers and can be reused).
+    pub fn take_output(&mut self) -> Segmentation {
+        std::mem::take(&mut self.out)
+    }
+}
+
+/// Clears `v` and resizes it to `n` copies of `value`, counting a growth
+/// event iff the buffer had to reallocate.
+fn fill_to<T: Copy>(v: &mut Vec<T>, n: usize, value: T, grows: &mut u64) {
+    v.clear();
+    if v.capacity() < n {
+        *grows += 1;
+        v.reserve_exact(n);
+    }
+    v.resize(n, value);
+}
+
+/// Clears `v`, ensuring capacity for at least `cap` elements.
+fn clear_with_cap<T>(v: &mut Vec<T>, cap: usize, grows: &mut u64) {
+    v.clear();
+    if v.capacity() < cap {
+        *grows += 1;
+        v.reserve_exact(cap);
+    }
+}
+
 /// Segments a frame into homogeneous color regions.
+///
+/// Allocates a fresh [`SegScratch`] per call; batch callers should hold one
+/// arena per worker and use [`segment_into`] instead.
 pub fn segment(frame: &Frame, cfg: &SegmentConfig) -> Segmentation {
+    let mut scratch = SegScratch::new();
+    segment_into(frame, cfg, &mut scratch);
+    scratch.take_output()
+}
+
+/// Segments a frame into `scratch`'s reused output buffer and returns a
+/// reference to it. Byte-identical to [`segment`] for any arena state: the
+/// arena only recycles capacity, never results.
+pub fn segment_into<'s>(
+    frame: &Frame,
+    cfg: &SegmentConfig,
+    scratch: &'s mut SegScratch,
+) -> &'s Segmentation {
     let w = frame.width();
     let h = frame.height();
+    let n = w * h;
+    let naive = naive_segmentation_enabled();
 
-    // Quantized color classes, encoded as integer keys.
+    let SegScratch {
+        classes,
+        smoothed,
+        hist,
+        freq,
+        present,
+        present_pos,
+        remap_keys,
+        remapped,
+        tie_counts,
+        stack,
+        stats,
+        stats_next,
+        pairs,
+        nbr_off,
+        nbr_cursor,
+        nbr,
+        uf,
+        dense,
+        out,
+        grows,
+    } = scratch;
+
+    // Quantized color classes, encoded as integer keys. Channels are u8,
+    // so the per-channel quantizer collapses to a 256-entry lookup table
+    // (bit-identical to evaluating the division per pixel).
     let levels = cfg.quant_levels.max(2);
     let step = 255.0 / (levels - 1) as f64;
-    let key_of = |r: f64, g: f64, b: f64| -> u32 {
-        let q = |v: f64| ((v / step).round() as u32).min(levels - 1);
-        (q(r) * levels + q(g)) * levels + q(b)
-    };
-    let mut classes: Vec<u32> = frame
-        .pixels()
-        .iter()
-        .map(|p| key_of(p.r as f64, p.g as f64, p.b as f64))
-        .collect();
+    let mut lut = [0u32; 256];
+    for (v, q) in lut.iter_mut().enumerate() {
+        *q = ((v as f64 / step).round() as u32).min(levels - 1);
+    }
+    clear_with_cap(classes, n, grows);
+    classes.extend(
+        frame
+            .pixels()
+            .iter()
+            .map(|p| (lut[p.r as usize] * levels + lut[p.g as usize]) * levels + lut[p.b as usize]),
+    );
 
     // Edge-preserving mode filter: each pixel takes the majority class of
     // its window (the center wins ties).
-    if cfg.smooth_radius > 0 {
-        classes = mode_filter(&classes, w, h, cfg.smooth_radius);
-    }
+    let classes: &[u32] = if cfg.smooth_radius > 0 {
+        if naive {
+            let filtered = mode_filter_naive(classes, w, h, cfg.smooth_radius);
+            smoothed.clear();
+            smoothed.extend_from_slice(&filtered);
+        } else {
+            mode_filter_fast(
+                classes,
+                w,
+                h,
+                cfg.smooth_radius,
+                smoothed,
+                hist,
+                freq,
+                present,
+                present_pos,
+                remap_keys,
+                remapped,
+                tie_counts,
+                grows,
+            );
+        }
+        smoothed
+    } else {
+        classes
+    };
 
     // 4-connected components over identical quantized colors.
-    let mut labels = vec![u32::MAX; w * h];
+    let labels = &mut out.labels;
+    fill_to(labels, n, u32::MAX, grows);
+    clear_with_cap(stack, n, grows);
     let mut next = 0u32;
-    let mut stack = Vec::new();
-    for start in 0..w * h {
+    for start in 0..n {
         if labels[start] != u32::MAX {
             continue;
         }
@@ -128,7 +347,7 @@ pub fn segment(frame: &Frame, cfg: &SegmentConfig) -> Segmentation {
     }
 
     // Accumulate region statistics from the ORIGINAL pixels.
-    let mut stats = vec![RegionAcc::default(); next as usize];
+    fill_to(stats, next as usize, RegionAcc::default(), grows);
     for (i, &l) in labels.iter().enumerate() {
         let (x, y) = (i % w, i / w);
         stats[l as usize].add(x as f64, y as f64, frame.pixels()[i].to_rgb());
@@ -139,13 +358,28 @@ pub fn segment(frame: &Frame, cfg: &SegmentConfig) -> Segmentation {
     // picks A) coalesce instead of livelocking; every union strictly
     // reduces the number of live regions, so the loop terminates.
     loop {
-        let adjacency = adjacency_pairs(&labels, w, h);
-        let mut neighbor_of = vec![Vec::new(); stats.len()];
-        for &(a, b) in &adjacency {
-            neighbor_of[a as usize].push(b);
-            neighbor_of[b as usize].push(a);
+        adjacency_pairs_into(labels, w, h, pairs, grows);
+        // Neighbor lists in CSR layout, preserving the per-region neighbor
+        // order of the pair list (both endpoint directions, pair order).
+        fill_to(nbr_off, stats.len() + 1, 0, grows);
+        for &(a, b) in pairs.iter() {
+            nbr_off[a as usize + 1] += 1;
+            nbr_off[b as usize + 1] += 1;
         }
-        let mut uf: Vec<u32> = (0..stats.len() as u32).collect();
+        for i in 1..nbr_off.len() {
+            nbr_off[i] += nbr_off[i - 1];
+        }
+        clear_with_cap(nbr_cursor, stats.len(), grows);
+        nbr_cursor.extend_from_slice(&nbr_off[..stats.len()]);
+        fill_to(nbr, pairs.len() * 2, 0, grows);
+        for &(a, b) in pairs.iter() {
+            nbr[nbr_cursor[a as usize] as usize] = b;
+            nbr_cursor[a as usize] += 1;
+            nbr[nbr_cursor[b as usize] as usize] = a;
+            nbr_cursor[b as usize] += 1;
+        }
+        clear_with_cap(uf, stats.len(), grows);
+        uf.extend(0..stats.len() as u32);
         fn find(uf: &mut [u32], mut x: u32) -> u32 {
             while uf[x as usize] != x {
                 uf[x as usize] = uf[uf[x as usize] as usize];
@@ -159,7 +393,7 @@ pub fn segment(frame: &Frame, cfg: &SegmentConfig) -> Segmentation {
                 continue;
             }
             // Most similar (by mean color) live neighbor.
-            let target = neighbor_of[l]
+            let target = nbr[nbr_off[l] as usize..nbr_off[l + 1] as usize]
                 .iter()
                 .filter(|&&n| stats[n as usize].count > 0)
                 .min_by(|&&a, &&b| {
@@ -169,7 +403,7 @@ pub fn segment(frame: &Frame, cfg: &SegmentConfig) -> Segmentation {
                 })
                 .copied();
             if let Some(t) = target {
-                let (rl, rt) = (find(&mut uf, l as u32), find(&mut uf, t));
+                let (rl, rt) = (find(uf, l as u32), find(uf, t));
                 if rl != rt {
                     uf[rl as usize] = rt;
                     merged_any = true;
@@ -180,23 +414,27 @@ pub fn segment(frame: &Frame, cfg: &SegmentConfig) -> Segmentation {
             break;
         }
         for l in labels.iter_mut() {
-            *l = find(&mut uf, *l);
+            *l = find(uf, *l);
         }
         // Recompute stats.
-        let mut new_stats = vec![RegionAcc::default(); stats.len()];
+        fill_to(stats_next, stats.len(), RegionAcc::default(), grows);
         for (i, &l) in labels.iter().enumerate() {
             let (x, y) = (i % w, i / w);
-            new_stats[l as usize].add(x as f64, y as f64, frame.pixels()[i].to_rgb());
+            stats_next[l as usize].add(x as f64, y as f64, frame.pixels()[i].to_rgb());
         }
-        stats = new_stats;
+        std::mem::swap(stats, stats_next);
     }
 
     // Compact labels to dense 0..n.
-    let mut dense = vec![u32::MAX; stats.len()];
-    let mut regions = Vec::new();
+    fill_to(dense, stats.len(), u32::MAX, grows);
+    let regions = &mut out.regions;
+    regions.clear();
     for (l, acc) in stats.iter().enumerate() {
         if acc.count > 0 {
             dense[l] = regions.len() as u32;
+            if regions.len() == regions.capacity() {
+                *grows += 1;
+            }
             regions.push(Region {
                 label: regions.len() as u32,
                 size: acc.count,
@@ -208,14 +446,9 @@ pub fn segment(frame: &Frame, cfg: &SegmentConfig) -> Segmentation {
     for l in labels.iter_mut() {
         *l = dense[*l as usize];
     }
-    let adjacency = adjacency_pairs(&labels, w, h);
-
-    Segmentation {
-        labels,
-        width: w,
-        regions,
-        adjacency,
-    }
+    adjacency_pairs_into(labels, w, h, &mut out.adjacency, grows);
+    out.width = w;
+    out
 }
 
 #[derive(Copy, Clone, Debug, Default)]
@@ -248,8 +481,26 @@ impl RegionAcc {
 }
 
 /// Deduplicated adjacent label pairs of a label image.
+#[cfg(test)]
 fn adjacency_pairs(labels: &[u32], w: usize, h: usize) -> Vec<(u32, u32)> {
     let mut pairs = Vec::new();
+    let mut grows = 0;
+    adjacency_pairs_into(labels, w, h, &mut pairs, &mut grows);
+    pairs
+}
+
+/// [`adjacency_pairs`] into a reused buffer. Emits one candidate pair per
+/// adjacent boundary pixel pair (normalized to `a < b`), then sorts
+/// in place and deduplicates — `sort_unstable` + `dedup` never allocate,
+/// so a warm buffer makes the whole pass allocation-free.
+fn adjacency_pairs_into(
+    labels: &[u32],
+    w: usize,
+    h: usize,
+    pairs: &mut Vec<(u32, u32)>,
+    grows: &mut u64,
+) {
+    clear_with_cap(pairs, 2 * w * h, grows);
     for y in 0..h {
         for x in 0..w {
             let l = labels[y * w + x];
@@ -269,40 +520,359 @@ fn adjacency_pairs(labels: &[u32], w: usize, h: usize) -> Vec<(u32, u32)> {
     }
     pairs.sort_unstable();
     pairs.dedup();
-    pairs
 }
 
-/// Mode (majority) filter over a class image: each output pixel is the most
-/// frequent class in its `(2r+1)^2` window, with the center class winning
-/// ties. Preserves edges while removing isolated noise pixels.
-fn mode_filter(classes: &[u32], w: usize, h: usize, radius: usize) -> Vec<u32> {
+/// The naïve mode of one `(2r+1)^2` window, exactly as the original filter
+/// computed it: counts accumulate in first-encounter (row-major window
+/// scan) order, `max_by_key` picks the **last** maximal entry in that
+/// order, and the center class wins unless strictly beaten. Shared by the
+/// naïve reference filter and the fast filter's tie fallback, so both
+/// paths resolve multi-way ties identically by construction.
+fn mode_of_window_naive(
+    classes: &[u32],
+    w: usize,
+    h: usize,
+    x: usize,
+    y: usize,
+    radius: usize,
+    counts: &mut Vec<(u32, u32)>,
+) -> u32 {
+    counts.clear();
     let r = radius as isize;
+    let (xi, yi) = (x as isize, y as isize);
+    for yy in (yi - r).max(0)..=(yi + r).min(h as isize - 1) {
+        for xx in (xi - r).max(0)..=(xi + r).min(w as isize - 1) {
+            let c = classes[yy as usize * w + xx as usize];
+            match counts.iter_mut().find(|e| e.0 == c) {
+                Some(e) => e.1 += 1,
+                None => counts.push((c, 1)),
+            }
+        }
+    }
+    let center = classes[y * w + x];
+    let center_n = counts.iter().find(|e| e.0 == center).map_or(0, |e| e.1);
+    let best = counts.iter().max_by_key(|e| e.1).expect("window non-empty");
+    if best.1 > center_n {
+        best.0
+    } else {
+        center
+    }
+}
+
+/// The original `O(r^2)`-per-pixel mode filter (the [`NAIVE_SEGMENT_ENV`]
+/// reference path): each output pixel is the most frequent class in its
+/// `(2r+1)^2` window, with the center class winning ties.
+fn mode_filter_naive(classes: &[u32], w: usize, h: usize, radius: usize) -> Vec<u32> {
     let mut out = vec![0u32; classes.len()];
     let mut counts: Vec<(u32, u32)> = Vec::with_capacity(9);
-    for y in 0..h as isize {
-        for x in 0..w as isize {
-            counts.clear();
-            for yy in (y - r).max(0)..=(y + r).min(h as isize - 1) {
-                for xx in (x - r).max(0)..=(x + r).min(w as isize - 1) {
-                    let c = classes[yy as usize * w + xx as usize];
-                    match counts.iter_mut().find(|e| e.0 == c) {
-                        Some(e) => e.1 += 1,
-                        None => counts.push((c, 1)),
-                    }
-                }
-            }
-            let center = classes[y as usize * w + x as usize];
-            let center_n = counts.iter().find(|e| e.0 == center).map_or(0, |e| e.1);
-            let best = counts.iter().max_by_key(|e| e.1).expect("window non-empty");
-            out[y as usize * w + x as usize] = if best.1 > center_n { best.0 } else { center };
+    for y in 0..h {
+        for x in 0..w {
+            out[y * w + x] = mode_of_window_naive(classes, w, h, x, y, radius, &mut counts);
         }
     }
     out
 }
 
+/// Adds one class occurrence to the sliding histogram, maintaining the
+/// count-of-counts array and the running maximum count.
+#[inline(always)]
+fn add_one(
+    c: usize,
+    hist: &mut [u32],
+    freq: &mut [u32],
+    max_n: &mut u32,
+    present: &mut Vec<u32>,
+    present_pos: &mut [u32],
+) {
+    let n = hist[c];
+    hist[c] = n + 1;
+    if n == 0 {
+        present_pos[c] = present.len() as u32;
+        present.push(c as u32);
+    } else {
+        freq[n as usize] -= 1;
+    }
+    freq[n as usize + 1] += 1;
+    if n + 1 > *max_n {
+        *max_n = n + 1;
+    }
+}
+
+/// Removes one class occurrence from the sliding histogram. When the only
+/// class at the maximum count loses a member, the new maximum is exactly
+/// one lower (that same class now holds it), so the running maximum
+/// updates in O(1).
+#[inline(always)]
+fn remove_one(
+    c: usize,
+    hist: &mut [u32],
+    freq: &mut [u32],
+    max_n: &mut u32,
+    present: &mut Vec<u32>,
+    present_pos: &mut [u32],
+) {
+    let n = hist[c];
+    hist[c] = n - 1;
+    freq[n as usize] -= 1;
+    if n > 1 {
+        freq[n as usize - 1] += 1;
+    } else {
+        // Swap-remove from the present list, patching the moved entry.
+        let pos = present_pos[c] as usize;
+        let last = *present.last().expect("present entry exists");
+        present.swap_remove(pos);
+        if pos < present.len() {
+            present_pos[last as usize] = pos as u32;
+        }
+        present_pos[c] = u32::MAX;
+    }
+    if n == *max_n && freq[n as usize] == 0 {
+        *max_n = n - 1;
+    }
+}
+
+/// Adds one clipped column of class ids to the sliding histogram.
+#[allow(clippy::too_many_arguments)]
+fn add_column(
+    ids: &[u32],
+    w: usize,
+    x: usize,
+    y0: usize,
+    y1: usize,
+    hist: &mut [u32],
+    freq: &mut [u32],
+    max_n: &mut u32,
+    present: &mut Vec<u32>,
+    present_pos: &mut [u32],
+) {
+    for yy in y0..=y1 {
+        add_one(
+            ids[yy * w + x] as usize,
+            hist,
+            freq,
+            max_n,
+            present,
+            present_pos,
+        );
+    }
+}
+
+/// Removes one clipped column of class ids from the sliding histogram.
+#[allow(clippy::too_many_arguments)]
+fn remove_column(
+    ids: &[u32],
+    w: usize,
+    x: usize,
+    y0: usize,
+    y1: usize,
+    hist: &mut [u32],
+    freq: &mut [u32],
+    max_n: &mut u32,
+    present: &mut Vec<u32>,
+    present_pos: &mut [u32],
+) {
+    for yy in y0..=y1 {
+        remove_one(
+            ids[yy * w + x] as usize,
+            hist,
+            freq,
+            max_n,
+            present,
+            present_pos,
+        );
+    }
+}
+
+/// Huang-style incremental mode filter: one histogram per row window,
+/// updated by adding/removing a clipped column per step — `O(2r+1)` work
+/// per pixel instead of `O((2r+1)^2)` — plus a count-of-counts array
+/// (`freq[n]` = classes with window count `n`) and a running maximum, so
+/// the per-pixel majority decision is O(1) in the common case where the
+/// center class already holds the (non-strict) majority.
+///
+/// Byte-identical to [`mode_filter_naive`]: a non-strict majority keeps
+/// the center class in both implementations, a strict *unique* winner is
+/// order-independent (found by scanning the present list only on such
+/// boundary pixels), and the rare multi-way strict tie falls back to
+/// [`mode_of_window_naive`] for that single pixel so the first-encounter
+/// tie-break is reproduced exactly.
+#[allow(clippy::too_many_arguments)]
+fn mode_filter_fast(
+    classes: &[u32],
+    w: usize,
+    h: usize,
+    radius: usize,
+    out: &mut Vec<u32>,
+    hist: &mut Vec<u32>,
+    freq: &mut Vec<u32>,
+    present: &mut Vec<u32>,
+    present_pos: &mut Vec<u32>,
+    remap_keys: &mut Vec<u32>,
+    remapped: &mut Vec<u32>,
+    tie_counts: &mut Vec<(u32, u32)>,
+    grows: &mut u64,
+) {
+    fill_to(out, classes.len(), 0, grows);
+    if w == 0 || h == 0 {
+        return;
+    }
+    let max_class = *classes.iter().max().expect("non-empty class image") as usize;
+    // Histogram over the class values directly when they are small (the
+    // segmenter's keys are < quant_levels^3); remap to dense ids otherwise.
+    let dense_ids = max_class < DENSE_CLASS_LIMIT;
+    let ids: &[u32] = if dense_ids {
+        classes
+    } else {
+        clear_with_cap(remap_keys, classes.len(), grows);
+        remap_keys.extend_from_slice(classes);
+        remap_keys.sort_unstable();
+        remap_keys.dedup();
+        fill_to(remapped, classes.len(), 0, grows);
+        for (i, &c) in classes.iter().enumerate() {
+            remapped[i] = remap_keys.binary_search(&c).expect("key present") as u32;
+        }
+        remapped
+    };
+    let n_ids = if dense_ids {
+        max_class + 1
+    } else {
+        remap_keys.len()
+    };
+    fill_to(hist, n_ids, 0, grows);
+    fill_to(present_pos, n_ids, u32::MAX, grows);
+    clear_with_cap(present, n_ids, grows);
+    clear_with_cap(tie_counts, 16, grows);
+    // Counts never exceed the clipped window area.
+    let window_cap = (2 * radius + 1).min(w) * (2 * radius + 1).min(h);
+    fill_to(freq, window_cap + 1, 0, grows);
+
+    let r = radius;
+    for y in 0..h {
+        let y0 = y.saturating_sub(r);
+        let y1 = (y + r).min(h - 1);
+        // Reset the histogram and count-of-counts from the previous row via
+        // the present list (touches only classes actually in the window).
+        for &c in present.iter() {
+            freq[hist[c as usize] as usize] = 0;
+            hist[c as usize] = 0;
+            present_pos[c as usize] = u32::MAX;
+        }
+        present.clear();
+        let mut max_n = 0u32;
+        for xx in 0..=r.min(w - 1) {
+            add_column(
+                ids,
+                w,
+                xx,
+                y0,
+                y1,
+                hist,
+                freq,
+                &mut max_n,
+                present,
+                present_pos,
+            );
+        }
+        for x in 0..w {
+            if x > 0 {
+                // Remove before add so counts never transiently exceed the
+                // window area (`freq`'s capacity).
+                if x <= r {
+                    // Left fringe: the window only grows.
+                    if x + r < w {
+                        add_column(
+                            ids,
+                            w,
+                            x + r,
+                            y0,
+                            y1,
+                            hist,
+                            freq,
+                            &mut max_n,
+                            present,
+                            present_pos,
+                        );
+                    }
+                } else if x + r >= w {
+                    // Right fringe: the window only shrinks.
+                    remove_column(
+                        ids,
+                        w,
+                        x - r - 1,
+                        y0,
+                        y1,
+                        hist,
+                        freq,
+                        &mut max_n,
+                        present,
+                        present_pos,
+                    );
+                } else {
+                    // Interior step: pair each outgoing element with the
+                    // incoming one on the same row and skip the pair when
+                    // both carry the same class — the histogram is
+                    // unchanged. Away from region boundaries this skips
+                    // nearly every update, making the slide O(1) amortized
+                    // rather than O(2r+1).
+                    let (xa, xr) = (x + r, x - r - 1);
+                    for yy in y0..=y1 {
+                        let ca = ids[yy * w + xa];
+                        let cr = ids[yy * w + xr];
+                        if ca != cr {
+                            remove_one(cr as usize, hist, freq, &mut max_n, present, present_pos);
+                            add_one(ca as usize, hist, freq, &mut max_n, present, present_pos);
+                        }
+                    }
+                }
+            }
+            let center_id = ids[y * w + x] as usize;
+            let center_n = hist[center_id];
+            out[y * w + x] = if max_n <= center_n {
+                // Non-strict majority: the center class survives. This is
+                // the O(1) interior-pixel common case.
+                classes[y * w + x]
+            } else if freq[max_n as usize] == 1 {
+                // Unique strict winner: order-independent. Scan the present
+                // list for it — only boundary/noise pixels pay this.
+                let win = present
+                    .iter()
+                    .copied()
+                    .find(|&c| hist[c as usize] == max_n)
+                    .expect("class at max count exists");
+                if dense_ids {
+                    win
+                } else {
+                    remap_keys[win as usize]
+                }
+            } else {
+                // Multi-way strict tie: replicate the naïve first-encounter
+                // tie-break exactly (rare — bounded by ties per frame).
+                mode_of_window_naive(classes, w, h, x, y, r, tie_counts)
+            };
+        }
+    }
+}
+
 /// Box blur with the given radius (mean over the `(2r+1)^2` window,
-/// clipped at the frame border).
+/// clipped at the frame border and normalized by the *clipped* pixel
+/// count, so border pixels average only real pixels — no darkening bias).
+///
+/// Runs as a two-pass separable running-sum filter in `O(1)` per pixel;
+/// sums are exact `u32` integers over the `u8` channels and the final
+/// `sum / count` integer division is the same expression the naïve
+/// `O(r^2)` rescan (kept behind [`NAIVE_SEGMENT_ENV`]) evaluates, so the
+/// two paths are byte-identical for any radius below 2048.
 pub fn box_blur(frame: &Frame, radius: usize) -> Frame {
+    if naive_segmentation_enabled() {
+        box_blur_naive(frame, radius)
+    } else {
+        box_blur_fast(frame, radius)
+    }
+}
+
+/// The original per-pixel window rescan (the [`NAIVE_SEGMENT_ENV`]
+/// reference path).
+fn box_blur_naive(frame: &Frame, radius: usize) -> Frame {
     let w = frame.width();
     let h = frame.height();
     let r = radius as isize;
@@ -330,6 +900,99 @@ pub fn box_blur(frame: &Frame, radius: usize) -> Frame {
     out
 }
 
+/// Two-pass separable running-sum box blur; see [`box_blur`].
+fn box_blur_fast(frame: &Frame, radius: usize) -> Frame {
+    let w = frame.width();
+    let h = frame.height();
+    let mut out = Frame::new(w, h, Pixel::default());
+    if w == 0 || h == 0 {
+        return out;
+    }
+    debug_assert!(radius <= 2047, "u32 channel sums overflow past radius 2047");
+    let r = radius;
+    let px = frame.pixels();
+
+    // Pass 1: horizontal clipped running sums, one [r, g, b] per pixel.
+    // The clipped 2-D window sum is the sum of its clipped row sums, so
+    // the two passes reproduce the naïve window total exactly.
+    let mut rows: Vec<[u32; 3]> = vec![[0; 3]; w * h];
+    for y in 0..h {
+        let base = y * w;
+        let mut sum = [0u32; 3];
+        for x in 0..=r.min(w - 1) {
+            let p = px[base + x];
+            sum[0] += p.r as u32;
+            sum[1] += p.g as u32;
+            sum[2] += p.b as u32;
+        }
+        for x in 0..w {
+            if x > 0 {
+                if x + r < w {
+                    let p = px[base + x + r];
+                    sum[0] += p.r as u32;
+                    sum[1] += p.g as u32;
+                    sum[2] += p.b as u32;
+                }
+                if x > r {
+                    let p = px[base + x - r - 1];
+                    sum[0] -= p.r as u32;
+                    sum[1] -= p.g as u32;
+                    sum[2] -= p.b as u32;
+                }
+            }
+            rows[base + x] = sum;
+        }
+    }
+
+    // Pass 2: vertical running sums of the row sums, all columns at once
+    // (row-major sweeps keep the access pattern cache-friendly).
+    let nx_of = |x: usize| ((x + r).min(w - 1) - x.saturating_sub(r) + 1) as u32;
+    let nx: Vec<u32> = (0..w).map(nx_of).collect();
+    let mut colsum: Vec<[u32; 3]> = vec![[0; 3]; w];
+    for yy in 0..=r.min(h - 1) {
+        for x in 0..w {
+            let s = rows[yy * w + x];
+            colsum[x][0] += s[0];
+            colsum[x][1] += s[1];
+            colsum[x][2] += s[2];
+        }
+    }
+    for y in 0..h {
+        if y > 0 {
+            if y + r < h {
+                for x in 0..w {
+                    let s = rows[(y + r) * w + x];
+                    colsum[x][0] += s[0];
+                    colsum[x][1] += s[1];
+                    colsum[x][2] += s[2];
+                }
+            }
+            if y > r {
+                for x in 0..w {
+                    let s = rows[(y - r - 1) * w + x];
+                    colsum[x][0] -= s[0];
+                    colsum[x][1] -= s[1];
+                    colsum[x][2] -= s[2];
+                }
+            }
+        }
+        let ny = ((y + r).min(h - 1) - y.saturating_sub(r) + 1) as u32;
+        for x in 0..w {
+            let n = nx[x] * ny;
+            out.set(
+                x as isize,
+                y as isize,
+                Pixel::new(
+                    (colsum[x][0] / n) as u8,
+                    (colsum[x][1] / n) as u8,
+                    (colsum[x][2] / n) as u8,
+                ),
+            );
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +1001,36 @@ mod tests {
     fn two_region_frame() -> Frame {
         let mut f = Frame::new(40, 30, Pixel::new(20, 20, 20));
         f.fill_rect(20, 0, 20, 30, Pixel::new(230, 230, 230));
+        f
+    }
+
+    /// A deterministic frame with structured content plus pseudo-noise.
+    fn busy_frame(w: usize, h: usize, seed: u64) -> Frame {
+        let mut f = Frame::new(w, h, Pixel::new(30, 40, 50));
+        f.fill_rect(
+            (w / 5) as isize,
+            (h / 5) as isize,
+            w / 3,
+            h / 3,
+            Pixel::new(210, 60, 60),
+        );
+        f.fill_circle(
+            w as f64 * 0.7,
+            h as f64 * 0.6,
+            (w.min(h) / 5) as f64,
+            Pixel::new(60, 200, 90),
+        );
+        let mut state = seed | 1;
+        for _ in 0..(w * h / 12) {
+            // xorshift64 pseudo-noise speckles.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let x = (state % w as u64) as isize;
+            let y = ((state >> 16) % h as u64) as isize;
+            let v = (state >> 32) as u8;
+            f.set(x, y, Pixel::new(v, v.wrapping_mul(3), v.wrapping_add(80)));
+        }
         f
     }
 
@@ -443,5 +1136,309 @@ mod tests {
         f.set(1, 1, Pixel::new(90, 90, 90));
         let b = box_blur(&f, 1);
         assert_eq!(b.get(1, 1), Pixel::new(10, 10, 10));
+    }
+
+    // ---- edge-handling pins (satellite: boundary-window audit) ----
+
+    /// Border windows are *clipped*, and normalization divides by the
+    /// clipped count — a corner pixel with radius 1 averages exactly its
+    /// 2x2 neighborhood, not a zero-padded 3x3 one.
+    #[test]
+    fn box_blur_corner_uses_clamped_normalization() {
+        let mut f = Frame::new(4, 4, Pixel::new(0, 0, 0));
+        f.set(0, 0, Pixel::new(100, 100, 100));
+        f.set(1, 0, Pixel::new(50, 50, 50));
+        for b in [box_blur_naive(&f, 1), box_blur_fast(&f, 1)] {
+            // Corner window = {(0,0),(1,0),(0,1),(1,1)}: (100+50+0+0)/4.
+            assert_eq!(b.get(0, 0), Pixel::new(37, 37, 37));
+            // Top edge window is 3x2 = 6 pixels: 150/6 = 25.
+            assert_eq!(b.get(1, 0), Pixel::new(25, 25, 25));
+        }
+    }
+
+    /// Radius larger than the frame degenerates to the global mean with
+    /// the true pixel count as denominator.
+    #[test]
+    fn box_blur_radius_larger_than_frame() {
+        let mut f = Frame::new(3, 2, Pixel::new(10, 10, 10));
+        f.set(0, 0, Pixel::new(70, 70, 70));
+        for b in [box_blur_naive(&f, 50), box_blur_fast(&f, 50)] {
+            // (70 + 5*10) / 6 = 20.
+            for y in 0..2 {
+                for x in 0..3 {
+                    assert_eq!(b.get(x, y), Pixel::new(20, 20, 20));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn box_blur_zero_radius_is_identity() {
+        let f = busy_frame(17, 9, 3);
+        for b in [box_blur_naive(&f, 0), box_blur_fast(&f, 0)] {
+            assert_eq!(b.pixels(), f.pixels());
+        }
+    }
+
+    #[test]
+    fn box_blur_fast_matches_naive_exactly() {
+        for (w, h, seed) in [(1, 1, 1), (7, 1, 2), (1, 9, 3), (31, 17, 4), (40, 30, 5)] {
+            let f = busy_frame(w, h, seed);
+            for radius in [0, 1, 2, 3, 5, 8, 40] {
+                let naive = box_blur_naive(&f, radius);
+                let fast = box_blur_fast(&f, radius);
+                assert_eq!(
+                    naive.pixels(),
+                    fast.pixels(),
+                    "{w}x{h} seed {seed} radius {radius}"
+                );
+            }
+        }
+    }
+
+    /// The mode filter's border windows are clipped the same way: a corner
+    /// pixel with radius 1 sees a 2x2 window, and the center class wins
+    /// non-strict majorities in it.
+    #[test]
+    fn mode_filter_corner_center_wins_2x2_tie() {
+        // 2x2 window at (0,0) holds classes [5, 9, 9, 5]: tie 2-2, center
+        // class 5 must survive in both implementations.
+        let classes = vec![5, 9, 7, 9, 5, 7, 7, 7, 7];
+        let naive = mode_filter_naive(&classes, 3, 3, 1);
+        assert_eq!(naive[0], 5);
+        let mut s = SegScratch::new();
+        let SegScratch {
+            smoothed,
+            hist,
+            freq,
+            present,
+            present_pos,
+            remap_keys,
+            remapped,
+            tie_counts,
+            grows,
+            ..
+        } = &mut s;
+        mode_filter_fast(
+            &classes,
+            3,
+            3,
+            1,
+            smoothed,
+            hist,
+            freq,
+            present,
+            present_pos,
+            remap_keys,
+            remapped,
+            tie_counts,
+            grows,
+        );
+        assert_eq!(smoothed[0], 5);
+        assert_eq!(&naive, smoothed);
+    }
+
+    /// A strict majority overrides the center even at the border.
+    #[test]
+    fn mode_filter_corner_strict_majority_overrides_center() {
+        let classes = vec![5, 9, 7, 9, 9, 7, 7, 7, 7];
+        let naive = mode_filter_naive(&classes, 3, 3, 1);
+        assert_eq!(naive[0], 9, "3-of-4 beats the corner's own class");
+    }
+
+    /// Fast vs naïve on adversarial tie-heavy class images (few classes,
+    /// checkerboards and stripes produce many multi-way ties, exercising
+    /// the fallback path).
+    #[test]
+    fn mode_filter_fast_matches_naive_exactly() {
+        type Pattern = (usize, usize, Box<dyn Fn(usize, usize) -> u32>);
+        let patterns: Vec<Pattern> = vec![
+            (8, 8, Box::new(|x, y| ((x + y) % 2) as u32)),
+            (9, 7, Box::new(|x, y| ((x / 2 + y / 3) % 3) as u32)),
+            (16, 5, Box::new(|x, _| (x % 4) as u32 * 1000)),
+            (6, 6, Box::new(|x, y| ((x * 7 + y * 13) % 5) as u32)),
+            (1, 12, Box::new(|_, y| (y % 2) as u32)),
+            (12, 1, Box::new(|x, _| (x % 3) as u32)),
+        ];
+        let mut s = SegScratch::new();
+        for (w, h, f) in patterns {
+            let classes: Vec<u32> = (0..w * h).map(|i| f(i % w, i / w)).collect();
+            for radius in [1, 2, 3, 4] {
+                let naive = mode_filter_naive(&classes, w, h, radius);
+                let SegScratch {
+                    smoothed,
+                    hist,
+                    freq,
+                    present,
+                    present_pos,
+                    remap_keys,
+                    remapped,
+                    tie_counts,
+                    grows,
+                    ..
+                } = &mut s;
+                mode_filter_fast(
+                    &classes,
+                    w,
+                    h,
+                    radius,
+                    smoothed,
+                    hist,
+                    freq,
+                    present,
+                    present_pos,
+                    remap_keys,
+                    remapped,
+                    tie_counts,
+                    grows,
+                );
+                assert_eq!(&naive, smoothed, "{w}x{h} radius {radius}");
+            }
+        }
+    }
+
+    /// Class keys past the dense-histogram limit take the remap path and
+    /// still match the naïve filter.
+    #[test]
+    fn mode_filter_remap_path_matches_naive() {
+        let w = 9;
+        let h = 6;
+        let classes: Vec<u32> = (0..w * h)
+            .map(|i| ((i % 4) as u32) * 0x0100_0000 + 3)
+            .collect();
+        assert!(*classes.iter().max().unwrap() as usize >= DENSE_CLASS_LIMIT);
+        let naive = mode_filter_naive(&classes, w, h, 2);
+        let mut s = SegScratch::new();
+        let SegScratch {
+            smoothed,
+            hist,
+            freq,
+            present,
+            present_pos,
+            remap_keys,
+            remapped,
+            tie_counts,
+            grows,
+            ..
+        } = &mut s;
+        mode_filter_fast(
+            &classes,
+            w,
+            h,
+            2,
+            smoothed,
+            hist,
+            freq,
+            present,
+            present_pos,
+            remap_keys,
+            remapped,
+            tie_counts,
+            grows,
+        );
+        assert_eq!(&naive, smoothed);
+        assert!(s.hist.len() <= w * h, "remapped id space is dense");
+    }
+
+    // ---- adjacency pins (satellite: duplicate-emission audit) ----
+
+    /// `adjacency_pairs` emits one candidate per boundary pixel pair but
+    /// the output is sorted, normalized to `a < b`, and deduplicated.
+    #[test]
+    fn adjacency_pairs_sorted_deduped_normalized() {
+        // Labels: two columns of 0|1 over two rows, plus a 2-row stripe of
+        // label 2 — every boundary crossing is emitted multiple times.
+        let labels = vec![0, 1, 2, 0, 1, 2];
+        let pairs = adjacency_pairs(&labels, 3, 2);
+        assert_eq!(pairs, vec![(0, 1), (1, 2)]);
+        // Edge pixels: single row has no vertical neighbors.
+        let pairs = adjacency_pairs(&[0, 1, 0], 3, 1);
+        assert_eq!(pairs, vec![(0, 1)]);
+        // Single column has no horizontal neighbors.
+        let pairs = adjacency_pairs(&[0, 1, 0], 1, 3);
+        assert_eq!(pairs, vec![(0, 1)]);
+        // Uniform image: no pairs at all.
+        assert!(adjacency_pairs(&[7; 12], 4, 3).is_empty());
+    }
+
+    #[test]
+    fn adjacency_pairs_reused_buffer_matches_fresh() {
+        let labels_a = vec![0, 0, 1, 1, 2, 2, 3, 3, 4];
+        let labels_b = vec![0, 1, 0, 1, 0, 1, 0, 1, 0];
+        let mut buf = Vec::new();
+        let mut grows = 0;
+        adjacency_pairs_into(&labels_a, 3, 3, &mut buf, &mut grows);
+        assert_eq!(buf, adjacency_pairs(&labels_a, 3, 3));
+        adjacency_pairs_into(&labels_b, 3, 3, &mut buf, &mut grows);
+        assert_eq!(buf, adjacency_pairs(&labels_b, 3, 3));
+    }
+
+    // ---- scratch arena behaviour ----
+
+    /// Reusing one arena across frames of different sizes and contents
+    /// yields exactly what fresh per-call arenas produce.
+    #[test]
+    fn scratch_reuse_is_stateless() {
+        let cfg = SegmentConfig::default();
+        let frames = [
+            busy_frame(40, 30, 1),
+            busy_frame(16, 16, 2),
+            busy_frame(52, 20, 3),
+            Frame::new(8, 8, Pixel::new(9, 9, 9)),
+            busy_frame(40, 30, 4),
+        ];
+        let mut scratch = SegScratch::new();
+        for f in &frames {
+            let fresh = segment(f, &cfg);
+            let reused = segment_into(f, &cfg, &mut scratch);
+            assert_eq!(fresh.labels, reused.labels);
+            assert_eq!(fresh.width, reused.width);
+            assert_eq!(fresh.adjacency, reused.adjacency);
+            assert_eq!(fresh.regions.len(), reused.regions.len());
+            for (a, b) in fresh.regions.iter().zip(&reused.regions) {
+                assert_eq!(a.label, b.label);
+                assert_eq!(a.size, b.size);
+                assert_eq!(a.color.r.to_bits(), b.color.r.to_bits());
+                assert_eq!(a.color.g.to_bits(), b.color.g.to_bits());
+                assert_eq!(a.color.b.to_bits(), b.color.b.to_bits());
+                assert_eq!(a.centroid.x.to_bits(), b.centroid.x.to_bits());
+                assert_eq!(a.centroid.y.to_bits(), b.centroid.y.to_bits());
+            }
+        }
+    }
+
+    /// After a warm-up pass the arena stops growing: re-segmenting the
+    /// same frames triggers no further buffer growth.
+    #[test]
+    fn scratch_reaches_steady_state() {
+        let cfg = SegmentConfig::default();
+        let frames = [busy_frame(40, 30, 7), busy_frame(40, 30, 8)];
+        let mut scratch = SegScratch::new();
+        for f in &frames {
+            segment_into(f, &cfg, &mut scratch);
+        }
+        let grows_after_warmup = scratch.grow_events();
+        let bytes_after_warmup = scratch.alloc_bytes();
+        assert!(bytes_after_warmup > 0);
+        for _ in 0..3 {
+            for f in &frames {
+                segment_into(f, &cfg, &mut scratch);
+            }
+        }
+        assert_eq!(
+            scratch.grow_events(),
+            grows_after_warmup,
+            "steady-state segmentation must not grow the arena"
+        );
+        assert_eq!(scratch.alloc_bytes(), bytes_after_warmup);
+    }
+
+    #[test]
+    fn empty_frame_segments_to_nothing() {
+        let f = Frame::new(0, 0, Pixel::default());
+        let seg = segment(&f, &SegmentConfig::default());
+        assert!(seg.labels.is_empty());
+        assert!(seg.regions.is_empty());
+        assert!(seg.adjacency.is_empty());
     }
 }

@@ -38,4 +38,16 @@ STRG_THREADS=8 cargo test -q --test kernel_equivalence
 echo "==> bounded-kernel bench smoke (--quick)"
 cargo run --release -p strg-bench --bin kernels -- --quick
 
+echo "==> ingest-equivalence suite under STRG_THREADS=1"
+STRG_THREADS=1 cargo test -q --test ingest_equivalence
+
+echo "==> ingest-equivalence suite under STRG_THREADS=8"
+STRG_THREADS=8 cargo test -q --test ingest_equivalence
+
+echo "==> ingest allocation-discipline suite"
+cargo test -q --test ingest_alloc
+
+echo "==> ingest hot-path bench smoke (--quick, checks the 2x floor)"
+cargo run --release -p strg-bench --bin ingest -- --quick
+
 echo "CI gate passed."

@@ -69,10 +69,12 @@ pub mod prelude {
         Strg, TrackerConfig,
     };
     pub use strg_mtree::{MTree, MTreeConfig, PromotePolicy};
-    pub use strg_parallel::{par_map, Threads};
+    pub use strg_parallel::{par_map, par_map_with, Threads};
     pub use strg_rtree::{Aabb3, RTree3};
     pub use strg_synth::{generate, generate_total, SynthConfig};
     pub use strg_video::{
-        lab_scene, table1_clips, traffic_scene, Frame, ScenarioConfig, SegmentConfig, VideoClip,
+        box_blur, frames_to_rags, frames_to_rags_with_stats, lab_scene, naive_segmentation_enabled,
+        segment, segment_into, table1_clips, traffic_scene, ExtractStats, Frame, Pixel,
+        ScenarioConfig, SegScratch, SegmentConfig, Segmentation, VideoClip, NAIVE_SEGMENT_ENV,
     };
 }

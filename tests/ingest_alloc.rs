@@ -1,0 +1,144 @@
+//! Allocation-discipline harness for the ingest hot path.
+//!
+//! Installs a counting `#[global_allocator]` shim (no new dependencies —
+//! it forwards to [`System`]) and asserts that steady-state segmentation
+//! through a warm [`SegScratch`] arena performs **zero** heap allocations:
+//! every buffer the pipeline touches is owned by the arena and only
+//! recycled after warm-up (DESIGN.md §10).
+//!
+//! This file is its own test binary, so the global allocator swap cannot
+//! perturb any other suite.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use strg::prelude::*;
+
+/// Forwards to the system allocator, counting every allocation path that
+/// can acquire or move heap memory (alloc, alloc_zeroed, realloc).
+struct CountingAlloc;
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_events() -> u64 {
+    ALLOC_EVENTS.load(Ordering::SeqCst)
+}
+
+/// A deterministic busy frame (blocks + xorshift speckles) at the paper's
+/// scene scale, matching the equivalence suite's workload shape.
+fn busy_frame(w: usize, h: usize, seed: u64) -> Frame {
+    let mut f = Frame::new(w, h, Pixel::new(28, 36, 52));
+    f.fill_rect(
+        (w / 6) as isize,
+        (h / 6) as isize,
+        w / 3,
+        h / 2,
+        Pixel::new(214, 64, 58),
+    );
+    f.fill_rect(
+        (w / 2) as isize,
+        (h / 3) as isize,
+        w / 4,
+        h / 3,
+        Pixel::new(62, 198, 88),
+    );
+    let mut state = seed | 1;
+    for _ in 0..(w * h / 10) {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let x = (state % w as u64) as isize;
+        let y = ((state >> 16) % h as u64) as isize;
+        let v = (state >> 32) as u8;
+        f.set(x, y, Pixel::new(v, v.wrapping_mul(5), v.wrapping_add(60)));
+    }
+    f
+}
+
+/// Steady-state segmentation must not touch the allocator: after a warm-up
+/// pass over the frame set, re-segmenting the same frames through the same
+/// arena performs zero alloc/realloc events.
+#[test]
+fn steady_state_segmentation_allocates_nothing() {
+    // The fast path must be active (the naïve reference kernels allocate
+    // by design).
+    std::env::remove_var(NAIVE_SEGMENT_ENV);
+    assert!(!naive_segmentation_enabled());
+
+    let cfg = SegmentConfig::default();
+    let frames: Vec<Frame> = (0..3).map(|i| busy_frame(160, 120, 11 + i)).collect();
+    let mut scratch = SegScratch::new();
+
+    // Warm-up: two passes so every content-dependent buffer (region
+    // stats, adjacency, neighbor CSR) reaches its high-water capacity.
+    for _ in 0..2 {
+        for f in &frames {
+            segment_into(f, &cfg, &mut scratch);
+        }
+    }
+    let grows_warm = scratch.grow_events();
+    let bytes_warm = scratch.alloc_bytes();
+    assert!(bytes_warm > 0, "warm arena owns real buffers");
+
+    // Measure: three steady-state passes under the counting allocator.
+    let mut last_regions = 0;
+    let before = alloc_events();
+    for _ in 0..3 {
+        for f in &frames {
+            let seg = segment_into(f, &cfg, &mut scratch);
+            last_regions = seg.regions.len();
+        }
+    }
+    let delta = alloc_events() - before;
+
+    assert!(last_regions > 0, "segmentation produced real regions");
+    assert_eq!(
+        delta, 0,
+        "steady-state segmentation performed {delta} heap allocations"
+    );
+    // The arena's own bookkeeping agrees with the allocator.
+    assert_eq!(scratch.grow_events(), grows_warm);
+    assert_eq!(scratch.alloc_bytes(), bytes_warm);
+}
+
+/// The arena's grow-event counter is an upper bound witness: a cold arena
+/// grows, a warm one does not, and `alloc_bytes` is monotone under reuse.
+#[test]
+fn cold_arena_grows_then_stops() {
+    std::env::remove_var(NAIVE_SEGMENT_ENV);
+    let cfg = SegmentConfig::default();
+    let f = busy_frame(96, 72, 3);
+    let mut scratch = SegScratch::new();
+    assert_eq!(scratch.grow_events(), 0);
+    assert_eq!(scratch.alloc_bytes(), 0);
+    segment_into(&f, &cfg, &mut scratch);
+    let cold_grows = scratch.grow_events();
+    assert!(cold_grows > 0, "first call must grow the arena");
+    segment_into(&f, &cfg, &mut scratch);
+    assert_eq!(
+        scratch.grow_events(),
+        cold_grows,
+        "second call on the same frame must not grow"
+    );
+}

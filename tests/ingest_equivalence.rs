@@ -1,0 +1,306 @@
+//! Ingest equivalence suite: the fast hot-path kernels are *physical*
+//! optimizations only.
+//!
+//! `STRG_NAIVE_SEGMENT=1` switches the ingest pipeline back to the naïve
+//! reference implementations — the `O(r^2)`-per-pixel mode filter and box
+//! blur rescans, and one-at-a-time sorted leaf insertion in
+//! `add_segment` — while the default path runs the sliding-histogram /
+//! separable running-sum kernels through reusable [`SegScratch`] arenas
+//! and bulk sort-once leaf loading (DESIGN.md §10). Both modes must
+//! produce **byte-identical** segmentations, RAGs, index layouts, metrics,
+//! and query hits, at `STRG_THREADS=1` and `8`.
+//!
+//! `scripts/ci.sh` runs this binary under both thread counts so the
+//! equivalence is also pinned against the frozen parallel band.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use strg::prelude::*;
+
+/// Serializes every test that toggles `STRG_NAIVE_SEGMENT`: the flag is
+/// process global, so two modes must never overlap in time.
+fn env_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f` twice — once on the fast kernels, once with
+/// `STRG_NAIVE_SEGMENT=1` — and returns both results, restoring the
+/// environment.
+fn in_both_modes<T>(f: impl Fn() -> T) -> (T, T) {
+    let _guard = env_lock();
+    std::env::remove_var(NAIVE_SEGMENT_ENV);
+    assert!(!naive_segmentation_enabled());
+    let fast = f();
+    std::env::set_var(NAIVE_SEGMENT_ENV, "1");
+    assert!(naive_segmentation_enabled());
+    let naive = f();
+    std::env::remove_var(NAIVE_SEGMENT_ENV);
+    (fast, naive)
+}
+
+/// A deterministic busy test frame: background, blocks, and xorshift
+/// speckle noise (exercises smoothing, merging, and adjacency).
+fn busy_frame(w: usize, h: usize, seed: u64) -> Frame {
+    let mut f = Frame::new(w, h, Pixel::new(28, 36, 52));
+    f.fill_rect(
+        (w / 6) as isize,
+        (h / 6) as isize,
+        w / 3,
+        h / 2,
+        Pixel::new(214, 64, 58),
+    );
+    f.fill_rect(
+        (w / 2) as isize,
+        (h / 3) as isize,
+        w / 4,
+        h / 3,
+        Pixel::new(62, 198, 88),
+    );
+    let mut state = seed | 1;
+    for _ in 0..(w * h / 10) {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let x = (state % w as u64) as isize;
+        let y = ((state >> 16) % h as u64) as isize;
+        let v = (state >> 32) as u8;
+        f.set(x, y, Pixel::new(v, v.wrapping_mul(5), v.wrapping_add(60)));
+    }
+    f
+}
+
+/// Bit-exact fingerprint of a segmentation: labels, width, adjacency,
+/// and per-region `[label, size, color-mix, r-bits, cx-bits, cy-bits]`.
+type SegPrint = (Vec<u32>, usize, Vec<(u32, u32)>, Vec<[u64; 6]>);
+
+fn seg_fingerprint(seg: &Segmentation) -> SegPrint {
+    let regions = seg
+        .regions
+        .iter()
+        .map(|r| {
+            [
+                r.label as u64,
+                r.size as u64,
+                r.color.r.to_bits()
+                    ^ r.color.g.to_bits().rotate_left(1)
+                    ^ r.color.b.to_bits().rotate_left(2),
+                r.color.r.to_bits(),
+                r.centroid.x.to_bits(),
+                r.centroid.y.to_bits(),
+            ]
+        })
+        .collect();
+    (
+        seg.labels.clone(),
+        seg.width,
+        seg.adjacency.clone(),
+        regions,
+    )
+}
+
+/// Bit-exact fingerprint of a RAG (nodes + edges + edge geometry).
+fn rag_fingerprint(rag: &Rag) -> Vec<u64> {
+    let mut out = vec![rag.frame().0 as u64, rag.node_count() as u64];
+    for a in rag.node_attrs() {
+        out.push(a.size as u64);
+        out.push(a.color.r.to_bits());
+        out.push(a.color.g.to_bits());
+        out.push(a.color.b.to_bits());
+        out.push(a.centroid.x.to_bits());
+        out.push(a.centroid.y.to_bits());
+    }
+    for (u, v, e) in rag.edges() {
+        out.push(u.0 as u64);
+        out.push(v.0 as u64);
+        out.push(e.distance.to_bits());
+        out.push(e.orientation.to_bits());
+    }
+    out
+}
+
+#[test]
+fn segmentation_identical_in_both_modes() {
+    let frames: Vec<Frame> = (0..4).map(|i| busy_frame(80, 60, 1 + i)).collect();
+    for cfg in [
+        SegmentConfig::default(),
+        SegmentConfig {
+            smooth_radius: 2,
+            ..SegmentConfig::default()
+        },
+        SegmentConfig {
+            smooth_radius: 3,
+            quant_levels: 4,
+            min_region_size: 40,
+        },
+    ] {
+        for f in &frames {
+            let (fast, naive) = in_both_modes(|| seg_fingerprint(&segment(f, &cfg)));
+            assert_eq!(fast, naive, "radius {}", cfg.smooth_radius);
+        }
+    }
+}
+
+#[test]
+fn box_blur_identical_in_both_modes() {
+    for (w, h) in [(1, 1), (13, 1), (1, 17), (80, 60), (160, 120)] {
+        let f = busy_frame(w, h, 9);
+        for radius in [0, 1, 2, 4, 7] {
+            let (fast, naive) = in_both_modes(|| box_blur(&f, radius).pixels().to_vec());
+            assert_eq!(fast, naive, "{w}x{h} radius {radius}");
+        }
+    }
+}
+
+#[test]
+fn rag_extraction_identical_in_both_modes_at_any_thread_count() {
+    let frames: Vec<Frame> = (0..10).map(|i| busy_frame(64, 48, 100 + i)).collect();
+    let cfg = SegmentConfig::default();
+    let mut reference: Option<Vec<Vec<u64>>> = None;
+    for threads in [1usize, 8] {
+        let (fast, naive) = in_both_modes(|| {
+            let (rags, stats) = frames_to_rags_with_stats(&frames, &cfg, Threads::Fixed(threads));
+            assert!(stats.workers >= 1);
+            assert!(stats.scratch_bytes > 0);
+            rags.iter().map(rag_fingerprint).collect::<Vec<_>>()
+        });
+        assert_eq!(fast, naive, "threads {threads}: fast vs naive RAGs");
+        // ... and the frozen parallel band: identical across thread counts.
+        match &reference {
+            None => reference = Some(fast),
+            Some(r) => assert_eq!(r, &fast, "threads {threads}: thread-count band"),
+        }
+    }
+}
+
+/// Full-pipeline equivalence: ingest real scripted clips through
+/// [`VideoDatabase`] in both modes at `STRG_THREADS` 1 and 8, comparing OG
+/// ids, index statistics, the entire leaf layout bit-for-bit, the
+/// deterministic metrics snapshot, and k-NN hits.
+#[test]
+fn video_database_identical_in_both_modes() {
+    let clips: Vec<VideoClip> = [11u64, 23]
+        .iter()
+        .map(|&seed| VideoClip {
+            name: format!("clip{seed}"),
+            scene: lab_scene(&ScenarioConfig {
+                n_actors: 2,
+                frames: 36,
+                seed,
+                ..ScenarioConfig::default()
+            }),
+            fps: 30.0,
+        })
+        .collect();
+    let rendered: Vec<Vec<Frame>> = clips.iter().map(|c| c.render_all(5)).collect();
+
+    #[derive(Debug, PartialEq)]
+    struct Outcome {
+        objects: Vec<usize>,
+        stats: (usize, usize, usize, usize, usize),
+        leaves: Vec<(u32, u64, u64)>,
+        metrics: String,
+        hits: Vec<(u64, u64)>,
+    }
+
+    let mut reference: Option<Outcome> = None;
+    for threads in [1usize, 8] {
+        let (fast, naive) = in_both_modes(|| {
+            let db =
+                VideoDatabase::new(VideoDbConfig::default().with_threads(Threads::Fixed(threads)));
+            let mut objects = Vec::new();
+            for (clip, frames) in clips.iter().zip(&rendered) {
+                objects.push(db.ingest_frames(&clip.name, frames).objects);
+            }
+            let s = db.stats();
+            let leaves = db.with_index(|idx| {
+                idx.roots()
+                    .iter()
+                    .flat_map(|r| {
+                        r.clusters.iter().flat_map(move |c| {
+                            c.leaf
+                                .records
+                                .iter()
+                                .map(move |rec| (r.id * 1000 + c.id, rec.og_id, rec.key.to_bits()))
+                        })
+                    })
+                    .collect::<Vec<_>>()
+            });
+            let og = db.og(0).expect("og 0 exists");
+            let mut hits = Vec::new();
+            for k in [1, 3, 50] {
+                for h in db
+                    .query(Query::knn(k).trajectory(&og.centroid_series()))
+                    .hits
+                {
+                    hits.push((h.og_id, h.dist.to_bits()));
+                }
+            }
+            Outcome {
+                objects,
+                stats: (s.clips, s.objects, s.clusters, s.strg_bytes, s.index_bytes),
+                leaves,
+                metrics: db.metrics_snapshot().deterministic_json(),
+                hits,
+            }
+        });
+        assert_eq!(fast, naive, "threads {threads}: fast vs naive database");
+        assert!(fast.stats.1 >= 2, "enough OGs to be non-vacuous");
+        match &reference {
+            None => reference = Some(fast),
+            Some(r) => assert_eq!(r, &fast, "threads {threads}: thread-count band"),
+        }
+    }
+}
+
+/// Bulk sort-once leaf loading lays records out exactly like one-at-a-time
+/// sorted insertion, including the duplicate-key case where stability is
+/// what keeps the OG order.
+#[test]
+fn bulk_leaf_load_matches_incremental_with_duplicate_keys() {
+    // Groups of identical sequences → identical keys within each cluster,
+    // so the leaf order among them is decided purely by insertion
+    // stability.
+    let mut ogs: Vec<(u64, Vec<f64>)> = Vec::new();
+    let mut id = 0;
+    for g in 0..3 {
+        let base = 50.0 * g as f64;
+        for i in 0..9 {
+            // Three repeats of each of three distinct sequences per group.
+            let v = (i % 3) as f64;
+            ogs.push((id, vec![base + v, base + v, base]));
+            id += 1;
+        }
+    }
+    let (fast, naive) = in_both_modes(|| {
+        let mut idx = StrgIndex::new(EgedMetric::<f64>::new(), StrgIndexConfig::with_k(3));
+        idx.add_segment(Default::default(), ogs.clone());
+        idx.roots()
+            .iter()
+            .flat_map(|r| {
+                r.clusters.iter().map(|c| {
+                    c.leaf
+                        .records
+                        .iter()
+                        .map(|rec| (rec.og_id, rec.key.to_bits()))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(fast, naive, "leaf layouts diverged");
+    // Vacuity guard: at least one leaf must actually contain equal
+    // adjacent keys, otherwise stability was never exercised.
+    let has_dup = fast
+        .iter()
+        .any(|leaf| leaf.windows(2).any(|w| w[0].1 == w[1].1));
+    assert!(has_dup, "no duplicate keys in any leaf — test is vacuous");
+    // Keys are sorted ascending in every leaf.
+    for leaf in &fast {
+        for w in leaf.windows(2) {
+            assert!(f64::from_bits(w[0].1) <= f64::from_bits(w[1].1));
+        }
+    }
+}
