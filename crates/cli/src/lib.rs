@@ -3,16 +3,22 @@
 //! The binary is a thin wrapper over these functions so that every command
 //! is unit-testable. The database file format is `strg-core`'s STRGDB v1
 //! (see `strg_core::persist`).
+//!
+//! JSON output goes through `strg_serve::wire` — the same renderers the
+//! query server uses — so `--json` bodies and server `result` bodies are
+//! byte-identical by construction (DESIGN.md §11). `serve` runs the
+//! long-lived server; `send` is the matching one-shot client for
+//! scripting.
 
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write as _};
 use std::path::Path;
 
 use strg_core::{Query, VideoDatabase, VideoDbConfig};
 use strg_graph::Point2;
-use strg_obs::Json;
-use strg_video::{lab_scene, traffic_scene, ScenarioConfig, VideoClip};
+use strg_serve::{wire, ServeConfig, Server};
 
 /// A CLI error: message for the user, non-zero exit.
 #[derive(Debug)]
@@ -42,20 +48,31 @@ strgdb — STRG-Index video database CLI
 USAGE:
   strgdb ingest --db <file> --scene <lab|traffic> --name <name>
                 [--actors N] [--frames N] [--seed N] [--json]
-  strgdb query  --db <file> --from <x,y> --to <x,y> [--steps N] [-k N]
-                [--clip <name>] [--json]
+  strgdb query  --db <file> --from <x,y> --to <x,y> [--steps N]
+                [-k N | --radius R] [--clip <name>] [--json]
   strgdb stats  --db <file> [--json]
   strgdb clips  --db <file>
   strgdb remove --db <file> --clip <name>
+  strgdb serve  --db <file> [--port N] [--max-queue N] [--port-file <file>]
+  strgdb send   --addr <host:port> --req '<json request line>'
 
 Creates <file> on first ingest; later commands load and (for mutations)
 rewrite it. `--json` switches ingest/query/stats to machine-readable
 output, including the per-query cost record and the database's metrics
-snapshot (same serialization as `VideoDatabase::metrics_snapshot`).";
+snapshot (same serialization as `VideoDatabase::metrics_snapshot`).
+`serve` answers the same shapes over newline-delimited JSON on TCP
+(port 0 picks an ephemeral port; `--port-file` records the bound
+address); `send` writes one request line and prints the response.";
 
 /// Simple `--flag value` argument map.
 pub struct Args<'a> {
     rest: &'a [String],
+}
+
+/// True when `s` is a flag token rather than a value: `--long` or a short
+/// `-x` switch. A lone `-` and negative numbers (`-5,3`) are values.
+fn looks_like_flag(s: &str) -> bool {
+    s.starts_with("--") || (s.len() > 1 && s.starts_with('-') && !s.as_bytes()[1].is_ascii_digit())
 }
 
 impl<'a> Args<'a> {
@@ -65,15 +82,17 @@ impl<'a> Args<'a> {
     }
 
     /// The value after `flag`. Absence is `Ok(None)`; a flag that is
-    /// present but has nothing after it is an error, not a silent absence
-    /// (otherwise `strgdb query ... -k` would quietly fall back to the
-    /// default instead of telling the user their value went missing).
+    /// present but has nothing after it — or is followed by another flag
+    /// token rather than a value (`serve --port --max-queue 5`) — is an
+    /// error, not a silent absence (otherwise `strgdb query ... -k` would
+    /// quietly fall back to the default instead of telling the user their
+    /// value went missing).
     pub fn get(&self, flag: &str) -> Result<Option<&'a str>, CliError> {
         match self.rest.iter().position(|a| a == flag) {
             None => Ok(None),
             Some(i) => match self.rest.get(i + 1) {
-                Some(v) => Ok(Some(v.as_str())),
-                None => Err(CliError(format!("flag {flag} expects a value"))),
+                Some(v) if !looks_like_flag(v) => Ok(Some(v.as_str())),
+                _ => Err(CliError(format!("flag {flag} expects a value"))),
             },
         }
     }
@@ -110,18 +129,7 @@ fn load_or_new(path: &str) -> Result<VideoDatabase, CliError> {
 }
 
 fn parse_point(s: &str) -> Result<Point2, CliError> {
-    let (x, y) = s
-        .split_once(',')
-        .ok_or_else(|| CliError(format!("expected x,y — got {s:?}")))?;
-    let x: f64 = x
-        .trim()
-        .parse()
-        .map_err(|_| CliError(format!("bad x coordinate {x:?}")))?;
-    let y: f64 = y
-        .trim()
-        .parse()
-        .map_err(|_| CliError(format!("bad y coordinate {y:?}")))?;
-    Ok(Point2::new(x, y))
+    wire::parse_point(s).map_err(CliError)
 }
 
 /// `strgdb ingest`.
@@ -133,23 +141,7 @@ pub fn cmd_ingest(args: &Args) -> CmdResult {
     let frames: usize = args.parse_or("--frames", 120)?;
     let seed: u64 = args.parse_or("--seed", 0)?;
 
-    let cfg = ScenarioConfig {
-        n_actors: actors,
-        frames,
-        seed,
-        ..Default::default()
-    };
-    let scene = match scene_kind {
-        "lab" => lab_scene(&cfg),
-        "traffic" => traffic_scene(&cfg),
-        other => return Err(CliError(format!("unknown scene {other:?} (lab|traffic)"))),
-    };
-    let clip = VideoClip {
-        name: name.to_string(),
-        scene,
-        fps: 30.0,
-    };
-
+    let clip = wire::make_clip(scene_kind, name, actors, frames, seed).map_err(CliError)?;
     let db = load_or_new(db_path)?;
     if db.clip_names().iter().any(|n| n == name) {
         return Err(CliError(format!("clip {name:?} already exists")));
@@ -157,17 +149,12 @@ pub fn cmd_ingest(args: &Args) -> CmdResult {
     let report = db.ingest_clip(&clip, seed);
     db.save(db_path)?;
     if args.has("--json") {
-        return Ok(Json::obj(vec![
-            ("clip", Json::str(name)),
-            ("frames", Json::U64(clip.frame_count() as u64)),
-            ("objects", Json::U64(report.objects as u64)),
-            (
-                "background_nodes",
-                Json::U64(report.background_nodes as u64),
-            ),
-            ("strg_bytes", Json::U64(report.strg_bytes as u64)),
-            ("metrics", db.metrics_snapshot().to_json()),
-        ])
+        return Ok(wire::ingest_json(
+            name,
+            clip.frame_count(),
+            &report,
+            db.metrics_snapshot().to_json(),
+        )
         .render());
     }
     Ok(format!(
@@ -186,34 +173,37 @@ pub fn cmd_query(args: &Args) -> CmdResult {
     let from = parse_point(args.require("--from")?)?;
     let to = parse_point(args.require("--to")?)?;
     let steps: usize = args.parse_or("--steps", 30)?;
-    let k: usize = args.parse_or("-k", 5)?;
     if steps < 2 {
         return Err(CliError("--steps must be at least 2".into()));
     }
+    let radius: Option<f64> = match args.get("--radius")? {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| CliError(format!("bad value for --radius: {v:?}")))?,
+        ),
+    };
+    if radius.is_some() && args.get("-k")?.is_some() {
+        return Err(CliError(
+            "give -k (knn) or --radius (range), not both".into(),
+        ));
+    }
+    let k: usize = args.parse_or("-k", 5)?;
 
     let db = load_or_new(db_path)?;
-    let query: Vec<Point2> = (0..steps)
-        .map(|i| from.lerp(to, i as f64 / (steps - 1) as f64))
-        .collect();
-    let mut q = Query::knn(k).trajectory(&query).with_cost();
+    let query = wire::lerp_trajectory(from, to, steps);
+    let mut q = match radius {
+        Some(r) => Query::range(r),
+        None => Query::knn(k),
+    }
+    .trajectory(&query)
+    .with_cost();
     if let Some(clip) = args.get("--clip")? {
         q = q.in_clip(clip);
     }
     let result = db.query(q);
     if args.has("--json") {
-        let hits = result
-            .hits
-            .iter()
-            .map(|h| {
-                Json::obj(vec![
-                    ("clip", Json::str(&h.clip)),
-                    ("og_id", Json::U64(h.og_id)),
-                    ("distance", Json::F64(h.dist)),
-                ])
-            })
-            .collect();
-        let cost = result.cost.expect("with_cost() requested it");
-        return Ok(Json::obj(vec![("hits", Json::Array(hits)), ("cost", cost.to_json())]).render());
+        return Ok(wire::query_json(&result).render());
     }
     if result.hits.is_empty() {
         return Ok("no results".into());
@@ -238,15 +228,7 @@ pub fn cmd_stats(args: &Args) -> CmdResult {
     let db = load_or_new(db_path)?;
     let s = db.stats();
     if args.has("--json") {
-        return Ok(Json::obj(vec![
-            ("clips", Json::U64(s.clips as u64)),
-            ("objects", Json::U64(s.objects as u64)),
-            ("clusters", Json::U64(s.clusters as u64)),
-            ("strg_bytes", Json::U64(s.strg_bytes as u64)),
-            ("index_bytes", Json::U64(s.index_bytes as u64)),
-            ("metrics", db.metrics_snapshot().to_json()),
-        ])
-        .render());
+        return Ok(wire::stats_json(&s, db.metrics_snapshot().to_json()).render());
     }
     // Cumulative kernel counters for this process's queries (counters are
     // in-memory, so a freshly loaded database reports zeros).
@@ -295,6 +277,61 @@ pub fn cmd_remove(args: &Args) -> CmdResult {
     }
 }
 
+/// `strgdb serve`: the long-running query server (DESIGN.md §11).
+///
+/// Binds `127.0.0.1:<--port>` (default 4321; port 0 picks an ephemeral
+/// port), optionally records the bound address into `--port-file` for
+/// scripting, prints a banner, and blocks until a `shutdown` request
+/// arrives. Worker-pool size follows `STRG_THREADS`.
+pub fn cmd_serve(args: &Args) -> CmdResult {
+    let db_path = args.require("--db")?;
+    let port: u16 = args.parse_or("--port", 4321)?;
+    let max_queue: usize = args.parse_or("--max-queue", 64)?;
+    if max_queue == 0 {
+        return Err(CliError("--max-queue must be at least 1".into()));
+    }
+    let db = load_or_new(db_path)?;
+    let cfg = ServeConfig {
+        max_queue,
+        db_path: Some(db_path.to_string()),
+        ..Default::default()
+    };
+    let server = Server::bind(("127.0.0.1", port), db, cfg)
+        .map_err(|e| CliError(format!("cannot bind 127.0.0.1:{port}: {e}")))?;
+    let addr = server.local_addr();
+    if let Some(path) = args.get("--port-file")? {
+        std::fs::write(path, format!("{addr}\n"))?;
+    }
+    // Print before blocking so scripts piping stdout learn the address.
+    let mut stdout = std::io::stdout();
+    let _ = writeln!(stdout, "strgdb serving {db_path} on {addr}");
+    let _ = stdout.flush();
+    server.run()?;
+    Ok("server stopped".into())
+}
+
+/// `strgdb send`: one-shot protocol client — writes one request line to a
+/// running server and prints the response line.
+pub fn cmd_send(args: &Args) -> CmdResult {
+    let addr = args.require("--addr")?;
+    let req = args.require("--req")?;
+    if req.contains('\n') {
+        return Err(CliError("--req must be a single line".into()));
+    }
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| CliError(format!("cannot connect to {addr}: {e}")))?;
+    stream.write_all(req.as_bytes())?;
+    stream.write_all(b"\n")?;
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line)?;
+    if line.is_empty() {
+        return Err(CliError(
+            "server closed the connection without a response".into(),
+        ));
+    }
+    Ok(line.trim_end().to_string())
+}
+
 /// Dispatches a full argument vector (without argv[0]).
 pub fn run(argv: &[String]) -> CmdResult {
     let Some(cmd) = argv.first() else {
@@ -307,6 +344,8 @@ pub fn run(argv: &[String]) -> CmdResult {
         "stats" => cmd_stats(&args),
         "clips" => cmd_clips(&args),
         "remove" => cmd_remove(&args),
+        "serve" => cmd_serve(&args),
+        "send" => cmd_send(&args),
         "help" | "--help" | "-h" => Ok(USAGE.into()),
         other => Err(CliError(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
@@ -354,6 +393,40 @@ mod tests {
         assert_eq!(a.require("--db").unwrap(), "x.db");
         // And a genuinely absent flag still falls back to the default.
         assert_eq!(a.parse_or("--steps", 30usize).unwrap(), 30);
+    }
+
+    /// Regression (PR 6): serve-mode flags must share that error path. A
+    /// flag directly followed by *another flag* used to swallow the flag
+    /// token as its value (`serve --port --max-queue 5` parsed as
+    /// `--port="--max-queue"`); it must be the same "expects a value"
+    /// error as the trailing case.
+    #[test]
+    fn flag_followed_by_flag_is_an_error() {
+        let raw = v(&["--db", "x.db", "--port", "--max-queue", "5"]);
+        let a = Args::new(&raw);
+        let err = a.get("--port").unwrap_err();
+        assert!(err.0.contains("--port expects a value"), "{err}");
+        assert_eq!(a.parse_or("--max-queue", 64usize).unwrap(), 5);
+        // Negative numbers are values, not flags.
+        let raw = v(&["--from", "-5,3", "--to", "-1,-2"]);
+        let a = Args::new(&raw);
+        assert_eq!(a.get("--from").unwrap(), Some("-5,3"));
+        assert_eq!(a.get("--to").unwrap(), Some("-1,-2"));
+        // A lone dash is a value (conventionally stdin), `-k` is a flag.
+        assert!(!looks_like_flag("-"));
+        assert!(looks_like_flag("-k"));
+        assert!(looks_like_flag("--radius"));
+        assert!(!looks_like_flag("-9"));
+    }
+
+    #[test]
+    fn serve_flag_validation() {
+        // The serve flags go through the same strict Args layer.
+        assert!(run(&v(&["serve", "--db", "x.db", "--port"])).is_err());
+        assert!(run(&v(&["serve", "--db", "x.db", "--port", "70000"])).is_err());
+        assert!(run(&v(&["serve", "--db", "x.db", "--max-queue", "0"])).is_err());
+        assert!(run(&v(&["send", "--addr"])).is_err());
+        assert!(run(&v(&["send", "--addr", "127.0.0.1:1", "--req", "a\nb"])).is_err());
     }
 
     #[test]
@@ -420,6 +493,101 @@ mod tests {
         assert_eq!(out, "no clips");
 
         let _ = std::fs::remove_file(&db);
+    }
+
+    #[test]
+    fn range_query_mode() {
+        let db = temp_db("range");
+        let _ = std::fs::remove_file(&db);
+        run(&v(&[
+            "ingest", "--db", &db, "--scene", "lab", "--name", "cam1", "--actors", "2", "--frames",
+            "50", "--seed", "3",
+        ]))
+        .expect("ingest");
+
+        // A huge radius catches everything; the JSON shape matches knn's.
+        let out = run(&v(&[
+            "query", "--db", &db, "--from", "0,80", "--to", "160,80", "--radius", "1e9", "--json",
+        ]))
+        .expect("query --radius");
+        assert!(out.starts_with("{\"hits\":["), "{out}");
+        assert!(out.contains("\"cost\""), "{out}");
+        assert!(out.contains("cam1"), "{out}");
+
+        // knn and range are mutually exclusive.
+        let err = run(&v(&[
+            "query", "--db", &db, "--from", "0,80", "--to", "160,80", "-k", "3", "--radius", "10",
+        ]));
+        assert!(err.is_err());
+
+        let _ = std::fs::remove_file(&db);
+    }
+
+    #[test]
+    fn serve_and_send_roundtrip() {
+        let db = temp_db("serve");
+        let pf = temp_db("serve_port");
+        let _ = std::fs::remove_file(&db);
+        let _ = std::fs::remove_file(&pf);
+
+        let db2 = db.clone();
+        let pf2 = pf.clone();
+        let server = std::thread::spawn(move || {
+            run(&v(&[
+                "serve",
+                "--db",
+                &db2,
+                "--port",
+                "0",
+                "--max-queue",
+                "4",
+                "--port-file",
+                &pf2,
+            ]))
+        });
+        // Wait for the port file to appear.
+        let addr = {
+            let mut addr = String::new();
+            for _ in 0..500 {
+                if let Ok(s) = std::fs::read_to_string(&pf) {
+                    if s.trim().parse::<std::net::SocketAddr>().is_ok() {
+                        addr = s.trim().to_string();
+                        break;
+                    }
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            assert!(!addr.is_empty(), "server never wrote its port file");
+            addr
+        };
+
+        let out = run(&v(&[
+            "send",
+            "--addr",
+            &addr,
+            "--req",
+            r#"{"id":9,"method":"ping"}"#,
+        ]))
+        .expect("send ping");
+        assert_eq!(out, r#"{"ok":true,"id":9,"result":"pong"}"#);
+
+        let out = run(&v(&[
+            "send",
+            "--addr",
+            &addr,
+            "--req",
+            r#"{"method":"shutdown"}"#,
+        ]))
+        .expect("send shutdown");
+        assert!(out.contains("shutting down"), "{out}");
+
+        let stopped = server
+            .join()
+            .unwrap()
+            .expect("serve returns after shutdown");
+        assert_eq!(stopped, "server stopped");
+        let _ = std::fs::remove_file(&db);
+        let _ = std::fs::remove_file(&pf);
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! The shared wire format: one set of JSON renderers for the CLI's
+//! `--json` output and the server's `result` bodies.
+//!
+//! The determinism-over-the-wire contract (DESIGN.md §11) is enforced *by
+//! construction*: `strg-cli` and `strg-serve` both render through these
+//! functions, so a server response body and the one-shot CLI output for
+//! the same database and parameters are the same bytes (the wall-clock
+//! `elapsed_ns` cost field and the `metrics` snapshot are the only
+//! documented exceptions; [`zero_elapsed_ns`] normalizes the former for
+//! byte comparisons).
+
+use strg_core::{DbStats, IngestReport, QueryResult};
+use strg_graph::Point2;
+use strg_obs::Json;
+use strg_video::{lab_scene, traffic_scene, ScenarioConfig, VideoClip};
+
+/// Parses `"x,y"` into a [`Point2`] (the CLI `--from`/`--to` format).
+pub fn parse_point(s: &str) -> Result<Point2, String> {
+    let (x, y) = s
+        .split_once(',')
+        .ok_or_else(|| format!("expected x,y — got {s:?}"))?;
+    let x: f64 = x
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad x coordinate {x:?}"))?;
+    let y: f64 = y
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad y coordinate {y:?}"))?;
+    Ok(Point2::new(x, y))
+}
+
+/// The query trajectory both front ends build from `--from`/`--to`:
+/// `steps` points linearly interpolated between the endpoints (`steps`
+/// must be at least 2; callers validate).
+pub fn lerp_trajectory(from: Point2, to: Point2, steps: usize) -> Vec<Point2> {
+    (0..steps)
+        .map(|i| from.lerp(to, i as f64 / (steps - 1) as f64))
+        .collect()
+}
+
+/// Builds a named synthetic scenario clip from the CLI ingest parameters.
+pub fn make_clip(
+    scene_kind: &str,
+    name: &str,
+    actors: usize,
+    frames: usize,
+    seed: u64,
+) -> Result<VideoClip, String> {
+    let cfg = ScenarioConfig {
+        n_actors: actors,
+        frames,
+        seed,
+        ..Default::default()
+    };
+    let scene = match scene_kind {
+        "lab" => lab_scene(&cfg),
+        "traffic" => traffic_scene(&cfg),
+        other => return Err(format!("unknown scene {other:?} (lab|traffic)")),
+    };
+    Ok(VideoClip {
+        name: name.to_string(),
+        scene,
+        fps: 30.0,
+    })
+}
+
+/// The ingest report body: `{"clip":..,"frames":..,"objects":..,
+/// "background_nodes":..,"strg_bytes":..,"metrics":{..}}`.
+pub fn ingest_json(name: &str, frames: usize, report: &IngestReport, metrics: Json) -> Json {
+    Json::obj(vec![
+        ("clip", Json::str(name)),
+        ("frames", Json::U64(frames as u64)),
+        ("objects", Json::U64(report.objects as u64)),
+        (
+            "background_nodes",
+            Json::U64(report.background_nodes as u64),
+        ),
+        ("strg_bytes", Json::U64(report.strg_bytes as u64)),
+        ("metrics", metrics),
+    ])
+}
+
+/// The query result body: `{"hits":[{"clip":..,"og_id":..,"distance":..}
+/// ,..],"cost":{..}}`. The result must carry its cost
+/// ([`strg_core::Query::with_cost`]); both front ends always request it.
+pub fn query_json(result: &QueryResult) -> Json {
+    let hits = result
+        .hits
+        .iter()
+        .map(|h| {
+            Json::obj(vec![
+                ("clip", Json::str(&h.clip)),
+                ("og_id", Json::U64(h.og_id)),
+                ("distance", Json::F64(h.dist)),
+            ])
+        })
+        .collect();
+    let cost = result.cost.as_ref().expect("wire queries request cost");
+    Json::obj(vec![("hits", Json::Array(hits)), ("cost", cost.to_json())])
+}
+
+/// The stats body: `{"clips":..,"objects":..,"clusters":..,"strg_bytes":..,
+/// "index_bytes":..,"metrics":{..}}`.
+pub fn stats_json(s: &DbStats, metrics: Json) -> Json {
+    Json::obj(vec![
+        ("clips", Json::U64(s.clips as u64)),
+        ("objects", Json::U64(s.objects as u64)),
+        ("clusters", Json::U64(s.clusters as u64)),
+        ("strg_bytes", Json::U64(s.strg_bytes as u64)),
+        ("index_bytes", Json::U64(s.index_bytes as u64)),
+        ("metrics", metrics),
+    ])
+}
+
+/// Rewrites every `"elapsed_ns":<digits>` to `"elapsed_ns":0`.
+///
+/// `elapsed_ns` is the one wall-clock field inside a query cost; zeroing
+/// it turns the determinism contract into plain byte equality. Used by
+/// the socket-level equivalence suites.
+pub fn zero_elapsed_ns(s: &str) -> String {
+    const KEY: &str = "\"elapsed_ns\":";
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(i) = rest.find(KEY) {
+        let after = i + KEY.len();
+        out.push_str(&rest[..after]);
+        out.push('0');
+        rest = rest[after..].trim_start_matches(|c: char| c.is_ascii_digit());
+    }
+    out.push_str(rest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strg_obs::QueryCost;
+
+    #[test]
+    fn point_parsing() {
+        assert_eq!(parse_point("3,4").unwrap(), Point2::new(3.0, 4.0));
+        assert_eq!(parse_point(" 3.5 , -4 ").unwrap(), Point2::new(3.5, -4.0));
+        assert!(parse_point("35").is_err());
+        assert!(parse_point("a,b").is_err());
+    }
+
+    #[test]
+    fn trajectory_endpoints() {
+        let t = lerp_trajectory(Point2::new(0.0, 0.0), Point2::new(10.0, 0.0), 5);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t[0], Point2::new(0.0, 0.0));
+        assert_eq!(t[4], Point2::new(10.0, 0.0));
+    }
+
+    #[test]
+    fn unknown_scene_rejected() {
+        assert!(make_clip("mars", "x", 1, 10, 0).is_err());
+        assert!(make_clip("lab", "x", 1, 10, 0).is_ok());
+    }
+
+    #[test]
+    fn query_body_shape() {
+        let result = QueryResult {
+            hits: vec![],
+            cost: Some(QueryCost::default()),
+        };
+        let s = query_json(&result).render();
+        assert!(s.starts_with(r#"{"hits":[],"cost":{"#), "{s}");
+    }
+
+    #[test]
+    fn zeroing_elapsed() {
+        let s = r#"{"a":{"elapsed_ns":12345},"b":{"elapsed_ns":0},"c":7}"#;
+        assert_eq!(
+            zero_elapsed_ns(s),
+            r#"{"a":{"elapsed_ns":0},"b":{"elapsed_ns":0},"c":7}"#
+        );
+        assert_eq!(zero_elapsed_ns("no key"), "no key");
+    }
+}

@@ -50,4 +50,13 @@ cargo test -q --test ingest_alloc
 echo "==> ingest hot-path bench smoke (--quick, checks the 2x floor)"
 cargo run --release -p strg-bench --bin ingest -- --quick
 
+# The serve suites talk to a real TCP server; `timeout` guards against a
+# wedged worker or a lost response turning CI into an infinite hang (the
+# suites' own per-read timeouts should fire long before this does).
+echo "==> serve protocol + concurrency + fault suites under STRG_THREADS=1"
+STRG_THREADS=1 timeout 600 cargo test -q --test serve_protocol --test serve_concurrency --test serve_faults
+
+echo "==> serve protocol + concurrency + fault suites under STRG_THREADS=8"
+STRG_THREADS=8 timeout 600 cargo test -q --test serve_protocol --test serve_concurrency --test serve_faults
+
 echo "CI gate passed."

@@ -16,6 +16,7 @@
 //! | [`rtree`] | §1 | the 3DR-tree baseline (time as a third R-tree dimension) |
 //! | [`synth`] | §6.1 | the 48-pattern synthetic trajectory workload |
 //! | [`core`] | §5 | the STRG-Index tree and the [`prelude::VideoDatabase`] facade |
+//! | [`serve`] | — | the concurrent k-NN query server (newline-delimited JSON over TCP) |
 //!
 //! ## Quickstart
 //!
@@ -47,6 +48,7 @@ pub use strg_mtree as mtree;
 pub use strg_obs as obs;
 pub use strg_parallel as parallel;
 pub use strg_rtree as rtree;
+pub use strg_serve as serve;
 pub use strg_synth as synth;
 pub use strg_video as video;
 

@@ -1,0 +1,248 @@
+//! Concurrency suite: many clients hammering one server.
+//!
+//! * Interleaved k-NN/range queries from N concurrent clients — every
+//!   response is byte-identical to a sequential replay of the same
+//!   request (and to a direct library call), at any `STRG_THREADS`.
+//! * `QueryCost` conservation holds *per request* even under
+//!   interleaving: `distance_calls + pruned + lb_pruned` covers every
+//!   stored object plus every cluster centroid exactly once.
+//! * Under burst load the bounded queue sheds work with a structured
+//!   `overloaded` error — it never hangs a client (all reads in this
+//!   suite carry a hard timeout) and it recovers once drained.
+
+mod serve_util;
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use serve_util::*;
+use strg::prelude::*;
+use strg::serve::protocol::result_slice;
+use strg::serve::{json_parse, wire, ServeConfig};
+
+/// The interleaved request mix: `(params fragment, is full-database)`.
+/// Clip-filtered queries search a restricted candidate set, so the
+/// conservation partition is only asserted for full-database ones.
+fn request_mix() -> Vec<(String, bool)> {
+    let mut reqs = Vec::new();
+    for k in [1, 3, 5] {
+        reqs.push((format!(r#""from":"0,80","to":"160,80","k":{k}"#), true));
+    }
+    for radius in ["250", "900", "1e9"] {
+        reqs.push((
+            format!(r#""from":"10,40","to":"150,120","radius":{radius}"#),
+            true,
+        ));
+    }
+    reqs.push((
+        r#""from":"0,80","to":"160,80","k":2,"clip":"cam0""#.to_string(),
+        false,
+    ));
+    reqs.push((
+        r#""from":"0,80","to":"160,80","radius":500,"clip":"cam1""#.to_string(),
+        false,
+    ));
+    reqs.push((
+        r#""from":"0,0","to":"100,100","k":4,"steps":10"#.to_string(),
+        true,
+    ));
+    reqs
+}
+
+fn query_line(id: u64, params: &str) -> String {
+    format!(r#"{{"id":{id},"method":"query","params":{{{params}}}}}"#)
+}
+
+/// Asserts the conservation partition on a response body's cost record.
+fn assert_conservation(body: &str, records: u64, clusters: u64, what: &str) {
+    let parsed = json_parse::parse(body).expect("response body parses");
+    let cost = obj_get(&parsed, "cost");
+    let evaluated = as_u64(obj_get(cost, "distance_calls"));
+    let pruned = as_u64(obj_get(cost, "pruned"));
+    let lb_pruned = as_u64(obj_get(cost, "lb_pruned"));
+    assert_eq!(
+        evaluated + pruned + lb_pruned,
+        records + clusters,
+        "{what}: every record accounted exactly once"
+    );
+    assert!(
+        as_u64(obj_get(cost, "early_abandoned")) <= evaluated,
+        "{what}: abandoned calls are still calls"
+    );
+}
+
+#[test]
+fn concurrent_clients_match_sequential_replay() {
+    let db = Arc::new(two_clip_db());
+    let stats = db.stats();
+    let (records, clusters) = (stats.objects as u64, stats.clusters as u64);
+    let (handle, join) = boot(Arc::clone(&db), ServeConfig::default());
+    let addr = handle.addr();
+    let mix = request_mix();
+
+    // Sequential replay: one client, one request at a time.
+    let mut c = Client::connect(addr);
+    let expected: Vec<String> = mix
+        .iter()
+        .enumerate()
+        .map(|(i, (params, _))| {
+            let r = c.send(&query_line(i as u64, params));
+            wire::zero_elapsed_ns(result_slice(&r).expect("sequential result"))
+        })
+        .collect();
+
+    // Anchor the replay against a direct library call so "deterministic
+    // but wrong on both sides" cannot pass: mix[1] is the k=3 query.
+    let direct = db.query(
+        Query::knn(3)
+            .trajectory(&wire::lerp_trajectory(
+                wire::parse_point("0,80").unwrap(),
+                wire::parse_point("160,80").unwrap(),
+                30,
+            ))
+            .with_cost(),
+    );
+    assert_eq!(
+        expected[1],
+        wire::zero_elapsed_ns(&wire::query_json(&direct).render()),
+        "sequential replay vs direct db.query"
+    );
+
+    // N concurrent clients, each walking the mix from a different offset
+    // so distinct requests interleave on the server at the same time.
+    let n_clients = 6;
+    let handles: Vec<_> = (0..n_clients)
+        .map(|t| {
+            let mix = mix.clone();
+            let expected = expected.clone();
+            thread::spawn(move || {
+                let mut c = Client::connect(addr);
+                for j in 0..mix.len() {
+                    let i = (j + t) % mix.len();
+                    let id = (t as u64) * 1000 + i as u64;
+                    let r = c.send(&query_line(id, &mix[i].0));
+                    assert!(
+                        r.starts_with(&format!(r#"{{"ok":true,"id":{id},"#)),
+                        "client {t} request {i}: {r}"
+                    );
+                    let body = result_slice(&r).expect("concurrent result");
+                    assert_eq!(
+                        wire::zero_elapsed_ns(body),
+                        expected[i],
+                        "client {t} request {i}: concurrent vs sequential replay"
+                    );
+                    if mix[i].1 {
+                        assert_conservation(
+                            body,
+                            records,
+                            clusters,
+                            &format!("client {t} request {i}"),
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+
+    call(addr, r#"{"method":"shutdown"}"#);
+    join.join().unwrap().unwrap();
+}
+
+/// Admission control under burst: with one worker and one queue slot, a
+/// third simultaneous request is shed with a structured `overloaded`
+/// error immediately — no unbounded buffering, no hang — and the server
+/// answers normally once the burst drains.
+#[test]
+fn bounded_queue_sheds_burst_load_and_recovers() {
+    let (handle, join) = boot(
+        VideoDatabase::new(VideoDbConfig::default()),
+        ServeConfig {
+            threads: Threads::Fixed(1),
+            max_queue: 1,
+            ..Default::default()
+        },
+    );
+    let addr = handle.addr();
+
+    // Occupy the single worker with a slow ping...
+    let busy = thread::spawn(move || {
+        call(
+            addr,
+            r#"{"id":1,"method":"ping","params":{"delay_ms":1500}}"#,
+        )
+    });
+    thread::sleep(Duration::from_millis(300));
+    // ...fill the single queue slot with a second...
+    let queued = thread::spawn(move || call(addr, r#"{"id":2,"method":"ping"}"#));
+    thread::sleep(Duration::from_millis(300));
+    // ...so a third is rejected, with the structured error, right away.
+    let start = std::time::Instant::now();
+    let r = call(addr, r#"{"id":3,"method":"ping"}"#);
+    assert!(
+        r.starts_with(r#"{"ok":false,"id":3,"#) && r.contains(r#""code":"overloaded""#),
+        "{r}"
+    );
+    assert!(
+        start.elapsed() < Duration::from_millis(500),
+        "reject must be immediate, took {:?}",
+        start.elapsed()
+    );
+
+    // The admitted requests both complete...
+    assert!(busy.join().unwrap().contains("pong"));
+    assert!(queued.join().unwrap().contains("pong"));
+    // ...the server recovers once drained...
+    assert!(call(addr, r#"{"id":4,"method":"ping"}"#).contains("pong"));
+    // ...and the shed request is visible in the server's metrics.
+    let m = call(addr, r#"{"id":5,"method":"metrics"}"#);
+    let body = result_slice(&m).expect("metrics body");
+    let parsed = json_parse::parse(body).expect("metrics parse");
+    assert!(
+        as_u64(obj_get(obj_get(&parsed, "counters"), "serve.rejects")) >= 1,
+        "{body}"
+    );
+
+    call(addr, r#"{"method":"shutdown"}"#);
+    join.join().unwrap().unwrap();
+}
+
+/// A burst far beyond capacity: every request gets *an* answer (pong or
+/// `overloaded`) within the timeout — the server never wedges.
+#[test]
+fn oversubscribed_burst_always_answers() {
+    let (handle, join) = boot(
+        VideoDatabase::new(VideoDbConfig::default()),
+        ServeConfig {
+            threads: Threads::Fixed(1),
+            max_queue: 1,
+            ..Default::default()
+        },
+    );
+    let addr = handle.addr();
+    let burst = 8;
+    let clients: Vec<_> = (0..burst)
+        .map(|i| {
+            thread::spawn(move || {
+                call(
+                    addr,
+                    &format!(r#"{{"id":{i},"method":"ping","params":{{"delay_ms":300}}}}"#),
+                )
+            })
+        })
+        .collect();
+    let replies: Vec<String> = clients.into_iter().map(|h| h.join().unwrap()).collect();
+    let pongs = replies.iter().filter(|r| r.contains("pong")).count();
+    let shed = replies
+        .iter()
+        .filter(|r| r.contains(r#""code":"overloaded""#))
+        .count();
+    assert_eq!(pongs + shed, burst, "every request answered: {replies:?}");
+    assert!(pongs >= 1, "some work admitted: {replies:?}");
+
+    call(addr, r#"{"method":"shutdown"}"#);
+    join.join().unwrap().unwrap();
+}

@@ -1,0 +1,173 @@
+//! Fault-injection suite: malformed, hostile, and half-finished input.
+//!
+//! Every fault must produce a structured error line or a clean close —
+//! never a panic, never a wedged worker, never a hang (all reads in
+//! this suite carry a hard timeout). After each fault the server must
+//! still answer an honest request.
+
+mod serve_util;
+
+use serve_util::*;
+use strg::prelude::*;
+use strg::serve::{ServeConfig, MAX_PING_DELAY_MS};
+
+fn boot_small() -> (
+    strg::serve::ServerHandle,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    boot(
+        VideoDatabase::new(VideoDbConfig::default()),
+        ServeConfig {
+            threads: Threads::Fixed(2),
+            max_line_bytes: 1024,
+            ..Default::default()
+        },
+    )
+}
+
+/// Expects an `ok:false` line carrying `code`, on the same connection.
+fn expect_err(c: &mut Client, line: &str, code: &str) {
+    let r = c.send(line);
+    assert!(r.starts_with(r#"{"ok":false,"#), "{line:?} -> {r}");
+    assert!(
+        r.contains(&format!(r#""code":"{code}""#)),
+        "{line:?}: wanted code {code:?}, got {r}"
+    );
+}
+
+#[test]
+fn malformed_lines_get_structured_errors_and_the_connection_survives() {
+    let (handle, join) = boot_small();
+    let mut c = Client::connect(handle.addr());
+
+    // Broken JSON.
+    expect_err(&mut c, "{nope", "parse");
+    expect_err(&mut c, r#"{"method":"ping""#, "parse");
+    expect_err(&mut c, r#"{"method":"ping"} trailing"#, "parse");
+    // Valid JSON, invalid request shape.
+    expect_err(&mut c, "[1,2,3]", "invalid");
+    expect_err(&mut c, "42", "invalid");
+    expect_err(&mut c, r#"{"params":{}}"#, "invalid");
+    expect_err(&mut c, r#"{"method":7}"#, "invalid");
+    expect_err(&mut c, r#"{"method":"ping","id":"seven"}"#, "invalid");
+    expect_err(&mut c, r#"{"method":"ping","bogus":1}"#, "invalid");
+    // Unknown method; the id is still echoed.
+    let r = c.send(r#"{"id":9,"method":"frobnicate"}"#);
+    assert!(r.starts_with(r#"{"ok":false,"id":9,"#), "{r}");
+    assert!(r.contains(r#""code":"unknown_method""#), "{r}");
+    // Bad parameter types and values reach the handler and come back
+    // as `invalid`, not as a worker crash.
+    expect_err(&mut c, r#"{"method":"query","params":{"k":3}}"#, "invalid");
+    expect_err(
+        &mut c,
+        r#"{"method":"query","params":{"from":"0,0","to":"1,1","k":"three"}}"#,
+        "invalid",
+    );
+    expect_err(
+        &mut c,
+        r#"{"method":"query","params":{"from":"zero","to":"1,1"}}"#,
+        "invalid",
+    );
+    expect_err(
+        &mut c,
+        r#"{"method":"query","params":{"from":"0,0","to":"1,1","k":2,"radius":5}}"#,
+        "invalid",
+    );
+    expect_err(
+        &mut c,
+        r#"{"method":"query","params":{"from":"0,0","to":"1,1","steps":1}}"#,
+        "invalid",
+    );
+    expect_err(
+        &mut c,
+        r#"{"method":"ingest","params":{"name":"x"}}"#,
+        "invalid",
+    );
+    expect_err(
+        &mut c,
+        r#"{"method":"ingest","params":{"name":"x","scene":"mars"}}"#,
+        "invalid",
+    );
+    expect_err(
+        &mut c,
+        &format!(
+            r#"{{"method":"ping","params":{{"delay_ms":{}}}}}"#,
+            MAX_PING_DELAY_MS + 1
+        ),
+        "invalid",
+    );
+    // Over-deep nesting is a parse error, not a stack overflow.
+    let deep = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+    expect_err(&mut c, &deep, "parse");
+
+    // Blank lines are silent keep-alives: no response line for them.
+    c.send_raw(b"\n\n  \n");
+    let r = c.send(r#"{"id":10,"method":"ping"}"#);
+    assert_eq!(r, r#"{"ok":true,"id":10,"result":"pong"}"#);
+
+    call(handle.addr(), r#"{"method":"shutdown"}"#);
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn non_utf8_input_is_a_parse_error() {
+    let (handle, join) = boot_small();
+    let mut c = Client::connect(handle.addr());
+    c.send_raw(b"\xff\xfe{\"method\":\"ping\"}\n");
+    let r = c.recv().expect("a response line");
+    assert!(r.contains(r#""code":"parse""#), "{r}");
+    assert!(r.contains("UTF-8"), "{r}");
+    // Same connection still answers honest requests.
+    let r = c.send(r#"{"id":1,"method":"ping"}"#);
+    assert!(r.contains("pong"), "{r}");
+    call(handle.addr(), r#"{"method":"shutdown"}"#);
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn oversized_request_errors_once_and_closes() {
+    let (handle, join) = boot_small();
+    let mut c = Client::connect(handle.addr());
+    // 4 KiB of padding against a 1 KiB cap: framing is lost, so the
+    // server answers `too_large` once and hangs up.
+    let huge = format!(
+        r#"{{"method":"ping","params":{{"pad":"{}"}}}}"#,
+        "x".repeat(4096)
+    );
+    let r = c.send(&huge);
+    assert!(r.contains(r#""code":"too_large""#), "{r}");
+    assert!(c.recv().is_none(), "connection must close after too_large");
+    // A fresh connection is unaffected.
+    let r = call(handle.addr(), r#"{"id":1,"method":"ping"}"#);
+    assert!(r.contains("pong"), "{r}");
+    call(handle.addr(), r#"{"method":"shutdown"}"#);
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn mid_request_disconnects_never_wedge_the_server() {
+    let (handle, join) = boot_small();
+    // Drop connections at every awkward moment: before any byte, after a
+    // partial unterminated request, and right after a complete request
+    // whose response we never read.
+    for i in 0..10 {
+        let mut c = Client::connect(handle.addr());
+        match i % 3 {
+            0 => {}
+            1 => c.send_raw(br#"{"method":"que"#),
+            _ => c.send_raw(b"{\"method\":\"stats\"}\n"),
+        }
+        drop(c);
+    }
+    // All ten sockets dropped; the server still answers promptly on all
+    // worker threads.
+    let mut c = Client::connect(handle.addr());
+    for id in 0..4 {
+        let r = c.send(&format!(r#"{{"id":{id},"method":"ping"}}"#));
+        assert!(r.contains("pong"), "{r}");
+    }
+    let r = c.send(r#"{"id":99,"method":"stats"}"#);
+    assert!(r.contains(r#""clips":0"#), "{r}");
+    call(handle.addr(), r#"{"method":"shutdown"}"#);
+    join.join().unwrap().unwrap();
+}
