@@ -10,7 +10,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use strg_cluster::{distance_matrix, Clusterer, EmClusterer, EmConfig};
-use strg_core::{Query, VideoDatabase, VideoDbConfig};
+use strg_core::{DbOptions, Query, VideoDatabase};
 use strg_distance::Eged;
 use strg_graph::Point2;
 use strg_parallel::Threads;
@@ -94,7 +94,7 @@ fn bench_knn(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("parallel_knn");
     for threads in [1, n] {
-        let db = VideoDatabase::new(VideoDbConfig::default().with_threads(Threads::Fixed(threads)));
+        let db = VideoDatabase::new(DbOptions::new().threads(Threads::Fixed(threads)));
         for seed in [3, 7, 11] {
             db.ingest_clip(&clip(seed), seed);
         }

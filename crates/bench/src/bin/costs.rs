@@ -11,8 +11,9 @@
 
 use strg_bench::report::results_dir;
 use strg_bench::Scale;
-use strg_core::{QueryCost, StrgIndex, StrgIndexConfig};
-use strg_distance::EgedMetric;
+use strg_core::shard::{route, sharded_knn};
+use strg_core::{QueryCost, StrgIndex, StrgIndexConfig, Threads};
+use strg_distance::{EgedMetric, LowerBound, NO_SHARD_LB_ENV};
 use strg_graph::{BackgroundGraph, Point2};
 use strg_mtree::{MTree, MTreeConfig};
 use strg_obs::Json;
@@ -104,6 +105,9 @@ fn main() {
         methods.push((method.to_string(), Json::Array(rows)));
     }
 
+    let query_series: Vec<Vec<Point2>> = queries.items.iter().map(|q| q.points.clone()).collect();
+    let sharded = sharded_section(&items, &query_series, &scale);
+
     let doc = Json::obj(vec![
         ("db_size", Json::U64(items.len() as u64)),
         ("seed", Json::U64(scale.seed)),
@@ -112,11 +116,144 @@ fn main() {
             "methods",
             Json::Object(methods.into_iter().collect::<Vec<_>>()),
         ),
+        ("sharded", sharded),
     ]);
     let path = results_dir().join("BENCH_costs.json");
-    if let Err(e) = std::fs::write(&path, doc.render()) {
+    write_doc(&path, doc);
+}
+
+fn write_doc(path: &std::path::Path, doc: Json) {
+    if let Err(e) = std::fs::write(path, doc.render()) {
         eprintln!("warning: could not write {}: {e}", path.display());
         std::process::exit(1);
     }
     println!("wrote {}", path.display());
+}
+
+/// The sharded fan-out section: the same workload hash-routed across four
+/// independent STRG-Index shards, searched with the bound-ordered fan-out
+/// (`strg_core::shard::sharded_knn`).
+///
+/// Emits per-`k` totals (including `shards_pruned`) plus per-shard rows,
+/// and a self-query pruning probe: querying the stored series with the
+/// extreme gap mass / length at `k=1` drives the shared cutoff to ~0
+/// after the owning shard, so every shard with a positive envelope bound
+/// must be skipped whole — and the hit lists must still match the
+/// `STRG_NO_SHARD_LB=1` hatch exactly (envelope admissibility, end to
+/// end). Both properties are asserted, so a regression fails the run.
+fn sharded_section(items: &[(u64, Vec<Point2>)], queries: &[Vec<Point2>], scale: &Scale) -> Json {
+    const SHARDS: usize = 4;
+    let dist = EgedMetric::<Point2>::new();
+    let mut per_shard_items: Vec<Vec<(u64, Vec<Point2>)>> = vec![Vec::new(); SHARDS];
+    for (id, series) in items {
+        per_shard_items[route(&format!("series-{id}"), SHARDS)].push((*id, series.clone()));
+    }
+    let shards: Vec<StrgIndex<Point2, EgedMetric<Point2>>> = per_shard_items
+        .into_iter()
+        .map(|chunk| {
+            let mut cfg = StrgIndexConfig::with_k(48.min(chunk.len().max(1)));
+            cfg.seed = scale.seed;
+            cfg.em_max_iters = 10;
+            cfg.em_n_init = 1;
+            let mut idx = StrgIndex::new(dist, cfg);
+            idx.add_segment(BackgroundGraph::default(), chunk);
+            idx
+        })
+        .collect();
+    let idxs: Vec<&StrgIndex<Point2, EgedMetric<Point2>>> = shards.iter().collect();
+
+    let mut rows = Vec::new();
+    for &k in &scale.ks {
+        let mut total = QueryCost::default();
+        let mut opened = [0u64; SHARDS];
+        let mut shard_cost = vec![QueryCost::default(); SHARDS];
+        for q in queries {
+            let (_, cost, outcomes) = sharded_knn(&idxs, q, k, Threads::Fixed(1));
+            total.merge(&cost);
+            for (s, o) in outcomes.iter().enumerate() {
+                if o.opened {
+                    opened[s] += 1;
+                }
+                shard_cost[s].merge(&o.cost);
+            }
+        }
+        let nq = queries.len().max(1) as f64;
+        eprintln!(
+            "   sharded  k={k:<3} mean distance calls {:>9.1}  shards pruned {:>6}  (of {} shard visits)",
+            total.distance_calls as f64 / nq,
+            total.shards_pruned,
+            queries.len() * SHARDS,
+        );
+        let per_shard = (0..SHARDS)
+            .map(|s| {
+                Json::obj(vec![
+                    ("shard", Json::U64(s as u64)),
+                    ("records", Json::U64(idxs[s].len() as u64)),
+                    ("opened_queries", Json::U64(opened[s])),
+                    ("distance_calls", Json::U64(shard_cost[s].distance_calls)),
+                    ("pruned", Json::U64(shard_cost[s].pruned)),
+                    ("shards_pruned", Json::U64(shard_cost[s].shards_pruned)),
+                ])
+            })
+            .collect();
+        rows.push(Json::obj(vec![
+            ("k", Json::U64(k as u64)),
+            ("queries", Json::U64(queries.len() as u64)),
+            ("distance_calls", Json::U64(total.distance_calls)),
+            ("node_accesses", Json::U64(total.node_accesses)),
+            ("pruned", Json::U64(total.pruned)),
+            ("lb_pruned", Json::U64(total.lb_pruned)),
+            ("shards_pruned", Json::U64(total.shards_pruned)),
+            ("per_shard", Json::Array(per_shard)),
+        ]));
+    }
+
+    let max_gm = items
+        .iter()
+        .max_by(|a, b| {
+            dist.summarize(&a.1)
+                .gap_mass
+                .total_cmp(&dist.summarize(&b.1).gap_mass)
+        })
+        .expect("non-empty workload");
+    let max_len = items
+        .iter()
+        .max_by_key(|(_, s)| s.len())
+        .expect("non-empty workload");
+    let self_queries = [&max_gm.1, &max_len.1];
+    let mut pruned_shards = 0u64;
+    let mut hits_filtered = Vec::new();
+    for q in self_queries {
+        let (hits, cost, _) = sharded_knn(&idxs, q, 1, Threads::Fixed(1));
+        pruned_shards += cost.shards_pruned;
+        hits_filtered.push(hits);
+    }
+    std::env::set_var(NO_SHARD_LB_ENV, "1");
+    let hits_hatch: Vec<_> = self_queries
+        .iter()
+        .map(|q| sharded_knn(&idxs, q, 1, Threads::Fixed(1)).0)
+        .collect();
+    std::env::remove_var(NO_SHARD_LB_ENV);
+    let hatch_match = hits_filtered.iter().zip(&hits_hatch).all(|(a, b)| {
+        a.len() == b.len()
+            && a.iter()
+                .zip(b.iter())
+                .all(|(x, y)| x.0 == y.0 && x.1.og_id == y.1.og_id && x.1.dist == y.1.dist)
+    });
+    assert!(
+        pruned_shards >= 1,
+        "envelope filter never pruned a whole shard on the self-query workload"
+    );
+    assert!(
+        hatch_match,
+        "shard-envelope pruning changed the hit list vs the STRG_NO_SHARD_LB hatch"
+    );
+    eprintln!("   sharded  self-queries: {pruned_shards} whole shards pruned, hatch hits match");
+
+    Json::obj(vec![
+        ("shards", Json::U64(SHARDS as u64)),
+        ("rows", Json::Array(rows)),
+        ("self_query_pruned_shards", Json::U64(pruned_shards)),
+        ("hatch_hits_match", Json::Bool(hatch_match)),
+    ])
 }

@@ -13,7 +13,7 @@
 //! vehicles" the paper calls out for the traffic videos).
 
 use strg_cluster::{bic_sweep, clustering_error_rate, Clusterer, EmClusterer, EmConfig};
-use strg_core::{VideoDatabase, VideoDbConfig};
+use strg_core::{DbOptions, VideoDatabase};
 use strg_distance::Eged;
 use strg_graph::Point2;
 use strg_video::table1_clips_scaled;
@@ -77,7 +77,7 @@ pub fn run(scale: &Scale) -> VideoRows {
     let mut out = VideoRows::default();
     for clip in table1_clips_scaled(scale.video_scale) {
         // Fresh database per clip so Table 2 sizes are per-video.
-        let db = VideoDatabase::new(VideoDbConfig::default());
+        let db = VideoDatabase::new(DbOptions::new());
         let report = db.ingest_clip(&clip, scale.seed);
         let stats = db.stats();
         out.table1.push(Table1Row {

@@ -16,7 +16,7 @@ use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Write as _};
 use std::path::Path;
 
-use strg_core::{Query, VideoDatabase, VideoDbConfig};
+use strg_core::{Database, DbOptions, Query};
 use strg_graph::Point2;
 use strg_serve::{wire, ServeConfig, Server};
 
@@ -46,23 +46,28 @@ pub const USAGE: &str = "\
 strgdb — STRG-Index video database CLI
 
 USAGE:
-  strgdb ingest --db <file> --scene <lab|traffic> --name <name>
-                [--actors N] [--frames N] [--seed N] [--json]
-  strgdb query  --db <file> --from <x,y> --to <x,y> [--steps N]
+  strgdb ingest --db <path> --scene <lab|traffic> --name <name>
+                [--actors N] [--frames N] [--seed N] [--shards N] [--json]
+  strgdb query  --db <path> --from <x,y> --to <x,y> [--steps N]
                 [-k N | --radius R] [--clip <name>] [--json]
-  strgdb stats  --db <file> [--json]
-  strgdb clips  --db <file>
-  strgdb remove --db <file> --clip <name>
-  strgdb serve  --db <file> [--port N] [--max-queue N] [--port-file <file>]
+  strgdb stats  --db <path> [--json]
+  strgdb clips  --db <path>
+  strgdb remove --db <path> --clip <name>
+  strgdb serve  --db <path> [--port N] [--max-queue N] [--port-file <file>]
+                [--shards N]
   strgdb send   --addr <host:port> --req '<json request line>'
 
-Creates <file> on first ingest; later commands load and (for mutations)
-rewrite it. `--json` switches ingest/query/stats to machine-readable
-output, including the per-query cost record and the database's metrics
-snapshot (same serialization as `VideoDatabase::metrics_snapshot`).
-`serve` answers the same shapes over newline-delimited JSON on TCP
-(port 0 picks an ephemeral port; `--port-file` records the bound
-address); `send` writes one request line and prints the response.";
+Creates <path> on first ingest; later commands load and (for mutations)
+rewrite it. `--shards N` (first ingest/serve on a fresh path) creates a
+sharded database — a directory of N independent STRG-Index trees behind
+deterministic hash-of-name clip routing; an existing database keeps its
+on-disk shard count. `--json` switches ingest/query/stats to
+machine-readable output, including the per-query cost record and the
+database's metrics snapshot (same serialization as
+`VideoDatabase::metrics_snapshot`). `serve` answers the same shapes over
+newline-delimited JSON on TCP (port 0 picks an ephemeral port;
+`--port-file` records the bound address); `send` writes one request line
+and prints the response.";
 
 /// Simple `--flag value` argument map.
 pub struct Args<'a> {
@@ -119,13 +124,14 @@ impl<'a> Args<'a> {
     }
 }
 
-fn load_or_new(path: &str) -> Result<VideoDatabase, CliError> {
-    if Path::new(path).exists() {
-        VideoDatabase::load(path, VideoDbConfig::default())
-            .map_err(|e| CliError(format!("cannot load {path}: {e}")))
-    } else {
-        Ok(VideoDatabase::new(VideoDbConfig::default()))
-    }
+/// Opens (or creates) the database at `path` via [`strg_core::open`]: a
+/// STRGDB v1 file loads as a single tree, a shard directory as a
+/// [`strg_core::ShardedDatabase`] (its manifest's shard count wins), and a
+/// fresh path creates whatever `--shards` asks for.
+fn open_db(path: &str, args: &Args) -> Result<Box<dyn Database>, CliError> {
+    let shards: usize = args.parse_or("--shards", 1)?;
+    strg_core::open(path, DbOptions::new().shards(shards))
+        .map_err(|e| CliError(format!("cannot open {path}: {e}")))
 }
 
 fn parse_point(s: &str) -> Result<Point2, CliError> {
@@ -142,12 +148,12 @@ pub fn cmd_ingest(args: &Args) -> CmdResult {
     let seed: u64 = args.parse_or("--seed", 0)?;
 
     let clip = wire::make_clip(scene_kind, name, actors, frames, seed).map_err(CliError)?;
-    let db = load_or_new(db_path)?;
+    let db = open_db(db_path, args)?;
     if db.clip_names().iter().any(|n| n == name) {
         return Err(CliError(format!("clip {name:?} already exists")));
     }
     let report = db.ingest_clip(&clip, seed);
-    db.save(db_path)?;
+    db.save(Path::new(db_path))?;
     if args.has("--json") {
         return Ok(wire::ingest_json(
             name,
@@ -190,7 +196,7 @@ pub fn cmd_query(args: &Args) -> CmdResult {
     }
     let k: usize = args.parse_or("-k", 5)?;
 
-    let db = load_or_new(db_path)?;
+    let db = open_db(db_path, args)?;
     let query = wire::lerp_trajectory(from, to, steps);
     let mut q = match radius {
         Some(r) => Query::range(r),
@@ -225,10 +231,12 @@ pub fn cmd_query(args: &Args) -> CmdResult {
 /// `strgdb stats`.
 pub fn cmd_stats(args: &Args) -> CmdResult {
     let db_path = args.require("--db")?;
-    let db = load_or_new(db_path)?;
+    let db = open_db(db_path, args)?;
     let s = db.stats();
     if args.has("--json") {
-        return Ok(wire::stats_json(&s, db.metrics_snapshot().to_json()).render());
+        return Ok(
+            wire::stats_json(&s, &db.shard_stats(), db.metrics_snapshot().to_json()).render(),
+        );
     }
     // Cumulative kernel counters for this process's queries (counters are
     // in-memory, so a freshly loaded database reports zeros).
@@ -237,7 +245,7 @@ pub fn cmd_stats(args: &Args) -> CmdResult {
     let calls = c("query.knn.distance_calls") + c("query.range.distance_calls");
     let lb = c("query.knn.lb_pruned") + c("query.range.lb_pruned");
     let ea = c("query.knn.early_abandoned") + c("query.range.early_abandoned");
-    Ok(format!(
+    let mut out = format!(
         "clips {}  objects {}  clusters {}  raw-STRG {} B  index {} B ({:.1}x smaller)\n\
          kernels: {} distance calls, {} lb-pruned, {} early-abandoned (cumulative)",
         s.clips,
@@ -249,13 +257,24 @@ pub fn cmd_stats(args: &Args) -> CmdResult {
         calls,
         lb,
         ea,
-    ))
+    );
+    // A sharded database also reports its per-shard breakdown.
+    if db.shard_count() > 1 {
+        for (i, ss) in db.shard_stats().iter().enumerate() {
+            let _ = write!(
+                out,
+                "\nshard {i}: clips {}  objects {}  clusters {}",
+                ss.clips, ss.objects, ss.clusters
+            );
+        }
+    }
+    Ok(out)
 }
 
 /// `strgdb clips`.
 pub fn cmd_clips(args: &Args) -> CmdResult {
     let db_path = args.require("--db")?;
-    let db = load_or_new(db_path)?;
+    let db = open_db(db_path, args)?;
     let names = db.clip_names();
     if names.is_empty() {
         return Ok("no clips".into());
@@ -267,10 +286,10 @@ pub fn cmd_clips(args: &Args) -> CmdResult {
 pub fn cmd_remove(args: &Args) -> CmdResult {
     let db_path = args.require("--db")?;
     let clip = args.require("--clip")?;
-    let db = load_or_new(db_path)?;
+    let db = open_db(db_path, args)?;
     match db.remove_clip(clip) {
         Some(n) => {
-            db.save(db_path)?;
+            db.save(Path::new(db_path))?;
             Ok(format!("removed {clip:?} ({n} objects)"))
         }
         None => Err(CliError(format!("unknown clip {clip:?}"))),
@@ -290,13 +309,13 @@ pub fn cmd_serve(args: &Args) -> CmdResult {
     if max_queue == 0 {
         return Err(CliError("--max-queue must be at least 1".into()));
     }
-    let db = load_or_new(db_path)?;
+    let db = open_db(db_path, args)?;
     let cfg = ServeConfig {
         max_queue,
         db_path: Some(db_path.to_string()),
         ..Default::default()
     };
-    let server = Server::bind(("127.0.0.1", port), db, cfg)
+    let server = Server::bind_shared(("127.0.0.1", port), std::sync::Arc::from(db), cfg)
         .map_err(|e| CliError(format!("cannot bind 127.0.0.1:{port}: {e}")))?;
     let addr = server.local_addr();
     if let Some(path) = args.get("--port-file")? {

@@ -20,6 +20,7 @@ pub use search::Hit;
 use strg_cluster::{bic, bic_sweep_threads, ClusterValue, Clusterer, EmClusterer, EmConfig};
 use strg_distance::{
     BoundedDistance, Eged, LowerBound, MetricDistance, SeqSummary, SequenceDistance,
+    SummaryEnvelope,
 };
 use strg_graph::BackgroundGraph;
 use strg_obs::{QueryCost, Recorder};
@@ -181,6 +182,7 @@ pub struct StrgIndex<V, D> {
     metric: D,
     roots: Vec<RootRecord<V>>,
     len: usize,
+    env: SummaryEnvelope<V>,
     recorder: Option<Recorder>,
 }
 
@@ -194,6 +196,7 @@ impl<V: ClusterValue, D: MetricDistance<V> + BoundedDistance<V> + LowerBound<V> 
             metric,
             roots: Vec::new(),
             len: 0,
+            env: SummaryEnvelope::empty(),
             recorder: None,
         }
     }
@@ -268,6 +271,7 @@ impl<V: ClusterValue, D: MetricDistance<V> + BoundedDistance<V> + LowerBound<V> 
             let naive = strg_video::naive_segmentation_enabled();
             for (j, ((og_id, seq), (key, summary))) in ogs.into_iter().zip(prepared).enumerate() {
                 let c = clustering.assignments[j];
+                self.env.add(&summary);
                 let rec = LeafRecord {
                     key,
                     og_id,
@@ -334,6 +338,7 @@ impl<V: ClusterValue, D: MetricDistance<V> + BoundedDistance<V> + LowerBound<V> 
             .expect("at least one cluster");
         let key = self.metric.distance(&seq, &root.clusters[best].centroid);
         let summary = self.metric.summarize(&seq);
+        self.env.add(&summary);
         root.clusters[best].leaf.insert_sorted(LeafRecord {
             key,
             og_id,
@@ -363,18 +368,23 @@ impl<V: ClusterValue, D: MetricDistance<V> + BoundedDistance<V> + LowerBound<V> 
         let Some(root) = self.roots.iter_mut().find(|r| r.id == root_id) else {
             return false;
         };
+        let mut removed = false;
         for c in &mut root.clusters {
             if let Some(pos) = c.leaf.records.iter().position(|r| r.og_id == og_id) {
                 c.leaf.records.remove(pos);
-                self.len -= 1;
-                root.clusters.retain(|c| !c.leaf.records.is_empty());
-                for (i, c) in root.clusters.iter_mut().enumerate() {
-                    c.id = i as u32;
-                }
-                return true;
+                removed = true;
+                break;
             }
         }
-        false
+        if removed {
+            root.clusters.retain(|c| !c.leaf.records.is_empty());
+            for (i, c) in root.clusters.iter_mut().enumerate() {
+                c.id = i as u32;
+            }
+            self.len -= 1;
+            self.recompute_envelope();
+        }
+        removed
     }
 
     /// Removes a whole segment (root record and everything below it).
@@ -389,7 +399,29 @@ impl<V: ClusterValue, D: MetricDistance<V> + BoundedDistance<V> + LowerBound<V> 
             .sum();
         self.roots.remove(pos);
         self.len -= removed;
+        self.recompute_envelope();
         Some(removed)
+    }
+
+    /// The shard-granularity aggregate envelope over every indexed OG's
+    /// [`SeqSummary`] — maintained incrementally on insertion (mins/maxes
+    /// only widen) and rebuilt by a summary scan on removal. Feeds
+    /// [`LowerBound::envelope_bound`] so a sharded database can skip this
+    /// whole index with one comparison.
+    pub fn envelope(&self) -> &SummaryEnvelope<V> {
+        &self.env
+    }
+
+    fn recompute_envelope(&mut self) {
+        let mut env = SummaryEnvelope::empty();
+        for root in &self.roots {
+            for c in &root.clusters {
+                for rec in &c.leaf.records {
+                    env.add(&rec.summary);
+                }
+            }
+        }
+        self.env = env;
     }
 
     /// Number of indexed OGs.

@@ -8,19 +8,30 @@
 //!   member OGs keyed by metric EGED), with Algorithm 2 construction,
 //!   BIC-gated node splits (§5.3) and Algorithm 3 k-NN search;
 //! * [`pipeline::VideoDatabase`] — frames → segmentation → RAG → STRG →
-//!   decomposition → clustering → index → queries, in one facade.
+//!   decomposition → clustering → index → queries, in one facade;
+//! * [`shard::ShardedDatabase`] — N independent index shards behind
+//!   deterministic hash-of-name routing, queried with a bound-ordered
+//!   parallel fan-out sharing one best-k cutoff.
+//!
+//! Both database flavors take the same [`options::DbOptions`] builder and
+//! implement the [`options::Database`] trait; [`options::open`] picks the
+//! flavor from what is on disk.
 
 #![warn(missing_docs)]
 
 pub mod index;
+pub mod options;
 pub mod persist;
 pub mod pipeline;
 pub mod query;
+pub mod shard;
 
 pub use index::{ClusterRecord, Hit, LeafNode, LeafRecord, RootRecord, StrgIndex, StrgIndexConfig};
-pub use pipeline::{
-    ClipMeta, DbStats, IngestReport, QueryHit, StoredOg, VideoDatabase, VideoDbConfig,
-};
+#[allow(deprecated)]
+pub use options::VideoDbConfig;
+pub use options::{open, Database, DbOptions, Metric};
+pub use pipeline::{ClipMeta, DbStats, IngestReport, QueryHit, StoredOg, VideoDatabase};
 pub use query::{Query, QueryResult};
+pub use shard::{route, ShardedDatabase};
 pub use strg_obs::{QueryCost, Recorder, Snapshot};
 pub use strg_parallel::Threads;

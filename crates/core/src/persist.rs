@@ -20,8 +20,11 @@
 //! All `f64` values are written as big-endian bit patterns in hex
 //! (`f64::to_bits`), so round-trips are lossless. On load the STRG-Index is
 //! rebuilt from the stored OGs with the configured (deterministic,
-//! seeded) clustering — loading with the same `VideoDbConfig` reproduces
+//! seeded) clustering — loading with the same [`DbOptions`] reproduces
 //! the same index the original ingest built.
+//!
+//! A sharded database persists as a *directory* of these files plus a
+//! manifest — see [`crate::ShardedDatabase::save`].
 
 use std::fmt::Write as _;
 use std::fs;
@@ -32,7 +35,8 @@ use strg_graph::{
     BackgroundGraph, FrameId, NodeAttr, NodeId, ObjectGraph, OgSample, Point2, Rag, Rgb,
 };
 
-use crate::pipeline::{ClipMeta, StoredOg, VideoDatabase, VideoDbConfig};
+use crate::options::DbOptions;
+use crate::pipeline::{ClipMeta, StoredOg, VideoDatabase};
 
 /// Format magic / version line.
 const HEADER: &str = "STRGDB v1";
@@ -132,8 +136,15 @@ impl VideoDatabase {
         fs::write(path, out)
     }
 
-    /// Loads a database from `path`, rebuilding the index with `cfg`.
-    pub fn load(path: impl AsRef<Path>, cfg: VideoDbConfig) -> io::Result<Self> {
+    /// Loads a database from `path`, rebuilding the index with `opts`.
+    pub fn load(path: impl AsRef<Path>, opts: DbOptions) -> io::Result<Self> {
+        Self::load_into(VideoDatabase::new(opts), path.as_ref())
+    }
+
+    /// Fills an empty, freshly-constructed database from the STRGDB v1
+    /// file at `path`. Split from [`VideoDatabase::load`] so a sharded
+    /// load can pass shards built with a shared recorder and id allocator.
+    pub(crate) fn load_into(db: VideoDatabase, path: &Path) -> io::Result<Self> {
         let text = fs::read_to_string(path)?;
         let mut lines = text.lines();
         if lines.next() != Some(HEADER) {
@@ -280,8 +291,7 @@ impl VideoDatabase {
             None => 0,
         };
 
-        // Rebuild the index clip by clip (deterministic given cfg).
-        let db = VideoDatabase::new(cfg);
+        // Rebuild the index clip by clip (deterministic given the options).
         {
             let mut index = db.index.write();
             let mut clips = db.clips.write();
@@ -317,7 +327,7 @@ mod tests {
     }
 
     fn sample_db() -> VideoDatabase {
-        let db = VideoDatabase::new(VideoDbConfig::default());
+        let db = VideoDatabase::new(DbOptions::new());
         for (i, actors) in [(0u64, 2usize), (1, 1)] {
             let clip = VideoClip {
                 name: format!("clip-{i} with spaces"),
@@ -339,7 +349,7 @@ mod tests {
         let db = sample_db();
         let path = temp_path("roundtrip");
         db.save(&path).expect("save");
-        let loaded = VideoDatabase::load(&path, VideoDbConfig::default()).expect("load");
+        let loaded = VideoDatabase::load(&path, DbOptions::new()).expect("load");
         let _ = std::fs::remove_file(&path);
 
         let a = db.stats();
@@ -374,7 +384,7 @@ mod tests {
     fn load_rejects_garbage() {
         let path = temp_path("garbage");
         std::fs::write(&path, "not a database\n").unwrap();
-        let err = VideoDatabase::load(&path, VideoDbConfig::default());
+        let err = VideoDatabase::load(&path, DbOptions::new());
         let _ = std::fs::remove_file(&path);
         assert!(err.is_err());
     }
@@ -387,17 +397,17 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         let cut: String = text.lines().take(4).collect::<Vec<_>>().join("\n");
         std::fs::write(&path, cut).unwrap();
-        let err = VideoDatabase::load(&path, VideoDbConfig::default());
+        let err = VideoDatabase::load(&path, DbOptions::new());
         let _ = std::fs::remove_file(&path);
         assert!(err.is_err());
     }
 
     #[test]
     fn empty_database_roundtrips() {
-        let db = VideoDatabase::new(VideoDbConfig::default());
+        let db = VideoDatabase::new(DbOptions::new());
         let path = temp_path("empty");
         db.save(&path).unwrap();
-        let loaded = VideoDatabase::load(&path, VideoDbConfig::default()).unwrap();
+        let loaded = VideoDatabase::load(&path, DbOptions::new()).unwrap();
         let _ = std::fs::remove_file(&path);
         assert_eq!(loaded.stats().clips, 0);
         assert_eq!(loaded.stats().objects, 0);

@@ -16,44 +16,18 @@
 //! the OG store). Violating this order can deadlock against a concurrent
 //! ingest or removal, which takes all write locks in that order.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use parking_lot::RwLock;
 use strg_distance::EgedMetric;
-use strg_graph::{build_strg, decompose, DecomposeConfig, ObjectGraph, Point2, TrackerConfig};
+use strg_graph::{build_strg, decompose, ObjectGraph, Point2};
 use strg_obs::{QueryCost, Recorder, Snapshot};
-use strg_parallel::Threads;
-use strg_video::{frames_to_rags, frames_to_rags_with_stats, Frame, SegmentConfig, VideoClip};
+use strg_video::{frames_to_rags, frames_to_rags_with_stats, Frame, VideoClip};
 
-use crate::index::{Hit, StrgIndex, StrgIndexConfig};
+use crate::index::{Hit, StrgIndex};
+use crate::options::{Database, DbOptions};
 use crate::query::{Query, QueryKind, QueryResult};
-
-/// Configuration of the full ingest pipeline.
-#[derive(Copy, Clone, Debug, Default)]
-pub struct VideoDbConfig {
-    /// Region segmentation parameters (§2.1).
-    pub segment: SegmentConfig,
-    /// Graph-based tracking parameters (Algorithm 1).
-    pub tracker: TrackerConfig,
-    /// STRG decomposition parameters (§2.3).
-    pub decompose: DecomposeConfig,
-    /// Index parameters (§5).
-    pub index: StrgIndexConfig,
-    /// Worker count for frame → RAG extraction during ingest and
-    /// background-matched queries. Clustering and search take theirs from
-    /// [`StrgIndexConfig::threads`]; [`VideoDbConfig::with_threads`] sets
-    /// both. Every parallel path returns exactly what the sequential one
-    /// does, so this knob only affects throughput.
-    pub threads: Threads,
-}
-
-impl VideoDbConfig {
-    /// Same configuration with one worker-count policy for every stage
-    /// (frame extraction, clustering, and search).
-    pub fn with_threads(mut self, threads: Threads) -> Self {
-        self.threads = threads;
-        self.index.threads = threads;
-        self
-    }
-}
 
 /// Metadata of one ingested clip.
 #[derive(Clone, Debug)]
@@ -118,30 +92,47 @@ pub struct DbStats {
     pub index_bytes: usize,
 }
 
-/// The end-to-end video database.
+/// The end-to-end video database (one STRG-Index tree).
 pub struct VideoDatabase {
-    pub(crate) cfg: VideoDbConfig,
+    pub(crate) cfg: DbOptions,
     pub(crate) index: RwLock<StrgIndex<Point2, EgedMetric<Point2>>>,
     pub(crate) clips: RwLock<Vec<ClipMeta>>,
     pub(crate) ogs: RwLock<Vec<StoredOg>>,
     pub(crate) strg_bytes: RwLock<usize>,
     pub(crate) recorder: Recorder,
+    /// When set (by [`crate::ShardedDatabase`]), OG ids come from this
+    /// shared counter instead of the local store, so ids are assigned in
+    /// global ingest order and stay identical at any shard count.
+    pub(crate) og_alloc: Option<Arc<AtomicU64>>,
 }
 
 impl VideoDatabase {
     /// Creates an empty database.
-    pub fn new(cfg: VideoDbConfig) -> Self {
-        let recorder = Recorder::new();
-        let mut index = StrgIndex::new(EgedMetric::new(), cfg.index);
+    pub fn new(opts: DbOptions) -> Self {
+        Self::new_internal(opts, Recorder::new(), None)
+    }
+
+    pub(crate) fn new_internal(
+        opts: DbOptions,
+        recorder: Recorder,
+        og_alloc: Option<Arc<AtomicU64>>,
+    ) -> Self {
+        let mut index = StrgIndex::new(opts.metric.build(), opts.index);
         index.set_recorder(recorder.clone());
         Self {
-            cfg,
+            cfg: opts,
             index: RwLock::new(index),
             clips: RwLock::new(Vec::new()),
             ogs: RwLock::new(Vec::new()),
             strg_bytes: RwLock::new(0),
             recorder,
+            og_alloc,
         }
+    }
+
+    /// The options the database was built with.
+    pub fn options(&self) -> &DbOptions {
+        &self.cfg
     }
 
     /// The database's metric recorder. Every ingest and query records into
@@ -198,8 +189,14 @@ impl VideoDatabase {
         // 4/5. Cluster + index (Algorithm 2).
         let mut ogs_store = self.ogs.write();
         // Ids must stay unique across clip removals, so continue from the
-        // largest id ever assigned rather than the store length.
-        let base_id = ogs_store.last().map_or(0, |s| s.id + 1);
+        // largest id ever assigned rather than the store length. A sharded
+        // database supplies a shared allocator instead; the block is
+        // claimed under this shard's store write lock, so each shard's
+        // store stays sorted by id.
+        let base_id = match &self.og_alloc {
+            Some(alloc) => alloc.fetch_add(d.objects.len() as u64, Ordering::SeqCst),
+            None => ogs_store.last().map_or(0, |s| s.id + 1),
+        };
         let mut clips = self.clips.write();
         let clip_idx = clips.len();
         let mut items = Vec::with_capacity(d.objects.len());
@@ -323,50 +320,7 @@ impl VideoDatabase {
         }
     }
 
-    /// k-NN over the whole database: the `k` stored OGs whose centroid
-    /// trajectories are closest (in metric EGED) to `query`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `db.query(Query::knn(k).trajectory(query))`"
-    )]
-    pub fn query_knn(&self, query: &[Point2], k: usize) -> Vec<QueryHit> {
-        self.query(Query::knn(k).trajectory(query)).hits
-    }
-
-    /// The full Algorithm 3 query path: extract the Background Graph from
-    /// the query segment's frames, match it against the root records
-    /// (step 2), then k-NN inside the matched segment. Falls back to the
-    /// global search when no background is similar enough.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `db.query(Query::knn(k).trajectory(query).with_background(query_frames))`"
-    )]
-    pub fn query_knn_with_background(
-        &self,
-        query_frames: &[Frame],
-        query: &[Point2],
-        k: usize,
-    ) -> Vec<QueryHit> {
-        self.query(
-            Query::knn(k)
-                .trajectory(query)
-                .with_background(query_frames),
-        )
-        .hits
-    }
-
-    /// k-NN restricted to one clip (background-matched search,
-    /// Algorithm 3 step 2).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `db.query(Query::knn(k).trajectory(query).in_clip(clip_name))`"
-    )]
-    pub fn query_knn_in_clip(&self, clip_name: &str, query: &[Point2], k: usize) -> Vec<QueryHit> {
-        self.query(Query::knn(k).trajectory(query).in_clip(clip_name))
-            .hits
-    }
-
-    fn resolve(&self, hits: Vec<Hit>) -> Vec<QueryHit> {
+    pub(crate) fn resolve(&self, hits: Vec<Hit>) -> Vec<QueryHit> {
         let ogs = self.ogs.read();
         let clips = self.clips.read();
         hits.into_iter()
@@ -435,6 +389,33 @@ impl VideoDatabase {
     }
 }
 
+impl Database for VideoDatabase {
+    fn ingest_frames(&self, name: &str, frames: &[Frame]) -> IngestReport {
+        VideoDatabase::ingest_frames(self, name, frames)
+    }
+    fn query(&self, q: Query<'_>) -> QueryResult {
+        VideoDatabase::query(self, q)
+    }
+    fn stats(&self) -> DbStats {
+        VideoDatabase::stats(self)
+    }
+    fn clip_names(&self) -> Vec<String> {
+        VideoDatabase::clip_names(self)
+    }
+    fn og(&self, id: u64) -> Option<ObjectGraph> {
+        VideoDatabase::og(self, id)
+    }
+    fn remove_clip(&self, name: &str) -> Option<usize> {
+        VideoDatabase::remove_clip(self, name)
+    }
+    fn recorder(&self) -> &Recorder {
+        VideoDatabase::recorder(self)
+    }
+    fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        VideoDatabase::save(self, path)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -460,7 +441,7 @@ mod tests {
 
     #[test]
     fn end_to_end_ingest_and_query() {
-        let db = VideoDatabase::new(VideoDbConfig::default());
+        let db = VideoDatabase::new(DbOptions::new());
         let clip = small_clip(11, 2, 60);
         let report = db.ingest_clip(&clip, 5);
         assert!(report.objects >= 1, "at least one walker tracked");
@@ -490,7 +471,7 @@ mod tests {
 
     #[test]
     fn remove_clip_evicts_everything() {
-        let db = VideoDatabase::new(VideoDbConfig::default());
+        let db = VideoDatabase::new(DbOptions::new());
         db.ingest_clip(&small_clip(31, 1, 50), 1);
         db.ingest_clip(&small_clip(32, 1, 50), 2);
         let before = db.stats();
@@ -513,7 +494,7 @@ mod tests {
 
     #[test]
     fn ingest_after_removal_keeps_ids_unique() {
-        let db = VideoDatabase::new(VideoDbConfig::default());
+        let db = VideoDatabase::new(DbOptions::new());
         db.ingest_clip(&small_clip(41, 1, 50), 1);
         db.ingest_clip(&small_clip(42, 1, 50), 2);
         db.remove_clip("clip41").unwrap();
@@ -538,7 +519,7 @@ mod tests {
 
     #[test]
     fn clip_restricted_query() {
-        let db = VideoDatabase::new(VideoDbConfig::default());
+        let db = VideoDatabase::new(DbOptions::new());
         db.ingest_clip(&small_clip(21, 1, 50), 1);
         db.ingest_clip(&small_clip(22, 1, 50), 2);
         assert_eq!(db.clip_names().len(), 2);

@@ -4,10 +4,10 @@
 //! `query_knn_with_background` / `query_knn_in_clip` trio:
 //!
 //! ```
-//! use strg_core::{Query, VideoDatabase, VideoDbConfig};
+//! use strg_core::{DbOptions, Query, VideoDatabase};
 //! use strg_graph::Point2;
 //!
-//! let db = VideoDatabase::new(VideoDbConfig::default());
+//! let db = VideoDatabase::new(DbOptions::new());
 //! let trajectory = [Point2::new(1.0, 2.0), Point2::new(3.0, 4.0)];
 //! let result = db.query(Query::knn(5).trajectory(&trajectory).with_cost());
 //! assert!(result.hits.is_empty()); // empty database

@@ -1,0 +1,653 @@
+//! Sharded STRG-Index with bound-ordered fan-out.
+//!
+//! [`ShardedDatabase`] routes every clip to one of N independent shards by
+//! a deterministic hash of the clip name ([`route`]), so the placement is
+//! reproducible at any thread count and any ingest interleaving of
+//! *distinct* clips. Each shard is a complete [`VideoDatabase`] — its own
+//! STRG-Index tree, OG store, and summary sidecars — plus one
+//! shard-granularity aggregate envelope
+//! ([`strg_distance::SummaryEnvelope`]) maintained by the index itself.
+//!
+//! # The fan-out protocol
+//!
+//! A global k-NN visits shards in ascending envelope-lower-bound order,
+//! sharing one best-k cutoff:
+//!
+//! 1. compute `L_s = envelope_bound(query, shard s)` for every shard and
+//!    stable-sort shards by `(L_s, s)`;
+//! 2. walk shards in that order. A shard is **opened** iff `L_s <= d_k`,
+//!    where `d_k` is the kth-best distance merged from previously opened
+//!    shards (`∞` while fewer than k hits are known). An opened shard runs
+//!    its ordinary [`StrgIndex::knn_with_cost`] and its hits merge into
+//!    the shared best list;
+//! 3. a shard that cannot beat the cutoff is never opened: it charges all
+//!    its records and clusters to `pruned`, bumps
+//!    [`strg_obs::QueryCost::shards_pruned`], and performs zero node
+//!    accesses. Because the bounds ascend and `d_k` never increases, the
+//!    first skip implies every later shard skips too.
+//!
+//! The decision sequence is a pure function of the per-shard bounds and
+//! the per-shard search results, both of which are thread-invariant, so
+//! the logical [`strg_obs::QueryCost`] is bit-identical at any
+//! `STRG_THREADS`. With more than one worker the fan-out *speculatively*
+//! searches every shard in parallel and then replays the open/skip
+//! decisions over the precomputed results; speculative work on shards the
+//! replay skips is intentionally uncharged, exactly like the speculative
+//! cluster evaluations inside a single tree.
+//!
+//! Setting `STRG_NO_SHARD_LB=1` keeps the charges and decisions identical
+//! but lets the logically-pruned shards' hits compete in the merge — an
+//! inadmissible envelope then surfaces as a hit-list diff, mirroring the
+//! `STRG_NO_LB` hatch for record-level bounds.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use strg_distance::{shard_bounds_enabled, EgedMetric, LowerBound};
+use strg_graph::{background_similarity, build_strg, decompose, ObjectGraph, Point2};
+use strg_obs::{QueryCost, Recorder};
+use strg_parallel::{par_map, Threads};
+use strg_video::{frames_to_rags, Frame};
+
+use crate::index::{Hit, StrgIndex};
+use crate::options::{Database, DbOptions};
+use crate::pipeline::{DbStats, IngestReport, QueryHit, VideoDatabase};
+use crate::query::{Query, QueryKind, QueryResult};
+
+type Idx = StrgIndex<Point2, EgedMetric<Point2>>;
+
+/// The shard a clip named `name` lives in, out of `shards` (FNV-1a 64).
+///
+/// Pure function of the name: reproducible across processes, thread
+/// counts, and ingest order.
+pub fn route(name: &str, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in name.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards.max(1) as u64) as usize
+}
+
+/// What the fan-out decided for one shard (indexed by shard id).
+#[derive(Clone, Debug)]
+pub struct ShardOutcome {
+    /// Was the shard opened (searched) or pruned whole?
+    pub opened: bool,
+    /// The shard's envelope lower bound for this query.
+    pub bound: f64,
+    /// This shard's logical charge: its search cost if opened, its full
+    /// `pruned` + `shards_pruned` charge if skipped.
+    pub cost: QueryCost,
+}
+
+/// A shard with its envelope bound, in visit (ascending-bound) order.
+struct ShardPlan {
+    shard: usize,
+    bound: f64,
+}
+
+fn shard_plans(idxs: &[&Idx], query: &[Point2]) -> Vec<ShardPlan> {
+    let mut plans: Vec<ShardPlan> = idxs
+        .iter()
+        .enumerate()
+        .map(|(shard, idx)| {
+            let m = idx.metric();
+            let qs = m.summarize(query);
+            ShardPlan {
+                shard,
+                bound: m.envelope_bound(query, &qs, idx.envelope()),
+            }
+        })
+        .collect();
+    // Stable by bound, so equal bounds visit in shard order.
+    plans.sort_by(|a, b| a.bound.total_cmp(&b.bound));
+    plans
+}
+
+/// Full charge for skipping a shard whole: every record and cluster is
+/// pruned (keeping the conservation law), zero node accesses.
+fn prune_charge(idx: &Idx) -> QueryCost {
+    QueryCost {
+        pruned: (idx.len() + idx.cluster_count()) as u64,
+        shards_pruned: 1,
+        ..QueryCost::default()
+    }
+}
+
+/// Inserts `hits` (sorted ascending) into the merged best list, keeping it
+/// sorted by distance with earlier-merged equal-distance hits first, then
+/// truncates to `k`. Inserting a shard's own sorted list into an empty
+/// best list reproduces it exactly, so a one-shard database returns
+/// byte-identical hits to the plain single tree.
+fn merge_hits(best: &mut Vec<(usize, Hit)>, shard: usize, hits: Vec<Hit>, k: usize) {
+    for h in hits {
+        let pos = best.partition_point(|(_, e)| e.dist <= h.dist);
+        best.insert(pos, (shard, h));
+    }
+    best.truncate(k);
+}
+
+/// Bound-ordered k-NN fan-out over independent shard indexes (the
+/// protocol in the module docs). Public for experiments and benchmarks;
+/// [`ShardedDatabase::query`] is the production entry point.
+///
+/// Returns the merged best-k (shard-tagged, ascending by distance), the
+/// total logical cost, and the per-shard outcomes in shard-id order.
+pub fn sharded_knn(
+    idxs: &[&StrgIndex<Point2, EgedMetric<Point2>>],
+    query: &[Point2],
+    k: usize,
+    threads: Threads,
+) -> (Vec<(usize, Hit)>, QueryCost, Vec<ShardOutcome>) {
+    let plans = shard_plans(idxs, query);
+    let hatch = !shard_bounds_enabled();
+    // The hatch must search every shard physically so pruned shards' hits
+    // can compete; the parallel path searches every shard speculatively
+    // and replays the decisions. Both reuse the same replay below.
+    let speculative = hatch || threads.resolve() > 1;
+    let mut prefetched: Vec<Option<(Vec<Hit>, QueryCost)>> = if speculative {
+        par_map(&plans, threads, |p| {
+            Some(idxs[p.shard].knn_with_cost(query, k))
+        })
+    } else {
+        plans.iter().map(|_| None).collect()
+    };
+
+    let mut best: Vec<(usize, Hit)> = Vec::new();
+    let mut total = QueryCost::default();
+    let mut outcomes: Vec<Option<ShardOutcome>> = idxs.iter().map(|_| None).collect();
+    let mut pruning = false;
+    for (pi, p) in plans.iter().enumerate() {
+        let dk = if k > 0 && best.len() >= k {
+            best[k - 1].1.dist
+        } else {
+            f64::INFINITY
+        };
+        // A single shard is always opened: the fan-out adds nothing and
+        // `shards(1)` stays bit-identical to the plain single tree.
+        if !pruning && (p.bound <= dk || idxs.len() == 1) {
+            let (hits, cost) = match prefetched[pi].take() {
+                Some(r) => r,
+                None => idxs[p.shard].knn_with_cost(query, k),
+            };
+            merge_hits(&mut best, p.shard, hits, k);
+            total.merge(&cost);
+            outcomes[p.shard] = Some(ShardOutcome {
+                opened: true,
+                bound: p.bound,
+                cost,
+            });
+        } else {
+            pruning = true;
+            let cost = prune_charge(idxs[p.shard]);
+            total.merge(&cost);
+            outcomes[p.shard] = Some(ShardOutcome {
+                opened: false,
+                bound: p.bound,
+                cost,
+            });
+            if hatch {
+                // Same charges, but the speculative hits compete: an
+                // inadmissible envelope surfaces as a hit diff.
+                if let Some((hits, _)) = prefetched[pi].take() {
+                    merge_hits(&mut best, p.shard, hits, k);
+                }
+            }
+        }
+    }
+    let outcomes = outcomes
+        .into_iter()
+        .map(|o| o.expect("every shard decided"))
+        .collect();
+    (best, total, outcomes)
+}
+
+/// Range fan-out: the radius is a static cutoff, so the decisions are
+/// order-independent — a shard is opened iff its bound is within the
+/// radius. Hits concatenate in shard order and stable-sort by distance,
+/// matching the single tree's final sort.
+pub fn sharded_range(
+    idxs: &[&StrgIndex<Point2, EgedMetric<Point2>>],
+    query: &[Point2],
+    radius: f64,
+    threads: Threads,
+) -> (Vec<(usize, Hit)>, QueryCost, Vec<ShardOutcome>) {
+    let plans = shard_plans(idxs, query);
+    let hatch = !shard_bounds_enabled();
+    let speculative = hatch || threads.resolve() > 1;
+    let mut prefetched: Vec<Option<(Vec<Hit>, QueryCost)>> = if speculative {
+        par_map(&plans, threads, |p| {
+            Some(idxs[p.shard].range_with_cost(query, radius))
+        })
+    } else {
+        plans.iter().map(|_| None).collect()
+    };
+
+    let mut tagged: Vec<(usize, Hit)> = Vec::new();
+    let mut total = QueryCost::default();
+    let mut outcomes: Vec<Option<ShardOutcome>> = idxs.iter().map(|_| None).collect();
+    for (pi, p) in plans.iter().enumerate() {
+        if p.bound <= radius || idxs.len() == 1 {
+            let (hits, cost) = match prefetched[pi].take() {
+                Some(r) => r,
+                None => idxs[p.shard].range_with_cost(query, radius),
+            };
+            tagged.extend(hits.into_iter().map(|h| (p.shard, h)));
+            total.merge(&cost);
+            outcomes[p.shard] = Some(ShardOutcome {
+                opened: true,
+                bound: p.bound,
+                cost,
+            });
+        } else {
+            let cost = prune_charge(idxs[p.shard]);
+            total.merge(&cost);
+            outcomes[p.shard] = Some(ShardOutcome {
+                opened: false,
+                bound: p.bound,
+                cost,
+            });
+            if hatch {
+                if let Some((hits, _)) = prefetched[pi].take() {
+                    tagged.extend(hits.into_iter().map(|h| (p.shard, h)));
+                }
+            }
+        }
+    }
+    // Plans are bound-ordered; re-establish shard order before the final
+    // distance sort so ties resolve identically at any shard count.
+    tagged.sort_by_key(|a| a.0);
+    tagged.sort_by(|a, b| a.1.dist.total_cmp(&b.1.dist));
+    let outcomes = outcomes
+        .into_iter()
+        .map(|o| o.expect("every shard decided"))
+        .collect();
+    (tagged, total, outcomes)
+}
+
+/// N independent STRG-Index shards behind deterministic hash-of-name
+/// routing, answering global queries with the bound-ordered fan-out
+/// described in the module docs.
+///
+/// OG ids come from one shared allocator claimed under the owning shard's
+/// store lock, so ids are assigned in global ingest order and hit lists
+/// are identical at any shard count.
+pub struct ShardedDatabase {
+    opts: DbOptions,
+    shards: Vec<VideoDatabase>,
+    alloc: Arc<AtomicU64>,
+    recorder: Recorder,
+    /// Clip names in global ingest order (each clip's shard is `route` of
+    /// its name). Background matching scans roots in this order so ties
+    /// resolve exactly as the single tree's root-order scan does.
+    order: RwLock<Vec<String>>,
+}
+
+impl ShardedDatabase {
+    /// Creates an empty sharded database with `opts.shards` shards
+    /// (clamped to ≥ 1). All shards share one metric [`Recorder`] and one
+    /// OG id allocator.
+    pub fn new(mut opts: DbOptions) -> Self {
+        opts.shards = opts.shards.max(1);
+        let recorder = Recorder::new();
+        let alloc = Arc::new(AtomicU64::new(0));
+        let shards = (0..opts.shards)
+            .map(|_| VideoDatabase::new_internal(opts, recorder.clone(), Some(alloc.clone())))
+            .collect();
+        recorder.add("shard.count", opts.shards as u64);
+        Self {
+            opts,
+            shards,
+            alloc,
+            recorder,
+            order: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// The options the database was built with (`shards` reflects the
+    /// actual shard count).
+    pub fn options(&self) -> &DbOptions {
+        &self.opts
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The database's metric recorder (shared by every shard).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Per-shard statistics, in shard order.
+    pub fn shard_stats(&self) -> Vec<DbStats> {
+        self.shards.iter().map(|s| s.stats()).collect()
+    }
+
+    /// Aggregate statistics over every shard.
+    pub fn stats(&self) -> DbStats {
+        let mut total = DbStats::default();
+        for s in self.shards.iter().map(|s| s.stats()) {
+            total.clips += s.clips;
+            total.objects += s.objects;
+            total.clusters += s.clusters;
+            total.strg_bytes += s.strg_bytes;
+            total.index_bytes += s.index_bytes;
+        }
+        total
+    }
+
+    /// Ingests a sequence of frames as one clip, routed to its shard.
+    pub fn ingest_frames(&self, name: &str, frames: &[Frame]) -> IngestReport {
+        let s = route(name, self.shards.len());
+        let report = self.shards[s].ingest_frames(name, frames);
+        self.order.write().push(name.to_string());
+        self.recorder.add(&format!("shard.{s}.clips"), 1);
+        report
+    }
+
+    /// Names of all ingested clips, in global ingest order.
+    pub fn clip_names(&self) -> Vec<String> {
+        self.order.read().clone()
+    }
+
+    /// The stored Object Graph with id `id`, wherever it lives.
+    pub fn og(&self, id: u64) -> Option<ObjectGraph> {
+        self.shards.iter().find_map(|s| s.og(id))
+    }
+
+    /// Removes a clip from its shard. Returns the number of OGs removed,
+    /// or `None` if the clip is unknown.
+    pub fn remove_clip(&self, name: &str) -> Option<usize> {
+        let s = route(name, self.shards.len());
+        let removed = self.shards[s].remove_clip(name)?;
+        let mut order = self.order.write();
+        if let Some(pos) = order.iter().position(|c| c == name) {
+            order.remove(pos);
+        }
+        Some(removed)
+    }
+
+    /// Executes a [`Query`]: clip-scoped queries delegate to the owning
+    /// shard; global and background-matched queries run the bound-ordered
+    /// fan-out. Costs are recorded under `query.knn.*` / `query.range.*`
+    /// with per-shard rows under `shard.<i>.query.*`.
+    pub fn query(&self, q: Query<'_>) -> QueryResult {
+        if let Some(name) = &q.clip {
+            // The clip lives wholly inside one shard; delegating gives
+            // byte-identical hits and costs to the single tree (including
+            // the unknown-name miss, which routes to *some* shard and
+            // misses there).
+            let s = route(name, self.shards.len());
+            return self.shards[s].query(q);
+        }
+        let start = std::time::Instant::now();
+        // Background extraction happens before any index lock, as in the
+        // single tree.
+        let bg = q.background.map(|frames| {
+            let rags = frames_to_rags(frames, &self.opts.segment, self.opts.threads);
+            let strg = build_strg(rags, &self.opts.tracker);
+            decompose(&strg, &self.opts.decompose).background
+        });
+        // Root ids in global ingest order, gathered before the index
+        // locks (lock order: clips before index, per shard).
+        let scan_roots: Vec<(usize, u32)> = if bg.is_some() {
+            let order = self.order.read();
+            order
+                .iter()
+                .filter_map(|name| {
+                    let s = route(name, self.shards.len());
+                    let clips = self.shards[s].clips.read();
+                    clips
+                        .iter()
+                        .find(|c| c.name == *name)
+                        .map(|c| (s, c.root_id))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        // Index read locks are taken in shard order; every writer touches
+        // a single shard, so the cross-shard read set cannot deadlock.
+        let guards: Vec<_> = self.shards.iter().map(|s| s.index.read()).collect();
+        let idxs: Vec<&Idx> = guards.iter().map(|g| &**g).collect();
+        let threads = self.opts.index.threads;
+
+        let (tagged, mut cost, outcomes) = match &bg {
+            None => match q.kind {
+                QueryKind::Knn(k) => sharded_knn(&idxs, q.trajectory, k, threads),
+                QueryKind::Range(radius) => sharded_range(&idxs, q.trajectory, radius, threads),
+            },
+            Some(bg) => {
+                // Algorithm 3's background match over every shard's
+                // roots, in global ingest order so similarity ties pick
+                // the same segment the single tree's scan does (the last
+                // maximum wins, as in `StrgIndex::match_root`).
+                let total_roots: u64 = idxs.iter().map(|i| i.roots().len() as u64).sum();
+                let mut best: Option<(usize, u32, f64)> = None;
+                for &(s, root_id) in &scan_roots {
+                    if let Some(r) = idxs[s].roots().iter().find(|r| r.id == root_id) {
+                        let sim = background_similarity(bg, &r.bg, &self.opts.tracker.compat);
+                        if best.is_none_or(|(_, _, b)| sim >= b) {
+                            best = Some((s, root_id, sim));
+                        }
+                    }
+                }
+                let mut total = QueryCost {
+                    node_accesses: total_roots,
+                    ..QueryCost::default()
+                };
+                match best {
+                    Some((s, root, sim)) if sim >= 0.5 => {
+                        let (hits, inner) = match q.kind {
+                            QueryKind::Knn(k) => {
+                                idxs[s].knn_in_root_with_cost(root, q.trajectory, k)
+                            }
+                            QueryKind::Range(radius) => {
+                                idxs[s].range_in_root_with_cost(root, q.trajectory, radius)
+                            }
+                        };
+                        total.merge(&inner);
+                        let tagged = hits.into_iter().map(|h| (s, h)).collect();
+                        (tagged, total, Vec::new())
+                    }
+                    _ => {
+                        let (tagged, inner, outcomes) = match q.kind {
+                            QueryKind::Knn(k) => sharded_knn(&idxs, q.trajectory, k, threads),
+                            QueryKind::Range(radius) => {
+                                sharded_range(&idxs, q.trajectory, radius, threads)
+                            }
+                        };
+                        total.merge(&inner);
+                        (tagged, total, outcomes)
+                    }
+                }
+            }
+        };
+        drop(guards);
+
+        let hits = self.resolve_tagged(tagged);
+        cost.elapsed = start.elapsed();
+        let prefix = match q.kind {
+            QueryKind::Knn(_) => "query.knn",
+            QueryKind::Range(_) => "query.range",
+        };
+        self.recorder.record_cost(prefix, &cost);
+        for (s, o) in outcomes.iter().enumerate() {
+            if o.opened {
+                self.recorder.add("shard.opened", 1);
+                self.recorder
+                    .record_cost(&format!("shard.{s}.query"), &o.cost);
+            } else {
+                self.recorder.add("shard.pruned_whole", 1);
+                self.recorder.add(&format!("shard.{s}.pruned_whole"), 1);
+            }
+        }
+        QueryResult {
+            hits,
+            cost: q.want_cost.then_some(cost),
+        }
+    }
+
+    fn resolve_tagged(&self, tagged: Vec<(usize, Hit)>) -> Vec<QueryHit> {
+        tagged
+            .into_iter()
+            .filter_map(|(s, h)| self.shards[s].resolve(vec![h]).pop())
+            .collect()
+    }
+
+    /// Serializes the database to the directory `dir`: one `MANIFEST`
+    /// (shard count, next OG id, global clip order) plus one ordinary
+    /// STRGDB v1 file per shard.
+    pub fn save(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let mut manifest = String::from("STRG-SHARDS v1\n");
+        manifest.push_str(&format!("shards {}\n", self.shards.len()));
+        manifest.push_str(&format!("next_og {}\n", self.alloc.load(Ordering::SeqCst)));
+        for name in self.order.read().iter() {
+            manifest.push_str(&format!("clip {name}\n"));
+        }
+        fs::write(dir.join("MANIFEST"), manifest)?;
+        for (i, shard) in self.shards.iter().enumerate() {
+            shard.save(dir.join(format!("shard-{i:03}.strgdb")))?;
+        }
+        Ok(())
+    }
+
+    /// Loads a database saved by [`ShardedDatabase::save`]. The manifest's
+    /// shard count wins over `opts.shards` (clips are already routed).
+    pub fn load(dir: &Path, mut opts: DbOptions) -> io::Result<Self> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        let manifest = fs::read_to_string(dir.join("MANIFEST"))?;
+        let mut lines = manifest.lines();
+        if lines.next() != Some("STRG-SHARDS v1") {
+            return Err(bad("not a STRG-SHARDS v1 manifest"));
+        }
+        let mut shards_n = 0usize;
+        let mut next_og = 0u64;
+        let mut order = Vec::new();
+        for line in lines {
+            if let Some(rest) = line.strip_prefix("shards ") {
+                shards_n = rest.parse().map_err(|_| bad("bad shard count"))?;
+            } else if let Some(rest) = line.strip_prefix("next_og ") {
+                next_og = rest.parse().map_err(|_| bad("bad next_og"))?;
+            } else if let Some(name) = line.strip_prefix("clip ") {
+                order.push(name.to_string());
+            } else if !line.trim().is_empty() {
+                return Err(bad("unrecognized manifest line"));
+            }
+        }
+        if shards_n == 0 {
+            return Err(bad("manifest declares zero shards"));
+        }
+        opts.shards = shards_n;
+        let recorder = Recorder::new();
+        let alloc = Arc::new(AtomicU64::new(0));
+        let mut shards = Vec::with_capacity(shards_n);
+        for i in 0..shards_n {
+            let db = VideoDatabase::new_internal(opts, recorder.clone(), Some(alloc.clone()));
+            let db = VideoDatabase::load_into(db, &dir.join(format!("shard-{i:03}.strgdb")))?;
+            shards.push(db);
+        }
+        // Never hand out an id that is already stored, even against a
+        // stale manifest.
+        let max_stored = shards
+            .iter()
+            .filter_map(|s| s.ogs.read().last().map(|o| o.id + 1))
+            .max()
+            .unwrap_or(0);
+        alloc.store(next_og.max(max_stored), Ordering::SeqCst);
+        recorder.add("shard.count", shards_n as u64);
+        Ok(Self {
+            opts,
+            shards,
+            alloc,
+            recorder,
+            order: RwLock::new(order),
+        })
+    }
+}
+
+impl Database for ShardedDatabase {
+    fn ingest_frames(&self, name: &str, frames: &[Frame]) -> IngestReport {
+        ShardedDatabase::ingest_frames(self, name, frames)
+    }
+    fn query(&self, q: Query<'_>) -> QueryResult {
+        ShardedDatabase::query(self, q)
+    }
+    fn stats(&self) -> DbStats {
+        ShardedDatabase::stats(self)
+    }
+    fn shard_count(&self) -> usize {
+        ShardedDatabase::shard_count(self)
+    }
+    fn shard_stats(&self) -> Vec<DbStats> {
+        ShardedDatabase::shard_stats(self)
+    }
+    fn clip_names(&self) -> Vec<String> {
+        ShardedDatabase::clip_names(self)
+    }
+    fn og(&self, id: u64) -> Option<ObjectGraph> {
+        ShardedDatabase::og(self, id)
+    }
+    fn remove_clip(&self, name: &str) -> Option<usize> {
+        ShardedDatabase::remove_clip(self, name)
+    }
+    fn recorder(&self) -> &Recorder {
+        ShardedDatabase::recorder(self)
+    }
+    fn save(&self, path: &Path) -> io::Result<()> {
+        ShardedDatabase::save(self, path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_spreads() {
+        let a = route("lobby-cam", 4);
+        for _ in 0..8 {
+            assert_eq!(route("lobby-cam", 4), a);
+        }
+        // FNV-1a spreads short names across 4 shards reasonably: at least
+        // two distinct shards among ten names.
+        let names = [
+            "a", "b", "c", "d", "cam-1", "cam-2", "cam-3", "lobby", "dock", "yard",
+        ];
+        let mut seen: Vec<usize> = names.iter().map(|n| route(n, 4)).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert!(seen.len() >= 2, "routing collapsed to one shard: {seen:?}");
+        assert!(seen.iter().all(|&s| s < 4));
+    }
+
+    #[test]
+    fn route_handles_zero_shards() {
+        assert_eq!(route("x", 0), 0);
+        assert_eq!(route("x", 1), 0);
+    }
+
+    #[test]
+    fn empty_sharded_database_answers_empty() {
+        let db = ShardedDatabase::new(DbOptions::new().shards(3));
+        assert_eq!(db.shard_count(), 3);
+        let t = [Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)];
+        let r = db.query(Query::knn(5).trajectory(&t).with_cost());
+        assert!(r.hits.is_empty());
+        let cost = r.cost.unwrap();
+        // Empty shards have empty (infinite-bound) envelopes; with no
+        // hits the cutoff stays infinite, so every shard is opened and
+        // does zero work. Conservation holds trivially.
+        assert_eq!(cost.distance_calls + cost.pruned + cost.lb_pruned, 0);
+        assert_eq!(db.stats().objects, 0);
+    }
+}

@@ -46,7 +46,10 @@ mod observed;
 mod traits;
 mod value;
 
-pub use bounded::{lower_bounds_enabled, BoundedDistance, LowerBound, SeqSummary, NO_LB_ENV};
+pub use bounded::{
+    lower_bounds_enabled, shard_bounds_enabled, BoundedDistance, LowerBound, SeqSummary,
+    SummaryEnvelope, NO_LB_ENV, NO_SHARD_LB_ENV,
+};
 pub use counting::CountingDistance;
 pub use dtw::Dtw;
 pub use edr::Edr;

@@ -14,7 +14,7 @@
 
 use strg_obs::{Counter, Recorder};
 
-use crate::bounded::{BoundedDistance, LowerBound, SeqSummary};
+use crate::bounded::{BoundedDistance, LowerBound, SeqSummary, SummaryEnvelope};
 use crate::traits::{MetricDistance, SequenceDistance};
 use crate::value::SeqValue;
 
@@ -89,6 +89,14 @@ impl<V: SeqValue, D: LowerBound<V>> LowerBound<V> for ObservedDistance<D> {
         candidate: &SeqSummary<V>,
     ) -> f64 {
         self.inner.lower_bound(query, query_summary, candidate)
+    }
+    fn envelope_bound(
+        &self,
+        query: &[V],
+        query_summary: &SeqSummary<V>,
+        envelope: &SummaryEnvelope<V>,
+    ) -> f64 {
+        self.inner.envelope_bound(query, query_summary, envelope)
     }
 }
 

@@ -32,6 +32,13 @@ pub struct QueryCost {
     /// bounded kernel cut short once no alignment could beat the cutoff.
     /// Always `<= distance_calls`.
     pub early_abandoned: u64,
+    /// Whole shards excluded by the shard-granularity aggregate envelope
+    /// before any of their nodes were opened. Every record and cluster of
+    /// a pruned shard is charged to `pruned`, so the conservation
+    /// invariant `distance_calls + pruned + lb_pruned == records +
+    /// clusters` still partitions the candidate set database-wide. Always
+    /// zero for a single-tree database.
+    pub shards_pruned: u64,
     /// Wall-clock duration of the query.
     pub elapsed: Duration,
 }
@@ -44,6 +51,7 @@ impl QueryCost {
         self.pruned += other.pruned;
         self.lb_pruned += other.lb_pruned;
         self.early_abandoned += other.early_abandoned;
+        self.shards_pruned += other.shards_pruned;
         self.elapsed += other.elapsed;
     }
 
@@ -55,10 +63,12 @@ impl QueryCost {
             && self.pruned == other.pruned
             && self.lb_pruned == other.lb_pruned
             && self.early_abandoned == other.early_abandoned
+            && self.shards_pruned == other.shards_pruned
     }
 
     /// JSON form: `{"distance_calls":..,"node_accesses":..,"pruned":..,
-    /// "lb_pruned":..,"early_abandoned":..,"elapsed_ns":..}`.
+    /// "lb_pruned":..,"early_abandoned":..,"shards_pruned":..,
+    /// "elapsed_ns":..}`.
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
             ("distance_calls", Json::U64(self.distance_calls)),
@@ -66,6 +76,7 @@ impl QueryCost {
             ("pruned", Json::U64(self.pruned)),
             ("lb_pruned", Json::U64(self.lb_pruned)),
             ("early_abandoned", Json::U64(self.early_abandoned)),
+            ("shards_pruned", Json::U64(self.shards_pruned)),
             (
                 "elapsed_ns",
                 Json::U64(self.elapsed.as_nanos().min(u64::MAX as u128) as u64),
@@ -86,6 +97,7 @@ mod tests {
             pruned: 3,
             lb_pruned: 4,
             early_abandoned: 1,
+            shards_pruned: 2,
             elapsed: Duration::from_nanos(5),
         };
         a.merge(&a.clone());
@@ -94,6 +106,7 @@ mod tests {
         assert_eq!(a.pruned, 6);
         assert_eq!(a.lb_pruned, 8);
         assert_eq!(a.early_abandoned, 2);
+        assert_eq!(a.shards_pruned, 4);
         assert_eq!(a.elapsed, Duration::from_nanos(10));
     }
 
@@ -105,6 +118,7 @@ mod tests {
             pruned: 3,
             lb_pruned: 4,
             early_abandoned: 1,
+            shards_pruned: 1,
             elapsed: Duration::from_secs(1),
         };
         let mut b = a;
@@ -118,6 +132,9 @@ mod tests {
         b = a;
         b.early_abandoned = 0;
         assert!(!a.same_work(&b));
+        b = a;
+        b.shards_pruned = 0;
+        assert!(!a.same_work(&b));
     }
 
     #[test]
@@ -128,11 +145,12 @@ mod tests {
             pruned: 11,
             lb_pruned: 2,
             early_abandoned: 1,
+            shards_pruned: 4,
             elapsed: Duration::from_nanos(42),
         };
         assert_eq!(
             c.to_json().render(),
-            r#"{"distance_calls":7,"node_accesses":3,"pruned":11,"lb_pruned":2,"early_abandoned":1,"elapsed_ns":42}"#
+            r#"{"distance_calls":7,"node_accesses":3,"pruned":11,"lb_pruned":2,"early_abandoned":1,"shards_pruned":4,"elapsed_ns":42}"#
         );
     }
 }

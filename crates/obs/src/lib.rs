@@ -154,8 +154,8 @@ impl Recorder {
     /// Adds a [`QueryCost`] under `prefix`: deterministic counters
     /// `<prefix>.distance_calls`, `<prefix>.node_accesses`,
     /// `<prefix>.pruned`, `<prefix>.lb_pruned`,
-    /// `<prefix>.early_abandoned` and `<prefix>.count`, plus the latency
-    /// histogram `<prefix>.latency_ns`.
+    /// `<prefix>.early_abandoned`, `<prefix>.shards_pruned` and
+    /// `<prefix>.count`, plus the latency histogram `<prefix>.latency_ns`.
     pub fn record_cost(&self, prefix: &str, cost: &QueryCost) {
         self.add(&format!("{prefix}.count"), 1);
         self.add(&format!("{prefix}.distance_calls"), cost.distance_calls);
@@ -163,6 +163,7 @@ impl Recorder {
         self.add(&format!("{prefix}.pruned"), cost.pruned);
         self.add(&format!("{prefix}.lb_pruned"), cost.lb_pruned);
         self.add(&format!("{prefix}.early_abandoned"), cost.early_abandoned);
+        self.add(&format!("{prefix}.shards_pruned"), cost.shards_pruned);
         self.histogram(&format!("{prefix}.latency_ns"))
             .record(cost.elapsed.as_nanos().min(u64::MAX as u128) as u64);
     }
@@ -279,6 +280,7 @@ mod tests {
             pruned: 6,
             lb_pruned: 3,
             early_abandoned: 2,
+            shards_pruned: 1,
             elapsed: std::time::Duration::from_micros(3),
         };
         r.record_cost("query", &cost);
@@ -289,6 +291,7 @@ mod tests {
         assert_eq!(r.counter("query.pruned").get(), 12);
         assert_eq!(r.counter("query.lb_pruned").get(), 6);
         assert_eq!(r.counter("query.early_abandoned").get(), 4);
+        assert_eq!(r.counter("query.shards_pruned").get(), 2);
         {
             let _s = r.span("work");
         }

@@ -48,7 +48,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 
-use strg_core::{Query, VideoDatabase};
+use strg_core::{Database, Query};
 use strg_obs::{Json, Recorder};
 use strg_parallel::Threads;
 
@@ -87,7 +87,7 @@ impl Default for ServeConfig {
 }
 
 struct Ctx {
-    db: Arc<VideoDatabase>,
+    db: Arc<dyn Database>,
     cfg: ServeConfig,
     pool: Pool,
     recorder: Recorder,
@@ -140,17 +140,29 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the server (port 0 picks an ephemeral port) over `db`.
-    pub fn bind(
+    /// Binds the server (port 0 picks an ephemeral port) over `db` — any
+    /// [`Database`] flavor (single-tree or sharded).
+    pub fn bind<D: Database + 'static>(
         addr: impl ToSocketAddrs,
-        db: impl Into<Arc<VideoDatabase>>,
+        db: impl Into<Arc<D>>,
+        cfg: ServeConfig,
+    ) -> io::Result<Server> {
+        let db: Arc<dyn Database> = db.into();
+        Self::bind_shared(addr, db, cfg)
+    }
+
+    /// [`Server::bind`] over an already-shared, possibly type-erased
+    /// database — what `strgdb serve` uses after [`strg_core::open`].
+    pub fn bind_shared(
+        addr: impl ToSocketAddrs,
+        db: Arc<dyn Database>,
         cfg: ServeConfig,
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let workers = cfg.threads.resolve();
         let ctx = Arc::new(Ctx {
-            db: db.into(),
+            db,
             pool: Pool::new(workers, cfg.max_queue),
             cfg,
             recorder: Recorder::new(),
@@ -446,7 +458,7 @@ fn dispatch(ctx: &Ctx, req: &Request) -> Result<Json, WireError> {
             }
             let report = db.ingest_clip(&clip, seed);
             if let Some(path) = &ctx.cfg.db_path {
-                db.save(path).map_err(|e| {
+                db.save(std::path::Path::new(path)).map_err(|e| {
                     WireError::new(ErrorCode::Io, format!("cannot save {path}: {e}"))
                 })?;
             }
@@ -485,6 +497,7 @@ fn dispatch(ctx: &Ctx, req: &Request) -> Result<Json, WireError> {
         }
         "stats" => Ok(wire::stats_json(
             &db.stats(),
+            &db.shard_stats(),
             db.metrics_snapshot().to_json(),
         )),
         "metrics" => Ok(ctx.recorder.snapshot().to_json()),
@@ -498,10 +511,10 @@ fn dispatch(ctx: &Ctx, req: &Request) -> Result<Json, WireError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use strg_core::VideoDbConfig;
+    use strg_core::{DbOptions, VideoDatabase};
 
     fn boot(cfg: ServeConfig) -> (ServerHandle, thread::JoinHandle<io::Result<()>>) {
-        let db = VideoDatabase::new(VideoDbConfig::default());
+        let db = VideoDatabase::new(DbOptions::new());
         let server = Server::bind("127.0.0.1:0", db, cfg).expect("bind");
         let handle = server.handle();
         let join = thread::spawn(move || server.run());

@@ -100,17 +100,34 @@ pub fn query_json(result: &QueryResult) -> Json {
     Json::obj(vec![("hits", Json::Array(hits)), ("cost", cost.to_json())])
 }
 
-/// The stats body: `{"clips":..,"objects":..,"clusters":..,"strg_bytes":..,
-/// "index_bytes":..,"metrics":{..}}`.
-pub fn stats_json(s: &DbStats, metrics: Json) -> Json {
-    Json::obj(vec![
+fn stats_fields(s: &DbStats) -> Vec<(&'static str, Json)> {
+    vec![
         ("clips", Json::U64(s.clips as u64)),
         ("objects", Json::U64(s.objects as u64)),
         ("clusters", Json::U64(s.clusters as u64)),
         ("strg_bytes", Json::U64(s.strg_bytes as u64)),
         ("index_bytes", Json::U64(s.index_bytes as u64)),
-        ("metrics", metrics),
-    ])
+    ]
+}
+
+/// The stats body: `{"clips":..,"objects":..,"clusters":..,"strg_bytes":..,
+/// "index_bytes":..,"metrics":{..}}`.
+///
+/// `shards` is [`strg_core::Database::shard_stats`]: a sharded database
+/// (more than one entry) additionally reports `"shards":N` and
+/// `"shard_stats":[{..},..]` in shard order. A single-tree database keeps
+/// the historical shape byte-for-byte.
+pub fn stats_json(s: &DbStats, shards: &[DbStats], metrics: Json) -> Json {
+    let mut fields = stats_fields(s);
+    if shards.len() > 1 {
+        fields.push(("shards", Json::U64(shards.len() as u64)));
+        fields.push((
+            "shard_stats",
+            Json::Array(shards.iter().map(|s| Json::obj(stats_fields(s))).collect()),
+        ));
+    }
+    fields.push(("metrics", metrics));
+    Json::obj(fields)
 }
 
 /// Rewrites every `"elapsed_ns":<digits>` to `"elapsed_ns":0`.

@@ -19,7 +19,7 @@ fn main() {
         fps: 30.0,
     };
 
-    let db = VideoDatabase::new(VideoDbConfig::default());
+    let db = VideoDatabase::new(DbOptions::new());
     let report = db.ingest_clip(&clip, 1);
     println!(
         "ingested {:>3} frames -> {} object graphs, background of {} regions",

@@ -7,7 +7,7 @@
 use strg::prelude::*;
 
 fn main() {
-    let db = VideoDatabase::new(VideoDbConfig::default());
+    let db = VideoDatabase::new(DbOptions::new());
     db.ingest_clip(
         &VideoClip {
             name: "hallway".into(),
@@ -31,7 +31,7 @@ fn main() {
     db.save(&path).expect("save");
     println!("saved -> {}", path.display());
 
-    let loaded = VideoDatabase::load(&path, VideoDbConfig::default()).expect("load");
+    let loaded = VideoDatabase::load(&path, DbOptions::new()).expect("load");
     let re = loaded.stats();
     println!("loaded: {} clip(s), {} objects", re.clips, re.objects);
     assert_eq!(re.objects, stats.objects);

@@ -7,7 +7,7 @@
 use strg::prelude::*;
 
 fn main() {
-    let db = VideoDatabase::new(VideoDbConfig::default());
+    let db = VideoDatabase::new(DbOptions::new());
 
     println!("ingesting the four evaluation clips (this renders + segments every frame)...");
     for clip in table1_clips() {

@@ -50,6 +50,15 @@ cargo test -q --test ingest_alloc
 echo "==> ingest hot-path bench smoke (--quick, checks the 2x floor)"
 cargo run --release -p strg-bench --bin ingest -- --quick
 
+echo "==> shard-equivalence suite under STRG_THREADS=1"
+STRG_THREADS=1 cargo test -q --test shard_equivalence
+
+echo "==> shard-equivalence suite under STRG_THREADS=8"
+STRG_THREADS=8 cargo test -q --test shard_equivalence
+
+echo "==> query-cost bench smoke (--quick, checks shard fan-out pruning)"
+cargo run --release -p strg-bench --bin costs -- --quick
+
 # The serve suites talk to a real TCP server; `timeout` guards against a
 # wedged worker or a lost response turning CI into an infinite hang (the
 # suites' own per-read timeouts should fire long before this does).

@@ -24,7 +24,7 @@
 //! use strg::prelude::*;
 //!
 //! // Build a tiny synthetic surveillance clip and index it.
-//! let db = VideoDatabase::new(VideoDbConfig::default());
+//! let db = VideoDatabase::new(DbOptions::new());
 //! let clip = VideoClip {
 //!     name: "demo".into(),
 //!     scene: lab_scene(&ScenarioConfig { n_actors: 2, frames: 40, seed: 7, ..Default::default() }),
@@ -58,13 +58,17 @@ pub mod prelude {
         bic_sweep, clustering_error_rate, Clusterer, Clustering, EmClusterer, EmConfig, HardConfig,
         KHarmonicMeans, KMeans,
     };
+    #[allow(deprecated)]
+    pub use strg_core::VideoDbConfig;
     pub use strg_core::{
-        Hit, IngestReport, Query, QueryCost, QueryHit, QueryResult, Recorder, Snapshot, StrgIndex,
-        StrgIndexConfig, VideoDatabase, VideoDbConfig,
+        open, Database, DbOptions, Hit, IngestReport, Metric, Query, QueryCost, QueryHit,
+        QueryResult, Recorder, ShardedDatabase, Snapshot, StrgIndex, StrgIndexConfig,
+        VideoDatabase,
     };
     pub use strg_distance::{
-        lower_bounds_enabled, BoundedDistance, CountingDistance, Dtw, Edr, Eged, EgedMetric, Lcs,
-        LowerBound, LpNorm, MetricDistance, SeqSummary, SequenceDistance, NO_LB_ENV,
+        lower_bounds_enabled, shard_bounds_enabled, BoundedDistance, CountingDistance, Dtw, Edr,
+        Eged, EgedMetric, Lcs, LowerBound, LpNorm, MetricDistance, SeqSummary, SequenceDistance,
+        SummaryEnvelope, NO_LB_ENV, NO_SHARD_LB_ENV,
     };
     pub use strg_graph::{
         decompose, BackgroundGraph, DecomposeConfig, ObjectGraph, Point2, Rag, Rgb, Scalarization,

@@ -21,7 +21,7 @@ fn clip(seed: u64) -> VideoClip {
 
 #[test]
 fn parallel_readers_agree() {
-    let db = Arc::new(VideoDatabase::new(VideoDbConfig::default()));
+    let db = Arc::new(VideoDatabase::new(DbOptions::new()));
     db.ingest_clip(&clip(1), 1);
     let og = db.og(0).expect("first og");
     let q = og.centroid_series();
@@ -54,7 +54,7 @@ fn parallel_readers_agree() {
 
 #[test]
 fn queries_during_ingest_never_see_torn_state() {
-    let db = Arc::new(VideoDatabase::new(VideoDbConfig::default()));
+    let db = Arc::new(VideoDatabase::new(DbOptions::new()));
     db.ingest_clip(&clip(2), 1);
     let q: Vec<Point2> = (0..20).map(|i| Point2::new(4.0 * i as f64, 80.0)).collect();
 
@@ -94,7 +94,7 @@ fn concurrent_writers_produce_consistent_database() {
     // readers hammer queries and stats. Whatever interleaving the scheduler
     // picks, OG ids must stay unique, every clip must land exactly once,
     // and the final statistics must add up.
-    let db = Arc::new(VideoDatabase::new(VideoDbConfig::default()));
+    let db = Arc::new(VideoDatabase::new(DbOptions::new()));
     let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
     let q: Vec<Point2> = (0..20).map(|i| Point2::new(4.0 * i as f64, 80.0)).collect();
 
@@ -166,7 +166,7 @@ fn concurrent_writers_produce_consistent_database() {
 fn concurrent_ingest_and_removal_stay_consistent() {
     // One thread repeatedly removes clips while another adds new ones and
     // readers resolve hits; ids must never collide or dangle.
-    let db = Arc::new(VideoDatabase::new(VideoDbConfig::default()));
+    let db = Arc::new(VideoDatabase::new(DbOptions::new()));
     for seed in 0..3u64 {
         db.ingest_clip(&clip(seed), seed);
     }

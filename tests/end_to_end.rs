@@ -19,7 +19,7 @@ fn demo_clip(seed: u64, actors: usize, frames: usize) -> VideoClip {
 
 #[test]
 fn ingest_extracts_moving_objects() {
-    let db = VideoDatabase::new(VideoDbConfig::default());
+    let db = VideoDatabase::new(DbOptions::new());
     let clip = demo_clip(3, 3, 80);
     let report = db.ingest_clip(&clip, 1);
     assert!(
@@ -40,7 +40,7 @@ fn ingest_extracts_moving_objects() {
 
 #[test]
 fn stored_objects_have_plausible_motion() {
-    let db = VideoDatabase::new(VideoDbConfig::default());
+    let db = VideoDatabase::new(DbOptions::new());
     db.ingest_clip(&demo_clip(5, 2, 70), 2);
     let stats = db.stats();
     for id in 0..stats.objects as u64 {
@@ -57,7 +57,7 @@ fn stored_objects_have_plausible_motion() {
 
 #[test]
 fn self_query_returns_self_first() {
-    let db = VideoDatabase::new(VideoDbConfig::default());
+    let db = VideoDatabase::new(DbOptions::new());
     db.ingest_clip(&demo_clip(7, 3, 80), 3);
     let stats = db.stats();
     for id in 0..stats.objects as u64 {
@@ -75,7 +75,7 @@ fn self_query_returns_self_first() {
 
 #[test]
 fn index_is_much_smaller_than_raw_strg() {
-    let db = VideoDatabase::new(VideoDbConfig::default());
+    let db = VideoDatabase::new(DbOptions::new());
     db.ingest_clip(&demo_clip(9, 2, 100), 4);
     let stats = db.stats();
     // Equation 9 vs 10: the raw STRG repeats the background per frame.
@@ -89,7 +89,7 @@ fn index_is_much_smaller_than_raw_strg() {
 
 #[test]
 fn multiple_clips_are_isolated_per_root() {
-    let db = VideoDatabase::new(VideoDbConfig::default());
+    let db = VideoDatabase::new(DbOptions::new());
     db.ingest_clip(&demo_clip(11, 2, 60), 1);
     db.ingest_clip(&demo_clip(12, 2, 60), 1);
     let stats = db.stats();
@@ -110,7 +110,7 @@ fn background_matched_query_routes_to_right_scene() {
     // Two visually different scenes in one database; a query segment shot
     // in the traffic scene must route to the traffic root via background
     // matching (Algorithm 3 steps 1-2) even though its own objects differ.
-    let db = VideoDatabase::new(VideoDbConfig::default());
+    let db = VideoDatabase::new(DbOptions::new());
     db.ingest_clip(
         &VideoClip {
             name: "lab".into(),
@@ -162,7 +162,7 @@ fn background_matched_query_routes_to_right_scene() {
 
 #[test]
 fn queries_across_scene_types_rank_matching_motion_first() {
-    let db = VideoDatabase::new(VideoDbConfig::default());
+    let db = VideoDatabase::new(DbOptions::new());
     // One lab clip (slow walkers) + one traffic clip (fast cars).
     db.ingest_clip(
         &VideoClip {

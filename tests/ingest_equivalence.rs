@@ -208,8 +208,7 @@ fn video_database_identical_in_both_modes() {
     let mut reference: Option<Outcome> = None;
     for threads in [1usize, 8] {
         let (fast, naive) = in_both_modes(|| {
-            let db =
-                VideoDatabase::new(VideoDbConfig::default().with_threads(Threads::Fixed(threads)));
+            let db = VideoDatabase::new(DbOptions::new().threads(Threads::Fixed(threads)));
             let mut objects = Vec::new();
             for (clip, frames) in clips.iter().zip(&rendered) {
                 objects.push(db.ingest_frames(&clip.name, frames).objects);

@@ -169,7 +169,7 @@ fn index_costs_identical_across_thread_counts() {
 #[test]
 fn deterministic_snapshot_identical_across_thread_counts() {
     let run = |threads: Threads| {
-        let db = VideoDatabase::new(VideoDbConfig::default().with_threads(threads));
+        let db = VideoDatabase::new(DbOptions::new().threads(threads));
         for seed in [3, 7] {
             db.ingest_clip(&clip(seed), seed);
         }
@@ -194,8 +194,8 @@ fn deterministic_snapshot_identical_across_thread_counts() {
 /// says — in hits, in per-query work, and in the deterministic snapshot.
 #[test]
 fn default_config_costs_match_pinned_sequential() {
-    let auto_db = VideoDatabase::new(VideoDbConfig::default());
-    let seq_db = VideoDatabase::new(VideoDbConfig::default().with_threads(Threads::Fixed(1)));
+    let auto_db = VideoDatabase::new(DbOptions::new());
+    let seq_db = VideoDatabase::new(DbOptions::new().threads(Threads::Fixed(1)));
     for seed in [3, 7] {
         auto_db.ingest_clip(&clip(seed), seed);
         seq_db.ingest_clip(&clip(seed), seed);

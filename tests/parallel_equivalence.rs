@@ -31,7 +31,7 @@ fn clip(seed: u64, actors: usize, frames: usize) -> VideoClip {
 }
 
 fn db_with(threads: Threads) -> VideoDatabase {
-    VideoDatabase::new(VideoDbConfig::default().with_threads(threads))
+    VideoDatabase::new(DbOptions::new().threads(threads))
 }
 
 fn ingest_all(db: &VideoDatabase, seeds: &[u64]) -> Vec<IngestReport> {
@@ -174,7 +174,7 @@ fn background_matched_queries_identical_across_thread_counts() {
 /// script runs under `STRG_THREADS=1` and `STRG_THREADS=8`.
 #[test]
 fn default_config_matches_pinned_sequential() {
-    let auto_db = VideoDatabase::new(VideoDbConfig::default());
+    let auto_db = VideoDatabase::new(DbOptions::new());
     let seq_db = db_with(Threads::Fixed(1));
     let a = auto_db.ingest_clip(&clip(37, 2, 50), 37);
     let b = seq_db.ingest_clip(&clip(37, 2, 50), 37);

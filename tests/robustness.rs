@@ -25,7 +25,7 @@ fn clip_with_noise(noise: SceneNoise, seed: u64) -> VideoClip {
 
 #[test]
 fn survives_heavy_pixel_noise() {
-    let db = VideoDatabase::new(VideoDbConfig::default());
+    let db = VideoDatabase::new(DbOptions::new());
     let report = db.ingest_clip(
         &clip_with_noise(
             SceneNoise {
@@ -44,7 +44,7 @@ fn survives_heavy_pixel_noise() {
 
 #[test]
 fn survives_dropped_frames() {
-    let db = VideoDatabase::new(VideoDbConfig::default());
+    let db = VideoDatabase::new(DbOptions::new());
     let report = db.ingest_clip(
         &clip_with_noise(
             SceneNoise {
@@ -71,7 +71,7 @@ fn survives_dropped_frames() {
 fn clean_vs_noisy_extraction_is_comparable() {
     // The number of extracted objects should not explode under noise
     // (over-segmentation would poison the index).
-    let quiet = VideoDatabase::new(VideoDbConfig::default());
+    let quiet = VideoDatabase::new(DbOptions::new());
     let rq = quiet.ingest_clip(
         &clip_with_noise(
             SceneNoise {
@@ -83,7 +83,7 @@ fn clean_vs_noisy_extraction_is_comparable() {
         ),
         1,
     );
-    let noisy = VideoDatabase::new(VideoDbConfig::default());
+    let noisy = VideoDatabase::new(DbOptions::new());
     let rn = noisy.ingest_clip(
         &clip_with_noise(
             SceneNoise {
@@ -105,7 +105,7 @@ fn clean_vs_noisy_extraction_is_comparable() {
 
 #[test]
 fn empty_and_static_videos_are_harmless() {
-    let db = VideoDatabase::new(VideoDbConfig::default());
+    let db = VideoDatabase::new(DbOptions::new());
     // A static scene: no actors at all.
     let clip = VideoClip {
         name: "static".into(),

@@ -159,7 +159,7 @@ fn concurrent_clients_match_sequential_replay() {
 #[test]
 fn bounded_queue_sheds_burst_load_and_recovers() {
     let (handle, join) = boot(
-        VideoDatabase::new(VideoDbConfig::default()),
+        VideoDatabase::new(DbOptions::new()),
         ServeConfig {
             threads: Threads::Fixed(1),
             max_queue: 1,
@@ -215,7 +215,7 @@ fn bounded_queue_sheds_burst_load_and_recovers() {
 #[test]
 fn oversubscribed_burst_always_answers() {
     let (handle, join) = boot(
-        VideoDatabase::new(VideoDbConfig::default()),
+        VideoDatabase::new(DbOptions::new()),
         ServeConfig {
             threads: Threads::Fixed(1),
             max_queue: 1,

@@ -16,7 +16,7 @@ fn boot_small() -> (
     std::thread::JoinHandle<std::io::Result<()>>,
 ) {
     boot(
-        VideoDatabase::new(VideoDbConfig::default()),
+        VideoDatabase::new(DbOptions::new()),
         ServeConfig {
             threads: Threads::Fixed(2),
             max_line_bytes: 1024,

@@ -30,7 +30,7 @@ fn temp_path(name: &str) -> String {
 /// rejection, k-NN and range queries, stats, server metrics, shutdown.
 #[test]
 fn ingest_query_stats_over_real_sockets() {
-    let db = VideoDatabase::new(VideoDbConfig::default());
+    let db = VideoDatabase::new(DbOptions::new());
     let (handle, join) = boot(db, ServeConfig::default());
     let mut c = Client::connect(handle.addr());
 
@@ -133,7 +133,7 @@ fn server_bodies_match_cli_json_byte_for_byte() {
     // Server A: fresh database, same ingest over the socket; the body
     // must match the CLI's ingest output (metrics stripped).
     let (handle, join) = boot(
-        VideoDatabase::new(VideoDbConfig::default()),
+        VideoDatabase::new(DbOptions::new()),
         ServeConfig {
             db_path: Some(srv_db.clone()),
             ..Default::default()
@@ -166,7 +166,7 @@ fn server_bodies_match_cli_json_byte_for_byte() {
 
     // Server B: serves the CLI's own file; query bodies must be the very
     // same bytes the CLI printed (elapsed_ns normalized).
-    let db = VideoDatabase::load(&cli_db, VideoDbConfig::default()).expect("load cli db");
+    let db = VideoDatabase::load(&cli_db, DbOptions::new()).expect("load cli db");
     let (handle, join) = boot(db, ServeConfig::default());
     let mut c = Client::connect(handle.addr());
     for (req, cli_out, what) in [
@@ -213,7 +213,7 @@ fn server_bodies_match_cli_json_byte_for_byte() {
 #[test]
 fn query_bodies_identical_across_thread_counts() {
     let body_at = |n: usize| {
-        let db = VideoDatabase::new(VideoDbConfig::default().with_threads(Threads::Fixed(n)));
+        let db = VideoDatabase::new(DbOptions::new().threads(Threads::Fixed(n)));
         ingest_scene(&db, "lab", "cam0", 3);
         ingest_scene(&db, "traffic", "cam1", 7);
         let (handle, join) = boot(

@@ -32,7 +32,7 @@ pub fn boot(
 
 /// A small synthetic database: one lab clip and one traffic clip.
 pub fn two_clip_db() -> VideoDatabase {
-    let db = VideoDatabase::new(VideoDbConfig::default());
+    let db = VideoDatabase::new(DbOptions::new());
     ingest_scene(&db, "lab", "cam0", 3);
     ingest_scene(&db, "traffic", "cam1", 7);
     db

@@ -1,0 +1,323 @@
+//! Shard equivalence suite: sharding is a *physical* layout choice only.
+//!
+//! A [`ShardedDatabase`] must be indistinguishable from the single-tree
+//! [`VideoDatabase`] in every observable except wall-clock: `shards(1)`
+//! reproduces the plain database bit-for-bit (hits **and** costs), raising
+//! the shard count never changes a hit list, the logical cost counting is
+//! identical at any `STRG_THREADS` setting, and the shard-envelope filter
+//! (`STRG_NO_SHARD_LB=1` escape hatch, DESIGN.md §12) never changes a
+//! result — an inadmissible aggregate envelope shows up here as a hit-list
+//! or cost diff.
+//!
+//! `scripts/ci.sh` runs this binary under `STRG_THREADS=1` and
+//! `STRG_THREADS=8`, so the equivalence is also pinned against the frozen
+//! parallel band.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use strg::core::shard::route;
+use strg::core::shard::sharded_knn;
+use strg::prelude::*;
+
+/// Serializes every test that toggles `STRG_NO_SHARD_LB`: the flag is
+/// process global, so two modes must never overlap in time.
+fn env_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f` twice — once with the shard envelope filter active, once with
+/// `STRG_NO_SHARD_LB=1` — and returns both results, restoring the
+/// environment.
+fn in_both_shard_modes<T>(f: impl Fn() -> T) -> (T, T) {
+    let _guard = env_lock();
+    std::env::remove_var(NO_SHARD_LB_ENV);
+    assert!(shard_bounds_enabled());
+    let with_filter = f();
+    std::env::set_var(NO_SHARD_LB_ENV, "1");
+    assert!(!shard_bounds_enabled());
+    let without_filter = f();
+    std::env::remove_var(NO_SHARD_LB_ENV);
+    (with_filter, without_filter)
+}
+
+fn demo_clip(seed: u64) -> VideoClip {
+    VideoClip {
+        name: format!("demo{seed}"),
+        scene: lab_scene(&ScenarioConfig {
+            n_actors: 2,
+            frames: 36,
+            seed,
+            ..Default::default()
+        }),
+        fps: 30.0,
+    }
+}
+
+const CLIP_SEEDS: [u64; 4] = [3, 7, 11, 19];
+
+fn ingest_all(db: &dyn Database) {
+    for seed in CLIP_SEEDS {
+        db.ingest_clip(&demo_clip(seed), seed);
+    }
+}
+
+/// Query trajectories: a stored series (self-query), a synthetic line, and
+/// a far-away outlier.
+fn trajectories(db: &dyn Database) -> Vec<Vec<Point2>> {
+    let stored = db.og(0).expect("og 0 stored").centroid_series();
+    let line: Vec<Point2> = (0..25).map(|i| Point2::new(3.0 * i as f64, 70.0)).collect();
+    let far: Vec<Point2> = (0..10)
+        .map(|i| Point2::new(900.0 + i as f64, 900.0))
+        .collect();
+    vec![stored, line, far]
+}
+
+fn run(db: &dyn Database, q: Query) -> (Vec<QueryHit>, QueryCost) {
+    let r = db.query(q.with_cost());
+    let cost = r.cost.expect("with_cost() requested it");
+    (r.hits, cost)
+}
+
+fn assert_hits_eq(a: &[QueryHit], b: &[QueryHit], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: hit count");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.clip, y.clip, "{ctx}: hit clip");
+        assert_eq!(x.og_id, y.og_id, "{ctx}: hit id");
+        assert_eq!(x.dist.to_bits(), y.dist.to_bits(), "{ctx}: hit distance");
+    }
+}
+
+/// `shards(1)` is byte-identical to the plain single-tree database: same
+/// hits, same logical costs, for k-NN, range and clip-scoped queries.
+#[test]
+fn one_shard_matches_plain_database() {
+    let plain = VideoDatabase::new(DbOptions::new());
+    let sharded = ShardedDatabase::new(DbOptions::new().shards(1));
+    ingest_all(&plain);
+    ingest_all(&sharded);
+    assert_eq!(sharded.shard_count(), 1);
+
+    for q in trajectories(&plain) {
+        for k in [1, 5] {
+            let (ha, ca) = run(&plain, Query::knn(k).trajectory(&q));
+            let (hb, cb) = run(&sharded, Query::knn(k).trajectory(&q));
+            assert_hits_eq(&ha, &hb, &format!("knn k={k}"));
+            assert!(ca.same_work(&cb), "knn k={k}: {ca:?} vs {cb:?}");
+        }
+        for radius in [20.0, 200.0] {
+            let (ha, ca) = run(&plain, Query::range(radius).trajectory(&q));
+            let (hb, cb) = run(&sharded, Query::range(radius).trajectory(&q));
+            assert_hits_eq(&ha, &hb, &format!("range r={radius}"));
+            assert!(ca.same_work(&cb), "range r={radius}: {ca:?} vs {cb:?}");
+        }
+        let (ha, ca) = run(&plain, Query::knn(3).trajectory(&q).in_clip("demo3"));
+        let (hb, cb) = run(&sharded, Query::knn(3).trajectory(&q).in_clip("demo3"));
+        assert_hits_eq(&ha, &hb, "clip-scoped knn");
+        assert!(ca.same_work(&cb), "clip-scoped knn: {ca:?} vs {cb:?}");
+    }
+}
+
+/// Raising the shard count redistributes records but never changes a hit
+/// list: the global OG-id allocator keeps ids stable and the fan-out merge
+/// reproduces the single-tree ranking.
+#[test]
+fn shard_count_never_changes_hits() {
+    let one = ShardedDatabase::new(DbOptions::new().shards(1));
+    let four = ShardedDatabase::new(DbOptions::new().shards(4));
+    ingest_all(&one);
+    ingest_all(&four);
+    assert_eq!(four.shard_count(), 4);
+    assert_eq!(one.stats().objects, four.stats().objects);
+
+    for q in trajectories(&one) {
+        for k in [1, 5] {
+            let (ha, _) = run(&one, Query::knn(k).trajectory(&q));
+            let (hb, _) = run(&four, Query::knn(k).trajectory(&q));
+            assert_hits_eq(&ha, &hb, &format!("knn k={k}"));
+        }
+        for radius in [20.0, 200.0] {
+            let (ha, _) = run(&one, Query::range(radius).trajectory(&q));
+            let (hb, _) = run(&four, Query::range(radius).trajectory(&q));
+            assert_hits_eq(&ha, &hb, &format!("range r={radius}"));
+        }
+        let (ha, _) = run(&one, Query::knn(3).trajectory(&q).in_clip("demo7"));
+        let (hb, _) = run(&four, Query::knn(3).trajectory(&q).in_clip("demo7"));
+        assert_hits_eq(&ha, &hb, "clip-scoped knn");
+    }
+}
+
+/// The fan-out's logical cost counting is bit-identical at any thread
+/// count: the speculative parallel path replays the sequential decision
+/// sequence over prefetched results and never charges speculation.
+#[test]
+fn fan_out_costs_identical_across_thread_counts() {
+    let seq = ShardedDatabase::new(DbOptions::new().shards(4).threads(Threads::Fixed(1)));
+    let par = ShardedDatabase::new(DbOptions::new().shards(4).threads(Threads::Fixed(8)));
+    ingest_all(&seq);
+    ingest_all(&par);
+
+    for q in trajectories(&seq) {
+        for k in [1, 5] {
+            let (ha, ca) = run(&seq, Query::knn(k).trajectory(&q));
+            let (hb, cb) = run(&par, Query::knn(k).trajectory(&q));
+            assert_hits_eq(&ha, &hb, &format!("knn k={k}"));
+            assert!(ca.same_work(&cb), "knn k={k}: {ca:?} vs {cb:?}");
+        }
+        for radius in [20.0, 200.0] {
+            let (ha, ca) = run(&seq, Query::range(radius).trajectory(&q));
+            let (hb, cb) = run(&par, Query::range(radius).trajectory(&q));
+            assert_hits_eq(&ha, &hb, &format!("range r={radius}"));
+            assert!(ca.same_work(&cb), "range r={radius}: {ca:?} vs {cb:?}");
+        }
+    }
+}
+
+/// The shard envelope filter is a physical optimization only: disabling it
+/// with `STRG_NO_SHARD_LB=1` (which opens every shard speculatively but
+/// charges the identical logical costs) must produce byte-identical hit
+/// lists and work fields. An inadmissible envelope bound fails here.
+#[test]
+fn envelope_filter_matches_no_shard_lb_hatch() {
+    let db = ShardedDatabase::new(DbOptions::new().shards(4));
+    ingest_all(&db);
+
+    for q in trajectories(&db) {
+        for k in [1, 5] {
+            let (a, b) = in_both_shard_modes(|| run(&db, Query::knn(k).trajectory(&q)));
+            assert_hits_eq(&a.0, &b.0, &format!("knn k={k}"));
+            assert!(a.1.same_work(&b.1), "knn k={k}: {:?} vs {:?}", a.1, b.1);
+        }
+        for radius in [20.0, 200.0] {
+            let (a, b) = in_both_shard_modes(|| run(&db, Query::range(radius).trajectory(&q)));
+            assert_hits_eq(&a.0, &b.0, &format!("range r={radius}"));
+            assert!(
+                a.1.same_work(&b.1),
+                "range r={radius}: {:?} vs {:?}",
+                a.1,
+                b.1
+            );
+        }
+    }
+}
+
+/// On a self-query workload the bound-ordered fan-out actually skips whole
+/// shards: querying the stored series with the globally extreme summary at
+/// `k=1` drives the shared cutoff to ~0 after the owning shard, so every
+/// shard with a positive envelope bound is pruned — and the hits still
+/// match the hatch exactly.
+#[test]
+fn fan_out_prunes_whole_shards_on_self_queries() {
+    const SHARDS: usize = 4;
+    let dist = EgedMetric::<Point2>::new();
+    let data = generate_total(48, &SynthConfig::with_noise(0.10), 17);
+    let items: Vec<(u64, Vec<Point2>)> = data
+        .series()
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| (i as u64, s))
+        .collect();
+
+    let mut chunks: Vec<Vec<(u64, Vec<Point2>)>> = vec![Vec::new(); SHARDS];
+    for (id, series) in &items {
+        chunks[route(&format!("series-{id}"), SHARDS)].push((*id, series.clone()));
+    }
+    let shards: Vec<StrgIndex<Point2, EgedMetric<Point2>>> = chunks
+        .into_iter()
+        .map(|chunk| {
+            let mut cfg = StrgIndexConfig::with_k(8.min(chunk.len().max(1)));
+            cfg.seed = 17;
+            cfg.em_max_iters = 10;
+            cfg.em_n_init = 1;
+            let mut idx = StrgIndex::new(dist, cfg);
+            idx.add_segment(BackgroundGraph::default(), chunk);
+            idx
+        })
+        .collect();
+    let idxs: Vec<_> = shards.iter().collect();
+
+    let extreme = items
+        .iter()
+        .max_by(|a, b| {
+            dist.summarize(&a.1)
+                .gap_mass
+                .total_cmp(&dist.summarize(&b.1).gap_mass)
+        })
+        .expect("non-empty workload");
+
+    let (a, b) = in_both_shard_modes(|| sharded_knn(&idxs, &extreme.1, 1, Threads::Fixed(1)));
+    assert!(
+        a.1.shards_pruned >= 1,
+        "self-query should prune at least one whole shard: {:?}",
+        a.1
+    );
+    assert!(a.1.same_work(&b.1), "{:?} vs {:?}", a.1, b.1);
+    assert_eq!(a.0.len(), b.0.len(), "hit count");
+    for (x, y) in a.0.iter().zip(&b.0) {
+        assert_eq!(x.0, y.0, "hit shard");
+        assert_eq!(x.1.og_id, y.1.og_id, "hit id");
+        assert_eq!(x.1.dist.to_bits(), y.1.dist.to_bits(), "hit distance");
+    }
+    assert_eq!(a.0[0].1.og_id, extreme.0, "self-query returns itself first");
+    assert_eq!(a.0[0].1.dist, 0.0, "self-distance is zero");
+}
+
+/// Directory save/load round-trip: the manifest's shard count wins over
+/// `DbOptions::shards`, stats survive, and queries return identical hits.
+#[test]
+fn sharded_save_load_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("strg_shard_rt_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let db = ShardedDatabase::new(DbOptions::new().shards(3));
+    ingest_all(&db);
+    db.save(&dir).expect("save sharded db");
+
+    let loaded = ShardedDatabase::load(&dir, DbOptions::new().shards(5)).expect("load sharded db");
+    assert_eq!(loaded.shard_count(), 3, "manifest shard count wins");
+    assert_eq!(db.stats().clips, loaded.stats().clips);
+    assert_eq!(db.stats().objects, loaded.stats().objects);
+
+    for q in trajectories(&db) {
+        let (ha, ca) = run(&db, Query::knn(5).trajectory(&q));
+        let (hb, cb) = run(&loaded, Query::knn(5).trajectory(&q));
+        assert_hits_eq(&ha, &hb, "knn after roundtrip");
+        assert!(ca.same_work(&cb), "knn after roundtrip: {ca:?} vs {cb:?}");
+    }
+
+    // `open()` on the directory detects the sharded layout.
+    let opened = open(&dir, DbOptions::new()).expect("open sharded dir");
+    assert_eq!(opened.shard_count(), 3);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `shards(1)` through the `open()` factory persists the plain single-file
+/// format, byte-identical to `VideoDatabase::save` — no format fork for
+/// the default configuration.
+#[test]
+fn one_shard_persists_plain_bytes() {
+    let base = std::env::temp_dir().join(format!("strg_shard_bytes_{}", std::process::id()));
+    let plain_path = base.with_extension("plain.strgdb");
+    let one_path = base.with_extension("one.strgdb");
+    let _ = std::fs::remove_file(&plain_path);
+    let _ = std::fs::remove_file(&one_path);
+
+    let plain = VideoDatabase::new(DbOptions::new());
+    ingest_all(&plain);
+    plain.save(&plain_path).expect("save plain");
+
+    let one = open(&one_path, DbOptions::new().shards(1)).expect("open shards(1)");
+    assert_eq!(one.shard_count(), 1);
+    ingest_all(one.as_ref());
+    one.save(&one_path).expect("save shards(1)");
+
+    let a = std::fs::read(&plain_path).expect("read plain bytes");
+    let b = std::fs::read(&one_path).expect("read shards(1) bytes");
+    assert_eq!(a, b, "shards(1) persisted bytes diverge from single-tree");
+
+    let _ = std::fs::remove_file(&plain_path);
+    let _ = std::fs::remove_file(&one_path);
+}
