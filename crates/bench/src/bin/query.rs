@@ -1,0 +1,200 @@
+//! End-to-end query-path benchmark: the zero-alloc arena + SIMD kernel
+//! stack against the scalar baseline, on the same index.
+//!
+//! For every `k` the same query batch runs in two modes:
+//!
+//! * **scalar** — `STRG_SCALAR=1` (reference DP kernels, per-call row
+//!   allocations) through the allocating `knn_with_cost` wrapper: the
+//!   pre-optimization query path;
+//! * **simd_arena** — the default vectorized kernels through
+//!   `knn_with_cost_into` and a warm [`QueryScratch`] arena: the
+//!   steady-state production path.
+//!
+//! The bin verifies in-run that both modes produce byte-identical hit
+//! lists (`outputs_identical`), counts steady-state heap allocations per
+//! mode with a counting `#[global_allocator]` (the arena path must report
+//! **zero**), and writes `results/BENCH_query.json` with per-k latency,
+//! throughput and the end-to-end speedup.
+//!
+//! Run with: `cargo run --release -p strg-bench --bin query [-- --quick]`
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use strg_bench::report::results_dir;
+use strg_bench::Scale;
+use strg_core::{QueryScratch, StrgIndex, StrgIndexConfig};
+use strg_distance::{EgedMetric, SCALAR_ENV};
+use strg_graph::{BackgroundGraph, Point2};
+use strg_obs::Json;
+use strg_parallel::Threads;
+use strg_synth::{generate_total, SynthConfig};
+
+struct CountingAlloc;
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_events() -> u64 {
+    ALLOC_EVENTS.load(Ordering::SeqCst)
+}
+
+/// Hits flattened to comparable bits: `(og_id, dist bit pattern)` rows.
+type HitBits = Vec<Vec<(u64, u64)>>;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick {
+        Scale::quick()
+    } else {
+        Scale::reduced()
+    };
+    // The acceptance scale: ≥2000 objects in the full run.
+    let db_size = if quick {
+        scale.query_db_size
+    } else {
+        scale.query_db_size.max(2_000)
+    };
+    let measure_passes = if quick { 1 } else { 3 };
+
+    let cfg = SynthConfig::with_noise(0.10);
+    let queries: Vec<Vec<Point2>> = generate_total(scale.queries, &cfg, scale.seed + 999)
+        .items
+        .into_iter()
+        .map(|q| q.points)
+        .collect();
+    let items: Vec<(u64, Vec<Point2>)> = generate_total(db_size, &cfg, scale.seed + 1)
+        .series()
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| (i as u64, s))
+        .collect();
+
+    let mut idx_cfg = StrgIndexConfig::with_k(48.min(items.len().max(1)));
+    idx_cfg.seed = scale.seed;
+    idx_cfg.em_max_iters = 10;
+    idx_cfg.em_n_init = 1;
+    idx_cfg.threads = Threads::Fixed(1);
+    let mut idx = StrgIndex::new(EgedMetric::<Point2>::new(), idx_cfg);
+    idx.add_segment(BackgroundGraph::default(), items);
+
+    let mut rows = Vec::new();
+    let mut speedup_k5 = 0.0;
+    let mut scratch = QueryScratch::new();
+    for &k in &scale.ks {
+        // Scalar baseline: reference kernels, allocating wrapper.
+        std::env::set_var(SCALAR_ENV, "1");
+        let hits_scalar: HitBits = run_alloc(&idx, &queries, k); // warm
+        let a0 = alloc_events();
+        let t0 = std::time::Instant::now();
+        for _ in 0..measure_passes {
+            run_alloc(&idx, &queries, k);
+        }
+        let wall_scalar = t0.elapsed();
+        let allocs_scalar = alloc_events() - a0;
+        std::env::remove_var(SCALAR_ENV);
+
+        // SIMD + arena: vectorized kernels into a warm scratch.
+        let hits_simd: HitBits = queries
+            .iter()
+            .map(|q| {
+                let (h, _) = idx.knn_with_cost_into(q, k, &mut scratch);
+                h.iter().map(|x| (x.og_id, x.dist.to_bits())).collect()
+            })
+            .collect(); // warm + harvest
+        let a0 = alloc_events();
+        let t0 = std::time::Instant::now();
+        for _ in 0..measure_passes {
+            for q in &queries {
+                idx.knn_with_cost_into(q, k, &mut scratch);
+            }
+        }
+        let wall_simd = t0.elapsed();
+        let allocs_simd = alloc_events() - a0;
+
+        let identical = hits_scalar == hits_simd;
+        assert!(identical, "k={k}: modes disagree on the hit lists");
+        assert_eq!(
+            allocs_simd, 0,
+            "k={k}: steady-state arena path touched the allocator"
+        );
+
+        let n_queries = (measure_passes * queries.len()) as f64;
+        let ns_scalar = wall_scalar.as_nanos() as f64 / n_queries;
+        let ns_simd = wall_simd.as_nanos() as f64 / n_queries;
+        let speedup = ns_scalar / ns_simd;
+        if k == 5 {
+            speedup_k5 = speedup;
+        }
+        eprintln!(
+            "k={k:<3} scalar {:>9.1}µs/q  simd+arena {:>9.1}µs/q  speedup {speedup:>5.2}x  \
+             allocs/steady: scalar {allocs_scalar}, arena {allocs_simd}",
+            ns_scalar / 1e3,
+            ns_simd / 1e3,
+        );
+        rows.push(Json::obj(vec![
+            ("k", Json::U64(k as u64)),
+            ("queries", Json::U64(queries.len() as u64)),
+            ("measure_passes", Json::U64(measure_passes as u64)),
+            ("outputs_identical", Json::Bool(identical)),
+            ("ns_per_query_scalar", Json::F64(ns_scalar)),
+            ("ns_per_query_simd_arena", Json::F64(ns_simd)),
+            ("qps_scalar", Json::F64(1e9 / ns_scalar)),
+            ("qps_simd_arena", Json::F64(1e9 / ns_simd)),
+            ("speedup", Json::F64(speedup)),
+            ("steady_allocs_scalar", Json::U64(allocs_scalar)),
+            ("steady_allocs_simd_arena", Json::U64(allocs_simd)),
+        ]));
+    }
+
+    let doc = Json::obj(vec![
+        ("seed", Json::U64(scale.seed)),
+        ("quick", Json::Bool(quick)),
+        ("db_size", Json::U64(db_size as u64)),
+        ("threads", Json::U64(1)),
+        ("speedup_k5", Json::F64(speedup_k5)),
+        ("arena_grow_events", Json::U64(scratch.grow_events())),
+        ("rows", Json::Array(rows)),
+    ]);
+    let path = results_dir().join("BENCH_query.json");
+    if let Err(e) = std::fs::write(&path, doc.render()) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", path.display());
+}
+
+/// One batch through the allocating wrapper, harvesting comparable bits.
+fn run_alloc(
+    idx: &StrgIndex<Point2, EgedMetric<Point2>>,
+    queries: &[Vec<Point2>],
+    k: usize,
+) -> HitBits {
+    queries
+        .iter()
+        .map(|q| {
+            let (h, _) = idx.knn_with_cost(q, k);
+            h.iter().map(|x| (x.og_id, x.dist.to_bits())).collect()
+        })
+        .collect()
+}

@@ -15,7 +15,7 @@
 
 mod search;
 
-pub use search::Hit;
+pub use search::{with_query_scratch, Hit, QueryScratch};
 
 use strg_cluster::{bic, bic_sweep_threads, ClusterValue, Clusterer, EmClusterer, EmConfig};
 use strg_distance::{
@@ -215,7 +215,10 @@ impl<V: ClusterValue, D: MetricDistance<V> + BoundedDistance<V> + LowerBound<V> 
     /// record id.
     pub fn add_segment(&mut self, bg: BackgroundGraph, ogs: Vec<(u64, Vec<V>)>) -> u32 {
         let root_id = self.roots.len() as u32;
-        let data: Vec<Vec<V>> = ogs.iter().map(|(_, s)| s.clone()).collect();
+        // The sequences are moved (not cloned) out of the input: clustering
+        // and keying borrow them, then the bulk load below moves each one
+        // into its leaf record.
+        let (ids, data): (Vec<u64>, Vec<Vec<V>>) = ogs.into_iter().unzip();
         let k = match self.cfg.k {
             Some(k) => k.max(1),
             None => {
@@ -256,7 +259,7 @@ impl<V: ClusterValue, D: MetricDistance<V> + BoundedDistance<V> + LowerBound<V> 
                 .collect();
             // Leaf keys and lower-bound summaries are independent per-OG
             // computations: fan both out in one pass.
-            let prepared = par_map_indexed(&ogs, self.cfg.threads, |j, (_, seq)| {
+            let prepared = par_map_indexed(&data, self.cfg.threads, |j, seq| {
                 let c = clustering.assignments[j];
                 (
                     self.metric.distance(seq, &clusters[c].centroid),
@@ -269,7 +272,9 @@ impl<V: ClusterValue, D: MetricDistance<V> + BoundedDistance<V> + LowerBound<V> 
             // `STRG_NAIVE_SEGMENT` hatch keeps the one-at-a-time insertion
             // path alive for the equivalence suite.
             let naive = strg_video::naive_segmentation_enabled();
-            for (j, ((og_id, seq), (key, summary))) in ogs.into_iter().zip(prepared).enumerate() {
+            for (j, ((og_id, seq), (key, summary))) in
+                ids.into_iter().zip(data).zip(prepared).enumerate()
+            {
                 let c = clustering.assignments[j];
                 self.env.add(&summary);
                 let rec = LeafRecord {
@@ -539,6 +544,58 @@ impl<V: ClusterValue, D: MetricDistance<V> + BoundedDistance<V> + LowerBound<V> 
         })
     }
 
+    /// Like [`StrgIndex::knn_with_cost`], but runs out of a caller-owned
+    /// [`QueryScratch`] arena and returns the hits as a slice into it. With
+    /// a warmed-up arena and `Threads::Fixed(1)` this performs zero heap
+    /// allocations (`tests/query_alloc.rs`); hits and cost are identical to
+    /// the `Vec`-returning variant.
+    pub fn knn_with_cost_into<'s>(
+        &self,
+        query: &[V],
+        k: usize,
+        scratch: &'s mut QueryScratch,
+    ) -> (&'s [Hit], QueryCost) {
+        let start = std::time::Instant::now();
+        let mut cost = QueryCost::default();
+        search::knn_into(
+            &self.roots,
+            &self.metric,
+            query,
+            k,
+            None,
+            self.cfg.threads,
+            &mut cost,
+            scratch,
+        );
+        cost.elapsed = start.elapsed();
+        (scratch.hits(), cost)
+    }
+
+    /// Like [`StrgIndex::range_with_cost`], but runs out of a caller-owned
+    /// [`QueryScratch`] arena and returns the hits as a slice into it (see
+    /// [`StrgIndex::knn_with_cost_into`]).
+    pub fn range_with_cost_into<'s>(
+        &self,
+        query: &[V],
+        radius: f64,
+        scratch: &'s mut QueryScratch,
+    ) -> (&'s [Hit], QueryCost) {
+        let start = std::time::Instant::now();
+        let mut cost = QueryCost::default();
+        search::range_into(
+            &self.roots,
+            &self.metric,
+            query,
+            radius,
+            None,
+            self.cfg.threads,
+            &mut cost,
+            scratch,
+        );
+        cost.elapsed = start.elapsed();
+        (scratch.hits(), cost)
+    }
+
     /// Range query restricted to one root record.
     pub fn range_in_root(&self, root_id: u32, query: &[V], radius: f64) -> Vec<Hit> {
         self.range_in_root_with_cost(root_id, query, radius).0
@@ -660,24 +717,32 @@ fn split_leaf_if_bic_favors<V: ClusterValue, D: MetricDistance<V>>(
     metric: &D,
     cfg: &StrgIndexConfig,
 ) {
-    let members = &root.clusters[cluster_idx].leaf.records;
-    let data: Vec<Vec<V>> = members.iter().map(|r| r.seq.clone()).collect();
-    if data.len() < 4 {
+    if root.clusters[cluster_idx].leaf.records.len() < 4 {
         return;
     }
+    // Move the member sequences out of the leaf for the trial clustering
+    // instead of cloning them: on a rejected split they are restored in
+    // place, on an accepted one they move into the replacement leaves.
+    let mut records = std::mem::take(&mut root.clusters[cluster_idx].leaf.records);
+    let data: Vec<Vec<V>> = records
+        .iter_mut()
+        .map(|r| std::mem::take(&mut r.seq))
+        .collect();
     let em1 = EmClusterer::new(Eged, cfg.em_config(1));
     let em2 = EmClusterer::new(Eged, cfg.em_config(2));
     let c1 = em1.fit(&data);
     let c2 = em2.fit(&data);
-    if bic(&c2, data.len()) <= bic(&c1, data.len()) || c2.k() < 2 {
-        return;
-    }
-    let sizes = c2.sizes();
-    if sizes.contains(&0) {
+    let rejected =
+        bic(&c2, data.len()) <= bic(&c1, data.len()) || c2.k() < 2 || c2.sizes().contains(&0);
+    if rejected {
+        for (r, seq) in records.iter_mut().zip(data) {
+            r.seq = seq;
+        }
+        root.clusters[cluster_idx].leaf.records = records;
         return;
     }
     // Perform the split: replace the cluster record with two.
-    let old = root.clusters.remove(cluster_idx);
+    root.clusters.remove(cluster_idx);
     let mut new_a = ClusterRecord {
         id: 0,
         centroid: c2.centroids[0].clone(),
@@ -688,14 +753,19 @@ fn split_leaf_if_bic_favors<V: ClusterValue, D: MetricDistance<V>>(
         centroid: c2.centroids[1].clone(),
         leaf: LeafNode::default(),
     };
-    for (j, rec) in old.leaf.records.into_iter().enumerate() {
+    for (j, (rec, seq)) in records.into_iter().zip(data).enumerate() {
         let target = if c2.assignments[j] == 0 {
             &mut new_a
         } else {
             &mut new_b
         };
-        let key = metric.distance(&rec.seq, &target.centroid);
-        target.leaf.insert_sorted(LeafRecord { key, ..rec });
+        let key = metric.distance(&seq, &target.centroid);
+        target.leaf.insert_sorted(LeafRecord {
+            key,
+            og_id: rec.og_id,
+            seq,
+            summary: rec.summary,
+        });
     }
     root.clusters.push(new_a);
     root.clusters.push(new_b);

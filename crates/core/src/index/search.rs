@@ -27,6 +27,17 @@
 //! evaluation — the same predicates are computed and charged, but excluded
 //! candidates are speculatively refined and offered to the result set, so
 //! an inadmissible bound would surface as a hit-list difference.
+//!
+//! Every search runs out of a reusable [`QueryScratch`] arena (candidate
+//! list, hit buffers, sort permutation), so sequential steady-state queries
+//! perform **zero heap allocations** — proven by `tests/query_alloc.rs`.
+//! The `Vec`-returning entry points borrow a thread-local arena and copy
+//! the hits out; the `*_into` variants expose the arena directly
+//! (DESIGN.md §13). The parallel paths still allocate inside
+//! `strg_parallel::par_map` (scoped worker spawning), which is why the
+//! zero-alloc contract is stated for `Threads::Fixed(1)`.
+
+use std::cell::RefCell;
 
 use strg_distance::{lower_bounds_enabled, BoundedDistance, LowerBound, MetricDistance, SeqValue};
 use strg_obs::QueryCost;
@@ -47,41 +58,134 @@ pub struct Hit {
     pub dist: f64,
 }
 
-/// A cluster candidate gathered during pass 1.
-struct Cand<'a, V> {
+/// A cluster candidate gathered during pass 1. Plain positional indices
+/// into the roots slice (not references), so the candidate list can live in
+/// a [`QueryScratch`] that outlives any one query.
+#[derive(Copy, Clone, Debug)]
+struct Cand {
+    /// Position of the root in the roots slice.
+    root_idx: u32,
+    /// Position of the cluster within its root.
+    cluster_idx: u32,
     root_id: u32,
     cluster_id: u32,
     centroid_dist: f64,
     lower: f64,
-    leaf: &'a super::LeafNode<V>,
+}
+
+/// Reusable per-thread search arena: every buffer the k-NN/range hot path
+/// needs, grown to its high-water mark and reused across queries. After
+/// warm-up a sequential query allocates nothing (`tests/query_alloc.rs`).
+#[derive(Debug, Default)]
+pub struct QueryScratch {
+    /// `(root_idx, cluster_idx)` staging for the parallel centroid fan-out.
+    refs: Vec<(u32, u32)>,
+    /// Gathered cluster candidates (pass 1).
+    cands: Vec<Cand>,
+    /// In-band survivor indices of the lower-bound filter.
+    survivors: Vec<u32>,
+    /// Sort permutation for the final range ordering.
+    order: Vec<u32>,
+    /// Double buffer applying that permutation.
+    hits_tmp: Vec<Hit>,
+    /// The result list (`best` for knn, `out` for range).
+    hits: Vec<Hit>,
+    /// Number of times a buffer had to grow (0 in steady state).
+    grows: u64,
+}
+
+impl QueryScratch {
+    /// An empty arena (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) const fn empty() -> Self {
+        Self {
+            refs: Vec::new(),
+            cands: Vec::new(),
+            survivors: Vec::new(),
+            order: Vec::new(),
+            hits_tmp: Vec::new(),
+            hits: Vec::new(),
+            grows: 0,
+        }
+    }
+
+    /// The hits of the last `*_into` search, ascending by distance.
+    pub fn hits(&self) -> &[Hit] {
+        &self.hits
+    }
+
+    /// Number of buffer growth events since construction — stops moving
+    /// once the arena reaches its high-water mark.
+    pub fn grow_events(&self) -> u64 {
+        self.grows
+    }
+
+    /// Bytes currently reserved across all buffers.
+    pub fn alloc_bytes(&self) -> usize {
+        self.refs.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.cands.capacity() * std::mem::size_of::<Cand>()
+            + self.survivors.capacity() * std::mem::size_of::<u32>()
+            + self.order.capacity() * std::mem::size_of::<u32>()
+            + (self.hits_tmp.capacity() + self.hits.capacity()) * std::mem::size_of::<Hit>()
+    }
+}
+
+thread_local! {
+    static QUERY_SCRATCH: RefCell<QueryScratch> = const { RefCell::new(QueryScratch::empty()) };
+}
+
+/// Runs `f` with this thread's search arena — the long-lived workers of the
+/// serve pool each converge on their own warmed-up arena. Reentrant calls
+/// fall back to a fresh local arena rather than panicking on the borrow.
+pub fn with_query_scratch<R>(f: impl FnOnce(&mut QueryScratch) -> R) -> R {
+    QUERY_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut s) => f(&mut s),
+        Err(_) => f(&mut QueryScratch::empty()),
+    })
+}
+
+/// Reserves room for `need` elements, charging the arena's growth counter
+/// only when the reservation actually enlarges the buffer.
+fn reserve_counted<T>(v: &mut Vec<T>, need: usize, grows: &mut u64) {
+    if v.capacity() < need {
+        *grows += 1;
+        v.reserve(need - v.len());
+    }
+}
+
+fn leaf_len<V>(roots: &[RootRecord<V>], cand: &Cand) -> u64 {
+    roots[cand.root_idx as usize].clusters[cand.cluster_idx as usize]
+        .leaf
+        .records
+        .len() as u64
 }
 
 /// Pass 1 of the exact searches: distance to every centroid (the
 /// cluster-node scan of Algorithm 3) plus a triangle lower bound per leaf.
-/// Centroid distances fan out over the workers; candidates come back in
-/// root/cluster order, exactly as the sequential double loop gathers them.
-fn gather_cands<'a, V: SeqValue, D: MetricDistance<V> + Sync>(
-    roots: &'a [RootRecord<V>],
+/// Sequentially this is one allocation-free double loop into the arena's
+/// candidate buffer; in parallel the centroid distances fan out over the
+/// workers via the arena's `(root, cluster)` staging, coming back in
+/// root/cluster order exactly as the sequential loop gathers them.
+fn gather_cands_into<V: SeqValue, D: MetricDistance<V> + Sync>(
+    roots: &[RootRecord<V>],
     metric: &D,
     query: &[V],
     root_filter: Option<u32>,
     threads: Threads,
     cost: &mut QueryCost,
-) -> Vec<Cand<'a, V>> {
-    let visited_roots = roots
-        .iter()
-        .filter(|root| root_filter.is_none_or(|r| r == root.id))
-        .count() as u64;
-    let refs: Vec<(u32, &super::ClusterRecord<V>)> = roots
-        .iter()
-        .filter(|root| root_filter.is_none_or(|r| r == root.id))
-        .flat_map(|root| root.clusters.iter().map(move |c| (root.id, c)))
-        .collect();
-    // One root-node access per visited root record, one cluster-node access
-    // and one centroid distance per cluster record scanned.
-    cost.node_accesses += visited_roots + refs.len() as u64;
-    cost.distance_calls += refs.len() as u64;
-    par_map(&refs, threads, |&(root_id, c)| {
+    scratch: &mut QueryScratch,
+) {
+    let included = |root: &&RootRecord<V>| root_filter.is_none_or(|r| r == root.id);
+    let mut visited_roots = 0u64;
+    let mut n_cands = 0usize;
+    for root in roots.iter().filter(included) {
+        visited_roots += 1;
+        n_cands += root.clusters.len();
+    }
+    let eval = |c: &super::ClusterRecord<V>| {
         let d = metric.distance(query, &c.centroid);
         // Any member m satisfies d(q, m) >= |d(q, centroid) - key(m)|;
         // keys span [min_key, max_key].
@@ -94,14 +198,57 @@ fn gather_cands<'a, V: SeqValue, D: MetricDistance<V> + Sync>(
         } else {
             0.0
         };
-        Cand {
-            root_id,
-            cluster_id: c.id,
-            centroid_dist: d,
-            lower,
-            leaf: &c.leaf,
+        (d, lower)
+    };
+    scratch.cands.clear();
+    reserve_counted(&mut scratch.cands, n_cands, &mut scratch.grows);
+    if threads.is_sequential() {
+        for (ri, root) in roots.iter().enumerate() {
+            if !included(&root) {
+                continue;
+            }
+            for (ci, c) in root.clusters.iter().enumerate() {
+                let (centroid_dist, lower) = eval(c);
+                scratch.cands.push(Cand {
+                    root_idx: ri as u32,
+                    cluster_idx: ci as u32,
+                    root_id: root.id,
+                    cluster_id: c.id,
+                    centroid_dist,
+                    lower,
+                });
+            }
         }
-    })
+    } else {
+        scratch.refs.clear();
+        reserve_counted(&mut scratch.refs, n_cands, &mut scratch.grows);
+        for (ri, root) in roots.iter().enumerate() {
+            if !included(&root) {
+                continue;
+            }
+            for ci in 0..root.clusters.len() {
+                scratch.refs.push((ri as u32, ci as u32));
+            }
+        }
+        let computed = par_map(&scratch.refs, threads, |&(ri, ci)| {
+            eval(&roots[ri as usize].clusters[ci as usize])
+        });
+        for (&(ri, ci), (centroid_dist, lower)) in scratch.refs.iter().zip(computed) {
+            let root = &roots[ri as usize];
+            scratch.cands.push(Cand {
+                root_idx: ri,
+                cluster_idx: ci,
+                root_id: root.id,
+                cluster_id: root.clusters[ci as usize].id,
+                centroid_dist,
+                lower,
+            });
+        }
+    }
+    // One root-node access per visited root record, one cluster-node access
+    // and one centroid distance per cluster record scanned.
+    cost.node_accesses += visited_roots + n_cands as u64;
+    cost.distance_calls += n_cands as u64;
 }
 
 /// Exact k-NN. `root_filter` restricts the search to one root record when
@@ -126,34 +273,77 @@ pub fn knn<V: SeqValue, D: MetricDistance<V> + BoundedDistance<V> + LowerBound<V
     threads: Threads,
     cost: &mut QueryCost,
 ) -> Vec<Hit> {
+    with_query_scratch(|scratch| {
+        knn_into(roots, metric, query, k, root_filter, threads, cost, scratch);
+        scratch.hits().to_vec()
+    })
+}
+
+/// [`knn`] into a caller-owned arena; the hits land in
+/// [`QueryScratch::hits`], ascending by distance.
+#[allow(clippy::too_many_arguments)]
+pub fn knn_into<V: SeqValue, D: MetricDistance<V> + BoundedDistance<V> + LowerBound<V> + Sync>(
+    roots: &[RootRecord<V>],
+    metric: &D,
+    query: &[V],
+    k: usize,
+    root_filter: Option<u32>,
+    threads: Threads,
+    cost: &mut QueryCost,
+    scratch: &mut QueryScratch,
+) {
+    scratch.hits.clear();
     if k == 0 {
-        return Vec::new();
+        return;
     }
     let parallel = !threads.is_sequential();
     let lb_active = lower_bounds_enabled();
     let qsum = metric.summarize(query);
-    let mut cands = gather_cands(roots, metric, query, root_filter, threads, cost);
-    cands.sort_by(|a, b| a.lower.total_cmp(&b.lower));
+    gather_cands_into(roots, metric, query, root_filter, threads, cost, scratch);
+    // Unstable sort with a total positional tie-break: the gather pushes
+    // candidates in strictly increasing (root_idx, cluster_idx) order, so
+    // this reproduces the stable sort-by-lower-bound order without the
+    // stable sort's temporary buffer.
+    scratch.cands.sort_unstable_by(|a, b| {
+        a.lower
+            .total_cmp(&b.lower)
+            .then(a.root_idx.cmp(&b.root_idx))
+            .then(a.cluster_idx.cmp(&b.cluster_idx))
+    });
 
-    let mut best: Vec<Hit> = Vec::new(); // sorted ascending, len <= k
-    for (ci, cand) in cands.iter().enumerate() {
-        let dk = if best.len() < k {
+    let total_records: usize = scratch
+        .cands
+        .iter()
+        .map(|c| leaf_len(roots, c) as usize)
+        .sum();
+    // `best` lives in scratch.hits: sorted ascending, len <= k, with one
+    // slot of headroom so the insert-then-truncate never reallocates.
+    reserve_counted(
+        &mut scratch.hits,
+        k.min(total_records) + 1,
+        &mut scratch.grows,
+    );
+    for ci in 0..scratch.cands.len() {
+        let cand = scratch.cands[ci];
+        let dk = if scratch.hits.len() < k {
             f64::INFINITY
         } else {
-            best[k - 1].dist
+            scratch.hits[k - 1].dist
         };
         if cand.lower > dk {
             // Clusters are sorted by lower bound: this and every remaining
             // candidate's leaf records are excluded without evaluation.
-            cost.pruned += cands[ci..]
+            cost.pruned += scratch.cands[ci..]
                 .iter()
-                .map(|c| c.leaf.records.len() as u64)
+                .map(|c| leaf_len(roots, c))
                 .sum::<u64>();
             break;
         }
         cost.node_accesses += 1; // the candidate's leaf node
                                  // Key-band scan: records outside |key - d_q| <= dk cannot qualify.
-        let records = &cand.leaf.records;
+        let records = &roots[cand.root_idx as usize].clusters[cand.cluster_idx as usize]
+            .leaf
+            .records;
         let lo = records.partition_point(|r| r.key < cand.centroid_dist - dk);
         cost.pruned += lo as u64;
         // Parallel path: evaluate the dk-at-entry band up front. It covers
@@ -183,10 +373,10 @@ pub fn knn<V: SeqValue, D: MetricDistance<V> + BoundedDistance<V> + LowerBound<V
         // so the bulk charge is identical on both paths.
         let mut reached = band.len();
         for (i, r) in band.iter().enumerate() {
-            let dk_now = if best.len() < k {
+            let dk_now = if scratch.hits.len() < k {
                 f64::INFINITY
             } else {
-                best[k - 1].dist
+                scratch.hits[k - 1].dist
             };
             if r.key > cand.centroid_dist + dk_now {
                 reached = i;
@@ -237,21 +427,20 @@ pub fn knn<V: SeqValue, D: MetricDistance<V> + BoundedDistance<V> + LowerBound<V
             if !lb_cut && d > dk_now {
                 cost.early_abandoned += 1;
             }
-            if d < dk_now || best.len() < k {
+            if d < dk_now || scratch.hits.len() < k {
                 let hit = Hit {
                     root_id: cand.root_id,
                     cluster_id: cand.cluster_id,
                     og_id: r.og_id,
                     dist: d,
                 };
-                let pos = best.partition_point(|h| h.dist <= d);
-                best.insert(pos, hit);
-                best.truncate(k);
+                let pos = scratch.hits.partition_point(|h| h.dist <= d);
+                scratch.hits.insert(pos, hit);
+                scratch.hits.truncate(k);
             }
         }
         cost.pruned += (records.len() - lo - reached) as u64;
     }
-    best
 }
 
 /// Range query: every OG within `radius` of `query`, ascending by
@@ -266,13 +455,51 @@ pub fn range<V: SeqValue, D: MetricDistance<V> + BoundedDistance<V> + LowerBound
     threads: Threads,
     cost: &mut QueryCost,
 ) -> Vec<Hit> {
+    with_query_scratch(|scratch| {
+        range_into(
+            roots,
+            metric,
+            query,
+            radius,
+            root_filter,
+            threads,
+            cost,
+            scratch,
+        );
+        scratch.hits().to_vec()
+    })
+}
+
+/// [`range`] into a caller-owned arena; the hits land in
+/// [`QueryScratch::hits`], ascending by distance.
+#[allow(clippy::too_many_arguments)]
+pub fn range_into<V: SeqValue, D: MetricDistance<V> + BoundedDistance<V> + LowerBound<V> + Sync>(
+    roots: &[RootRecord<V>],
+    metric: &D,
+    query: &[V],
+    radius: f64,
+    root_filter: Option<u32>,
+    threads: Threads,
+    cost: &mut QueryCost,
+    scratch: &mut QueryScratch,
+) {
+    let sequential = threads.is_sequential();
     let lb_active = lower_bounds_enabled();
     let qsum = metric.summarize(query);
-    let cands = gather_cands(roots, metric, query, root_filter, threads, cost);
-    let mut out = Vec::new();
-    for cand in &cands {
+    scratch.hits.clear();
+    gather_cands_into(roots, metric, query, root_filter, threads, cost, scratch);
+    let total_records: usize = scratch
+        .cands
+        .iter()
+        .map(|c| leaf_len(roots, c) as usize)
+        .sum();
+    reserve_counted(&mut scratch.hits, total_records, &mut scratch.grows);
+    for ci in 0..scratch.cands.len() {
+        let cand = scratch.cands[ci];
         let d = cand.centroid_dist;
-        let records = &cand.leaf.records;
+        let records = &roots[cand.root_idx as usize].clusters[cand.cluster_idx as usize]
+            .leaf
+            .records;
         // Members satisfy |key - d| <= d(q, m); the fixed radius bounds the
         // key band up front, so the parallel scan evaluates exactly the
         // records the sequential one does and appends them in record order.
@@ -281,42 +508,55 @@ pub fn range<V: SeqValue, D: MetricDistance<V> + BoundedDistance<V> + LowerBound
         let band = &records[lo..hi];
         cost.node_accesses += 1;
         cost.pruned += (records.len() - band.len()) as u64;
-        // The lb predicate depends only on the fixed radius, so it commutes
-        // with scan order: filter the band up front, fan out only the
-        // survivors. The hatch evaluates everything fully instead, with the
-        // same charges, and lets lb-cut records compete for the result set.
-        let keep: Vec<bool> = band
-            .iter()
-            .map(|r| metric.lower_bound(query, &qsum, &r.summary) <= radius)
-            .collect();
-        let mut push = |r: &super::LeafRecord<V>, dist: f64| {
-            out.push(Hit {
-                root_id: cand.root_id,
-                cluster_id: cand.cluster_id,
-                og_id: r.og_id,
-                dist,
-            });
+        let hit = |r: &super::LeafRecord<V>, dist: f64| Hit {
+            root_id: cand.root_id,
+            cluster_id: cand.cluster_id,
+            og_id: r.og_id,
+            dist,
         };
+        // The lb predicate depends only on the fixed radius, so it commutes
+        // with scan order: filter the band up front, refine only the
+        // survivors (fanned out over the workers in parallel mode, straight
+        // out of the arena sequentially). The hatch evaluates everything
+        // fully instead, with the same charges, and lets lb-cut records
+        // compete for the result set.
         if lb_active {
-            let survivors: Vec<&super::LeafRecord<V>> = band
-                .iter()
-                .zip(&keep)
-                .filter_map(|(r, &keep)| keep.then_some(r))
-                .collect();
-            cost.lb_pruned += (band.len() - survivors.len()) as u64;
-            cost.distance_calls += survivors.len() as u64;
-            let dists = par_map(&survivors, threads, |r| {
-                metric.distance_upto(query, &r.seq, radius)
-            });
-            for (r, dist) in survivors.iter().zip(dists) {
-                match dist {
-                    Some(dist) => push(r, dist),
-                    None => cost.early_abandoned += 1,
+            if sequential {
+                for r in band {
+                    if metric.lower_bound(query, &qsum, &r.summary) <= radius {
+                        cost.distance_calls += 1;
+                        match metric.distance_upto(query, &r.seq, radius) {
+                            Some(dist) => scratch.hits.push(hit(r, dist)),
+                            None => cost.early_abandoned += 1,
+                        }
+                    } else {
+                        cost.lb_pruned += 1;
+                    }
+                }
+            } else {
+                scratch.survivors.clear();
+                reserve_counted(&mut scratch.survivors, band.len(), &mut scratch.grows);
+                for (i, r) in band.iter().enumerate() {
+                    if metric.lower_bound(query, &qsum, &r.summary) <= radius {
+                        scratch.survivors.push(i as u32);
+                    }
+                }
+                cost.lb_pruned += (band.len() - scratch.survivors.len()) as u64;
+                cost.distance_calls += scratch.survivors.len() as u64;
+                let dists = par_map(&scratch.survivors, threads, |&si| {
+                    metric.distance_upto(query, &band[si as usize].seq, radius)
+                });
+                for (&si, dist) in scratch.survivors.iter().zip(dists) {
+                    match dist {
+                        Some(dist) => scratch.hits.push(hit(&band[si as usize], dist)),
+                        None => cost.early_abandoned += 1,
+                    }
                 }
             }
-        } else {
-            let dists = par_map(band, threads, |r| metric.distance(query, &r.seq));
-            for ((r, &keep), dist) in band.iter().zip(&keep).zip(dists) {
+        } else if sequential {
+            for r in band {
+                let keep = metric.lower_bound(query, &qsum, &r.summary) <= radius;
+                let dist = metric.distance(query, &r.seq);
                 if keep {
                     cost.distance_calls += 1;
                     if dist > radius {
@@ -326,13 +566,50 @@ pub fn range<V: SeqValue, D: MetricDistance<V> + BoundedDistance<V> + LowerBound
                     cost.lb_pruned += 1;
                 }
                 if dist <= radius {
-                    push(r, dist);
+                    scratch.hits.push(hit(r, dist));
+                }
+            }
+        } else {
+            let dists = par_map(band, threads, |r| metric.distance(query, &r.seq));
+            for (r, dist) in band.iter().zip(dists) {
+                let keep = metric.lower_bound(query, &qsum, &r.summary) <= radius;
+                if keep {
+                    cost.distance_calls += 1;
+                    if dist > radius {
+                        cost.early_abandoned += 1;
+                    }
+                } else {
+                    cost.lb_pruned += 1;
+                }
+                if dist <= radius {
+                    scratch.hits.push(hit(r, dist));
                 }
             }
         }
     }
-    out.sort_by(|a, b| a.dist.total_cmp(&b.dist));
-    out
+    // Stable-order sort without a stable sort's allocation: an unstable
+    // index sort keyed (dist, original position) is the same order, applied
+    // through the arena's permutation + double buffer.
+    let QueryScratch {
+        hits,
+        order,
+        hits_tmp,
+        grows,
+        ..
+    } = scratch;
+    order.clear();
+    reserve_counted(order, hits.len(), grows);
+    order.extend(0..hits.len() as u32);
+    order.sort_unstable_by(|&i, &j| {
+        hits[i as usize]
+            .dist
+            .total_cmp(&hits[j as usize].dist)
+            .then(i.cmp(&j))
+    });
+    hits_tmp.clear();
+    reserve_counted(hits_tmp, hits.len(), grows);
+    hits_tmp.extend(order.iter().map(|&i| hits[i as usize]));
+    std::mem::swap(hits, hits_tmp);
 }
 
 /// The literal Algorithm 3: find the most similar `OG_clus`, then k-NN only
@@ -348,35 +625,58 @@ pub fn knn_single_cluster<
     threads: Threads,
     cost: &mut QueryCost,
 ) -> Vec<Hit> {
+    with_query_scratch(|scratch| {
+        knn_single_cluster_into(roots, metric, query, k, threads, cost, scratch);
+        scratch.hits().to_vec()
+    })
+}
+
+/// [`knn_single_cluster`] into a caller-owned arena.
+pub fn knn_single_cluster_into<
+    V: SeqValue,
+    D: MetricDistance<V> + BoundedDistance<V> + LowerBound<V> + Sync,
+>(
+    roots: &[RootRecord<V>],
+    metric: &D,
+    query: &[V],
+    k: usize,
+    threads: Threads,
+    cost: &mut QueryCost,
+    scratch: &mut QueryScratch,
+) {
+    scratch.hits.clear();
     let lb_active = lower_bounds_enabled();
     let qsum = metric.summarize(query);
     // Centroid scan in parallel; the winner is picked on this thread in
     // cluster order (strict `<`, so ties keep the earlier cluster exactly
     // as the sequential scan does).
-    let cands = gather_cands(roots, metric, query, None, threads, cost);
-    let mut best_cluster: Option<&Cand<V>> = None;
-    for cand in &cands {
-        if best_cluster.is_none_or(|b| cand.centroid_dist < b.centroid_dist) {
-            best_cluster = Some(cand);
+    gather_cands_into(roots, metric, query, None, threads, cost, scratch);
+    let mut best_i: Option<usize> = None;
+    for (i, cand) in scratch.cands.iter().enumerate() {
+        if best_i.is_none_or(|b| cand.centroid_dist < scratch.cands[b].centroid_dist) {
+            best_i = Some(i);
         }
     }
-    let Some(cand) = best_cluster else {
-        return Vec::new();
+    let Some(best_i) = best_i else {
+        return;
     };
-    let (root_id, cluster_id, dq, leaf) =
-        (cand.root_id, cand.cluster_id, cand.centroid_dist, cand.leaf);
+    let cand = scratch.cands[best_i];
+    let (root_id, cluster_id, dq) = (cand.root_id, cand.cluster_id, cand.centroid_dist);
     // Every non-winning cluster's leaf is skipped wholesale — that is the
     // approximation Algorithm 3 trades accuracy for.
-    cost.pruned += cands
+    cost.pruned += scratch
+        .cands
         .iter()
-        .filter(|c| !std::ptr::eq(*c, cand))
-        .map(|c| c.leaf.records.len() as u64)
+        .enumerate()
+        .filter(|&(i, _)| i != best_i)
+        .map(|(_, c)| leaf_len(roots, c))
         .sum::<u64>();
     cost.node_accesses += 1; // the winning leaf
-                             // Scan the leaf around Key_q = EGED_M(q, OG_clus) outwards. The
-                             // parallel path evaluates the whole leaf up front (the adaptive key
-                             // prune below only ever skips records, so the precomputed distances are
-                             // a superset), then replays the sequential predicates in record order.
+    let leaf = &roots[cand.root_idx as usize].clusters[cand.cluster_idx as usize].leaf;
+    // Scan the leaf around Key_q = EGED_M(q, OG_clus) outwards. The
+    // parallel path evaluates the whole leaf up front (the adaptive key
+    // prune below only ever skips records, so the precomputed distances are
+    // a superset), then replays the sequential predicates in record order.
     let dists = if threads.is_sequential() {
         None
     } else {
@@ -384,13 +684,17 @@ pub fn knn_single_cluster<
             metric.distance(query, &r.seq)
         }))
     };
-    let mut hits: Vec<Hit> = Vec::new();
+    reserve_counted(
+        &mut scratch.hits,
+        k.min(leaf.records.len()) + 1,
+        &mut scratch.grows,
+    );
     for (i, r) in leaf.records.iter().enumerate() {
         // Key pruning with the current k-th distance.
-        let dk = if hits.len() < k {
+        let dk = if scratch.hits.len() < k {
             f64::INFINITY
         } else {
-            hits[k - 1].dist
+            scratch.hits[k - 1].dist
         };
         if (r.key - dq).abs() > dk {
             cost.pruned += 1;
@@ -427,8 +731,8 @@ pub fn knn_single_cluster<
         // Insertion past position k is truncated right away, so a record
         // with d > dk (abandoned on the sequential bounded path) is a no-op
         // here too — the replay stays exact.
-        let pos = hits.partition_point(|h| h.dist <= d);
-        hits.insert(
+        let pos = scratch.hits.partition_point(|h| h.dist <= d);
+        scratch.hits.insert(
             pos,
             Hit {
                 root_id,
@@ -437,9 +741,8 @@ pub fn knn_single_cluster<
                 dist: d,
             },
         );
-        hits.truncate(k);
+        scratch.hits.truncate(k);
     }
-    hits
 }
 
 #[cfg(test)]
@@ -740,5 +1043,66 @@ mod tests {
             assert_eq!(h.root_id, 0);
             assert!(idx.roots()[0].clusters.iter().any(|c| c.id == h.cluster_id));
         }
+    }
+
+    #[test]
+    fn scratch_reuse_stops_growing() {
+        use super::QueryScratch;
+        use strg_obs::QueryCost;
+        use strg_parallel::Threads;
+        let mut idx = StrgIndex::new(
+            EgedMetric::<f64>::new(),
+            StrgIndexConfig::with_k(4).with_threads(Threads::Fixed(1)),
+        );
+        idx.add_segment(BackgroundGraph::default(), dataset());
+        let mut scratch = QueryScratch::new();
+        let queries = [
+            vec![82.0, 83.0, 84.0],
+            vec![0.0, 0.0, 0.0],
+            vec![161.0, 162.0, 163.0],
+        ];
+        let warm = |s: &mut QueryScratch| {
+            let mut total = 0usize;
+            for q in &queries {
+                let mut cost = QueryCost::default();
+                let (hits, with_cost) = (idx.knn(q, 5), {
+                    super::knn_into(
+                        idx.roots(),
+                        idx.metric(),
+                        q,
+                        5,
+                        None,
+                        Threads::Fixed(1),
+                        &mut cost,
+                        s,
+                    );
+                    s.hits().to_vec()
+                });
+                assert_eq!(hits, with_cost, "arena results match Vec results");
+                total += hits.len();
+                super::range_into(
+                    idx.roots(),
+                    idx.metric(),
+                    q,
+                    40.0,
+                    None,
+                    Threads::Fixed(1),
+                    &mut cost,
+                    s,
+                );
+                total += s.hits().len();
+            }
+            total
+        };
+        let a = warm(&mut scratch);
+        let grows_after_warmup = scratch.grow_events();
+        let b = warm(&mut scratch);
+        assert_eq!(a, b);
+        assert_eq!(
+            scratch.grow_events(),
+            grows_after_warmup,
+            "steady-state queries must not grow the arena"
+        );
+        assert!(scratch.alloc_bytes() > 0);
     }
 }

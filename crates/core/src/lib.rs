@@ -26,12 +26,18 @@ pub mod pipeline;
 pub mod query;
 pub mod shard;
 
-pub use index::{ClusterRecord, Hit, LeafNode, LeafRecord, RootRecord, StrgIndex, StrgIndexConfig};
+pub use index::{
+    with_query_scratch, ClusterRecord, Hit, LeafNode, LeafRecord, QueryScratch, RootRecord,
+    StrgIndex, StrgIndexConfig,
+};
 #[allow(deprecated)]
 pub use options::VideoDbConfig;
 pub use options::{open, Database, DbOptions, Metric};
 pub use pipeline::{ClipMeta, DbStats, IngestReport, QueryHit, StoredOg, VideoDatabase};
 pub use query::{Query, QueryResult};
-pub use shard::{route, ShardedDatabase};
+pub use shard::{
+    route, sharded_knn, sharded_knn_into, sharded_range, sharded_range_into, with_shard_scratch,
+    ShardOutcome, ShardScratch, ShardedDatabase,
+};
 pub use strg_obs::{QueryCost, Recorder, Snapshot};
 pub use strg_parallel::Threads;

@@ -40,6 +40,7 @@
 //! inadmissible envelope then surfaces as a hit-list diff, mirroring the
 //! `STRG_NO_LB` hatch for record-level bounds.
 
+use std::cell::RefCell;
 use std::fs;
 use std::io;
 use std::path::Path;
@@ -53,7 +54,7 @@ use strg_obs::{QueryCost, Recorder};
 use strg_parallel::{par_map, Threads};
 use strg_video::{frames_to_rags, Frame};
 
-use crate::index::{Hit, StrgIndex};
+use crate::index::{Hit, QueryScratch, StrgIndex};
 use crate::options::{Database, DbOptions};
 use crate::pipeline::{DbStats, IngestReport, QueryHit, VideoDatabase};
 use crate::query::{Query, QueryKind, QueryResult};
@@ -86,27 +87,104 @@ pub struct ShardOutcome {
 }
 
 /// A shard with its envelope bound, in visit (ascending-bound) order.
+#[derive(Copy, Clone)]
 struct ShardPlan {
     shard: usize,
     bound: f64,
 }
 
-fn shard_plans(idxs: &[&Idx], query: &[Point2]) -> Vec<ShardPlan> {
-    let mut plans: Vec<ShardPlan> = idxs
-        .iter()
-        .enumerate()
-        .map(|(shard, idx)| {
-            let m = idx.metric();
-            let qs = m.summarize(query);
-            ShardPlan {
-                shard,
-                bound: m.envelope_bound(query, &qs, idx.envelope()),
-            }
-        })
-        .collect();
-    // Stable by bound, so equal bounds visit in shard order.
-    plans.sort_by(|a, b| a.bound.total_cmp(&b.bound));
-    plans
+/// Reusable fan-out arena: the per-tree [`QueryScratch`] plus every buffer
+/// the shard-level protocol needs (visit plan, merged best list, outcome
+/// staging, sort permutation). A warmed-up arena makes a sequential
+/// fan-out allocation-free end to end (`tests/query_alloc.rs`); the
+/// long-lived workers of the serve pool each converge on their own via
+/// [`with_shard_scratch`].
+#[derive(Default)]
+pub struct ShardScratch {
+    tree: QueryScratch,
+    plans: Vec<ShardPlan>,
+    stage: Vec<Option<ShardOutcome>>,
+    outcomes: Vec<ShardOutcome>,
+    /// Merged result list (`best` for knn, `tagged` for range).
+    hits: Vec<(usize, Hit)>,
+    hits_tmp: Vec<(usize, Hit)>,
+    order: Vec<u32>,
+    grows: u64,
+}
+
+impl ShardScratch {
+    /// An empty arena (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    const fn empty() -> Self {
+        Self {
+            tree: QueryScratch::empty(),
+            plans: Vec::new(),
+            stage: Vec::new(),
+            outcomes: Vec::new(),
+            hits: Vec::new(),
+            hits_tmp: Vec::new(),
+            order: Vec::new(),
+            grows: 0,
+        }
+    }
+
+    /// The shard-tagged hits of the last `*_into` fan-out, ascending by
+    /// distance.
+    pub fn hits(&self) -> &[(usize, Hit)] {
+        &self.hits
+    }
+
+    /// Per-shard outcomes of the last `*_into` fan-out, in shard-id order.
+    pub fn outcomes(&self) -> &[ShardOutcome] {
+        &self.outcomes
+    }
+
+    /// Number of buffer growth events (shard-level buffers only) since
+    /// construction — stops moving once the arena reaches its high-water
+    /// mark.
+    pub fn grow_events(&self) -> u64 {
+        self.grows + self.tree.grow_events()
+    }
+}
+
+thread_local! {
+    static SHARD_SCRATCH: RefCell<ShardScratch> = const { RefCell::new(ShardScratch::empty()) };
+}
+
+/// Runs `f` with this thread's fan-out arena; reentrant calls fall back to
+/// a fresh local arena.
+pub fn with_shard_scratch<R>(f: impl FnOnce(&mut ShardScratch) -> R) -> R {
+    SHARD_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut s) => f(&mut s),
+        Err(_) => f(&mut ShardScratch::empty()),
+    })
+}
+
+fn reserve_counted<T>(v: &mut Vec<T>, need: usize, grows: &mut u64) {
+    if v.capacity() < need {
+        *grows += 1;
+        v.reserve(need - v.len());
+    }
+}
+
+fn shard_plans_into(idxs: &[&Idx], query: &[Point2], plans: &mut Vec<ShardPlan>, grows: &mut u64) {
+    plans.clear();
+    reserve_counted(plans, idxs.len(), grows);
+    for (shard, idx) in idxs.iter().enumerate() {
+        let m = idx.metric();
+        let qs = m.summarize(query);
+        plans.push(ShardPlan {
+            shard,
+            bound: m.envelope_bound(query, &qs, idx.envelope()),
+        });
+    }
+    // Unstable sort with the shard id as a total tie-break: pushes are in
+    // ascending shard order, so this is the stable by-bound order (equal
+    // bounds visit in shard order) without the stable sort's buffer.
+    plans.sort_unstable_by(|a, b| a.bound.total_cmp(&b.bound).then(a.shard.cmp(&b.shard)));
 }
 
 /// Full charge for skipping a shard whole: every record and cluster is
@@ -120,16 +198,19 @@ fn prune_charge(idx: &Idx) -> QueryCost {
 }
 
 /// Inserts `hits` (sorted ascending) into the merged best list, keeping it
-/// sorted by distance with earlier-merged equal-distance hits first, then
-/// truncates to `k`. Inserting a shard's own sorted list into an empty
+/// sorted by distance with earlier-merged equal-distance hits first,
+/// truncated to `k`. Inserting a shard's own sorted list into an empty
 /// best list reproduces it exactly, so a one-shard database returns
-/// byte-identical hits to the plain single tree.
-fn merge_hits(best: &mut Vec<(usize, Hit)>, shard: usize, hits: Vec<Hit>, k: usize) {
-    for h in hits {
+/// byte-identical hits to the plain single tree. Truncating after every
+/// insert (instead of once at the end) keeps the list within its reserved
+/// `k + 1` capacity, so a warmed-up arena never reallocates here; the
+/// surviving set is the same because each shard's hits arrive ascending.
+fn merge_hits(best: &mut Vec<(usize, Hit)>, shard: usize, hits: &[Hit], k: usize) {
+    for &h in hits {
         let pos = best.partition_point(|(_, e)| e.dist <= h.dist);
         best.insert(pos, (shard, h));
+        best.truncate(k);
     }
-    best.truncate(k);
 }
 
 /// Bound-ordered k-NN fan-out over independent shard indexes (the
@@ -144,23 +225,56 @@ pub fn sharded_knn(
     k: usize,
     threads: Threads,
 ) -> (Vec<(usize, Hit)>, QueryCost, Vec<ShardOutcome>) {
-    let plans = shard_plans(idxs, query);
+    with_shard_scratch(|scratch| {
+        let cost = sharded_knn_into(idxs, query, k, threads, scratch);
+        (scratch.hits().to_vec(), cost, scratch.outcomes().to_vec())
+    })
+}
+
+/// [`sharded_knn`] into a caller-owned arena: the merged best-k lands in
+/// [`ShardScratch::hits`], the per-shard outcomes in
+/// [`ShardScratch::outcomes`]; returns the total logical cost. Sequential
+/// fan-outs run each opened shard through its `*_into` search, so a
+/// warmed-up arena performs zero heap allocations.
+pub fn sharded_knn_into(
+    idxs: &[&StrgIndex<Point2, EgedMetric<Point2>>],
+    query: &[Point2],
+    k: usize,
+    threads: Threads,
+    scratch: &mut ShardScratch,
+) -> QueryCost {
+    let ShardScratch {
+        tree,
+        plans,
+        stage,
+        outcomes,
+        hits: best,
+        grows,
+        ..
+    } = scratch;
+    shard_plans_into(idxs, query, plans, grows);
     let hatch = !shard_bounds_enabled();
     // The hatch must search every shard physically so pruned shards' hits
     // can compete; the parallel path searches every shard speculatively
-    // and replays the decisions. Both reuse the same replay below.
+    // and replays the decisions. Both reuse the same replay below. Only
+    // the speculative paths allocate — the sequential replay fetches each
+    // opened shard straight into the arena.
     let speculative = hatch || threads.resolve() > 1;
     let mut prefetched: Vec<Option<(Vec<Hit>, QueryCost)>> = if speculative {
-        par_map(&plans, threads, |p| {
+        par_map(&*plans, threads, |p| {
             Some(idxs[p.shard].knn_with_cost(query, k))
         })
     } else {
-        plans.iter().map(|_| None).collect()
+        Vec::new()
     };
 
-    let mut best: Vec<(usize, Hit)> = Vec::new();
+    let total_len: usize = idxs.iter().map(|i| i.len()).sum();
+    best.clear();
+    reserve_counted(best, k.min(total_len) + 1, grows);
+    stage.clear();
+    reserve_counted(stage, idxs.len(), grows);
+    stage.extend((0..idxs.len()).map(|_| None));
     let mut total = QueryCost::default();
-    let mut outcomes: Vec<Option<ShardOutcome>> = idxs.iter().map(|_| None).collect();
     let mut pruning = false;
     for (pi, p) in plans.iter().enumerate() {
         let dk = if k > 0 && best.len() >= k {
@@ -171,13 +285,19 @@ pub fn sharded_knn(
         // A single shard is always opened: the fan-out adds nothing and
         // `shards(1)` stays bit-identical to the plain single tree.
         if !pruning && (p.bound <= dk || idxs.len() == 1) {
-            let (hits, cost) = match prefetched[pi].take() {
-                Some(r) => r,
-                None => idxs[p.shard].knn_with_cost(query, k),
+            let cost = match speculative.then(|| prefetched[pi].take()).flatten() {
+                Some((hits, cost)) => {
+                    merge_hits(best, p.shard, &hits, k);
+                    cost
+                }
+                None => {
+                    let (hits, cost) = idxs[p.shard].knn_with_cost_into(query, k, tree);
+                    merge_hits(best, p.shard, hits, k);
+                    cost
+                }
             };
-            merge_hits(&mut best, p.shard, hits, k);
             total.merge(&cost);
-            outcomes[p.shard] = Some(ShardOutcome {
+            stage[p.shard] = Some(ShardOutcome {
                 opened: true,
                 bound: p.bound,
                 cost,
@@ -186,7 +306,7 @@ pub fn sharded_knn(
             pruning = true;
             let cost = prune_charge(idxs[p.shard]);
             total.merge(&cost);
-            outcomes[p.shard] = Some(ShardOutcome {
+            stage[p.shard] = Some(ShardOutcome {
                 opened: false,
                 bound: p.bound,
                 cost,
@@ -195,16 +315,19 @@ pub fn sharded_knn(
                 // Same charges, but the speculative hits compete: an
                 // inadmissible envelope surfaces as a hit diff.
                 if let Some((hits, _)) = prefetched[pi].take() {
-                    merge_hits(&mut best, p.shard, hits, k);
+                    merge_hits(best, p.shard, &hits, k);
                 }
             }
         }
     }
-    let outcomes = outcomes
-        .into_iter()
-        .map(|o| o.expect("every shard decided"))
-        .collect();
-    (best, total, outcomes)
+    outcomes.clear();
+    reserve_counted(outcomes, idxs.len(), grows);
+    outcomes.extend(
+        stage
+            .iter_mut()
+            .map(|o| o.take().expect("every shard decided")),
+    );
+    total
 }
 
 /// Range fan-out: the radius is a static cutoff, so the decisions are
@@ -217,29 +340,63 @@ pub fn sharded_range(
     radius: f64,
     threads: Threads,
 ) -> (Vec<(usize, Hit)>, QueryCost, Vec<ShardOutcome>) {
-    let plans = shard_plans(idxs, query);
+    with_shard_scratch(|scratch| {
+        let cost = sharded_range_into(idxs, query, radius, threads, scratch);
+        (scratch.hits().to_vec(), cost, scratch.outcomes().to_vec())
+    })
+}
+
+/// [`sharded_range`] into a caller-owned arena (see [`sharded_knn_into`]).
+pub fn sharded_range_into(
+    idxs: &[&StrgIndex<Point2, EgedMetric<Point2>>],
+    query: &[Point2],
+    radius: f64,
+    threads: Threads,
+    scratch: &mut ShardScratch,
+) -> QueryCost {
+    let ShardScratch {
+        tree,
+        plans,
+        stage,
+        outcomes,
+        hits: tagged,
+        hits_tmp,
+        order,
+        grows,
+    } = scratch;
+    shard_plans_into(idxs, query, plans, grows);
     let hatch = !shard_bounds_enabled();
     let speculative = hatch || threads.resolve() > 1;
     let mut prefetched: Vec<Option<(Vec<Hit>, QueryCost)>> = if speculative {
-        par_map(&plans, threads, |p| {
+        par_map(&*plans, threads, |p| {
             Some(idxs[p.shard].range_with_cost(query, radius))
         })
     } else {
-        plans.iter().map(|_| None).collect()
+        Vec::new()
     };
 
-    let mut tagged: Vec<(usize, Hit)> = Vec::new();
+    let total_len: usize = idxs.iter().map(|i| i.len()).sum();
+    tagged.clear();
+    reserve_counted(tagged, total_len, grows);
+    stage.clear();
+    reserve_counted(stage, idxs.len(), grows);
+    stage.extend((0..idxs.len()).map(|_| None));
     let mut total = QueryCost::default();
-    let mut outcomes: Vec<Option<ShardOutcome>> = idxs.iter().map(|_| None).collect();
     for (pi, p) in plans.iter().enumerate() {
         if p.bound <= radius || idxs.len() == 1 {
-            let (hits, cost) = match prefetched[pi].take() {
-                Some(r) => r,
-                None => idxs[p.shard].range_with_cost(query, radius),
+            let cost = match speculative.then(|| prefetched[pi].take()).flatten() {
+                Some((hits, cost)) => {
+                    tagged.extend(hits.into_iter().map(|h| (p.shard, h)));
+                    cost
+                }
+                None => {
+                    let (hits, cost) = idxs[p.shard].range_with_cost_into(query, radius, tree);
+                    tagged.extend(hits.iter().map(|&h| (p.shard, h)));
+                    cost
+                }
             };
-            tagged.extend(hits.into_iter().map(|h| (p.shard, h)));
             total.merge(&cost);
-            outcomes[p.shard] = Some(ShardOutcome {
+            stage[p.shard] = Some(ShardOutcome {
                 opened: true,
                 bound: p.bound,
                 cost,
@@ -247,7 +404,7 @@ pub fn sharded_range(
         } else {
             let cost = prune_charge(idxs[p.shard]);
             total.merge(&cost);
-            outcomes[p.shard] = Some(ShardOutcome {
+            stage[p.shard] = Some(ShardOutcome {
                 opened: false,
                 bound: p.bound,
                 cost,
@@ -259,15 +416,31 @@ pub fn sharded_range(
             }
         }
     }
-    // Plans are bound-ordered; re-establish shard order before the final
-    // distance sort so ties resolve identically at any shard count.
-    tagged.sort_by_key(|a| a.0);
-    tagged.sort_by(|a, b| a.1.dist.total_cmp(&b.1.dist));
-    let outcomes = outcomes
-        .into_iter()
-        .map(|o| o.expect("every shard decided"))
-        .collect();
-    (tagged, total, outcomes)
+    // The single tree's contract is "stable by shard id, then stable by
+    // distance". Entries were appended in bound order, but any two entries
+    // of the same shard were appended contiguously in the shard's own hit
+    // order, so an unstable index sort keyed (distance, shard id, append
+    // position) reproduces that double stable sort without its buffers.
+    order.clear();
+    reserve_counted(order, tagged.len(), grows);
+    order.extend(0..tagged.len() as u32);
+    order.sort_unstable_by(|&i, &j| {
+        let (sa, ha) = &tagged[i as usize];
+        let (sb, hb) = &tagged[j as usize];
+        ha.dist.total_cmp(&hb.dist).then(sa.cmp(sb)).then(i.cmp(&j))
+    });
+    hits_tmp.clear();
+    reserve_counted(hits_tmp, tagged.len(), grows);
+    hits_tmp.extend(order.iter().map(|&i| tagged[i as usize]));
+    std::mem::swap(tagged, hits_tmp);
+    outcomes.clear();
+    reserve_counted(outcomes, idxs.len(), grows);
+    outcomes.extend(
+        stage
+            .iter_mut()
+            .map(|o| o.take().expect("every shard decided")),
+    );
+    total
 }
 
 /// N independent STRG-Index shards behind deterministic hash-of-name

@@ -429,10 +429,31 @@ impl<V: SeqValue + Lerp> BoundedDistance<V> for LpNorm {
             rb = resample(b, len);
             (&ra, &rb)
         };
+        // The vectorized paths stage ground distances in fixed chunks via
+        // `SeqValue::dist_pairs` and replay the exact scalar fold (max or
+        // p-power sum, same order) with the exact per-element abandon
+        // checks — an abandon mid-chunk merely wastes the rest of the
+        // staged chunk, it never changes a value or a decision.
+        let vector = crate::simd::simd_enabled();
+        const CHUNK: usize = 16;
         if self.p.is_infinite() {
             // Chebyshev: the running max is exact, so abandoning the moment
             // it exceeds the cutoff loses nothing.
             let mut acc = 0.0f64;
+            if vector {
+                let mut buf = [0.0f64; CHUNK];
+                for (ca, cb) in a.chunks(CHUNK).zip(b.chunks(CHUNK)) {
+                    let d = &mut buf[..ca.len()];
+                    V::dist_pairs(ca, cb, d);
+                    for &x in d.iter() {
+                        acc = acc.max(x);
+                        if acc > cutoff {
+                            return None;
+                        }
+                    }
+                }
+                return Some(acc);
+            }
             for (x, y) in a.iter().zip(b) {
                 acc = acc.max(x.dist(y));
                 if acc > cutoff {
@@ -454,10 +475,24 @@ impl<V: SeqValue + Lerp> BoundedDistance<V> for LpNorm {
             f64::INFINITY
         };
         let mut sum = 0.0f64;
-        for (x, y) in a.iter().zip(b) {
-            sum += x.dist(y).powf(self.p);
-            if sum > cut_p {
-                return None;
+        if vector {
+            let mut buf = [0.0f64; CHUNK];
+            for (ca, cb) in a.chunks(CHUNK).zip(b.chunks(CHUNK)) {
+                let d = &mut buf[..ca.len()];
+                V::dist_pairs(ca, cb, d);
+                for &x in d.iter() {
+                    sum += x.powf(self.p);
+                    if sum > cut_p {
+                        return None;
+                    }
+                }
+            }
+        } else {
+            for (x, y) in a.iter().zip(b) {
+                sum += x.dist(y).powf(self.p);
+                if sum > cut_p {
+                    return None;
+                }
             }
         }
         let d = sum.powf(1.0 / self.p);

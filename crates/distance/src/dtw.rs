@@ -27,6 +27,17 @@ pub(crate) fn dtw_upto<V: SeqValue>(a: &[V], b: &[V], cutoff: f64) -> Option<f64
         let d: f64 = rest.iter().map(|v| v.dist(&V::origin())).sum();
         return if d <= cutoff { Some(d) } else { None };
     }
+    if crate::simd::simd_enabled() {
+        crate::scratch::with_dp_scratch(|s| dtw_upto_vector(a, b, cutoff, s))
+    } else {
+        dtw_upto_scalar(a, b, cutoff)
+    }
+}
+
+/// The original scalar DP (the `STRG_SCALAR=1` reference path).
+fn dtw_upto_scalar<V: SeqValue>(a: &[V], b: &[V], cutoff: f64) -> Option<f64> {
+    let m = a.len();
+    let n = b.len();
     let mut prev = vec![f64::INFINITY; n + 1];
     let mut cur = vec![f64::INFINITY; n + 1];
     prev[0] = 0.0;
@@ -38,6 +49,46 @@ pub(crate) fn dtw_upto<V: SeqValue>(a: &[V], b: &[V], cutoff: f64) -> Option<f64
             let best = prev[j - 1].min(prev[j]).min(cur[j - 1]);
             cur[j] = cost + best;
             row_min = row_min.min(cur[j]);
+        }
+        if row_min > cutoff {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let d = prev[n];
+    if d <= cutoff {
+        Some(d)
+    } else {
+        None
+    }
+}
+
+/// Vectorized DTW over arena rows: the ground-distance row fans out through
+/// [`SeqValue::dist_many`], `prev[j-1].min(prev[j])` computes in SIMD
+/// lanes, and the loop-carried `.min(cur[j-1])` plus the cost addition run
+/// in a scalar prefix pass — the same `(prev[j-1].min(prev[j])).min(cur[j-1])`
+/// association as the scalar kernel, so values and abandon decisions are
+/// bit-identical (DESIGN.md §13).
+fn dtw_upto_vector<V: SeqValue>(
+    a: &[V],
+    b: &[V],
+    cutoff: f64,
+    scratch: &mut crate::scratch::DpScratch,
+) -> Option<f64> {
+    let m = a.len();
+    let n = b.len();
+    let (mut prev, mut cur, sub, _del, _add) = scratch.rows(n);
+    prev.fill(f64::INFINITY);
+    prev[0] = 0.0;
+    for i in 1..=m {
+        V::dist_many(&a[i - 1], b, sub);
+        crate::simd::min_shift(prev, &mut cur[1..]);
+        cur[0] = f64::INFINITY;
+        let mut row_min = f64::INFINITY;
+        for j in 1..=n {
+            let c = sub[j - 1] + cur[j].min(cur[j - 1]);
+            cur[j] = c;
+            row_min = row_min.min(c);
         }
         if row_min > cutoff {
             return None;
@@ -113,5 +164,22 @@ mod tests {
         assert_eq!(dtw(&[], &[]), 0.0);
         assert_eq!(dtw(&[], &[3.0, 4.0]), 7.0);
         assert_eq!(dtw(&[3.0], &[]), 3.0);
+    }
+
+    #[test]
+    fn vector_path_matches_scalar_bitwise() {
+        for (m, n) in [(1, 1), (4, 9), (21, 13), (16, 16)] {
+            let a: Vec<f64> = (0..m).map(|i| (i as f64 * 1.3).sin() * 6.0).collect();
+            let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.9).cos() * 5.0).collect();
+            for cutoff in [f64::INFINITY, 40.0, 5.0, 0.5, 0.0] {
+                let s = dtw_upto_scalar(&a, &b, cutoff);
+                let v = crate::scratch::with_dp_scratch(|sc| dtw_upto_vector(&a, &b, cutoff, sc));
+                assert_eq!(
+                    s.map(f64::to_bits),
+                    v.map(f64::to_bits),
+                    "m={m} n={n} cutoff={cutoff}"
+                );
+            }
+        }
     }
 }

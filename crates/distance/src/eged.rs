@@ -63,7 +63,48 @@ pub(crate) fn eged_dp<V: SeqValue>(a: &[V], b: &[V], policy: &GapPolicy<V>) -> f
 /// the minimum of any row. Once a row's minimum exceeds `cutoff`, the true
 /// distance must too. Floating point preserves the argument — adding a
 /// non-negative `f64` never rounds below the addend, and `min` is exact.
+///
+/// Two implementations behind the `STRG_SCALAR` hatch: the original scalar
+/// double loop, and a vectorized one that stages each row's ground
+/// distances with [`SeqValue::dist_many`], combines the two previous-row
+/// terms in SIMD lanes, and resolves the loop-carried `add` term in a
+/// scalar prefix pass — the same association as the scalar kernel, so the
+/// value (and every abandon decision) is bit-identical (DESIGN.md §13).
 pub(crate) fn eged_dp_upto<V: SeqValue>(
+    a: &[V],
+    b: &[V],
+    policy: &GapPolicy<V>,
+    cutoff: f64,
+) -> Option<f64> {
+    if a.is_empty() && b.is_empty() {
+        return if 0.0 <= cutoff { Some(0.0) } else { None };
+    }
+    if crate::simd::simd_enabled() {
+        crate::scratch::with_dp_scratch(|s| eged_dp_upto_vector(a, b, policy, cutoff, s))
+    } else {
+        eged_dp_upto_scalar(a, b, policy, cutoff)
+    }
+}
+
+/// Cost of deleting `v` when the other sequence is positioned at `opp`
+/// (None when the other sequence is empty).
+#[inline]
+fn edit_cost<V: SeqValue>(v: &V, opp: Option<&V>, policy: &GapPolicy<V>) -> f64 {
+    match policy {
+        GapPolicy::Constant(g) => v.dist(g),
+        GapPolicy::Opposite => match opp {
+            Some(o) => v.dist(o),
+            None => v.dist(&V::origin()),
+        },
+        GapPolicy::Midpoint => match opp {
+            Some(o) => v.dist(&v.midpoint(o)),
+            None => v.dist(&V::origin()),
+        },
+    }
+}
+
+/// The original scalar DP (the `STRG_SCALAR=1` reference path).
+fn eged_dp_upto_scalar<V: SeqValue>(
     a: &[V],
     b: &[V],
     policy: &GapPolicy<V>,
@@ -71,24 +112,7 @@ pub(crate) fn eged_dp_upto<V: SeqValue>(
 ) -> Option<f64> {
     let m = a.len();
     let n = b.len();
-    if m == 0 && n == 0 {
-        return if 0.0 <= cutoff { Some(0.0) } else { None };
-    }
-    // Cost of deleting `v` when the other sequence is positioned at `opp`
-    // (None when the other sequence is empty).
-    let edit = |v: &V, opp: Option<&V>| -> f64 {
-        match policy {
-            GapPolicy::Constant(g) => v.dist(g),
-            GapPolicy::Opposite => match opp {
-                Some(o) => v.dist(o),
-                None => v.dist(&V::origin()),
-            },
-            GapPolicy::Midpoint => match opp {
-                Some(o) => v.dist(&v.midpoint(o)),
-                None => v.dist(&V::origin()),
-            },
-        }
-    };
+    let edit = |v: &V, opp: Option<&V>| edit_cost(v, opp, policy);
 
     // Two-row DP; rows indexed by j over b.
     let mut prev = vec![0.0f64; n + 1];
@@ -110,6 +134,86 @@ pub(crate) fn eged_dp_upto<V: SeqValue>(
             return None;
         }
         std::mem::swap(&mut prev, &mut cur);
+    }
+    let d = prev[n];
+    if d <= cutoff {
+        Some(d)
+    } else {
+        None
+    }
+}
+
+/// The vectorized DP over arena rows. Per row `i` it computes
+/// `t[j] = (prev[j-1] + dist(aᵢ, bⱼ)).min(prev[j] + delete_cost)` in SIMD
+/// lanes (both terms depend only on the previous row), then resolves
+/// `cur[j] = t[j].min(cur[j-1] + add_cost)` left to right — exactly the
+/// scalar `replace.min(delete).min(add)` chain, cell by cell. For the
+/// constant-gap policy the delete/add costs drop from three ground-distance
+/// evaluations per cell to one (`dist(aᵢ, g)` is hoisted per row,
+/// `dist(bⱼ, g)` per call), which is most of the speedup on 2-D values.
+fn eged_dp_upto_vector<V: SeqValue>(
+    a: &[V],
+    b: &[V],
+    policy: &GapPolicy<V>,
+    cutoff: f64,
+    scratch: &mut crate::scratch::DpScratch,
+) -> Option<f64> {
+    let m = a.len();
+    let n = b.len();
+    let (mut prev, mut cur, sub, del, add) = scratch.rows(n);
+    prev[0] = 0.0;
+    match policy {
+        GapPolicy::Constant(g) => {
+            // Per-call: add[j] = dist(bⱼ, g) — also row 0's edit costs.
+            V::dist_many(g, b, add);
+            for j in 1..=n {
+                prev[j] = prev[j - 1] + add[j - 1];
+            }
+            for i in 1..=m {
+                let ai = &a[i - 1];
+                let ag = ai.dist(g);
+                V::dist_many(ai, b, sub);
+                crate::simd::combine_const(prev, sub, ag, &mut cur[1..]);
+                cur[0] = prev[0] + ag;
+                let mut row_min = cur[0];
+                for j in 1..=n {
+                    let c = cur[j].min(cur[j - 1] + add[j - 1]);
+                    cur[j] = c;
+                    row_min = row_min.min(c);
+                }
+                if row_min > cutoff {
+                    return None;
+                }
+                std::mem::swap(&mut prev, &mut cur);
+            }
+        }
+        _ => {
+            // Alignment-dependent gaps: delete/add costs vary per cell and
+            // per row, staged scalar; the combine still vectorizes.
+            for j in 1..=n {
+                prev[j] = prev[j - 1] + edit_cost(&b[j - 1], a.first(), policy);
+            }
+            for i in 1..=m {
+                let ai = &a[i - 1];
+                V::dist_many(ai, b, sub);
+                for j in 0..n {
+                    del[j] = edit_cost(ai, Some(&b[j]), policy);
+                    add[j] = edit_cost(&b[j], Some(ai), policy);
+                }
+                crate::simd::combine_rows(prev, sub, del, &mut cur[1..]);
+                cur[0] = prev[0] + edit_cost(ai, b.first(), policy);
+                let mut row_min = cur[0];
+                for j in 1..=n {
+                    let c = cur[j].min(cur[j - 1] + add[j - 1]);
+                    cur[j] = c;
+                    row_min = row_min.min(c);
+                }
+                if row_min > cutoff {
+                    return None;
+                }
+                std::mem::swap(&mut prev, &mut cur);
+            }
+        }
     }
     let d = prev[n];
     if d <= cutoff {
@@ -289,6 +393,48 @@ mod tests {
         let d = EgedMetric::<Point2>::new();
         // Best: match both, add (1,1) at |(1,1)| = sqrt(2).
         assert!((d.distance(&a, &b) - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vector_path_matches_scalar_bitwise() {
+        use strg_graph::Point2;
+        for (m, n) in [(0, 5), (5, 0), (1, 1), (7, 3), (23, 17), (16, 16)] {
+            let a: Vec<f64> = (0..m).map(|i| (i as f64 * 0.7).sin() * 5.0).collect();
+            let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).cos() * 4.0).collect();
+            for policy in [
+                GapPolicy::Midpoint,
+                GapPolicy::Opposite,
+                GapPolicy::Constant(0.5),
+            ] {
+                for cutoff in [f64::INFINITY, 50.0, 10.0, 1.0, 0.0] {
+                    let s = eged_dp_upto_scalar(&a, &b, &policy, cutoff);
+                    let v = crate::scratch::with_dp_scratch(|sc| {
+                        eged_dp_upto_vector(&a, &b, &policy, cutoff, sc)
+                    });
+                    assert_eq!(
+                        s.map(f64::to_bits),
+                        v.map(f64::to_bits),
+                        "{policy:?} m={m} n={n} cutoff={cutoff}"
+                    );
+                }
+            }
+            // Point2 stages rows through the default (scalar, hypot)
+            // dist_many but still runs the vectorized combine.
+            let pa: Vec<Point2> = a.iter().map(|&x| Point2::new(x, 1.5 - 0.25 * x)).collect();
+            let pb: Vec<Point2> = b.iter().map(|&x| Point2::new(0.5 * x, x)).collect();
+            for cutoff in [f64::INFINITY, 12.0, 2.0] {
+                let policy = GapPolicy::Constant(Point2::new(0.0, 0.0));
+                let s = eged_dp_upto_scalar(&pa, &pb, &policy, cutoff);
+                let v = crate::scratch::with_dp_scratch(|sc| {
+                    eged_dp_upto_vector(&pa, &pb, &policy, cutoff, sc)
+                });
+                assert_eq!(
+                    s.map(f64::to_bits),
+                    v.map(f64::to_bits),
+                    "Point2 m={m} n={n} cutoff={cutoff}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -43,6 +43,8 @@ mod eged;
 mod lcs;
 mod lp;
 mod observed;
+mod scratch;
+mod simd;
 mod traits;
 mod value;
 
@@ -57,5 +59,6 @@ pub use eged::{Eged, EgedMetric, EgedRepeatGap, Erp, GapPolicy};
 pub use lcs::Lcs;
 pub use lp::{resample, Lerp, LpNorm};
 pub use observed::ObservedDistance;
+pub use simd::{simd_enabled, SCALAR_ENV};
 pub use traits::{MetricDistance, SequenceDistance};
 pub use value::SeqValue;

@@ -35,6 +35,27 @@ pub trait SeqValue: Copy + std::fmt::Debug + PartialEq + Send + Sync {
     /// for every `u` with `lo <= u <= hi` componentwise, so that envelope
     /// lower bounds built on it stay admissible.
     fn dist_to_box(&self, lo: &Self, hi: &Self) -> f64;
+    /// Batch ground distances: writes `q.dist(&xs[i])` into `out[i]`.
+    ///
+    /// This is the DP kernels' row-staging hook: overrides must produce
+    /// values bit-identical to elementwise [`SeqValue::dist`] calls (the
+    /// metric is symmetric, so callers pass the operands in either role).
+    /// The default is the scalar loop; `f64` vectorizes it. `Point2`
+    /// deliberately keeps the default — its ground distance goes through
+    /// libm's `hypot`, which has no bit-exact SIMD equivalent.
+    fn dist_many(q: &Self, xs: &[Self], out: &mut [f64]) {
+        for (x, d) in xs.iter().zip(out.iter_mut()) {
+            *d = q.dist(x);
+        }
+    }
+    /// Elementwise paired distances: writes `a[i].dist(&b[i])` into
+    /// `out[i]` (the Lp kernels' staging hook). Same bit-identity contract
+    /// as [`SeqValue::dist_many`].
+    fn dist_pairs(a: &[Self], b: &[Self], out: &mut [f64]) {
+        for ((x, y), d) in a.iter().zip(b).zip(out.iter_mut()) {
+            *d = x.dist(y);
+        }
+    }
 }
 
 impl SeqValue for f64 {
@@ -61,6 +82,12 @@ impl SeqValue for f64 {
         } else {
             0.0
         }
+    }
+    fn dist_many(q: &Self, xs: &[Self], out: &mut [f64]) {
+        crate::simd::dist_abs_many(*q, xs, out);
+    }
+    fn dist_pairs(a: &[Self], b: &[Self], out: &mut [f64]) {
+        crate::simd::dist_abs_pairs(a, b, out);
     }
 }
 

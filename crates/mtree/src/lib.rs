@@ -35,7 +35,7 @@ use strg_distance::{BoundedDistance, LowerBound, MetricDistance, SeqValue};
 use strg_obs::QueryCost;
 
 use node::{LeafEntry, Node, RoutingEntry};
-pub use query::Neighbor;
+pub use query::{with_mtree_scratch, MtreeScratch, Neighbor};
 pub use split::PromotePolicy;
 
 /// Configuration of an M-tree.
@@ -179,9 +179,40 @@ impl<V: SeqValue, D: MetricDistance<V> + BoundedDistance<V> + LowerBound<V>> MTr
         (out, cost)
     }
 
+    /// Like [`MTree::knn_with_cost`], but runs out of a caller-owned
+    /// [`MtreeScratch`] arena and returns the neighbors as a slice into it
+    /// — zero heap allocations once the arena is warm.
+    pub fn knn_with_cost_into<'s>(
+        &self,
+        query: &[V],
+        k: usize,
+        scratch: &'s mut MtreeScratch,
+    ) -> (&'s [Neighbor], QueryCost) {
+        let start = std::time::Instant::now();
+        let mut cost = QueryCost::default();
+        query::knn_into(&self.root, &self.dist, query, k, &mut cost, scratch);
+        cost.elapsed = start.elapsed();
+        (scratch.neighbors(), cost)
+    }
+
     /// Range query: every object within `radius` of `query`.
     pub fn range(&self, query: &[V], radius: f64) -> Vec<Neighbor> {
         self.range_with_cost(query, radius).0
+    }
+
+    /// Like [`MTree::range_with_cost`], but runs out of a caller-owned
+    /// [`MtreeScratch`] arena (see [`MTree::knn_with_cost_into`]).
+    pub fn range_with_cost_into<'s>(
+        &self,
+        query: &[V],
+        radius: f64,
+        scratch: &'s mut MtreeScratch,
+    ) -> (&'s [Neighbor], QueryCost) {
+        let start = std::time::Instant::now();
+        let mut cost = QueryCost::default();
+        query::range_into(&self.root, &self.dist, query, radius, &mut cost, scratch);
+        cost.elapsed = start.elapsed();
+        (scratch.neighbors(), cost)
     }
 
     /// Like [`MTree::range`], but also reports the query's [`QueryCost`].

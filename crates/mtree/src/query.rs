@@ -14,6 +14,7 @@
 //! the identical logical costs, so results and [`QueryCost`] are
 //! byte-identical in both modes whenever the bounds are admissible.
 
+use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -31,34 +32,13 @@ pub struct Neighbor {
     pub dist: f64,
 }
 
-/// Priority-queue item: a pending subtree with a lower bound on the
-/// distance from the query to anything inside it.
-struct PendingNode<'a, V> {
-    node: &'a Node<V>,
-    /// Lower bound `max(0, d(q, pivot) - radius)`.
-    dmin: f64,
-    /// `d(q, pivot)` of the routing entry that led here (for
-    /// parent-distance pruning inside the node).
-    dq_pivot: f64,
-}
-
-impl<V> PartialEq for PendingNode<'_, V> {
-    fn eq(&self, other: &Self) -> bool {
-        self.dmin == other.dmin
-    }
-}
-impl<V> Eq for PendingNode<'_, V> {}
-impl<V> PartialOrd for PendingNode<'_, V> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<V> Ord for PendingNode<'_, V> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap on dmin.
-        other.dmin.total_cmp(&self.dmin)
-    }
-}
+/// Pending-subtree heap slot: `(dmin, dq_pivot, node)`. The node pointer is
+/// type-erased so the arena can be non-generic; it is only ever produced
+/// from and consumed by the same `knn_into` call (see the SAFETY note
+/// there). `dmin` is the lower bound `max(0, d(q, pivot) - radius)`;
+/// `dq_pivot` is `d(q, pivot)` of the routing entry that led here (for
+/// parent-distance pruning inside the node, NaN at the root).
+type PendingSlot = (f64, f64, *const ());
 
 /// Max-heap entry for the current k best.
 #[derive(PartialEq)]
@@ -78,6 +58,118 @@ impl Ord for Best {
     }
 }
 
+/// Reusable per-thread M-tree search arena: the pending-subtree heap, the
+/// best-k heap storage, and the result buffers, all grown to their
+/// high-water mark and reused, so steady-state queries allocate nothing.
+/// Holds raw node pointers transiently (cleared on entry and exit of every
+/// search), which keeps it thread-local by construction (`!Send`).
+#[derive(Default)]
+pub struct MtreeScratch {
+    pending: Vec<PendingSlot>,
+    best: Vec<Best>,
+    out: Vec<Neighbor>,
+    out_tmp: Vec<Neighbor>,
+    order: Vec<u32>,
+    grows: u64,
+}
+
+impl MtreeScratch {
+    /// An empty arena (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    const fn empty() -> Self {
+        Self {
+            pending: Vec::new(),
+            best: Vec::new(),
+            out: Vec::new(),
+            out_tmp: Vec::new(),
+            order: Vec::new(),
+            grows: 0,
+        }
+    }
+
+    /// The neighbors of the last `*_into` search, ascending by distance.
+    pub fn neighbors(&self) -> &[Neighbor] {
+        &self.out
+    }
+
+    /// Number of queries that grew some buffer (0 in steady state).
+    pub fn grow_events(&self) -> u64 {
+        self.grows
+    }
+
+    fn capacities(&self) -> (usize, usize, usize, usize, usize) {
+        (
+            self.pending.capacity(),
+            self.best.capacity(),
+            self.out.capacity(),
+            self.out_tmp.capacity(),
+            self.order.capacity(),
+        )
+    }
+}
+
+thread_local! {
+    static MTREE_SCRATCH: RefCell<MtreeScratch> = const { RefCell::new(MtreeScratch::empty()) };
+}
+
+/// Runs `f` with this thread's M-tree arena; reentrant calls fall back to
+/// a fresh local arena.
+pub fn with_mtree_scratch<R>(f: impl FnOnce(&mut MtreeScratch) -> R) -> R {
+    MTREE_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut s) => f(&mut s),
+        Err(_) => f(&mut MtreeScratch::empty()),
+    })
+}
+
+/// Sift-up push for the min-heap on `dmin` (`slot.0`). Total order via
+/// `total_cmp`, so NaNs cannot poison the heap shape.
+fn heap_push(heap: &mut Vec<PendingSlot>, slot: PendingSlot) {
+    heap.push(slot);
+    let mut i = heap.len() - 1;
+    while i > 0 {
+        let parent = (i - 1) / 2;
+        if heap[parent].0.total_cmp(&heap[i].0) == Ordering::Greater {
+            heap.swap(parent, i);
+            i = parent;
+        } else {
+            break;
+        }
+    }
+}
+
+/// Pop-min with sift-down, the dual of [`heap_push`].
+fn heap_pop(heap: &mut Vec<PendingSlot>) -> Option<PendingSlot> {
+    if heap.is_empty() {
+        return None;
+    }
+    let last = heap.len() - 1;
+    heap.swap(0, last);
+    let top = heap.pop();
+    let mut i = 0;
+    loop {
+        let l = 2 * i + 1;
+        if l >= heap.len() {
+            break;
+        }
+        let r = l + 1;
+        let c = if r < heap.len() && heap[r].0.total_cmp(&heap[l].0) == Ordering::Less {
+            r
+        } else {
+            l
+        };
+        if heap[c].0.total_cmp(&heap[i].0) == Ordering::Less {
+            heap.swap(i, c);
+            i = c;
+        } else {
+            break;
+        }
+    }
+    top
+}
+
 /// k-nearest neighbors of `query`, sorted by ascending distance.
 /// `cost` accumulates distance calls, node accesses (every node popped and
 /// examined) and pruned entries (skipped without a distance evaluation).
@@ -88,35 +180,61 @@ pub fn knn<V: SeqValue, D: MetricDistance<V> + BoundedDistance<V> + LowerBound<V
     k: usize,
     cost: &mut QueryCost,
 ) -> Vec<Neighbor> {
+    with_mtree_scratch(|scratch| {
+        knn_into(root, dist, query, k, cost, scratch);
+        scratch.neighbors().to_vec()
+    })
+}
+
+/// [`knn`] into a caller-owned arena; results land in
+/// [`MtreeScratch::neighbors`].
+pub fn knn_into<V: SeqValue, D: MetricDistance<V> + BoundedDistance<V> + LowerBound<V>>(
+    root: &Node<V>,
+    dist: &D,
+    query: &[V],
+    k: usize,
+    cost: &mut QueryCost,
+    scratch: &mut MtreeScratch,
+) {
+    scratch.out.clear();
+    scratch.pending.clear();
     if k == 0 || root.object_count() == 0 {
-        return Vec::new();
+        return;
     }
+    let caps = scratch.capacities();
     let lb_active = lower_bounds_enabled();
     let qsum = dist.summarize(query);
-    let mut best: BinaryHeap<Best> = BinaryHeap::new();
-    let mut pending = BinaryHeap::new();
-    pending.push(PendingNode {
-        node: root,
-        dmin: 0.0,
-        dq_pivot: f64::NAN, // root has no parent pivot
-    });
+    // The best-k max-heap borrows the arena's storage but runs through the
+    // real `BinaryHeap`, so push/pop tie behavior is exactly the standard
+    // library's; `from` on the emptied vector is O(1) and keeps capacity.
+    let mut best: BinaryHeap<Best> = BinaryHeap::from(std::mem::take(&mut scratch.best));
+    let pending = &mut scratch.pending;
+    heap_push(
+        pending,
+        (0.0, f64::NAN, root as *const Node<V> as *const ()),
+    );
 
-    while let Some(p) = pending.pop() {
+    while let Some((dmin, dq_pivot, node)) = heap_pop(pending) {
+        // SAFETY: every pointer in `pending` was pushed by this very call
+        // (the heap is cleared on entry) from a `&Node<V>` reachable from
+        // `root`, which outlives the loop; the erased type is therefore
+        // exactly `Node<V>`.
+        let node = unsafe { &*(node as *const Node<V>) };
         let dk = current_bound(&best, k);
-        if p.dmin > dk {
+        if dmin > dk {
             // Everything left is further away: charge the abandoned
             // subtrees (including this one) as pruned.
             cost.pruned += 1 + pending.len() as u64;
             break;
         }
         cost.node_accesses += 1;
-        match p.node {
+        match node {
             Node::Leaf(entries) => {
                 for e in entries {
                     let dk_now = current_bound(&best, k);
                     // Parent-distance pruning: |d(q, pivot) - d(o, pivot)|
                     // lower-bounds d(q, o).
-                    if !p.dq_pivot.is_nan() && (p.dq_pivot - e.parent_dist).abs() > dk_now {
+                    if !dq_pivot.is_nan() && (dq_pivot - e.parent_dist).abs() > dk_now {
                         cost.pruned += 1;
                         continue;
                     }
@@ -160,7 +278,7 @@ pub fn knn<V: SeqValue, D: MetricDistance<V> + BoundedDistance<V> + LowerBound<V
                     let dk_now = current_bound(&best, k);
                     // A subtree survives iff d(q, pivot) <= dk + radius.
                     let cutoff = dk_now + r.radius;
-                    if !p.dq_pivot.is_nan() && (p.dq_pivot - r.parent_dist).abs() > cutoff {
+                    if !dq_pivot.is_nan() && (dq_pivot - r.parent_dist).abs() > cutoff {
                         cost.pruned += 1;
                         continue;
                     }
@@ -186,11 +304,14 @@ pub fn knn<V: SeqValue, D: MetricDistance<V> + BoundedDistance<V> + LowerBound<V
                         dist.distance(query, &r.pivot)
                     };
                     if d <= cutoff {
-                        pending.push(PendingNode {
-                            node: &r.child,
-                            dmin: (d - r.radius).max(0.0),
-                            dq_pivot: d,
-                        });
+                        heap_push(
+                            pending,
+                            (
+                                (d - r.radius).max(0.0),
+                                d,
+                                &*r.child as *const Node<V> as *const (),
+                            ),
+                        );
                     } else if !lb_cut {
                         cost.early_abandoned += 1;
                         cost.pruned += 1;
@@ -199,17 +320,21 @@ pub fn knn<V: SeqValue, D: MetricDistance<V> + BoundedDistance<V> + LowerBound<V
             }
         }
     }
+    pending.clear();
 
-    let mut out: Vec<Neighbor> = best
-        .into_sorted_vec()
-        .into_iter()
-        .map(|b| Neighbor {
-            id: b.id,
-            dist: b.dist,
-        })
-        .collect();
-    out.truncate(k);
-    out
+    // Hand the heap's storage back to the arena, copying the (ascending)
+    // results out first.
+    let mut sorted = best.into_sorted_vec();
+    sorted.truncate(k);
+    scratch.out.extend(sorted.iter().map(|b| Neighbor {
+        id: b.id,
+        dist: b.dist,
+    }));
+    sorted.clear();
+    scratch.best = sorted;
+    if scratch.capacities() != caps {
+        scratch.grows += 1;
+    }
 }
 
 fn current_bound(best: &BinaryHeap<Best>, k: usize) -> f64 {
@@ -229,9 +354,26 @@ pub fn range<V: SeqValue, D: MetricDistance<V> + BoundedDistance<V> + LowerBound
     radius: f64,
     cost: &mut QueryCost,
 ) -> Vec<Neighbor> {
+    with_mtree_scratch(|scratch| {
+        range_into(root, dist, query, radius, cost, scratch);
+        scratch.neighbors().to_vec()
+    })
+}
+
+/// [`range`] into a caller-owned arena; results land in
+/// [`MtreeScratch::neighbors`].
+pub fn range_into<V: SeqValue, D: MetricDistance<V> + BoundedDistance<V> + LowerBound<V>>(
+    root: &Node<V>,
+    dist: &D,
+    query: &[V],
+    radius: f64,
+    cost: &mut QueryCost,
+    scratch: &mut MtreeScratch,
+) {
+    let caps = scratch.capacities();
     let lb_active = lower_bounds_enabled();
     let qsum = dist.summarize(query);
-    let mut out = Vec::new();
+    scratch.out.clear();
     walk(
         root,
         dist,
@@ -240,11 +382,34 @@ pub fn range<V: SeqValue, D: MetricDistance<V> + BoundedDistance<V> + LowerBound
         lb_active,
         radius,
         f64::NAN,
-        &mut out,
+        &mut scratch.out,
         cost,
     );
-    out.sort_by(|a, b| a.dist.total_cmp(&b.dist));
-    out
+    // Stable sort by distance without the stable sort's buffer: unstable
+    // index sort keyed (dist, discovery order), applied through the
+    // arena's permutation + double buffer.
+    let MtreeScratch {
+        out,
+        out_tmp,
+        order,
+        ..
+    } = scratch;
+    order.clear();
+    order.reserve(out.len());
+    order.extend(0..out.len() as u32);
+    order.sort_unstable_by(|&i, &j| {
+        out[i as usize]
+            .dist
+            .total_cmp(&out[j as usize].dist)
+            .then(i.cmp(&j))
+    });
+    out_tmp.clear();
+    out_tmp.reserve(out.len());
+    out_tmp.extend(order.iter().map(|&i| out[i as usize]));
+    std::mem::swap(out, out_tmp);
+    if scratch.capacities() != caps {
+        scratch.grows += 1;
+    }
 }
 
 #[allow(clippy::too_many_arguments)]

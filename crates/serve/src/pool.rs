@@ -12,6 +12,14 @@
 //! A panicking job is caught (`catch_unwind`) so one poisoned request
 //! cannot wedge a worker; [`Pool::shutdown`] closes the queue, drains the
 //! jobs already admitted, and joins every worker.
+//!
+//! Workers are long-lived named threads, which makes them natural owners
+//! of the query arenas: `strg_core::with_query_scratch` /
+//! `with_shard_scratch` are thread-local, so each worker's first query
+//! warms a private [`QueryScratch`](strg_core::QueryScratch) /
+//! [`ShardScratch`](strg_core::ShardScratch) that every subsequent query
+//! on that worker reuses — the steady-state query path performs no heap
+//! allocations (see DESIGN.md §13).
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};

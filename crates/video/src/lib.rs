@@ -17,6 +17,7 @@ pub mod raster;
 pub mod scenario;
 pub mod scene;
 pub mod segment;
+mod simd;
 
 pub use rag_extract::{
     frame_to_rag, frame_to_rag_with, frames_to_rags, frames_to_rags_with_stats,

@@ -265,20 +265,28 @@ pub fn segment_into<'s>(
     } = scratch;
 
     // Quantized color classes, encoded as integer keys. Channels are u8,
-    // so the per-channel quantizer collapses to a 256-entry lookup table
-    // (bit-identical to evaluating the division per pixel).
+    // so the per-channel quantizer collapses to 256-entry lookup tables.
+    // The class key `(qr * levels + qg) * levels + qb` distributes over the
+    // per-channel terms, so the weights are premultiplied into the tables
+    // and the per-pixel work is three loads and two adds — bit-identical
+    // integer math, same key for every pixel as the factored form.
     let levels = cfg.quant_levels.max(2);
     let step = 255.0 / (levels - 1) as f64;
-    let mut lut = [0u32; 256];
-    for (v, q) in lut.iter_mut().enumerate() {
-        *q = ((v as f64 / step).round() as u32).min(levels - 1);
+    let mut lut_r = [0u32; 256];
+    let mut lut_g = [0u32; 256];
+    let mut lut_b = [0u32; 256];
+    for v in 0..256usize {
+        let q = ((v as f64 / step).round() as u32).min(levels - 1);
+        lut_r[v] = q * levels * levels;
+        lut_g[v] = q * levels;
+        lut_b[v] = q;
     }
     clear_with_cap(classes, n, grows);
     classes.extend(
         frame
             .pixels()
             .iter()
-            .map(|p| (lut[p.r as usize] * levels + lut[p.g as usize]) * levels + lut[p.b as usize]),
+            .map(|p| lut_r[p.r as usize] + lut_g[p.g as usize] + lut_b[p.b as usize]),
     );
 
     // Edge-preserving mode filter: each pixel takes the majority class of
@@ -901,6 +909,14 @@ fn box_blur_naive(frame: &Frame, radius: usize) -> Frame {
 }
 
 /// Two-pass separable running-sum box blur; see [`box_blur`].
+///
+/// The vertical pass keeps the per-pixel `[r, g, b]` sums in one flat
+/// interleaved `u32` buffer, so its add/subtract sweeps run whole rows
+/// through the SIMD kernels of `crate::simd` (exact integer lanes —
+/// bit-identical to the scalar sweeps, which `STRG_SCALAR=1` selects).
+/// Only the final `sum / n` division stays per-element scalar: a
+/// reciprocal-multiply trick would have to reproduce the exact truncated
+/// quotient for every `(sum, n)` pair and buys little next to the sweeps.
 fn box_blur_fast(frame: &Frame, radius: usize) -> Frame {
     let w = frame.width();
     let h = frame.height();
@@ -911,11 +927,14 @@ fn box_blur_fast(frame: &Frame, radius: usize) -> Frame {
     debug_assert!(radius <= 2047, "u32 channel sums overflow past radius 2047");
     let r = radius;
     let px = frame.pixels();
+    let vector = crate::simd::vector_kernels_enabled();
+    let row_len = w * 3;
 
-    // Pass 1: horizontal clipped running sums, one [r, g, b] per pixel.
-    // The clipped 2-D window sum is the sum of its clipped row sums, so
-    // the two passes reproduce the naïve window total exactly.
-    let mut rows: Vec<[u32; 3]> = vec![[0; 3]; w * h];
+    // Pass 1: horizontal clipped running sums, interleaved r, g, b per
+    // pixel. The clipped 2-D window sum is the sum of its clipped row
+    // sums, so the two passes reproduce the naïve window total exactly.
+    // The running sum is loop-carried, so this pass stays scalar.
+    let mut rows: Vec<u32> = vec![0; row_len * h];
     for y in 0..h {
         let base = y * w;
         let mut sum = [0u32; 3];
@@ -940,40 +959,42 @@ fn box_blur_fast(frame: &Frame, radius: usize) -> Frame {
                     sum[2] -= p.b as u32;
                 }
             }
-            rows[base + x] = sum;
+            rows[y * row_len + x * 3..y * row_len + x * 3 + 3].copy_from_slice(&sum);
         }
     }
 
     // Pass 2: vertical running sums of the row sums, all columns at once
-    // (row-major sweeps keep the access pattern cache-friendly).
+    // (row-major sweeps keep the access pattern cache-friendly and make
+    // each sweep one contiguous element-wise add/subtract).
+    let add = |colsum: &mut [u32], yy: usize| {
+        let row = &rows[yy * row_len..(yy + 1) * row_len];
+        if vector {
+            crate::simd::add_assign_u32(colsum, row);
+        } else {
+            crate::simd::scalar::add_assign(colsum, row);
+        }
+    };
+    let sub = |colsum: &mut [u32], yy: usize| {
+        let row = &rows[yy * row_len..(yy + 1) * row_len];
+        if vector {
+            crate::simd::sub_assign_u32(colsum, row);
+        } else {
+            crate::simd::scalar::sub_assign(colsum, row);
+        }
+    };
     let nx_of = |x: usize| ((x + r).min(w - 1) - x.saturating_sub(r) + 1) as u32;
     let nx: Vec<u32> = (0..w).map(nx_of).collect();
-    let mut colsum: Vec<[u32; 3]> = vec![[0; 3]; w];
+    let mut colsum: Vec<u32> = vec![0; row_len];
     for yy in 0..=r.min(h - 1) {
-        for x in 0..w {
-            let s = rows[yy * w + x];
-            colsum[x][0] += s[0];
-            colsum[x][1] += s[1];
-            colsum[x][2] += s[2];
-        }
+        add(&mut colsum, yy);
     }
     for y in 0..h {
         if y > 0 {
             if y + r < h {
-                for x in 0..w {
-                    let s = rows[(y + r) * w + x];
-                    colsum[x][0] += s[0];
-                    colsum[x][1] += s[1];
-                    colsum[x][2] += s[2];
-                }
+                add(&mut colsum, y + r);
             }
             if y > r {
-                for x in 0..w {
-                    let s = rows[(y - r - 1) * w + x];
-                    colsum[x][0] -= s[0];
-                    colsum[x][1] -= s[1];
-                    colsum[x][2] -= s[2];
-                }
+                sub(&mut colsum, y - r - 1);
             }
         }
         let ny = ((y + r).min(h - 1) - y.saturating_sub(r) + 1) as u32;
@@ -983,9 +1004,9 @@ fn box_blur_fast(frame: &Frame, radius: usize) -> Frame {
                 x as isize,
                 y as isize,
                 Pixel::new(
-                    (colsum[x][0] / n) as u8,
-                    (colsum[x][1] / n) as u8,
-                    (colsum[x][2] / n) as u8,
+                    (colsum[x * 3] / n) as u8,
+                    (colsum[x * 3 + 1] / n) as u8,
+                    (colsum[x * 3 + 2] / n) as u8,
                 ),
             );
         }

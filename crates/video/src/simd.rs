@@ -1,0 +1,169 @@
+//! Integer SIMD kernels for the segmentation hot path.
+//!
+//! The box blur's vertical pass is a pair of element-wise `u32` running-sum
+//! sweeps (`colsum += row`, `colsum -= row`) over contiguous channel
+//! slices. Integer lane addition is exact, so the vectorized sweeps are
+//! bit-identical to the scalar loops for every input; the final `sum / n`
+//! division stays scalar (see `segment::box_blur_fast`).
+//!
+//! Honors the same `STRG_SCALAR=1` escape hatch as the floating-point DP
+//! kernels in `strg-distance` ([`SCALAR_ENV`] mirrors
+//! `strg_distance::SCALAR_ENV` — this crate deliberately does not depend
+//! on the distance crate). Tiers: SSE2 on `x86_64` (baseline, always
+//! present), NEON on `aarch64`, and a scalar fallback that doubles as the
+//! tail handler for the vector bodies.
+
+/// The environment variable (`STRG_SCALAR`) that forces every vectorized
+/// kernel in the workspace onto its scalar reference path. Same parse as
+/// the other hatches: set to anything but empty or `0` to disable SIMD.
+pub(crate) const SCALAR_ENV: &str = "STRG_SCALAR";
+
+/// Whether the vectorized kernels are active (the default). Re-read per
+/// call so tests can toggle the hatch mid-process.
+pub(crate) fn vector_kernels_enabled() -> bool {
+    match std::env::var(SCALAR_ENV) {
+        Ok(v) => {
+            let v = v.trim();
+            v.is_empty() || v == "0"
+        }
+        Err(_) => true,
+    }
+}
+
+/// `dst[i] += src[i]` over equal-length slices.
+pub(crate) fn add_assign_u32(dst: &mut [u32], src: &[u32]) {
+    debug_assert_eq!(dst.len(), src.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        unsafe { x86::add_assign_sse2(dst, src) };
+        return;
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        unsafe { neon::add_assign(dst, src) };
+        return;
+    }
+    #[allow(unreachable_code)]
+    scalar::add_assign(dst, src)
+}
+
+/// `dst[i] -= src[i]` over equal-length slices.
+pub(crate) fn sub_assign_u32(dst: &mut [u32], src: &[u32]) {
+    debug_assert_eq!(dst.len(), src.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        unsafe { x86::sub_assign_sse2(dst, src) };
+        return;
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        unsafe { neon::sub_assign(dst, src) };
+        return;
+    }
+    #[allow(unreachable_code)]
+    scalar::sub_assign(dst, src)
+}
+
+/// Scalar reference sweeps — the `STRG_SCALAR=1` path (called directly by
+/// `box_blur_fast` when the hatch is set) and the tail handler for the
+/// vector bodies.
+pub(crate) mod scalar {
+    pub(crate) fn add_assign(dst: &mut [u32], src: &[u32]) {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d += s;
+        }
+    }
+
+    pub(crate) fn sub_assign(dst: &mut [u32], src: &[u32]) {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d -= s;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    /// # Safety
+    /// SSE2 is part of the `x86_64` baseline; slices must be equal length
+    /// (checked by the caller).
+    pub(super) unsafe fn add_assign_sse2(dst: &mut [u32], src: &[u32]) {
+        let n = dst.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            let d = _mm_loadu_si128(dst.as_ptr().add(i) as *const __m128i);
+            let s = _mm_loadu_si128(src.as_ptr().add(i) as *const __m128i);
+            _mm_storeu_si128(dst.as_mut_ptr().add(i) as *mut __m128i, _mm_add_epi32(d, s));
+            i += 4;
+        }
+        super::scalar::add_assign(&mut dst[i..], &src[i..]);
+    }
+
+    /// # Safety
+    /// See [`add_assign_sse2`].
+    pub(super) unsafe fn sub_assign_sse2(dst: &mut [u32], src: &[u32]) {
+        let n = dst.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            let d = _mm_loadu_si128(dst.as_ptr().add(i) as *const __m128i);
+            let s = _mm_loadu_si128(src.as_ptr().add(i) as *const __m128i);
+            _mm_storeu_si128(dst.as_mut_ptr().add(i) as *mut __m128i, _mm_sub_epi32(d, s));
+            i += 4;
+        }
+        super::scalar::sub_assign(&mut dst[i..], &src[i..]);
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use std::arch::aarch64::*;
+
+    /// # Safety
+    /// NEON is part of the `aarch64` baseline; slices must be equal length.
+    pub(super) unsafe fn add_assign(dst: &mut [u32], src: &[u32]) {
+        let n = dst.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            let d = vld1q_u32(dst.as_ptr().add(i));
+            let s = vld1q_u32(src.as_ptr().add(i));
+            vst1q_u32(dst.as_mut_ptr().add(i), vaddq_u32(d, s));
+            i += 4;
+        }
+        super::scalar::add_assign(&mut dst[i..], &src[i..]);
+    }
+
+    /// # Safety
+    /// See [`add_assign`].
+    pub(super) unsafe fn sub_assign(dst: &mut [u32], src: &[u32]) {
+        let n = dst.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            let d = vld1q_u32(dst.as_ptr().add(i));
+            let s = vld1q_u32(src.as_ptr().add(i));
+            vst1q_u32(dst.as_mut_ptr().add(i), vsubq_u32(d, s));
+            i += 4;
+        }
+        super::scalar::sub_assign(&mut dst[i..], &src[i..]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_match_scalar_at_all_lengths() {
+        for n in 0..35usize {
+            let src: Vec<u32> = (0..n as u32).map(|i| i * 977 + 13).collect();
+            let mut a: Vec<u32> = (0..n as u32).map(|i| i * 31 + 100_000).collect();
+            let mut b = a.clone();
+            add_assign_u32(&mut a, &src);
+            scalar::add_assign(&mut b, &src);
+            assert_eq!(a, b, "add n={n}");
+            sub_assign_u32(&mut a, &src);
+            scalar::sub_assign(&mut b, &src);
+            assert_eq!(a, b, "sub n={n}");
+        }
+    }
+}

@@ -35,6 +35,11 @@ STRG_THREADS=1 cargo test -q --test kernel_equivalence
 echo "==> kernel-equivalence suite under STRG_THREADS=8"
 STRG_THREADS=8 cargo test -q --test kernel_equivalence
 
+# The suite itself toggles STRG_SCALAR per test; running the whole binary
+# once more under a *preset* hatch pins the env-inherited scalar mode too.
+echo "==> kernel-equivalence suite under STRG_SCALAR=1"
+STRG_SCALAR=1 cargo test -q --test kernel_equivalence
+
 echo "==> bounded-kernel bench smoke (--quick)"
 cargo run --release -p strg-bench --bin kernels -- --quick
 
@@ -55,6 +60,19 @@ STRG_THREADS=1 cargo test -q --test shard_equivalence
 
 echo "==> shard-equivalence suite under STRG_THREADS=8"
 STRG_THREADS=8 cargo test -q --test shard_equivalence
+
+# The zero-alloc proof needs the hatch-free production configuration: a
+# *set* hatch variable makes std::env::var allocate its String per read
+# (the suite clears the hatches itself; STRG_THREADS is never read on the
+# sequential Fixed(1) path, so both pins are exercised for free).
+echo "==> query allocation-discipline suite under STRG_THREADS=1"
+STRG_THREADS=1 cargo test -q --test query_alloc
+
+echo "==> query allocation-discipline suite under STRG_THREADS=8"
+STRG_THREADS=8 cargo test -q --test query_alloc
+
+echo "==> query-path bench smoke (--quick, checks SIMD/arena vs scalar identity)"
+cargo run --release -p strg-bench --bin query -- --quick
 
 echo "==> query-cost bench smoke (--quick, checks shard fan-out pruning)"
 cargo run --release -p strg-bench --bin costs -- --quick

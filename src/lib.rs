@@ -66,9 +66,9 @@ pub mod prelude {
         VideoDatabase,
     };
     pub use strg_distance::{
-        lower_bounds_enabled, shard_bounds_enabled, BoundedDistance, CountingDistance, Dtw, Edr,
-        Eged, EgedMetric, Lcs, LowerBound, LpNorm, MetricDistance, SeqSummary, SequenceDistance,
-        SummaryEnvelope, NO_LB_ENV, NO_SHARD_LB_ENV,
+        lower_bounds_enabled, shard_bounds_enabled, simd_enabled, BoundedDistance,
+        CountingDistance, Dtw, Edr, Eged, EgedMetric, Lcs, LowerBound, LpNorm, MetricDistance,
+        SeqSummary, SequenceDistance, SummaryEnvelope, NO_LB_ENV, NO_SHARD_LB_ENV, SCALAR_ENV,
     };
     pub use strg_graph::{
         decompose, BackgroundGraph, DecomposeConfig, ObjectGraph, Point2, Rag, Rgb, Scalarization,

@@ -15,6 +15,7 @@
 
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
+use strg::distance::{simd_enabled, SCALAR_ENV};
 use strg::prelude::*;
 
 /// Serializes every test that toggles `STRG_NO_LB`: the flag is process
@@ -180,4 +181,108 @@ fn conservation_holds_in_both_modes() {
             );
         }
     }
+}
+
+/// Runs `f` twice — once on the vectorized kernels (the default), once
+/// under `STRG_SCALAR=1` — and returns both results, restoring the
+/// environment. Shares [`env_lock`] with the lower-bound toggles: both
+/// hatches are process-global.
+fn in_simd_modes<T>(f: impl Fn() -> T) -> (T, T) {
+    let _guard = env_lock();
+    std::env::remove_var(SCALAR_ENV);
+    assert!(simd_enabled());
+    let vectorized = f();
+    std::env::set_var(SCALAR_ENV, "1");
+    assert!(!simd_enabled());
+    let scalar = f();
+    std::env::remove_var(SCALAR_ENV);
+    (vectorized, scalar)
+}
+
+/// Point2 trajectories at a scale where every DP row is long enough for
+/// the vector bodies (not just their scalar tails) to execute.
+fn point_dataset() -> Vec<(u64, Vec<Point2>)> {
+    generate_total(60, &SynthConfig::with_noise(0.10), 41)
+        .series()
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| (i as u64, s))
+        .collect()
+}
+
+/// The SIMD DP kernels are byte-identical to the scalar reference on
+/// scalar (`f64`) sequences: same hit bits, same logical costs — lane
+/// width must never leak into results (DESIGN.md §13).
+#[test]
+fn strg_index_identical_under_scalar_hatch_f64() {
+    let mut idx = StrgIndex::new(EgedMetric::<f64>::new(), StrgIndexConfig::with_k(4));
+    idx.add_segment(Default::default(), dataset());
+    for q in queries() {
+        for k in [1, 5, 48] {
+            let (a, b) = in_simd_modes(|| idx.knn_with_cost(&q, k));
+            assert_eq!(a.0.len(), b.0.len(), "k {k}: hit count");
+            for (x, y) in a.0.iter().zip(&b.0) {
+                assert_eq!(x.og_id, y.og_id, "k {k}: hit id");
+                assert_eq!(x.dist.to_bits(), y.dist.to_bits(), "k {k}: hit distance");
+            }
+            assert!(a.1.same_work(&b.1), "k {k}: cost diverged");
+        }
+        for radius in [0.0, 2.0, 15.0, 1e6] {
+            let (a, b) = in_simd_modes(|| idx.range_with_cost(&q, radius));
+            assert_eq!(a.0.len(), b.0.len(), "r {radius}: hit count");
+            for (x, y) in a.0.iter().zip(&b.0) {
+                assert_eq!(x.og_id, y.og_id, "r {radius}: hit id");
+                assert_eq!(x.dist.to_bits(), y.dist.to_bits(), "r {radius}: distance");
+            }
+            assert!(a.1.same_work(&b.1), "r {radius}: cost diverged");
+        }
+    }
+}
+
+/// Same on Point2 trajectories: element distances stay on the scalar
+/// `hypot` path (not SIMD-reproducible), but the vectorized DP row
+/// combines still run — results must not move by a bit. The M-tree
+/// baseline shares the kernels, so it is pinned here too.
+#[test]
+fn strg_index_and_mtree_identical_under_scalar_hatch_point2() {
+    let data = point_dataset();
+    let queries: Vec<Vec<Point2>> = generate_total(4, &SynthConfig::with_noise(0.10), 1234)
+        .items
+        .into_iter()
+        .map(|q| q.points)
+        .collect();
+
+    let mut idx = StrgIndex::new(EgedMetric::<Point2>::new(), StrgIndexConfig::with_k(6));
+    idx.add_segment(Default::default(), data.clone());
+    let tree = MTree::bulk_insert(EgedMetric::<Point2>::new(), MTreeConfig::random(1), data);
+
+    for q in &queries {
+        for k in [1, 5, 20] {
+            let (a, b) = in_simd_modes(|| idx.knn_with_cost(q, k));
+            assert_eq!(a.0.len(), b.0.len(), "k {k}: hit count");
+            for (x, y) in a.0.iter().zip(&b.0) {
+                assert_eq!(x.og_id, y.og_id, "k {k}: hit id");
+                assert_eq!(x.dist.to_bits(), y.dist.to_bits(), "k {k}: hit distance");
+            }
+            assert!(a.1.same_work(&b.1), "k {k}: cost diverged");
+
+            let (ta, tb) = in_simd_modes(|| tree.knn_with_cost(q, k));
+            assert_eq!(ta.0, tb.0, "M-tree k {k}: hits diverged");
+            assert!(ta.1.same_work(&tb.1), "M-tree k {k}: cost diverged");
+        }
+    }
+
+    // The index construction itself (EM clustering over EGED distances)
+    // must also be hatch-invariant: rebuilding under the hatch yields the
+    // same tree shape and the same answers.
+    let (va, vb) = in_simd_modes(|| {
+        let mut idx = StrgIndex::new(EgedMetric::<Point2>::new(), StrgIndexConfig::with_k(6));
+        idx.add_segment(Default::default(), point_dataset());
+        let (hits, cost) = idx.knn_with_cost(&queries[0], 5);
+        let bits: Vec<(u64, u64)> = hits.iter().map(|h| (h.og_id, h.dist.to_bits())).collect();
+        (idx.cluster_count(), bits, cost)
+    });
+    assert_eq!(va.0, vb.0, "cluster count diverged under the hatch");
+    assert_eq!(va.1, vb.1, "post-build hits diverged under the hatch");
+    assert!(va.2.same_work(&vb.2), "post-build cost diverged");
 }

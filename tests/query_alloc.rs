@@ -1,0 +1,246 @@
+//! Allocation-discipline harness for the query hot path.
+//!
+//! Installs the same counting `#[global_allocator]` shim as
+//! `ingest_alloc.rs` and asserts that steady-state sequential k-NN and
+//! range queries through warm arenas perform **zero** heap allocations —
+//! on a single STRG-Index tree ([`QueryScratch`]), across a sharded
+//! fan-out ([`ShardScratch`]), and on the M-tree baseline
+//! ([`MtreeScratch`]). Every DP row, candidate list, pending heap and hit
+//! buffer is owned by an arena and only recycled after warm-up
+//! (DESIGN.md §13).
+//!
+//! The proof holds in the hatch-free production configuration: the env
+//! hatches (`STRG_SCALAR`, `STRG_NO_LB`, `STRG_NO_SHARD_LB`) are re-read
+//! per query, and `std::env::var` only allocates its `String` result when
+//! the variable is **set** — absent variables are alloc-free. The tests
+//! therefore clear the hatches up front; `scripts/ci.sh` runs this binary
+//! in default (SIMD + bounds) mode only, while the hatched modes are
+//! covered by the equivalence suites.
+//!
+//! This file is its own test binary, so the global allocator swap cannot
+//! perturb any other suite.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use strg::core::{sharded_knn_into, sharded_range_into, QueryScratch, ShardScratch};
+use strg::distance::SCALAR_ENV;
+use strg::mtree::MtreeScratch;
+use strg::prelude::*;
+
+/// Forwards to the system allocator, counting every allocation path that
+/// can acquire or move heap memory (alloc, alloc_zeroed, realloc).
+struct CountingAlloc;
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_events() -> u64 {
+    ALLOC_EVENTS.load(Ordering::SeqCst)
+}
+
+/// Clears every env hatch the query path re-reads per call: a set
+/// variable makes `std::env::var` allocate the returned `String`, which
+/// would charge the hatch — not the query path — with an allocation.
+fn clear_hatches() {
+    std::env::remove_var(SCALAR_ENV);
+    std::env::remove_var(NO_LB_ENV);
+    std::env::remove_var(NO_SHARD_LB_ENV);
+}
+
+/// Synthetic trajectory workload at a scale where clusters, leaves and
+/// the lower-bound filter all participate.
+fn dataset(n: usize, seed: u64) -> Vec<(u64, Vec<Point2>)> {
+    generate_total(n, &SynthConfig::with_noise(0.10), seed)
+        .series()
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| (i as u64, s))
+        .collect()
+}
+
+fn queries(n: usize, seed: u64) -> Vec<Vec<Point2>> {
+    generate_total(n, &SynthConfig::with_noise(0.10), seed)
+        .items
+        .into_iter()
+        .map(|q| q.points)
+        .collect()
+}
+
+fn build_index(items: Vec<(u64, Vec<Point2>)>, seed: u64) -> StrgIndex<Point2, EgedMetric<Point2>> {
+    let mut cfg = StrgIndexConfig::with_k(16.min(items.len().max(1)));
+    cfg.seed = seed;
+    cfg.em_max_iters = 8;
+    cfg.em_n_init = 1;
+    cfg.threads = Threads::Fixed(1);
+    let mut idx = StrgIndex::new(EgedMetric::<Point2>::new(), cfg);
+    idx.add_segment(BackgroundGraph::default(), items);
+    idx
+}
+
+/// Steady-state single-tree k-NN and range queries must not touch the
+/// allocator once the arena has seen the workload.
+#[test]
+fn steady_state_tree_queries_allocate_nothing() {
+    clear_hatches();
+    let idx = build_index(dataset(240, 11), 5);
+    let qs = queries(6, 999);
+    let mut scratch = QueryScratch::new();
+
+    // A radius that matches real records, captured before measurement.
+    let (warm_hits, _) = idx.knn_with_cost_into(&qs[0], 5, &mut scratch);
+    assert!(!warm_hits.is_empty(), "workload produced hits");
+    let radius = warm_hits.last().unwrap().dist * 1.5;
+
+    // The arena path must agree with the allocating wrappers.
+    for q in &qs {
+        let (hits, cost) = idx.knn_with_cost(q, 5);
+        let (hits_into, cost_into) = idx.knn_with_cost_into(q, 5, &mut scratch);
+        assert_eq!(hits.as_slice(), hits_into, "into-path hits diverged");
+        assert!(cost.same_work(&cost_into), "into-path cost diverged");
+    }
+
+    // Warm-up: two passes so every content-dependent buffer reaches its
+    // high-water capacity.
+    for _ in 0..2 {
+        for q in &qs {
+            idx.knn_with_cost_into(q, 5, &mut scratch);
+            idx.range_with_cost_into(q, radius, &mut scratch);
+        }
+    }
+    let grows_warm = scratch.grow_events();
+
+    let mut last_hits = 0;
+    let before = alloc_events();
+    for _ in 0..3 {
+        for q in &qs {
+            let (h, _) = idx.knn_with_cost_into(q, 5, &mut scratch);
+            last_hits = h.len();
+            idx.range_with_cost_into(q, radius, &mut scratch);
+        }
+    }
+    let delta = alloc_events() - before;
+
+    assert!(last_hits > 0, "steady-state queries produced real hits");
+    assert_eq!(
+        delta, 0,
+        "steady-state tree queries performed {delta} heap allocations"
+    );
+    assert_eq!(scratch.grow_events(), grows_warm, "arena kept growing");
+}
+
+/// Steady-state sharded fan-outs (bound-ordered, sequential) must not
+/// touch the allocator: the shard arena threads one tree arena through
+/// every opened shard.
+#[test]
+fn steady_state_sharded_queries_allocate_nothing() {
+    clear_hatches();
+    let shards: Vec<_> = (0..3)
+        .map(|s| build_index(dataset(90, 20 + s), 7 + s))
+        .collect();
+    let idxs: Vec<&StrgIndex<Point2, EgedMetric<Point2>>> = shards.iter().collect();
+    let qs = queries(5, 777);
+    let mut scratch = ShardScratch::new();
+
+    sharded_knn_into(&idxs, &qs[0], 5, Threads::Fixed(1), &mut scratch);
+    assert!(!scratch.hits().is_empty(), "fan-out produced hits");
+    let radius = scratch.hits().last().unwrap().1.dist * 1.5;
+
+    for _ in 0..2 {
+        for q in &qs {
+            sharded_knn_into(&idxs, q, 5, Threads::Fixed(1), &mut scratch);
+            sharded_range_into(&idxs, q, radius, Threads::Fixed(1), &mut scratch);
+        }
+    }
+    let grows_warm = scratch.grow_events();
+
+    let mut last_hits = 0;
+    let before = alloc_events();
+    for _ in 0..3 {
+        for q in &qs {
+            sharded_knn_into(&idxs, q, 5, Threads::Fixed(1), &mut scratch);
+            last_hits = scratch.hits().len();
+            sharded_range_into(&idxs, q, radius, Threads::Fixed(1), &mut scratch);
+        }
+    }
+    let delta = alloc_events() - before;
+
+    assert!(last_hits > 0, "steady-state fan-outs produced real hits");
+    assert_eq!(
+        delta, 0,
+        "steady-state sharded queries performed {delta} heap allocations"
+    );
+    assert_eq!(
+        scratch.grow_events(),
+        grows_warm,
+        "shard arena kept growing"
+    );
+}
+
+/// The M-tree baseline holds the same discipline: pending heap, best-k
+/// heap storage and neighbor lists all live in the arena.
+#[test]
+fn steady_state_mtree_queries_allocate_nothing() {
+    clear_hatches();
+    let tree = MTree::bulk_insert(
+        EgedMetric::<Point2>::new(),
+        MTreeConfig::random(3),
+        dataset(200, 31),
+    );
+    let qs = queries(5, 555);
+    let mut scratch = MtreeScratch::new();
+
+    let (warm, _) = tree.knn_with_cost_into(&qs[0], 5, &mut scratch);
+    assert!(!warm.is_empty(), "M-tree workload produced hits");
+    let radius = warm.last().unwrap().dist * 1.5;
+
+    for _ in 0..2 {
+        for q in &qs {
+            tree.knn_with_cost_into(q, 5, &mut scratch);
+            tree.range_with_cost_into(q, radius, &mut scratch);
+        }
+    }
+    let grows_warm = scratch.grow_events();
+
+    let mut last_hits = 0;
+    let before = alloc_events();
+    for _ in 0..3 {
+        for q in &qs {
+            let (h, _) = tree.knn_with_cost_into(q, 5, &mut scratch);
+            last_hits = h.len();
+            tree.range_with_cost_into(q, radius, &mut scratch);
+        }
+    }
+    let delta = alloc_events() - before;
+
+    assert!(last_hits > 0, "steady-state M-tree queries produced hits");
+    assert_eq!(
+        delta, 0,
+        "steady-state M-tree queries performed {delta} heap allocations"
+    );
+    assert_eq!(
+        scratch.grow_events(),
+        grows_warm,
+        "M-tree arena kept growing"
+    );
+}
