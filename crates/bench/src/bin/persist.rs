@@ -1,0 +1,193 @@
+//! Reopen-latency benchmark: the STRGDB v2 fast load (deserialize the
+//! built tree, no clustering) against the v1 rebuild-on-load path, on the
+//! same database contents.
+//!
+//! For each database size the same in-memory database is saved twice —
+//! once as a v1 text file (`save_v1`) and once as a v2 segment file
+//! (`save`) — and each file is then reopened from scratch. Two clocks per
+//! format: **reopen** (load returning a queryable database) and
+//! **time-to-first-kNN** (load + the first k=5 query, the latency a
+//! restarted server's first client sees). The bin asserts in-run that the
+//! v1-loaded, v2-loaded, and original databases return byte-identical hit
+//! lists, and that `persist_info()` reports `rebuild` for v1 and `fast`
+//! for v2. Results land in `results/BENCH_persist.json`.
+//!
+//! Run with: `cargo run --release -p strg-bench --bin persist [-- --quick]`
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use strg_bench::report::results_dir;
+use strg_core::{DbOptions, Query, QueryHit, VideoDatabase};
+use strg_graph::Point2;
+use strg_obs::Json;
+use strg_video::{lab_scene, ScenarioConfig, VideoClip};
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("strg_bench_persist_{name}_{}", std::process::id()))
+}
+
+/// Grows a database clip-by-clip until it holds at least `target` indexed
+/// objects (each clip contributes a handful of OGs).
+fn build_db(target: usize, seed: u64) -> VideoDatabase {
+    let db = VideoDatabase::new(DbOptions::new());
+    let mut s = seed;
+    while db.stats().objects < target {
+        let clip = VideoClip {
+            name: format!("clip-{s}"),
+            scene: lab_scene(&ScenarioConfig {
+                n_actors: 4,
+                frames: 24,
+                seed: s,
+                ..Default::default()
+            }),
+            fps: 30.0,
+        };
+        db.ingest_clip(&clip, s);
+        s += 1;
+    }
+    db
+}
+
+/// Synthetic probe trajectories (diagonal walks at different speeds).
+fn probes() -> Vec<Vec<Point2>> {
+    (0..3u64)
+        .map(|p| {
+            (0..12)
+                .map(|t| Point2 {
+                    x: 8.0 + t as f64 * (1.5 + p as f64),
+                    y: 6.0 + t as f64 * (1.0 + p as f64 * 0.5),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Hits flattened to comparable bits: `(og_id, dist bit pattern)` rows.
+fn hit_bits(hits: &[QueryHit]) -> Vec<(u64, u64)> {
+    hits.iter().map(|h| (h.og_id, h.dist.to_bits())).collect()
+}
+
+fn first_knn(db: &VideoDatabase, q: &[Point2]) -> Vec<(u64, u64)> {
+    hit_bits(&db.query(Query::knn(5).trajectory(q)).hits)
+}
+
+struct Reopen {
+    load_ns: u64,
+    first_knn_ns: u64,
+    hits: Vec<Vec<(u64, u64)>>,
+    reopen_mode: &'static str,
+    file_bytes: u64,
+}
+
+fn measure_reopen(path: &PathBuf, queries: &[Vec<Point2>], passes: usize) -> Reopen {
+    let mut load_ns = u64::MAX;
+    let mut first_knn_ns = u64::MAX;
+    let mut hits = Vec::new();
+    let mut reopen_mode = "";
+    for _ in 0..passes {
+        let t0 = Instant::now();
+        let db = VideoDatabase::load(path, DbOptions::new()).expect("load");
+        let ns_load = t0.elapsed().as_nanos() as u64;
+        let first = first_knn(&db, &queries[0]);
+        let ns_first = t0.elapsed().as_nanos() as u64;
+        if ns_load < load_ns {
+            load_ns = ns_load;
+            reopen_mode = db.persist_info().reopen.as_str();
+            hits = std::iter::once(first)
+                .chain(queries[1..].iter().map(|q| first_knn(&db, q)))
+                .collect();
+        }
+        first_knn_ns = first_knn_ns.min(ns_first);
+    }
+    Reopen {
+        load_ns,
+        first_knn_ns,
+        hits,
+        reopen_mode,
+        file_bytes: std::fs::metadata(path).map(|m| m.len()).unwrap_or(0),
+    }
+}
+
+fn reopen_json(r: &Reopen) -> Json {
+    Json::obj(vec![
+        ("load_ns", Json::U64(r.load_ns)),
+        ("first_knn_ns", Json::U64(r.first_knn_ns)),
+        ("reopen_mode", Json::str(r.reopen_mode)),
+        ("file_bytes", Json::U64(r.file_bytes)),
+    ])
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes: &[usize] = if quick {
+        &[60]
+    } else {
+        &[500, 1_000, 2_000, 4_000]
+    };
+    let passes = if quick { 1 } else { 3 };
+    let seed = 20050614u64;
+    let queries = probes();
+
+    let mut rows = Vec::new();
+    for &target in sizes {
+        let db = build_db(target, seed);
+        let objects = db.stats().objects;
+        let baseline: Vec<_> = queries.iter().map(|q| first_knn(&db, q)).collect();
+
+        let v1_path = temp_path(&format!("{target}.v1"));
+        let v2_path = temp_path(&format!("{target}.v2"));
+        db.save_v1(&v1_path).expect("save v1");
+        db.save(&v2_path).expect("save v2");
+
+        let v1 = measure_reopen(&v1_path, &queries, passes);
+        let v2 = measure_reopen(&v2_path, &queries, passes);
+        let _ = std::fs::remove_file(&v1_path);
+        let _ = std::fs::remove_file(&v2_path);
+
+        // Hit identity across the built database and both reopen paths.
+        assert_eq!(v1.hits, baseline, "{target}: v1 reopen changed the hits");
+        assert_eq!(v2.hits, baseline, "{target}: v2 reopen changed the hits");
+        assert_eq!(v1.reopen_mode, "rebuild", "{target}: v1 mode");
+        assert_eq!(v2.reopen_mode, "fast", "{target}: v2 mode");
+
+        let load_speedup = v1.load_ns as f64 / v2.load_ns.max(1) as f64;
+        let first_speedup = v1.first_knn_ns as f64 / v2.first_knn_ns.max(1) as f64;
+        if !quick && objects >= 1_000 {
+            assert!(
+                load_speedup >= 2.0,
+                "{target}: v2 reopen speedup {load_speedup:.2}x below the 2x floor"
+            );
+        }
+        eprintln!(
+            "{objects:>5} objects  reopen {:>9.2}ms -> {:>7.2}ms ({load_speedup:5.1}x)  \
+             first-kNN {:>9.2}ms -> {:>7.2}ms ({first_speedup:5.1}x)  v2 file {} B",
+            v1.load_ns as f64 / 1e6,
+            v2.load_ns as f64 / 1e6,
+            v1.first_knn_ns as f64 / 1e6,
+            v2.first_knn_ns as f64 / 1e6,
+            v2.file_bytes,
+        );
+
+        rows.push(Json::obj(vec![
+            ("target_objects", Json::U64(target as u64)),
+            ("objects", Json::U64(objects as u64)),
+            ("clips", Json::U64(db.stats().clips as u64)),
+            ("hits_identical", Json::Bool(true)),
+            ("v1", reopen_json(&v1)),
+            ("v2", reopen_json(&v2)),
+            ("load_speedup", Json::F64(load_speedup)),
+            ("first_knn_speedup", Json::F64(first_speedup)),
+        ]));
+    }
+
+    let doc = Json::obj(vec![
+        ("seed", Json::U64(seed)),
+        ("quick", Json::Bool(quick)),
+        ("queries", Json::U64(queries.len() as u64)),
+        ("rows", Json::Array(rows)),
+    ]);
+    let path = results_dir().join("BENCH_persist.json");
+    std::fs::write(&path, doc.render()).expect("write results");
+    eprintln!("wrote {}", path.display());
+}

@@ -234,9 +234,13 @@ pub fn cmd_stats(args: &Args) -> CmdResult {
     let db = open_db(db_path, args)?;
     let s = db.stats();
     if args.has("--json") {
-        return Ok(
-            wire::stats_json(&s, &db.shard_stats(), db.metrics_snapshot().to_json()).render(),
-        );
+        return Ok(wire::stats_json(
+            &s,
+            &db.shard_stats(),
+            &db.persist_info(),
+            db.metrics_snapshot().to_json(),
+        )
+        .render());
     }
     // Cumulative kernel counters for this process's queries (counters are
     // in-memory, so a freshly loaded database reports zeros).
@@ -245,8 +249,10 @@ pub fn cmd_stats(args: &Args) -> CmdResult {
     let calls = c("query.knn.distance_calls") + c("query.range.distance_calls");
     let lb = c("query.knn.lb_pruned") + c("query.range.lb_pruned");
     let ea = c("query.knn.early_abandoned") + c("query.range.early_abandoned");
+    let p = db.persist_info();
     let mut out = format!(
         "clips {}  objects {}  clusters {}  raw-STRG {} B  index {} B ({:.1}x smaller)\n\
+         persist: format v{} reopen {}\n\
          kernels: {} distance calls, {} lb-pruned, {} early-abandoned (cumulative)",
         s.clips,
         s.objects,
@@ -254,6 +260,8 @@ pub fn cmd_stats(args: &Args) -> CmdResult {
         s.strg_bytes,
         s.index_bytes,
         s.strg_bytes as f64 / s.index_bytes.max(1) as f64,
+        p.format(),
+        p.reopen.as_str(),
         calls,
         lb,
         ea,

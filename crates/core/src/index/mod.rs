@@ -201,6 +201,37 @@ impl<V: ClusterValue, D: MetricDistance<V> + BoundedDistance<V> + LowerBound<V> 
         }
     }
 
+    /// Reassembles an index from fully-built root records without any
+    /// clustering — the STRGDB v2 fast-reopen path (`crate::persist`).
+    ///
+    /// The derived state is recomputed from the records themselves:
+    /// `len` is the total leaf-record count and the aggregate
+    /// [`SummaryEnvelope`] is folded over every record's stored summary.
+    /// Envelope folds are componentwise mins/maxes, so the fold order does
+    /// not matter and the result is bit-identical to the envelope the
+    /// incremental build maintained — `from_parts(roots(build))` rebuilds
+    /// `build` exactly.
+    pub fn from_parts(metric: D, cfg: StrgIndexConfig, roots: Vec<RootRecord<V>>) -> Self {
+        let mut len = 0;
+        let mut env = SummaryEnvelope::empty();
+        for root in &roots {
+            for c in &root.clusters {
+                for rec in &c.leaf.records {
+                    env.add(&rec.summary);
+                    len += 1;
+                }
+            }
+        }
+        Self {
+            cfg,
+            metric,
+            roots,
+            len,
+            env,
+            recorder: None,
+        }
+    }
+
     /// Records build statistics into `recorder`: `index.build.segments`,
     /// `index.build.clusters`, `index.build.bic_sweeps`,
     /// `index.build.inserts`, `index.build.splits`, plus the EM clusterer's

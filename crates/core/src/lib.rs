@@ -33,6 +33,7 @@ pub use index::{
 #[allow(deprecated)]
 pub use options::VideoDbConfig;
 pub use options::{open, Database, DbOptions, Metric};
+pub use persist::{PersistInfo, ReopenMode, FORMAT_VERSION, PERSIST_V1_ENV};
 pub use pipeline::{ClipMeta, DbStats, IngestReport, QueryHit, StoredOg, VideoDatabase};
 pub use query::{Query, QueryResult};
 pub use shard::{

@@ -20,7 +20,7 @@
 //! [`ShardedDatabase`](crate::ShardedDatabase) (N independent trees behind
 //! deterministic hash-of-name routing), so `strg-serve` and the CLI run
 //! unchanged against either. [`open`] picks the flavor from what is on
-//! disk (STRGDB v1 file → single tree, shard directory → sharded) or, for
+//! disk (STRGDB file → single tree, shard directory → sharded) or, for
 //! a fresh path, from [`DbOptions::shards`].
 
 use std::io;
@@ -33,6 +33,7 @@ use strg_parallel::Threads;
 use strg_video::{Frame, SegmentConfig, VideoClip};
 
 use crate::index::StrgIndexConfig;
+use crate::persist::PersistInfo;
 use crate::pipeline::{DbStats, IngestReport, VideoDatabase};
 use crate::query::{Query, QueryResult};
 use crate::shard::ShardedDatabase;
@@ -181,6 +182,14 @@ pub trait Database: Send + Sync {
 
     /// The database's metric recorder.
     fn recorder(&self) -> &Recorder;
+
+    /// Where this database's contents came from: the on-disk format it was
+    /// loaded from (if any) and whether the index was deserialized or
+    /// re-clustered on load. The default covers freshly created databases;
+    /// both flavors override it after a load.
+    fn persist_info(&self) -> PersistInfo {
+        PersistInfo::fresh()
+    }
 
     /// A point-in-time snapshot of every recorded metric.
     fn metrics_snapshot(&self) -> Snapshot {

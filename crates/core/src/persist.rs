@@ -1,27 +1,58 @@
-//! Database persistence.
+//! Database persistence: the STRGDB v2 segment-file format (write path)
+//! plus the legacy STRGDB v1 text format (read path).
 //!
-//! A production video database must survive restarts. [`VideoDatabase`]
-//! serializes to a simple versioned, line-oriented text format (no
-//! serialization crates are vendored in this environment, so the format is
-//! hand-rolled and fully specified here):
+//! # Why two formats
+//!
+//! STRGDB v1 (the original format, still fully readable) stores only the
+//! *data* — clips, Background Graphs, and Object Graphs — as a versioned
+//! line-oriented text file. Loading a v1 file re-runs EM/K-Means
+//! clustering over every clip, so reopening a big database repays the
+//! whole build cost before the first query.
+//!
+//! STRGDB v2 serializes the **built index** as well: cluster centroids,
+//! leaf records with their metric keys, and the precomputed [`SeqSummary`]
+//! sidecars, in fixed-width checksummed binary records. Loading a v2 file
+//! reassembles the tree with [`StrgIndex::from_parts`] — no clustering, no
+//! distance evaluations — so a reopened database serves its first k-NN in
+//! milliseconds (`bench --bin persist` quantifies the gap).
+//!
+//! # The v2 record grammar (DESIGN.md §14)
 //!
 //! ```text
-//! STRGDB v1
-//! clips <count>
-//! clip <frames> <strg_bytes_share> <name>          # one per clip, in order
-//! bg <clip_idx> <frames_covered> <nodes> <edges>   # background graph
-//! bgnode <size> <r> <g> <b> <x> <y>                # nodes (hex f64 bits)
-//! bgedge <u> <v>
-//! ogs <count>
-//! og <id> <clip_idx> <start_frame> <samples>
-//! s <size> <r> <g> <b> <x> <y> <vel> <dir>         # one per sample
+//! file    := header record* toc trailer
+//! header  := magic[8]="STRGDB2\0" version:u32 flags:u32
+//! record  := tag:u32 len:u64 crc:u32 payload[len]        # crc = CRC-32 (IEEE) of payload
+//! trailer := toc_offset:u64 magic[8]="STRG2END"
 //! ```
 //!
-//! All `f64` values are written as big-endian bit patterns in hex
-//! (`f64::to_bits`), so round-trips are lossless. On load the STRG-Index is
-//! rebuilt from the stored OGs with the configured (deterministic,
-//! seeded) clustering — loading with the same [`DbOptions`] reproduces
-//! the same index the original ingest built.
+//! All integers are little-endian; every `f64` is stored as its IEEE bit
+//! pattern (`f64::to_bits`), so round-trips are lossless. Records appear
+//! in one canonical order (META, one CLIP per clip, then per segment one
+//! ROOT followed by its CLUS/LEAF/SUMS extents per cluster, one OGS extent
+//! per clip, TOC): the deterministic band makes the in-memory index
+//! byte-identical at any `STRG_THREADS`, so the serialized bytes are too,
+//! and `save → load → save` is a byte-identity (pinned by tests here and
+//! in `tests/persist_equivalence.rs`).
+//!
+//! The TOC footer lists every record's `(tag, root, cluster, offset,
+//! len)`. Leaf sequences are self-contained inside their offset-addressed
+//! LEAF extents, so a follow-up can demand-page leaves straight from the
+//! TOC instead of slurping the file; today the loader reads everything and
+//! only uses the TOC as an end-to-end structural cross-check.
+//!
+//! # Compatibility and the rebuild hatch
+//!
+//! * v1 files load transparently (the loader sniffs the first bytes) and
+//!   are rebuilt by re-clustering, exactly as before. Saving always
+//!   writes v2; [`VideoDatabase::save_v1`] keeps the old writer reachable
+//!   for compatibility tooling and the persistence benchmark.
+//! * Setting [`PERSIST_V1_ENV`] (`STRG_PERSIST_V1=1`) forces the
+//!   rebuild-on-load path even for v2 files: the serialized index extents
+//!   are ignored and the tree is re-clustered from the stored OGs. Because
+//!   production ingest only ever builds segments wholesale
+//!   (`StrgIndex::add_segment`), the rebuilt tree is bit-identical to the
+//!   deserialized one — `tests/persist_equivalence.rs` diffs the two
+//!   loaders end to end in hits, costs, stats, and re-saved bytes.
 //!
 //! A sharded database persists as a *directory* of these files plus a
 //! manifest — see [`crate::ShardedDatabase::save`].
@@ -31,43 +62,377 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
+use strg_distance::SeqSummary;
 use strg_graph::{
     BackgroundGraph, FrameId, NodeAttr, NodeId, ObjectGraph, OgSample, Point2, Rag, Rgb,
 };
 
+use crate::index::{ClusterRecord, LeafNode, LeafRecord, RootRecord, StrgIndex};
 use crate::options::DbOptions;
 use crate::pipeline::{ClipMeta, StoredOg, VideoDatabase};
 
-/// Format magic / version line.
-const HEADER: &str = "STRGDB v1";
+/// v1 format magic / version line.
+const V1_HEADER: &str = "STRGDB v1";
 
-fn hex(v: f64) -> String {
-    format!("{:016x}", v.to_bits())
+/// v2 leading magic.
+const V2_MAGIC: &[u8; 8] = b"STRGDB2\0";
+/// v2 trailing magic (the last 8 bytes of every well-formed v2 file).
+const V2_END_MAGIC: &[u8; 8] = b"STRG2END";
+
+/// The format version [`VideoDatabase::save`] writes.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Environment variable forcing the v1 rebuild-on-load path: set to `1`
+/// (or any non-empty value other than `0`) to ignore the serialized index
+/// extents of a v2 file and re-cluster from the stored OGs, exactly as a
+/// v1 load does. The escape hatch for the persistence equivalence suite;
+/// results must be bit-identical in both modes.
+pub const PERSIST_V1_ENV: &str = "STRG_PERSIST_V1";
+
+/// Whether [`PERSIST_V1_ENV`] forces the rebuild-on-load path. Re-read per
+/// call so tests can toggle the hatch mid-process.
+pub fn persist_v1_forced() -> bool {
+    match std::env::var(PERSIST_V1_ENV) {
+        Ok(v) => {
+            let v = v.trim();
+            !(v.is_empty() || v == "0")
+        }
+        Err(_) => false,
+    }
 }
 
-fn parse_hex(s: &str) -> io::Result<f64> {
-    u64::from_str_radix(s, 16)
-        .map(f64::from_bits)
-        .map_err(|e| bad(format!("bad f64 bits {s:?}: {e}")))
+/// How a database came to hold its in-memory index when it was opened.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ReopenMode {
+    /// Created empty — nothing was loaded.
+    Fresh,
+    /// Loaded from disk and re-clustered (a v1 file, or [`PERSIST_V1_ENV`]).
+    Rebuild,
+    /// Deserialized from v2 index extents — no clustering on load.
+    Fast,
 }
+
+impl ReopenMode {
+    /// Stable lowercase name (`fresh` / `rebuild` / `fast`) for wire and
+    /// CLI output.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ReopenMode::Fresh => "fresh",
+            ReopenMode::Rebuild => "rebuild",
+            ReopenMode::Fast => "fast",
+        }
+    }
+}
+
+/// Where a database's contents came from, surfaced through
+/// [`crate::Database::persist_info`] and the `stats` wire body.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PersistInfo {
+    /// Format version of the file(s) the database was loaded from; `None`
+    /// for a freshly created database. A sharded database reports the
+    /// *oldest* shard file version.
+    pub loaded_format: Option<u32>,
+    /// How the in-memory index came to be.
+    pub reopen: ReopenMode,
+}
+
+impl PersistInfo {
+    /// The info of a freshly created (unloaded) database.
+    pub const fn fresh() -> Self {
+        Self {
+            loaded_format: None,
+            reopen: ReopenMode::Fresh,
+        }
+    }
+
+    /// The on-disk format version this database speaks: the loaded version,
+    /// or the version a save will write for a fresh database.
+    pub fn format(&self) -> u32 {
+        self.loaded_format.unwrap_or(FORMAT_VERSION)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected 0xEDB88320) — hand-rolled, no crates.
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `data`. Public within the crate for the fault suite.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Record tags.
+// ---------------------------------------------------------------------------
+
+/// Database-wide counts: `clips, ogs, roots, strg_bytes, index_len`.
+const TAG_META: u32 = u32::from_le_bytes(*b"META");
+/// One clip's metadata: frames, root id, name, OG ids.
+const TAG_CLIP: u32 = u32::from_le_bytes(*b"CLIP");
+/// One segment root: Background Graph nodes/edges + cluster count.
+const TAG_ROOT: u32 = u32::from_le_bytes(*b"ROOT");
+/// One cluster record: the EM centroid sequence.
+const TAG_CLUS: u32 = u32::from_le_bytes(*b"CLUS");
+/// One leaf extent: every member record of one cluster (key, OG id, seq).
+const TAG_LEAF: u32 = u32::from_le_bytes(*b"LEAF");
+/// One summary sidecar: the [`SeqSummary`] of each record of one leaf.
+const TAG_SUMS: u32 = u32::from_le_bytes(*b"SUMS");
+/// One OG extent: the stored Object Graphs of one clip.
+const TAG_OGS: u32 = u32::from_le_bytes(*b"OGS\0");
+/// The table-of-contents footer.
+const TAG_TOC: u32 = u32::from_le_bytes(*b"TOC\0");
 
 fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
-fn parse<T: std::str::FromStr>(s: &str, what: &str) -> io::Result<T> {
-    s.parse().map_err(|_| bad(format!("bad {what}: {s:?}")))
+// ---------------------------------------------------------------------------
+// v2 encoding.
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_point(out: &mut Vec<u8>, p: Point2) {
+    put_f64(out, p.x);
+    put_f64(out, p.y);
+}
+
+/// One TOC row: `(tag, root, cluster, offset, len)` — `offset` addresses
+/// the record header, `len` covers header + payload.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+struct TocEntry {
+    tag: u32,
+    a: u32,
+    b: u32,
+    offset: u64,
+    len: u64,
+}
+
+/// Record header size: tag (4) + len (8) + crc (4).
+const REC_HEADER: usize = 16;
+
+fn push_record(
+    out: &mut Vec<u8>,
+    toc: &mut Vec<TocEntry>,
+    tag: u32,
+    a: u32,
+    b: u32,
+    payload: &[u8],
+) {
+    toc.push(TocEntry {
+        tag,
+        a,
+        b,
+        offset: out.len() as u64,
+        len: (REC_HEADER + payload.len()) as u64,
+    });
+    put_u32(out, tag);
+    put_u64(out, payload.len() as u64);
+    put_u32(out, crc32(payload));
+    out.extend_from_slice(payload);
+}
+
+fn encode_bg(payload: &mut Vec<u8>, bg: &BackgroundGraph, n_clusters: usize) {
+    let rag = &bg.rag;
+    put_u32(payload, bg.frames_covered);
+    put_u64(payload, rag.node_count() as u64);
+    put_u64(payload, rag.edge_count() as u64);
+    put_u64(payload, n_clusters as u64);
+    for v in rag.node_ids() {
+        let a = rag.attr(v);
+        put_u32(payload, a.size);
+        put_f64(payload, a.color.r);
+        put_f64(payload, a.color.g);
+        put_f64(payload, a.color.b);
+        put_point(payload, a.centroid);
+    }
+    for (u, v, _) in rag.edges() {
+        put_u32(payload, u.0);
+        put_u32(payload, v.0);
+    }
 }
 
 impl VideoDatabase {
-    /// Serializes the database to `path` in the STRGDB v1 format.
+    /// Serializes the database to `path` in the STRGDB v2 segment-file
+    /// format (see the module docs for the record grammar). Root ids are
+    /// canonicalized to clip order on the way out, which is exactly the
+    /// numbering a fresh rebuild assigns, so `save → load → save` is a
+    /// byte-identity and v2 loads match v1 rebuilds bit for bit.
     pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
         let clips = self.clips.read();
         let ogs = self.ogs.read();
         let index = self.index.read();
 
+        let mut out = Vec::with_capacity(64 * 1024);
+        out.extend_from_slice(V2_MAGIC);
+        put_u32(&mut out, FORMAT_VERSION);
+        put_u32(&mut out, 0); // flags (reserved)
+        let mut toc: Vec<TocEntry> = Vec::new();
+
+        // META.
+        let index_len: usize = index.len();
+        let mut payload = Vec::new();
+        put_u64(&mut payload, clips.len() as u64);
+        put_u64(&mut payload, ogs.len() as u64);
+        put_u64(&mut payload, clips.len() as u64); // roots (1:1 with clips)
+        put_u64(&mut payload, *self.strg_bytes.read() as u64);
+        put_u64(&mut payload, index_len as u64);
+        push_record(&mut out, &mut toc, TAG_META, 0, 0, &payload);
+
+        // CLIP records, in ingest order. The stored root id is the clip's
+        // position — the canonical numbering a rebuild assigns.
+        for (ci, c) in clips.iter().enumerate() {
+            payload.clear();
+            put_u64(&mut payload, c.frames as u64);
+            put_u32(&mut payload, ci as u32);
+            put_u32(&mut payload, c.name.len() as u32);
+            payload.extend_from_slice(c.name.as_bytes());
+            put_u64(&mut payload, c.og_ids.len() as u64);
+            for &id in &c.og_ids {
+                put_u64(&mut payload, id);
+            }
+            push_record(&mut out, &mut toc, TAG_CLIP, ci as u32, 0, &payload);
+        }
+
+        // Per segment: ROOT, then (CLUS, LEAF, SUMS) per cluster.
+        for (ci, c) in clips.iter().enumerate() {
+            let root = index
+                .roots()
+                .iter()
+                .find(|r| r.id == c.root_id)
+                .ok_or_else(|| bad("clip without root record"))?;
+            payload.clear();
+            encode_bg(&mut payload, &root.bg, root.clusters.len());
+            push_record(&mut out, &mut toc, TAG_ROOT, ci as u32, 0, &payload);
+
+            for cl in &root.clusters {
+                payload.clear();
+                put_u64(&mut payload, cl.centroid.len() as u64);
+                for &p in &cl.centroid {
+                    put_point(&mut payload, p);
+                }
+                push_record(&mut out, &mut toc, TAG_CLUS, ci as u32, cl.id, &payload);
+
+                payload.clear();
+                put_u64(&mut payload, cl.leaf.records.len() as u64);
+                for rec in &cl.leaf.records {
+                    put_f64(&mut payload, rec.key);
+                    put_u64(&mut payload, rec.og_id);
+                    put_u64(&mut payload, rec.seq.len() as u64);
+                    for &p in &rec.seq {
+                        put_point(&mut payload, p);
+                    }
+                }
+                push_record(&mut out, &mut toc, TAG_LEAF, ci as u32, cl.id, &payload);
+
+                payload.clear();
+                put_u64(&mut payload, cl.leaf.records.len() as u64);
+                for rec in &cl.leaf.records {
+                    put_u64(&mut payload, rec.summary.len as u64);
+                    put_f64(&mut payload, rec.summary.gap_mass);
+                    put_f64(&mut payload, rec.summary.min_gap);
+                    put_point(&mut payload, rec.summary.lo);
+                    put_point(&mut payload, rec.summary.hi);
+                }
+                push_record(&mut out, &mut toc, TAG_SUMS, ci as u32, cl.id, &payload);
+            }
+        }
+
+        // One OGS extent per clip, in clip order. Each clip's OGs claimed
+        // one contiguous id block at ingest, so the concatenation is the
+        // id-sorted store order.
+        for ci in 0..clips.len() {
+            payload.clear();
+            let clip_ogs: Vec<&StoredOg> = ogs.iter().filter(|s| s.clip == ci).collect();
+            put_u64(&mut payload, clip_ogs.len() as u64);
+            for s in clip_ogs {
+                put_u64(&mut payload, s.id);
+                put_u32(&mut payload, s.og.id);
+                put_u64(&mut payload, s.og.start_frame as u64);
+                put_u64(&mut payload, s.og.samples.len() as u64);
+                for smp in &s.og.samples {
+                    put_u32(&mut payload, smp.size);
+                    put_f64(&mut payload, smp.color.r);
+                    put_f64(&mut payload, smp.color.g);
+                    put_f64(&mut payload, smp.color.b);
+                    put_point(&mut payload, smp.centroid);
+                    put_f64(&mut payload, smp.velocity);
+                    put_f64(&mut payload, smp.direction);
+                }
+            }
+            push_record(&mut out, &mut toc, TAG_OGS, ci as u32, 0, &payload);
+        }
+
+        // TOC footer (lists every record above, not itself) + trailer.
+        payload.clear();
+        put_u64(&mut payload, toc.len() as u64);
+        for e in &toc {
+            put_u32(&mut payload, e.tag);
+            put_u32(&mut payload, e.a);
+            put_u32(&mut payload, e.b);
+            put_u64(&mut payload, e.offset);
+            put_u64(&mut payload, e.len);
+        }
+        let toc_offset = out.len() as u64;
+        let mut toc_sink = Vec::new();
+        push_record(&mut out, &mut toc_sink, TAG_TOC, 0, 0, &payload);
+        put_u64(&mut out, toc_offset);
+        out.extend_from_slice(V2_END_MAGIC);
+
+        fs::write(path, out)
+    }
+
+    /// Serializes the database in the legacy STRGDB v1 text format (data
+    /// only — a v1 load re-clusters). Kept for compatibility tooling and
+    /// the `bench --bin persist` v1-vs-v2 comparison; [`VideoDatabase::save`]
+    /// always writes v2.
+    pub fn save_v1(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let clips = self.clips.read();
+        let ogs = self.ogs.read();
+        let index = self.index.read();
+
+        fn hex(v: f64) -> String {
+            format!("{:016x}", v.to_bits())
+        }
+
         let mut out = String::new();
-        out.push_str(HEADER);
+        out.push_str(V1_HEADER);
         out.push('\n');
         let _ = writeln!(out, "clips {}", clips.len());
         for c in clips.iter() {
@@ -136,173 +501,279 @@ impl VideoDatabase {
         fs::write(path, out)
     }
 
-    /// Loads a database from `path`, rebuilding the index with `opts`.
+    /// Loads a database from `path`. v2 files deserialize the built index
+    /// directly ([`ReopenMode::Fast`]); v1 files — and v2 files under the
+    /// [`PERSIST_V1_ENV`] hatch — rebuild it by re-clustering with `opts`
+    /// ([`ReopenMode::Rebuild`]). Both paths produce bit-identical
+    /// databases for anything a save produced.
     pub fn load(path: impl AsRef<Path>, opts: DbOptions) -> io::Result<Self> {
         Self::load_into(VideoDatabase::new(opts), path.as_ref())
     }
 
-    /// Fills an empty, freshly-constructed database from the STRGDB v1
-    /// file at `path`. Split from [`VideoDatabase::load`] so a sharded
-    /// load can pass shards built with a shared recorder and id allocator.
+    /// Fills an empty, freshly-constructed database from the file at
+    /// `path`. Split from [`VideoDatabase::load`] so a sharded load can
+    /// pass shards built with a shared recorder and id allocator.
     pub(crate) fn load_into(db: VideoDatabase, path: &Path) -> io::Result<Self> {
-        let text = fs::read_to_string(path)?;
-        let mut lines = text.lines();
-        if lines.next() != Some(HEADER) {
-            return Err(bad("missing STRGDB v1 header"));
+        let bytes = fs::read(path)?;
+        if bytes.starts_with(V2_MAGIC) {
+            load_v2_into(db, &bytes)
+        } else {
+            let text = std::str::from_utf8(&bytes)
+                .map_err(|_| bad("neither a STRGDB2 file nor UTF-8 text"))?;
+            load_v1_into(db, text)
         }
+    }
+}
 
-        // clips
-        let l = lines.next().ok_or_else(|| bad("missing clips line"))?;
-        let n_clips: usize = parse(
-            l.strip_prefix("clips ")
-                .ok_or_else(|| bad("expected 'clips'"))?,
-            "clip count",
-        )?;
-        let mut clip_meta: Vec<(usize, String)> = Vec::with_capacity(n_clips);
-        for _ in 0..n_clips {
-            let l = lines.next().ok_or_else(|| bad("missing clip line"))?;
-            let rest = l
-                .strip_prefix("clip ")
-                .ok_or_else(|| bad("expected 'clip'"))?;
-            let mut it = rest.splitn(3, ' ');
-            let frames: usize = parse(it.next().unwrap_or(""), "clip frames")?;
-            let _legacy: u64 = parse(it.next().unwrap_or(""), "clip reserved")?;
-            let name = it
-                .next()
-                .ok_or_else(|| bad("missing clip name"))?
-                .to_string();
-            clip_meta.push((frames, name));
+// ---------------------------------------------------------------------------
+// v2 decoding.
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked little-endian reader over a record payload (or the whole
+/// file). Every getter returns a structured error instead of panicking, so
+/// arbitrarily corrupt input can never take the process down.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    what: &'static str,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8], what: &'static str) -> Self {
+        Self { buf, pos: 0, what }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(bad(format!(
+                "truncated {} (need {n} bytes, have {})",
+                self.what,
+                self.remaining()
+            )));
         }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
 
-        // backgrounds
-        let mut bgs: Vec<BackgroundGraph> = Vec::with_capacity(n_clips);
-        for ci in 0..n_clips {
-            let l = lines.next().ok_or_else(|| bad("missing bg line"))?;
-            let rest = l.strip_prefix("bg ").ok_or_else(|| bad("expected 'bg'"))?;
-            let parts: Vec<&str> = rest.split(' ').collect();
-            if parts.len() != 4 {
-                return Err(bad("bg line arity"));
-            }
-            let idx: usize = parse(parts[0], "bg clip idx")?;
-            if idx != ci {
-                return Err(bad("bg records out of order"));
-            }
-            let frames_covered: u32 = parse(parts[1], "bg frames")?;
-            let n_nodes: usize = parse(parts[2], "bg nodes")?;
-            let n_edges: usize = parse(parts[3], "bg edges")?;
-            let mut rag = Rag::new(FrameId(0));
-            for _ in 0..n_nodes {
-                let l = lines.next().ok_or_else(|| bad("missing bgnode"))?;
-                let p: Vec<&str> = l
-                    .strip_prefix("bgnode ")
-                    .ok_or_else(|| bad("expected 'bgnode'"))?
-                    .split(' ')
-                    .collect();
-                if p.len() != 6 {
-                    return Err(bad("bgnode arity"));
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> io::Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn point(&mut self) -> io::Result<Point2> {
+        Ok(Point2::new(self.f64()?, self.f64()?))
+    }
+
+    /// A count of `min_size`-byte items that must fit in the remaining
+    /// payload — rejects absurd counts *before* any allocation, so an
+    /// oversized length field yields an error, not an OOM abort.
+    fn count(&mut self, min_size: usize) -> io::Result<usize> {
+        let n = self.u64()?;
+        if n > (self.remaining() / min_size.max(1)) as u64 {
+            return Err(bad(format!(
+                "oversized count {n} in {} ({} bytes remain)",
+                self.what,
+                self.remaining()
+            )));
+        }
+        Ok(n as usize)
+    }
+}
+
+/// One decoded record: tag, `(a, b)` addressing, payload slice, and its
+/// file offset/length for the TOC cross-check.
+struct RawRecord<'a> {
+    tag: u32,
+    a_hint: TocEntry,
+    payload: &'a [u8],
+}
+
+/// Splits a v2 file into validated records: header and trailer magics,
+/// version, per-record length bounds and CRC, and the TOC footer are all
+/// checked here, so the assembly stage below only sees intact payloads.
+fn split_v2_records(bytes: &[u8]) -> io::Result<Vec<RawRecord<'_>>> {
+    // Header.
+    if bytes.len() < 16 + 16 {
+        return Err(bad("file too short for a STRGDB2 header and trailer"));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(bad(format!(
+            "unsupported STRGDB2 version {version} (this build reads {FORMAT_VERSION})"
+        )));
+    }
+    let flags = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    if flags != 0 {
+        return Err(bad(format!("unsupported STRGDB2 flags {flags:#x}")));
+    }
+    // Trailer.
+    let trailer = &bytes[bytes.len() - 16..];
+    if &trailer[8..] != V2_END_MAGIC {
+        return Err(bad("missing STRG2END trailer (truncated file?)"));
+    }
+    let toc_offset = u64::from_le_bytes(trailer[..8].try_into().unwrap());
+    let body_end = bytes.len() - 16;
+    if toc_offset < 16 || toc_offset as usize >= body_end {
+        return Err(bad("TOC offset out of bounds"));
+    }
+    let toc_offset = toc_offset as usize;
+
+    // Walk records from the header to the trailer.
+    let mut records = Vec::new();
+    let mut pos = 16usize;
+    while pos < body_end {
+        if body_end - pos < REC_HEADER {
+            return Err(bad("truncated record header"));
+        }
+        let tag = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        let len = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap());
+        let crc = u32::from_le_bytes(bytes[pos + 12..pos + 16].try_into().unwrap());
+        if len > (body_end - pos - REC_HEADER) as u64 {
+            return Err(bad(format!(
+                "record length {len} overruns the file (offset {pos})"
+            )));
+        }
+        let payload = &bytes[pos + REC_HEADER..pos + REC_HEADER + len as usize];
+        if crc32(payload) != crc {
+            return Err(bad(format!("checksum mismatch in record at offset {pos}")));
+        }
+        records.push(RawRecord {
+            tag,
+            a_hint: TocEntry {
+                tag,
+                a: 0,
+                b: 0,
+                offset: pos as u64,
+                len: (REC_HEADER + len as usize) as u64,
+            },
+            payload,
+        });
+        pos += REC_HEADER + len as usize;
+    }
+    if pos != body_end {
+        return Err(bad("trailing bytes between last record and trailer"));
+    }
+
+    // The last record must be the TOC, sitting exactly at toc_offset; its
+    // rows must describe every preceding record (the structural
+    // cross-check a future demand-pager relies on).
+    let toc_rec = records.pop().ok_or_else(|| bad("empty STRGDB2 file"))?;
+    if toc_rec.tag != TAG_TOC || toc_rec.a_hint.offset != toc_offset as u64 {
+        return Err(bad("trailer does not point at the TOC record"));
+    }
+    let mut cur = Cursor::new(toc_rec.payload, "TOC");
+    let n = cur.count(28)?;
+    if n != records.len() {
+        return Err(bad(format!(
+            "TOC lists {n} records, file holds {}",
+            records.len()
+        )));
+    }
+    for rec in &records {
+        let (tag, _a, _b) = (cur.u32()?, cur.u32()?, cur.u32()?);
+        let (offset, len) = (cur.u64()?, cur.u64()?);
+        if tag != rec.tag || offset != rec.a_hint.offset || len != rec.a_hint.len {
+            return Err(bad("TOC row disagrees with record layout"));
+        }
+    }
+    Ok(records)
+}
+
+fn decode_bg(cur: &mut Cursor<'_>) -> io::Result<(BackgroundGraph, usize)> {
+    let frames_covered = cur.u32()?;
+    let n_nodes = cur.count(44)?;
+    let n_edges = cur.u64()?;
+    let n_clusters = cur.u64()? as usize;
+    let mut rag = Rag::with_capacity(FrameId(0), n_nodes);
+    for _ in 0..n_nodes {
+        let size = cur.u32()?;
+        let color = Rgb::new(cur.f64()?, cur.f64()?, cur.f64()?);
+        let centroid = cur.point()?;
+        rag.add_node(NodeAttr::new(size, color, centroid));
+    }
+    if n_edges > (cur.remaining() / 8) as u64 {
+        return Err(bad("oversized edge count in ROOT record"));
+    }
+    for _ in 0..n_edges {
+        let (u, v) = (cur.u32()?, cur.u32()?);
+        if u as usize >= n_nodes || v as usize >= n_nodes {
+            return Err(bad("ROOT edge references unknown node"));
+        }
+        rag.add_edge(NodeId(u), NodeId(v));
+    }
+    Ok((
+        BackgroundGraph {
+            rag,
+            frames_covered,
+        },
+        n_clusters,
+    ))
+}
+
+/// Everything parsed out of a v2 file, before index assembly.
+struct ParsedV2 {
+    clips: Vec<ClipMeta>,
+    roots: Vec<RootRecord<Point2>>,
+    ogs: Vec<StoredOg>,
+    strg_bytes: usize,
+    index_len: usize,
+}
+
+fn parse_v2(bytes: &[u8]) -> io::Result<ParsedV2> {
+    let records = split_v2_records(bytes)?;
+    let mut it = records.iter();
+
+    // META first.
+    let meta = it.next().ok_or_else(|| bad("missing META record"))?;
+    if meta.tag != TAG_META {
+        return Err(bad("first record is not META"));
+    }
+    let mut cur = Cursor::new(meta.payload, "META");
+    let n_clips = cur.u64()? as usize;
+    let n_ogs = cur.u64()? as usize;
+    let n_roots = cur.u64()? as usize;
+    let strg_bytes = cur.u64()? as usize;
+    let index_len = cur.u64()? as usize;
+    if n_roots != n_clips {
+        return Err(bad("META root/clip count mismatch"));
+    }
+
+    let mut clips: Vec<ClipMeta> = Vec::with_capacity(n_clips.min(bytes.len()));
+    let mut roots: Vec<RootRecord<Point2>> = Vec::with_capacity(n_clips.min(bytes.len()));
+    let mut ogs: Vec<StoredOg> = Vec::new();
+    // Cluster count declared by each ROOT, checked off by CLUS records.
+    let mut declared_clusters: Vec<usize> = Vec::new();
+
+    for rec in it {
+        let mut cur = Cursor::new(rec.payload, "record payload");
+        match rec.tag {
+            TAG_CLIP => {
+                let frames = cur.u64()? as usize;
+                let root_id = cur.u32()?;
+                if root_id as usize != clips.len() {
+                    return Err(bad("CLIP records out of order"));
                 }
-                rag.add_node(NodeAttr::new(
-                    parse(p[0], "bgnode size")?,
-                    Rgb::new(parse_hex(p[1])?, parse_hex(p[2])?, parse_hex(p[3])?),
-                    Point2::new(parse_hex(p[4])?, parse_hex(p[5])?),
-                ));
-            }
-            for _ in 0..n_edges {
-                let l = lines.next().ok_or_else(|| bad("missing bgedge"))?;
-                let p: Vec<&str> = l
-                    .strip_prefix("bgedge ")
-                    .ok_or_else(|| bad("expected 'bgedge'"))?
-                    .split(' ')
-                    .collect();
-                if p.len() != 2 {
-                    return Err(bad("bgedge arity"));
+                let name_len = cur.u32()? as usize;
+                let name = std::str::from_utf8(cur.take(name_len)?)
+                    .map_err(|_| bad("clip name is not UTF-8"))?
+                    .to_string();
+                let n = cur.count(8)?;
+                let mut og_ids = Vec::with_capacity(n);
+                for _ in 0..n {
+                    og_ids.push(cur.u64()?);
                 }
-                rag.add_edge(
-                    NodeId(parse(p[0], "edge u")?),
-                    NodeId(parse(p[1], "edge v")?),
-                );
-            }
-            bgs.push(BackgroundGraph {
-                rag,
-                frames_covered,
-            });
-        }
-
-        // ogs
-        let l = lines.next().ok_or_else(|| bad("missing ogs line"))?;
-        let n_ogs: usize = parse(
-            l.strip_prefix("ogs ")
-                .ok_or_else(|| bad("expected 'ogs'"))?,
-            "og count",
-        )?;
-        let mut stored: Vec<StoredOg> = Vec::with_capacity(n_ogs);
-        for _ in 0..n_ogs {
-            let l = lines.next().ok_or_else(|| bad("missing og line"))?;
-            let p: Vec<&str> = l
-                .strip_prefix("og ")
-                .ok_or_else(|| bad("expected 'og'"))?
-                .split(' ')
-                .collect();
-            if p.len() != 4 {
-                return Err(bad("og arity"));
-            }
-            let id: u64 = parse(p[0], "og id")?;
-            let clip: usize = parse(p[1], "og clip")?;
-            let start_frame: usize = parse(p[2], "og start")?;
-            let n_samples: usize = parse(p[3], "og samples")?;
-            if clip >= n_clips {
-                return Err(bad("og references unknown clip"));
-            }
-            let mut samples = Vec::with_capacity(n_samples);
-            for _ in 0..n_samples {
-                let l = lines.next().ok_or_else(|| bad("missing sample"))?;
-                let p: Vec<&str> = l
-                    .strip_prefix("s ")
-                    .ok_or_else(|| bad("expected 's'"))?
-                    .split(' ')
-                    .collect();
-                if p.len() != 8 {
-                    return Err(bad("sample arity"));
-                }
-                samples.push(OgSample {
-                    size: parse(p[0], "sample size")?,
-                    color: Rgb::new(parse_hex(p[1])?, parse_hex(p[2])?, parse_hex(p[3])?),
-                    centroid: Point2::new(parse_hex(p[4])?, parse_hex(p[5])?),
-                    velocity: parse_hex(p[6])?,
-                    direction: parse_hex(p[7])?,
-                });
-            }
-            stored.push(StoredOg {
-                id,
-                clip,
-                og: ObjectGraph {
-                    id: id as u32,
-                    start_frame,
-                    samples,
-                },
-            });
-        }
-        let strg_bytes: usize = match lines.next() {
-            Some(l) => parse(
-                l.strip_prefix("strg_bytes ")
-                    .ok_or_else(|| bad("expected 'strg_bytes'"))?,
-                "strg bytes",
-            )?,
-            None => 0,
-        };
-
-        // Rebuild the index clip by clip (deterministic given the options).
-        {
-            let mut index = db.index.write();
-            let mut clips = db.clips.write();
-            for (ci, ((frames, name), bg)) in clip_meta.into_iter().zip(bgs).enumerate() {
-                let items: Vec<(u64, Vec<Point2>)> = stored
-                    .iter()
-                    .filter(|s| s.clip == ci)
-                    .map(|s| (s.id, s.og.centroid_series()))
-                    .collect();
-                let og_ids = items.iter().map(|(id, _)| *id).collect();
-                let root_id = index.add_segment(bg, items);
                 clips.push(ClipMeta {
                     name,
                     root_id,
@@ -310,11 +781,416 @@ impl VideoDatabase {
                     og_ids,
                 });
             }
-            *db.ogs.write() = stored;
-            *db.strg_bytes.write() = strg_bytes;
+            TAG_ROOT => {
+                let (bg, n_clusters) = decode_bg(&mut cur)?;
+                let id = roots.len() as u32;
+                declared_clusters.push(n_clusters);
+                roots.push(RootRecord {
+                    id,
+                    bg,
+                    clusters: Vec::with_capacity(n_clusters.min(bytes.len())),
+                });
+            }
+            TAG_CLUS => {
+                let root = roots.last_mut().ok_or_else(|| bad("CLUS before ROOT"))?;
+                let n = cur.count(16)?;
+                let mut centroid = Vec::with_capacity(n);
+                for _ in 0..n {
+                    centroid.push(cur.point()?);
+                }
+                root.clusters.push(ClusterRecord {
+                    id: root.clusters.len() as u32,
+                    centroid,
+                    leaf: LeafNode::default(),
+                });
+            }
+            TAG_LEAF => {
+                let root = roots.last_mut().ok_or_else(|| bad("LEAF before ROOT"))?;
+                let cl = root
+                    .clusters
+                    .last_mut()
+                    .ok_or_else(|| bad("LEAF before CLUS"))?;
+                if !cl.leaf.records.is_empty() {
+                    return Err(bad("duplicate LEAF extent for cluster"));
+                }
+                let n = cur.count(24)?;
+                let mut recs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let key = cur.f64()?;
+                    let og_id = cur.u64()?;
+                    let seq_len = cur.count(16)?;
+                    let mut seq = Vec::with_capacity(seq_len);
+                    for _ in 0..seq_len {
+                        seq.push(cur.point()?);
+                    }
+                    recs.push(LeafRecord {
+                        key,
+                        og_id,
+                        seq,
+                        // Placeholder until the SUMS sidecar lands.
+                        summary: SeqSummary {
+                            len: 0,
+                            gap_mass: 0.0,
+                            min_gap: 0.0,
+                            lo: Point2::new(0.0, 0.0),
+                            hi: Point2::new(0.0, 0.0),
+                        },
+                    });
+                }
+                cl.leaf.records = recs;
+            }
+            TAG_SUMS => {
+                let root = roots.last_mut().ok_or_else(|| bad("SUMS before ROOT"))?;
+                let cl = root
+                    .clusters
+                    .last_mut()
+                    .ok_or_else(|| bad("SUMS before CLUS"))?;
+                let n = cur.count(56)?;
+                if n != cl.leaf.records.len() {
+                    return Err(bad("SUMS sidecar arity disagrees with LEAF extent"));
+                }
+                for rec in &mut cl.leaf.records {
+                    rec.summary = SeqSummary {
+                        len: cur.u64()? as usize,
+                        gap_mass: cur.f64()?,
+                        min_gap: cur.f64()?,
+                        lo: cur.point()?,
+                        hi: cur.point()?,
+                    };
+                }
+            }
+            TAG_OGS => {
+                // The extent's clip index comes from its position: OGS
+                // extents are written one per clip, in clip order; the
+                // owning clip is patched from the CLIP og-id lists below.
+                let n = cur.count(28)?;
+                for _ in 0..n {
+                    let id = cur.u64()?;
+                    let og_id = cur.u32()?;
+                    let start_frame = cur.u64()? as usize;
+                    let n_samples = cur.count(60)?;
+                    let mut samples = Vec::with_capacity(n_samples);
+                    for _ in 0..n_samples {
+                        samples.push(OgSample {
+                            size: cur.u32()?,
+                            color: Rgb::new(cur.f64()?, cur.f64()?, cur.f64()?),
+                            centroid: cur.point()?,
+                            velocity: cur.f64()?,
+                            direction: cur.f64()?,
+                        });
+                    }
+                    ogs.push(StoredOg {
+                        id,
+                        clip: usize::MAX, // patched below
+                        og: ObjectGraph {
+                            id: og_id,
+                            start_frame,
+                            samples,
+                        },
+                    });
+                }
+            }
+            TAG_TOC => return Err(bad("TOC record before end of file")),
+            other => {
+                return Err(bad(format!("unknown record tag {other:#010x}")));
+            }
         }
-        Ok(db)
+        if cur.remaining() != 0 {
+            return Err(bad("record payload has trailing bytes"));
+        }
     }
+
+    if clips.len() != n_clips {
+        return Err(bad("CLIP record count disagrees with META"));
+    }
+    if roots.len() != n_clips {
+        return Err(bad("ROOT record count disagrees with META"));
+    }
+    for (root, &declared) in roots.iter().zip(&declared_clusters) {
+        if root.clusters.len() != declared {
+            return Err(bad("CLUS record count disagrees with ROOT header"));
+        }
+        for cl in &root.clusters {
+            for rec in &cl.leaf.records {
+                if rec.summary.len != rec.seq.len() {
+                    return Err(bad("summary sidecar missing or stale for leaf record"));
+                }
+            }
+        }
+    }
+    if ogs.len() != n_ogs {
+        return Err(bad("stored OG count disagrees with META"));
+    }
+    // Patch clip ownership from the CLIP og_id lists and verify ids line
+    // up; the store must end up sorted by id for binary-search resolution.
+    let mut by_id: std::collections::BTreeMap<u64, usize> = std::collections::BTreeMap::new();
+    for (ci, c) in clips.iter().enumerate() {
+        for &id in &c.og_ids {
+            if by_id.insert(id, ci).is_some() {
+                return Err(bad("duplicate OG id across clips"));
+            }
+        }
+    }
+    for s in &mut ogs {
+        s.clip = *by_id
+            .get(&s.id)
+            .ok_or_else(|| bad("stored OG not referenced by any clip"))?;
+    }
+    ogs.sort_by_key(|s| s.id);
+    let leaf_total: usize = roots
+        .iter()
+        .flat_map(|r| &r.clusters)
+        .map(|c| c.leaf.records.len())
+        .sum();
+    if leaf_total != index_len {
+        return Err(bad("leaf record count disagrees with META index length"));
+    }
+    Ok(ParsedV2 {
+        clips,
+        roots,
+        ogs,
+        strg_bytes,
+        index_len,
+    })
+}
+
+/// Assembles a database from a parsed v2 file: the fast path deserializes
+/// the index with [`StrgIndex::from_parts`]; the [`PERSIST_V1_ENV`] hatch
+/// re-clusters from the stored OGs exactly like a v1 load.
+fn load_v2_into(db: VideoDatabase, bytes: &[u8]) -> io::Result<VideoDatabase> {
+    let parsed = parse_v2(bytes)?;
+    let mut db = db;
+    if persist_v1_forced() {
+        let bgs = parsed.roots.into_iter().map(|r| r.bg).collect();
+        rebuild_index(&db, parsed.clips, bgs, parsed.ogs, parsed.strg_bytes);
+        db.persist = PersistInfo {
+            loaded_format: Some(FORMAT_VERSION),
+            reopen: ReopenMode::Rebuild,
+        };
+        return Ok(db);
+    }
+    let _ = parsed.index_len; // verified against the leaves in parse_v2
+    let mut index = StrgIndex::from_parts(db.cfg.metric.build(), db.cfg.index, parsed.roots);
+    index.set_recorder(db.recorder.clone());
+    *db.index.write() = index;
+    *db.clips.write() = parsed.clips;
+    *db.ogs.write() = parsed.ogs;
+    *db.strg_bytes.write() = parsed.strg_bytes;
+    db.persist = PersistInfo {
+        loaded_format: Some(FORMAT_VERSION),
+        reopen: ReopenMode::Fast,
+    };
+    Ok(db)
+}
+
+/// Rebuilds the index clip by clip with the configured (deterministic,
+/// seeded) clustering — the v1 reopen path. `clip_meta` carries the names
+/// and frame counts; `og_ids` and `root_id` are reassigned by the rebuild
+/// (bit-identical to the stored ones for any database a save produced).
+fn rebuild_index(
+    db: &VideoDatabase,
+    clip_meta: Vec<ClipMeta>,
+    bgs: Vec<BackgroundGraph>,
+    stored: Vec<StoredOg>,
+    strg_bytes: usize,
+) {
+    let mut index = db.index.write();
+    let mut clips = db.clips.write();
+    for (ci, (meta, bg)) in clip_meta.into_iter().zip(bgs).enumerate() {
+        let items: Vec<(u64, Vec<Point2>)> = stored
+            .iter()
+            .filter(|s| s.clip == ci)
+            .map(|s| (s.id, s.og.centroid_series()))
+            .collect();
+        let og_ids = items.iter().map(|(id, _)| *id).collect();
+        let root_id = index.add_segment(bg, items);
+        clips.push(ClipMeta {
+            name: meta.name,
+            root_id,
+            frames: meta.frames,
+            og_ids,
+        });
+    }
+    *db.ogs.write() = stored;
+    *db.strg_bytes.write() = strg_bytes;
+}
+
+// ---------------------------------------------------------------------------
+// v1 decoding (legacy text format).
+// ---------------------------------------------------------------------------
+
+fn parse_hex(s: &str) -> io::Result<f64> {
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|e| bad(format!("bad f64 bits {s:?}: {e}")))
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> io::Result<T> {
+    s.parse().map_err(|_| bad(format!("bad {what}: {s:?}")))
+}
+
+fn load_v1_into(db: VideoDatabase, text: &str) -> io::Result<VideoDatabase> {
+    let mut lines = text.lines();
+    if lines.next() != Some(V1_HEADER) {
+        return Err(bad("missing STRGDB v1 header"));
+    }
+
+    // clips
+    let l = lines.next().ok_or_else(|| bad("missing clips line"))?;
+    let n_clips: usize = parse(
+        l.strip_prefix("clips ")
+            .ok_or_else(|| bad("expected 'clips'"))?,
+        "clip count",
+    )?;
+    let mut clip_meta: Vec<(usize, String)> = Vec::with_capacity(n_clips);
+    for _ in 0..n_clips {
+        let l = lines.next().ok_or_else(|| bad("missing clip line"))?;
+        let rest = l
+            .strip_prefix("clip ")
+            .ok_or_else(|| bad("expected 'clip'"))?;
+        let mut it = rest.splitn(3, ' ');
+        let frames: usize = parse(it.next().unwrap_or(""), "clip frames")?;
+        let _legacy: u64 = parse(it.next().unwrap_or(""), "clip reserved")?;
+        let name = it
+            .next()
+            .ok_or_else(|| bad("missing clip name"))?
+            .to_string();
+        clip_meta.push((frames, name));
+    }
+
+    // backgrounds
+    let mut bgs: Vec<BackgroundGraph> = Vec::with_capacity(n_clips);
+    for ci in 0..n_clips {
+        let l = lines.next().ok_or_else(|| bad("missing bg line"))?;
+        let rest = l.strip_prefix("bg ").ok_or_else(|| bad("expected 'bg'"))?;
+        let parts: Vec<&str> = rest.split(' ').collect();
+        if parts.len() != 4 {
+            return Err(bad("bg line arity"));
+        }
+        let idx: usize = parse(parts[0], "bg clip idx")?;
+        if idx != ci {
+            return Err(bad("bg records out of order"));
+        }
+        let frames_covered: u32 = parse(parts[1], "bg frames")?;
+        let n_nodes: usize = parse(parts[2], "bg nodes")?;
+        let n_edges: usize = parse(parts[3], "bg edges")?;
+        let mut rag = Rag::new(FrameId(0));
+        for _ in 0..n_nodes {
+            let l = lines.next().ok_or_else(|| bad("missing bgnode"))?;
+            let p: Vec<&str> = l
+                .strip_prefix("bgnode ")
+                .ok_or_else(|| bad("expected 'bgnode'"))?
+                .split(' ')
+                .collect();
+            if p.len() != 6 {
+                return Err(bad("bgnode arity"));
+            }
+            rag.add_node(NodeAttr::new(
+                parse(p[0], "bgnode size")?,
+                Rgb::new(parse_hex(p[1])?, parse_hex(p[2])?, parse_hex(p[3])?),
+                Point2::new(parse_hex(p[4])?, parse_hex(p[5])?),
+            ));
+        }
+        for _ in 0..n_edges {
+            let l = lines.next().ok_or_else(|| bad("missing bgedge"))?;
+            let p: Vec<&str> = l
+                .strip_prefix("bgedge ")
+                .ok_or_else(|| bad("expected 'bgedge'"))?
+                .split(' ')
+                .collect();
+            if p.len() != 2 {
+                return Err(bad("bgedge arity"));
+            }
+            rag.add_edge(
+                NodeId(parse(p[0], "edge u")?),
+                NodeId(parse(p[1], "edge v")?),
+            );
+        }
+        bgs.push(BackgroundGraph {
+            rag,
+            frames_covered,
+        });
+    }
+
+    // ogs
+    let l = lines.next().ok_or_else(|| bad("missing ogs line"))?;
+    let n_ogs: usize = parse(
+        l.strip_prefix("ogs ")
+            .ok_or_else(|| bad("expected 'ogs'"))?,
+        "og count",
+    )?;
+    let mut stored: Vec<StoredOg> = Vec::with_capacity(n_ogs);
+    for _ in 0..n_ogs {
+        let l = lines.next().ok_or_else(|| bad("missing og line"))?;
+        let p: Vec<&str> = l
+            .strip_prefix("og ")
+            .ok_or_else(|| bad("expected 'og'"))?
+            .split(' ')
+            .collect();
+        if p.len() != 4 {
+            return Err(bad("og arity"));
+        }
+        let id: u64 = parse(p[0], "og id")?;
+        let clip: usize = parse(p[1], "og clip")?;
+        let start_frame: usize = parse(p[2], "og start")?;
+        let n_samples: usize = parse(p[3], "og samples")?;
+        if clip >= n_clips {
+            return Err(bad("og references unknown clip"));
+        }
+        let mut samples = Vec::with_capacity(n_samples);
+        for _ in 0..n_samples {
+            let l = lines.next().ok_or_else(|| bad("missing sample"))?;
+            let p: Vec<&str> = l
+                .strip_prefix("s ")
+                .ok_or_else(|| bad("expected 's'"))?
+                .split(' ')
+                .collect();
+            if p.len() != 8 {
+                return Err(bad("sample arity"));
+            }
+            samples.push(OgSample {
+                size: parse(p[0], "sample size")?,
+                color: Rgb::new(parse_hex(p[1])?, parse_hex(p[2])?, parse_hex(p[3])?),
+                centroid: Point2::new(parse_hex(p[4])?, parse_hex(p[5])?),
+                velocity: parse_hex(p[6])?,
+                direction: parse_hex(p[7])?,
+            });
+        }
+        stored.push(StoredOg {
+            id,
+            clip,
+            og: ObjectGraph {
+                id: id as u32,
+                start_frame,
+                samples,
+            },
+        });
+    }
+    let strg_bytes: usize = match lines.next() {
+        Some(l) => parse(
+            l.strip_prefix("strg_bytes ")
+                .ok_or_else(|| bad("expected 'strg_bytes'"))?,
+            "strg bytes",
+        )?,
+        None => 0,
+    };
+
+    let mut db = db;
+    let clip_meta = clip_meta
+        .into_iter()
+        .map(|(frames, name)| ClipMeta {
+            name,
+            root_id: 0,
+            frames,
+            og_ids: Vec::new(),
+        })
+        .collect();
+    rebuild_index(&db, clip_meta, bgs, stored, strg_bytes);
+    db.persist = PersistInfo {
+        loaded_format: Some(1),
+        reopen: ReopenMode::Rebuild,
+    };
+    Ok(db)
 }
 
 #[cfg(test)]
@@ -345,19 +1221,27 @@ mod tests {
     }
 
     #[test]
-    fn save_load_roundtrip() {
+    fn save_load_roundtrip_v2() {
         let db = sample_db();
         let path = temp_path("roundtrip");
         db.save(&path).expect("save");
         let loaded = VideoDatabase::load(&path, DbOptions::new()).expect("load");
-        let _ = std::fs::remove_file(&path);
 
         let a = db.stats();
         let b = loaded.stats();
         assert_eq!(a.clips, b.clips);
         assert_eq!(a.objects, b.objects);
+        assert_eq!(a.clusters, b.clusters);
         assert_eq!(a.strg_bytes, b.strg_bytes);
+        assert_eq!(a.index_bytes, b.index_bytes);
         assert_eq!(db.clip_names(), loaded.clip_names());
+        assert_eq!(
+            loaded.persist_info(),
+            PersistInfo {
+                loaded_format: Some(2),
+                reopen: ReopenMode::Fast
+            }
+        );
 
         // OGs round-trip losslessly.
         for id in 0..a.objects as u64 {
@@ -367,16 +1251,54 @@ mod tests {
             assert_eq!(x.samples, y.samples);
         }
 
-        // Queries agree (index rebuilt deterministically).
-        if a.objects > 0 {
-            let q = db.og(0).unwrap().centroid_series();
-            let ha = db.query(crate::Query::knn(3).trajectory(&q)).hits;
-            let hb = loaded.query(crate::Query::knn(3).trajectory(&q)).hits;
-            assert_eq!(ha.len(), hb.len());
-            for (x, y) in ha.iter().zip(&hb) {
-                assert_eq!(x.og_id, y.og_id);
-                assert!((x.dist - y.dist).abs() < 1e-12);
+        // Queries agree bit for bit (the index was deserialized, not
+        // approximated).
+        let q = db.og(0).unwrap().centroid_series();
+        let ha = db.query(crate::Query::knn(3).trajectory(&q)).hits;
+        let hb = loaded.query(crate::Query::knn(3).trajectory(&q)).hits;
+        assert_eq!(ha.len(), hb.len());
+        for (x, y) in ha.iter().zip(&hb) {
+            assert_eq!(x.og_id, y.og_id);
+            assert_eq!(x.dist.to_bits(), y.dist.to_bits());
+        }
+
+        // save → load → save is a byte identity.
+        let path2 = temp_path("roundtrip2");
+        loaded.save(&path2).expect("save again");
+        let first = std::fs::read(&path).unwrap();
+        let second = std::fs::read(&path2).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&path2);
+        assert_eq!(first, second, "save → load → save changed bytes");
+    }
+
+    #[test]
+    fn v1_files_still_load() {
+        let db = sample_db();
+        let path = temp_path("v1compat");
+        db.save_v1(&path).expect("save v1");
+        let loaded = VideoDatabase::load(&path, DbOptions::new()).expect("load v1");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(
+            loaded.persist_info(),
+            PersistInfo {
+                loaded_format: Some(1),
+                reopen: ReopenMode::Rebuild
             }
+        );
+        let a = db.stats();
+        let b = loaded.stats();
+        assert_eq!(a.clips, b.clips);
+        assert_eq!(a.objects, b.objects);
+        assert_eq!(a.clusters, b.clusters);
+        assert_eq!(db.clip_names(), loaded.clip_names());
+        // The rebuilt index answers identically.
+        let q = db.og(0).unwrap().centroid_series();
+        let ha = db.query(crate::Query::knn(3).trajectory(&q)).hits;
+        let hb = loaded.query(crate::Query::knn(3).trajectory(&q)).hits;
+        for (x, y) in ha.iter().zip(&hb) {
+            assert_eq!(x.og_id, y.og_id);
+            assert_eq!(x.dist.to_bits(), y.dist.to_bits());
         }
     }
 
@@ -390,13 +1312,12 @@ mod tests {
     }
 
     #[test]
-    fn load_rejects_truncated() {
+    fn load_rejects_truncated_v2() {
         let db = sample_db();
         let path = temp_path("trunc");
         db.save(&path).unwrap();
-        let text = std::fs::read_to_string(&path).unwrap();
-        let cut: String = text.lines().take(4).collect::<Vec<_>>().join("\n");
-        std::fs::write(&path, cut).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
         let err = VideoDatabase::load(&path, DbOptions::new());
         let _ = std::fs::remove_file(&path);
         assert!(err.is_err());
@@ -405,11 +1326,20 @@ mod tests {
     #[test]
     fn empty_database_roundtrips() {
         let db = VideoDatabase::new(DbOptions::new());
+        assert_eq!(db.persist_info(), PersistInfo::fresh());
         let path = temp_path("empty");
         db.save(&path).unwrap();
         let loaded = VideoDatabase::load(&path, DbOptions::new()).unwrap();
         let _ = std::fs::remove_file(&path);
         assert_eq!(loaded.stats().clips, 0);
         assert_eq!(loaded.stats().objects, 0);
+        assert_eq!(loaded.persist_info().reopen, ReopenMode::Fast);
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 }

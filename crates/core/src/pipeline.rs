@@ -27,6 +27,7 @@ use strg_video::{frames_to_rags, frames_to_rags_with_stats, Frame, VideoClip};
 
 use crate::index::{Hit, StrgIndex};
 use crate::options::{Database, DbOptions};
+use crate::persist::PersistInfo;
 use crate::query::{Query, QueryKind, QueryResult};
 
 /// Metadata of one ingested clip.
@@ -104,6 +105,9 @@ pub struct VideoDatabase {
     /// shared counter instead of the local store, so ids are assigned in
     /// global ingest order and stay identical at any shard count.
     pub(crate) og_alloc: Option<Arc<AtomicU64>>,
+    /// How this database was opened (fresh / rebuilt / fast-reopened);
+    /// set once by `persist::load_into` before the database is shared.
+    pub(crate) persist: PersistInfo,
 }
 
 impl VideoDatabase {
@@ -127,12 +131,20 @@ impl VideoDatabase {
             strg_bytes: RwLock::new(0),
             recorder,
             og_alloc,
+            persist: PersistInfo::fresh(),
         }
     }
 
     /// The options the database was built with.
     pub fn options(&self) -> &DbOptions {
         &self.cfg
+    }
+
+    /// Where this database's contents came from: the on-disk format it was
+    /// loaded from (if any) and whether the index was deserialized
+    /// ([`crate::persist::ReopenMode::Fast`]) or re-clustered on load.
+    pub fn persist_info(&self) -> PersistInfo {
+        self.persist
     }
 
     /// The database's metric recorder. Every ingest and query records into
@@ -410,6 +422,9 @@ impl Database for VideoDatabase {
     }
     fn recorder(&self) -> &Recorder {
         VideoDatabase::recorder(self)
+    }
+    fn persist_info(&self) -> PersistInfo {
+        VideoDatabase::persist_info(self)
     }
     fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
         VideoDatabase::save(self, path)

@@ -56,6 +56,7 @@ use strg_video::{frames_to_rags, Frame};
 
 use crate::index::{Hit, QueryScratch, StrgIndex};
 use crate::options::{Database, DbOptions};
+use crate::persist::{PersistInfo, ReopenMode};
 use crate::pipeline::{DbStats, IngestReport, QueryHit, VideoDatabase};
 use crate::query::{Query, QueryKind, QueryResult};
 
@@ -493,6 +494,26 @@ impl ShardedDatabase {
         self.shards.len()
     }
 
+    /// Aggregate persistence provenance: the *oldest* shard-file format
+    /// and the *slowest* reopen mode across shards, so a mixed directory
+    /// (one shard rebuilt, the rest fast-reopened) reports honestly.
+    pub fn persist_info(&self) -> PersistInfo {
+        let mut info = PersistInfo::fresh();
+        for s in &self.shards {
+            let p = s.persist_info();
+            info.loaded_format = match (info.loaded_format, p.loaded_format) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            info.reopen = match (info.reopen, p.reopen) {
+                (ReopenMode::Rebuild, _) | (_, ReopenMode::Rebuild) => ReopenMode::Rebuild,
+                (ReopenMode::Fast, _) | (_, ReopenMode::Fast) => ReopenMode::Fast,
+                _ => ReopenMode::Fresh,
+            };
+        }
+        info
+    }
+
     /// The database's metric recorder (shared by every shard).
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
@@ -678,10 +699,10 @@ impl ShardedDatabase {
 
     /// Serializes the database to the directory `dir`: one `MANIFEST`
     /// (shard count, next OG id, global clip order) plus one ordinary
-    /// STRGDB v1 file per shard.
+    /// STRGDB v2 segment file per shard.
     pub fn save(&self, dir: &Path) -> io::Result<()> {
         fs::create_dir_all(dir)?;
-        let mut manifest = String::from("STRG-SHARDS v1\n");
+        let mut manifest = String::from("STRG-SHARDS v2\n");
         manifest.push_str(&format!("shards {}\n", self.shards.len()));
         manifest.push_str(&format!("next_og {}\n", self.alloc.load(Ordering::SeqCst)));
         for name in self.order.read().iter() {
@@ -700,8 +721,11 @@ impl ShardedDatabase {
         let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
         let manifest = fs::read_to_string(dir.join("MANIFEST"))?;
         let mut lines = manifest.lines();
-        if lines.next() != Some("STRG-SHARDS v1") {
-            return Err(bad("not a STRG-SHARDS v1 manifest"));
+        // v1 and v2 manifests differ only in the version stamp (the shard
+        // files themselves carry the format); accept both, write v2.
+        let header = lines.next();
+        if header != Some("STRG-SHARDS v2") && header != Some("STRG-SHARDS v1") {
+            return Err(bad("not a STRG-SHARDS manifest"));
         }
         let mut shards_n = 0usize;
         let mut next_og = 0u64;
@@ -775,6 +799,9 @@ impl Database for ShardedDatabase {
     }
     fn recorder(&self) -> &Recorder {
         ShardedDatabase::recorder(self)
+    }
+    fn persist_info(&self) -> PersistInfo {
+        ShardedDatabase::persist_info(self)
     }
     fn save(&self, path: &Path) -> io::Result<()> {
         ShardedDatabase::save(self, path)

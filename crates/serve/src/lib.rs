@@ -71,7 +71,8 @@ pub struct ServeConfig {
     /// `too_large` error and closes the connection (default 1 MiB).
     pub max_line_bytes: usize,
     /// When set, every successful ingest persists the database here
-    /// (STRGDB v1), mirroring the CLI's save-on-mutation behavior.
+    /// (STRGDB v2 segment files), mirroring the CLI's save-on-mutation
+    /// behavior.
     pub db_path: Option<String>,
 }
 
@@ -498,6 +499,7 @@ fn dispatch(ctx: &Ctx, req: &Request) -> Result<Json, WireError> {
         "stats" => Ok(wire::stats_json(
             &db.stats(),
             &db.shard_stats(),
+            &db.persist_info(),
             db.metrics_snapshot().to_json(),
         )),
         "metrics" => Ok(ctx.recorder.snapshot().to_json()),

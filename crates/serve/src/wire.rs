@@ -9,7 +9,7 @@
 //! documented exceptions; [`zero_elapsed_ns`] normalizes the former for
 //! byte comparisons).
 
-use strg_core::{DbStats, IngestReport, QueryResult};
+use strg_core::{DbStats, IngestReport, PersistInfo, QueryResult};
 use strg_graph::Point2;
 use strg_obs::Json;
 use strg_video::{lab_scene, traffic_scene, ScenarioConfig, VideoClip};
@@ -110,14 +110,24 @@ fn stats_fields(s: &DbStats) -> Vec<(&'static str, Json)> {
     ]
 }
 
+/// The persistence provenance body:
+/// `{"format":N,"reopen":"fresh"|"rebuild"|"fast"}`
+/// ([`strg_core::Database::persist_info`]).
+pub fn persist_json(p: &PersistInfo) -> Json {
+    Json::obj(vec![
+        ("format", Json::U64(p.format() as u64)),
+        ("reopen", Json::str(p.reopen.as_str())),
+    ])
+}
+
 /// The stats body: `{"clips":..,"objects":..,"clusters":..,"strg_bytes":..,
-/// "index_bytes":..,"metrics":{..}}`.
+/// "index_bytes":..,"persist":{..},"metrics":{..}}`.
 ///
 /// `shards` is [`strg_core::Database::shard_stats`]: a sharded database
 /// (more than one entry) additionally reports `"shards":N` and
-/// `"shard_stats":[{..},..]` in shard order. A single-tree database keeps
-/// the historical shape byte-for-byte.
-pub fn stats_json(s: &DbStats, shards: &[DbStats], metrics: Json) -> Json {
+/// `"shard_stats":[{..},..]` in shard order. `persist` reports the on-disk
+/// format version and how the index was (re)opened — see [`persist_json`].
+pub fn stats_json(s: &DbStats, shards: &[DbStats], persist: &PersistInfo, metrics: Json) -> Json {
     let mut fields = stats_fields(s);
     if shards.len() > 1 {
         fields.push(("shards", Json::U64(shards.len() as u64)));
@@ -126,6 +136,7 @@ pub fn stats_json(s: &DbStats, shards: &[DbStats], metrics: Json) -> Json {
             Json::Array(shards.iter().map(|s| Json::obj(stats_fields(s))).collect()),
         ));
     }
+    fields.push(("persist", persist_json(persist)));
     fields.push(("metrics", metrics));
     Json::obj(fields)
 }

@@ -134,6 +134,7 @@ pub struct SegScratch {
     present_pos: Vec<u32>,
     remap_keys: Vec<u32>,
     remapped: Vec<u32>,
+    transposed: Vec<u32>,
     tie_counts: Vec<(u32, u32)>,
     // Connected-component labeling and region merging.
     stack: Vec<usize>,
@@ -170,6 +171,7 @@ impl SegScratch {
             + cap(&self.present_pos)
             + cap(&self.remap_keys)
             + cap(&self.remapped)
+            + cap(&self.transposed)
             + cap(&self.tie_counts)
             + cap(&self.stack)
             + cap(&self.stats)
@@ -250,6 +252,7 @@ pub fn segment_into<'s>(
         present_pos,
         remap_keys,
         remapped,
+        transposed,
         tie_counts,
         stack,
         stats,
@@ -309,6 +312,7 @@ pub fn segment_into<'s>(
                 present_pos,
                 remap_keys,
                 remapped,
+                transposed,
                 tie_counts,
                 grows,
             );
@@ -717,6 +721,7 @@ fn mode_filter_fast(
     present_pos: &mut Vec<u32>,
     remap_keys: &mut Vec<u32>,
     remapped: &mut Vec<u32>,
+    transposed: &mut Vec<u32>,
     tie_counts: &mut Vec<(u32, u32)>,
     grows: &mut u64,
 ) {
@@ -755,6 +760,23 @@ fn mode_filter_fast(
     fill_to(freq, window_cap + 1, 0, grows);
 
     let r = radius;
+    // Column-major mirror of the id plane for the vectorized interior
+    // step: the outgoing/incoming window columns become contiguous
+    // slices, so the (usually all-equal) compare runs four lanes at a
+    // time (`simd::for_each_diff_u32`). Built once per frame, only when
+    // interior steps exist; `STRG_SCALAR=1` keeps the strided walk.
+    let use_simd = crate::simd::vector_kernels_enabled() && w > 2 * r + 1;
+    let ids_t: &[u32] = if use_simd {
+        fill_to(transposed, ids.len(), 0, grows);
+        for (yy, row) in ids.chunks_exact(w).enumerate() {
+            for (xx, &c) in row.iter().enumerate() {
+                transposed[xx * h + yy] = c;
+            }
+        }
+        transposed
+    } else {
+        &[]
+    };
     for y in 0..h {
         let y0 = y.saturating_sub(r);
         let y1 = (y + r).min(h - 1);
@@ -823,12 +845,33 @@ fn mode_filter_fast(
                     // nearly every update, making the slide O(1) amortized
                     // rather than O(2r+1).
                     let (xa, xr) = (x + r, x - r - 1);
-                    for yy in y0..=y1 {
-                        let ca = ids[yy * w + xa];
-                        let cr = ids[yy * w + xr];
-                        if ca != cr {
+                    if use_simd {
+                        // Same walk over the column-major mirror: rows are
+                        // visited in the same ascending order with the same
+                        // remove-then-add per diff, so histogram state is
+                        // byte-identical to the strided loop below.
+                        let col_r = &ids_t[xr * h + y0..xr * h + y1 + 1];
+                        let col_a = &ids_t[xa * h + y0..xa * h + y1 + 1];
+                        crate::simd::for_each_diff_u32(col_r, col_a, |i| {
+                            let (cr, ca) = (col_r[i], col_a[i]);
                             remove_one(cr as usize, hist, freq, &mut max_n, present, present_pos);
                             add_one(ca as usize, hist, freq, &mut max_n, present, present_pos);
+                        });
+                    } else {
+                        for yy in y0..=y1 {
+                            let ca = ids[yy * w + xa];
+                            let cr = ids[yy * w + xr];
+                            if ca != cr {
+                                remove_one(
+                                    cr as usize,
+                                    hist,
+                                    freq,
+                                    &mut max_n,
+                                    present,
+                                    present_pos,
+                                );
+                                add_one(ca as usize, hist, freq, &mut max_n, present, present_pos);
+                            }
                         }
                     }
                 }
@@ -1236,6 +1279,7 @@ mod tests {
             present_pos,
             remap_keys,
             remapped,
+            transposed,
             tie_counts,
             grows,
             ..
@@ -1252,6 +1296,7 @@ mod tests {
             present_pos,
             remap_keys,
             remapped,
+            transposed,
             tie_counts,
             grows,
         );
@@ -1294,6 +1339,7 @@ mod tests {
                     present_pos,
                     remap_keys,
                     remapped,
+                    transposed,
                     tie_counts,
                     grows,
                     ..
@@ -1310,6 +1356,7 @@ mod tests {
                     present_pos,
                     remap_keys,
                     remapped,
+                    transposed,
                     tie_counts,
                     grows,
                 );
@@ -1338,6 +1385,7 @@ mod tests {
             present_pos,
             remap_keys,
             remapped,
+            transposed,
             tie_counts,
             grows,
             ..
@@ -1354,6 +1402,7 @@ mod tests {
             present_pos,
             remap_keys,
             remapped,
+            transposed,
             tie_counts,
             grows,
         );

@@ -47,6 +47,30 @@ pub(crate) fn add_assign_u32(dst: &mut [u32], src: &[u32]) {
     scalar::add_assign(dst, src)
 }
 
+/// Calls `f(i)` for every index with `a[i] != b[i]`, in ascending order.
+///
+/// The mode filter's interior slide compares the outgoing and incoming
+/// window columns, which are equal almost everywhere away from region
+/// boundaries; the vector body burns through the all-equal spans four
+/// lanes per compare and falls into the callback only on real diffs.
+/// Visit order and callback arguments are identical to the scalar loop,
+/// so histogram updates driven by this kernel stay byte-identical.
+pub(crate) fn for_each_diff_u32(a: &[u32], b: &[u32], mut f: impl FnMut(usize)) {
+    debug_assert_eq!(a.len(), b.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        unsafe { x86::for_each_diff_sse2(a, b, &mut f) };
+        return;
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        unsafe { neon::for_each_diff(a, b, &mut f) };
+        return;
+    }
+    #[allow(unreachable_code)]
+    scalar::for_each_diff(a, b, 0, &mut f)
+}
+
 /// `dst[i] -= src[i]` over equal-length slices.
 pub(crate) fn sub_assign_u32(dst: &mut [u32], src: &[u32]) {
     debug_assert_eq!(dst.len(), src.len());
@@ -79,6 +103,16 @@ pub(crate) mod scalar {
             *d -= s;
         }
     }
+
+    /// Diff walk from `base` (the vector bodies hand their tails here with
+    /// the absolute starting index).
+    pub(crate) fn for_each_diff(a: &[u32], b: &[u32], base: usize, f: &mut impl FnMut(usize)) {
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            if x != y {
+                f(base + i);
+            }
+        }
+    }
 }
 
 #[cfg(target_arch = "x86_64")]
@@ -98,6 +132,30 @@ mod x86 {
             i += 4;
         }
         super::scalar::add_assign(&mut dst[i..], &src[i..]);
+    }
+
+    /// # Safety
+    /// See [`add_assign_sse2`].
+    pub(super) unsafe fn for_each_diff_sse2(a: &[u32], b: &[u32], f: &mut impl FnMut(usize)) {
+        let n = a.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            let va = _mm_loadu_si128(a.as_ptr().add(i) as *const __m128i);
+            let vb = _mm_loadu_si128(b.as_ptr().add(i) as *const __m128i);
+            let mask = _mm_movemask_epi8(_mm_cmpeq_epi32(va, vb)) as u32;
+            if mask != 0xFFFF {
+                // Each u32 lane contributes 4 mask bits; a lane differs iff
+                // its nibble is not all-ones. Lanes are checked low-to-high
+                // to preserve the scalar visit order.
+                for lane in 0..4 {
+                    if (mask >> (4 * lane)) & 0xF != 0xF {
+                        f(i + lane);
+                    }
+                }
+            }
+            i += 4;
+        }
+        super::scalar::for_each_diff(&a[i..], &b[i..], i, f);
     }
 
     /// # Safety
@@ -135,6 +193,30 @@ mod neon {
 
     /// # Safety
     /// See [`add_assign`].
+    pub(super) unsafe fn for_each_diff(a: &[u32], b: &[u32], f: &mut impl FnMut(usize)) {
+        let n = a.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            let va = vld1q_u32(a.as_ptr().add(i));
+            let vb = vld1q_u32(b.as_ptr().add(i));
+            // Narrow the 32-bit equality masks to 16 bits and read all four
+            // as one u64: all-ones means the whole group is equal.
+            let eq = vmovn_u32(vceqq_u32(va, vb));
+            let packed = vget_lane_u64::<0>(vreinterpret_u64_u16(eq));
+            if packed != u64::MAX {
+                for lane in 0..4 {
+                    if (packed >> (16 * lane)) & 0xFFFF != 0xFFFF {
+                        f(i + lane);
+                    }
+                }
+            }
+            i += 4;
+        }
+        super::scalar::for_each_diff(&a[i..], &b[i..], i, f);
+    }
+
+    /// # Safety
+    /// See [`add_assign`].
     pub(super) unsafe fn sub_assign(dst: &mut [u32], src: &[u32]) {
         let n = dst.len();
         let mut i = 0;
@@ -151,6 +233,25 @@ mod neon {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn diff_walk_matches_scalar_at_all_lengths() {
+        for n in 0..35usize {
+            let a: Vec<u32> = (0..n as u32).map(|i| i % 7).collect();
+            // Differ at every index divisible by 3 or 5 (mixes isolated
+            // diffs, runs, and all-equal groups across lane boundaries).
+            let b: Vec<u32> = a
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| if i % 3 == 0 || i % 5 == 0 { v + 1 } else { v })
+                .collect();
+            let mut fast = Vec::new();
+            for_each_diff_u32(&a, &b, |i| fast.push(i));
+            let mut reference = Vec::new();
+            scalar::for_each_diff(&a, &b, 0, &mut |i| reference.push(i));
+            assert_eq!(fast, reference, "n={n}");
+        }
+    }
 
     #[test]
     fn sweeps_match_scalar_at_all_lengths() {

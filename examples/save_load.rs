@@ -1,6 +1,7 @@
-//! Persistence: build a database, save it to disk (STRGDB v1 text format),
-//! load it back and verify queries agree — the restart story of a
-//! production video database.
+//! Persistence: build a database, save it to disk (STRGDB v2 segment
+//! file), load it back and verify queries agree — the restart story of a
+//! production video database. The reload deserializes the built index
+//! (no re-clustering), so it reports the `fast` reopen mode.
 //!
 //! Run with: `cargo run --release --example save_load`
 
@@ -33,10 +34,18 @@ fn main() {
 
     let loaded = VideoDatabase::load(&path, DbOptions::new()).expect("load");
     let re = loaded.stats();
-    println!("loaded: {} clip(s), {} objects", re.clips, re.objects);
+    let p = loaded.persist_info();
+    println!(
+        "loaded: {} clip(s), {} objects (format v{}, reopen {})",
+        re.clips,
+        re.objects,
+        p.format(),
+        p.reopen.as_str()
+    );
     assert_eq!(re.objects, stats.objects);
+    assert_eq!(p.reopen, ReopenMode::Fast);
 
-    // The rebuilt index answers identically.
+    // The deserialized index answers identically.
     let q = db.og(0).expect("og 0").centroid_series();
     let a = db.query(Query::knn(3).trajectory(&q)).hits;
     let b = loaded.query(Query::knn(3).trajectory(&q)).hits;

@@ -77,6 +77,21 @@ cargo run --release -p strg-bench --bin query -- --quick
 echo "==> query-cost bench smoke (--quick, checks shard fan-out pruning)"
 cargo run --release -p strg-bench --bin costs -- --quick
 
+echo "==> persistence-equivalence suite under STRG_THREADS=1"
+STRG_THREADS=1 cargo test -q --test persist_equivalence
+
+echo "==> persistence-equivalence suite under STRG_THREADS=8"
+STRG_THREADS=8 cargo test -q --test persist_equivalence
+
+echo "==> persistence fault-injection suite under STRG_THREADS=1"
+STRG_THREADS=1 cargo test -q --test persist_faults
+
+echo "==> persistence fault-injection suite under STRG_THREADS=8"
+STRG_THREADS=8 cargo test -q --test persist_faults
+
+echo "==> reopen-latency bench smoke (--quick, checks v1/v2 hit identity)"
+cargo run --release -p strg-bench --bin persist -- --quick
+
 # The serve suites talk to a real TCP server; `timeout` guards against a
 # wedged worker or a lost response turning CI into an infinite hang (the
 # suites' own per-read timeouts should fire long before this does).

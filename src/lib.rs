@@ -61,9 +61,9 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use strg_core::VideoDbConfig;
     pub use strg_core::{
-        open, Database, DbOptions, Hit, IngestReport, Metric, Query, QueryCost, QueryHit,
-        QueryResult, Recorder, ShardedDatabase, Snapshot, StrgIndex, StrgIndexConfig,
-        VideoDatabase,
+        open, Database, DbOptions, Hit, IngestReport, Metric, PersistInfo, Query, QueryCost,
+        QueryHit, QueryResult, Recorder, ReopenMode, ShardedDatabase, Snapshot, StrgIndex,
+        StrgIndexConfig, VideoDatabase, FORMAT_VERSION, PERSIST_V1_ENV,
     };
     pub use strg_distance::{
         lower_bounds_enabled, shard_bounds_enabled, simd_enabled, BoundedDistance,

@@ -286,3 +286,52 @@ fn strg_index_and_mtree_identical_under_scalar_hatch_point2() {
     assert_eq!(va.1, vb.1, "post-build hits diverged under the hatch");
     assert!(va.2.same_work(&vb.2), "post-build cost diverged");
 }
+
+/// The vectorized mode-filter interior step (the column-transposed diff
+/// walk) is byte-identical to the scalar strided walk: whole-frame
+/// segmentations — labels, region statistics, and adjacency — must not
+/// move by a bit under `STRG_SCALAR=1`, across radii that exercise the
+/// fringe-only, interior, and degenerate (window ≥ frame) regimes.
+#[test]
+fn segmentation_identical_under_scalar_hatch() {
+    let scene = lab_scene(&ScenarioConfig {
+        n_actors: 3,
+        frames: 6,
+        seed: 97,
+        ..Default::default()
+    });
+    let clip = VideoClip {
+        name: "simd-pin".into(),
+        scene,
+        fps: 30.0,
+    };
+    let frames = clip.render_all(7);
+    for radius in [1usize, 2, 3, 200] {
+        let cfg = SegmentConfig {
+            smooth_radius: radius,
+            ..Default::default()
+        };
+        for (fi, frame) in frames.iter().enumerate() {
+            let (a, b) = in_simd_modes(|| segment(frame, &cfg));
+            assert_eq!(a.labels, b.labels, "frame {fi} radius {radius}: labels");
+            assert_eq!(
+                a.adjacency, b.adjacency,
+                "frame {fi} radius {radius}: adjacency"
+            );
+            assert_eq!(
+                a.regions.len(),
+                b.regions.len(),
+                "frame {fi} radius {radius}: region count"
+            );
+            for (x, y) in a.regions.iter().zip(&b.regions) {
+                assert_eq!(x.label, y.label);
+                assert_eq!(x.size, y.size);
+                assert_eq!(x.color.r.to_bits(), y.color.r.to_bits());
+                assert_eq!(x.color.g.to_bits(), y.color.g.to_bits());
+                assert_eq!(x.color.b.to_bits(), y.color.b.to_bits());
+                assert_eq!(x.centroid.x.to_bits(), y.centroid.x.to_bits());
+                assert_eq!(x.centroid.y.to_bits(), y.centroid.y.to_bits());
+            }
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Persistence equivalence suite: the STRGDB v2 fast reopen is a
+//! *physical* optimization only.
+//!
+//! Loading a v2 file deserializes the built index (`ReopenMode::Fast`);
+//! setting `STRG_PERSIST_V1=1` forces the legacy rebuild-on-load path,
+//! which re-clusters from the stored OGs exactly as a v1 text file load
+//! does. The two loaders — and a v1 file of the same database — must be
+//! indistinguishable in every observable: hits, logical [`QueryCost`]s,
+//! stats, clip names, and the bytes a re-save produces. A serialization
+//! bug (missed field, drifted order, stale summary) shows up here as a
+//! bit diff.
+//!
+//! `scripts/ci.sh` runs this binary under `STRG_THREADS=1` and
+//! `STRG_THREADS=8`, so byte-stability of the format across thread counts
+//! is pinned too.
+
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use strg::prelude::*;
+
+/// Serializes every test that toggles `STRG_PERSIST_V1`: the flag is
+/// process global, so two modes must never overlap in time.
+fn env_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f` with `STRG_PERSIST_V1=1` set, restoring the environment.
+fn with_rebuild_hatch<T>(f: impl FnOnce() -> T) -> T {
+    let _guard = env_lock();
+    std::env::set_var(PERSIST_V1_ENV, "1");
+    let out = f();
+    std::env::remove_var(PERSIST_V1_ENV);
+    out
+}
+
+/// Runs `f` with the hatch guaranteed unset (still under the lock, so a
+/// concurrent hatched test can't interleave).
+fn without_rebuild_hatch<T>(f: impl FnOnce() -> T) -> T {
+    let _guard = env_lock();
+    std::env::remove_var(PERSIST_V1_ENV);
+    f()
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("strg_persist_eq_{name}_{}", std::process::id()))
+}
+
+fn demo_clip(seed: u64) -> VideoClip {
+    VideoClip {
+        name: format!("clip-{seed}"),
+        scene: lab_scene(&ScenarioConfig {
+            n_actors: 1 + (seed as usize % 2),
+            frames: 40,
+            seed,
+            ..Default::default()
+        }),
+        fps: 30.0,
+    }
+}
+
+const CLIP_SEEDS: [u64; 3] = [5, 9, 14];
+
+fn ingest_all(db: &dyn Database) {
+    for seed in CLIP_SEEDS {
+        db.ingest_clip(&demo_clip(seed), seed);
+    }
+}
+
+fn trajectories(db: &dyn Database) -> Vec<Vec<Point2>> {
+    let stored = db.og(0).expect("og 0 stored").centroid_series();
+    let line: Vec<Point2> = (0..25).map(|i| Point2::new(3.0 * i as f64, 70.0)).collect();
+    vec![stored, line]
+}
+
+fn assert_hits_eq(a: &[QueryHit], b: &[QueryHit], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: hit count");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.clip, y.clip, "{ctx}: hit clip");
+        assert_eq!(x.og_id, y.og_id, "{ctx}: hit id");
+        assert_eq!(x.dist.to_bits(), y.dist.to_bits(), "{ctx}: hit distance");
+    }
+}
+
+fn assert_stats_eq(a: &strg::core::DbStats, b: &strg::core::DbStats, ctx: &str) {
+    assert_eq!(a.clips, b.clips, "{ctx}: clips");
+    assert_eq!(a.objects, b.objects, "{ctx}: objects");
+    assert_eq!(a.clusters, b.clusters, "{ctx}: clusters");
+    assert_eq!(a.strg_bytes, b.strg_bytes, "{ctx}: strg_bytes");
+    assert_eq!(a.index_bytes, b.index_bytes, "{ctx}: index_bytes");
+}
+
+/// Every observable of two databases must agree: stats, clip names, and
+/// hits + logical costs over k-NN, range, and clip-scoped queries.
+fn assert_dbs_equivalent(a: &dyn Database, b: &dyn Database, ctx: &str) {
+    assert_stats_eq(&a.stats(), &b.stats(), ctx);
+    assert_eq!(a.clip_names(), b.clip_names(), "{ctx}: clip names");
+    let shard_a = a.shard_stats();
+    let shard_b = b.shard_stats();
+    assert_eq!(shard_a.len(), shard_b.len(), "{ctx}: shard count");
+    for (i, (x, y)) in shard_a.iter().zip(&shard_b).enumerate() {
+        assert_stats_eq(x, y, &format!("{ctx}: shard {i}"));
+    }
+    for (qi, q) in trajectories(a).iter().enumerate() {
+        for k in [1, 5] {
+            let ra = a.query(Query::knn(k).trajectory(q).with_cost());
+            let rb = b.query(Query::knn(k).trajectory(q).with_cost());
+            let ctx = format!("{ctx}: q{qi} knn k={k}");
+            assert_hits_eq(&ra.hits, &rb.hits, &ctx);
+            let (ca, cb) = (ra.cost.unwrap(), rb.cost.unwrap());
+            assert!(ca.same_work(&cb), "{ctx}: cost {ca:?} vs {cb:?}");
+        }
+        for radius in [20.0, 200.0] {
+            let ra = a.query(Query::range(radius).trajectory(q).with_cost());
+            let rb = b.query(Query::range(radius).trajectory(q).with_cost());
+            let ctx = format!("{ctx}: q{qi} range r={radius}");
+            assert_hits_eq(&ra.hits, &rb.hits, &ctx);
+            let (ca, cb) = (ra.cost.unwrap(), rb.cost.unwrap());
+            assert!(ca.same_work(&cb), "{ctx}: cost {ca:?} vs {cb:?}");
+        }
+        let clip = &a.clip_names()[0];
+        let ra = a.query(Query::knn(3).trajectory(q).in_clip(clip).with_cost());
+        let rb = b.query(Query::knn(3).trajectory(q).in_clip(clip).with_cost());
+        assert_hits_eq(&ra.hits, &rb.hits, &format!("{ctx}: q{qi} in_clip"));
+    }
+}
+
+/// v2 fast load ≡ the `STRG_PERSIST_V1=1` rebuild of the same file, ≡ the
+/// freshly built database, in every observable — and both loaders re-save
+/// the exact original bytes.
+#[test]
+fn v2_fast_load_matches_rebuild_single_tree() {
+    let built = VideoDatabase::new(DbOptions::new());
+    ingest_all(&built);
+    let path = temp_path("single");
+    built.save(&path).expect("save v2");
+    let original = std::fs::read(&path).unwrap();
+
+    let fast = without_rebuild_hatch(|| VideoDatabase::load(&path, DbOptions::new()).unwrap());
+    assert_eq!(fast.persist_info().reopen, ReopenMode::Fast);
+    assert_eq!(fast.persist_info().loaded_format, Some(2));
+
+    let rebuilt = with_rebuild_hatch(|| VideoDatabase::load(&path, DbOptions::new()).unwrap());
+    assert_eq!(rebuilt.persist_info().reopen, ReopenMode::Rebuild);
+    assert_eq!(rebuilt.persist_info().loaded_format, Some(2));
+
+    assert_dbs_equivalent(&fast, &built, "fast vs built");
+    assert_dbs_equivalent(&fast, &rebuilt, "fast vs rebuild");
+
+    // Both loaders re-save the original bytes.
+    for (db, name) in [(&fast, "fast"), (&rebuilt, "rebuild")] {
+        let out = temp_path(&format!("single_resave_{name}"));
+        db.save(&out).unwrap();
+        let resaved = std::fs::read(&out).unwrap();
+        let _ = std::fs::remove_file(&out);
+        assert_eq!(original, resaved, "{name}: re-saved bytes differ");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A v1 text file of the same database loads (rebuild path) into the same
+/// observables as the v2 fast load, and the v1 → v2 upgrade is *stable*:
+/// once saved as v2, every further `load → save` round-trip is a byte
+/// identity. (The upgrade itself is not compared against the original v2
+/// save because v1 never stored the OG-internal ids — the one documented
+/// lossy field of the legacy format, renumbered on load.)
+#[test]
+fn v1_file_rebuild_matches_v2_fast_load() {
+    let built = VideoDatabase::new(DbOptions::new());
+    ingest_all(&built);
+    let v2_path = temp_path("upgrade_v2");
+    let v1_path = temp_path("upgrade_v1");
+    built.save(&v2_path).unwrap();
+    built.save_v1(&v1_path).unwrap();
+
+    let from_v1 =
+        without_rebuild_hatch(|| VideoDatabase::load(&v1_path, DbOptions::new()).unwrap());
+    assert_eq!(from_v1.persist_info().reopen, ReopenMode::Rebuild);
+    assert_eq!(from_v1.persist_info().loaded_format, Some(1));
+    let from_v2 =
+        without_rebuild_hatch(|| VideoDatabase::load(&v2_path, DbOptions::new()).unwrap());
+    assert_dbs_equivalent(&from_v2, &from_v1, "v2 fast vs v1 rebuild");
+
+    // Saving the v1-loaded database upgrades it to v2; from there the
+    // round-trip is a fixed point.
+    let upgraded = temp_path("upgrade_out");
+    from_v1.save(&upgraded).unwrap();
+    let upgraded_bytes = std::fs::read(&upgraded).unwrap();
+    let reloaded =
+        without_rebuild_hatch(|| VideoDatabase::load(&upgraded, DbOptions::new()).unwrap());
+    assert_eq!(reloaded.persist_info().reopen, ReopenMode::Fast);
+    assert_dbs_equivalent(&reloaded, &from_v1, "upgraded reload vs v1 rebuild");
+    let roundtrip = temp_path("upgrade_roundtrip");
+    reloaded.save(&roundtrip).unwrap();
+    let roundtrip_bytes = std::fs::read(&roundtrip).unwrap();
+    for p in [&v2_path, &v1_path, &upgraded, &roundtrip] {
+        let _ = std::fs::remove_file(p);
+    }
+    assert_eq!(
+        upgraded_bytes, roundtrip_bytes,
+        "upgraded v2 file is not a save → load → save fixed point"
+    );
+}
+
+/// The same contract on a sharded database: fast load ≡ hatched rebuild ≡
+/// the built database, and the re-saved directory (manifest + every shard
+/// file) is byte-identical.
+#[test]
+fn v2_fast_load_matches_rebuild_sharded() {
+    let built = ShardedDatabase::new(DbOptions::new().shards(3));
+    ingest_all(&built);
+    let dir = temp_path("sharded");
+    built.save(&dir).expect("save sharded");
+    let read_dir = |d: &PathBuf| -> Vec<(String, Vec<u8>)> {
+        let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(d)
+            .unwrap()
+            .map(|e| {
+                let e = e.unwrap();
+                (
+                    e.file_name().to_string_lossy().into_owned(),
+                    std::fs::read(e.path()).unwrap(),
+                )
+            })
+            .collect();
+        files.sort_by(|a, b| a.0.cmp(&b.0));
+        files
+    };
+    let original = read_dir(&dir);
+    assert_eq!(original.len(), 4, "manifest + 3 shard files");
+
+    let fast = without_rebuild_hatch(|| ShardedDatabase::load(&dir, DbOptions::new()).unwrap());
+    assert_eq!(fast.persist_info().reopen, ReopenMode::Fast);
+    assert_eq!(fast.persist_info().loaded_format, Some(2));
+    let rebuilt = with_rebuild_hatch(|| ShardedDatabase::load(&dir, DbOptions::new()).unwrap());
+    assert_eq!(rebuilt.persist_info().reopen, ReopenMode::Rebuild);
+
+    assert_dbs_equivalent(&fast, &built, "sharded fast vs built");
+    assert_dbs_equivalent(&fast, &rebuilt, "sharded fast vs rebuild");
+
+    for (db, name) in [(&fast, "fast"), (&rebuilt, "rebuild")] {
+        let out = temp_path(&format!("sharded_resave_{name}"));
+        db.save(&out).unwrap();
+        let resaved = read_dir(&out);
+        let _ = std::fs::remove_dir_all(&out);
+        assert_eq!(
+            original.len(),
+            resaved.len(),
+            "{name}: re-saved file set differs"
+        );
+        for ((an, ab), (bn, bb)) in original.iter().zip(&resaved) {
+            assert_eq!(an, bn, "{name}: file name");
+            assert_eq!(ab, bb, "{name}: {an} bytes differ");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Clip removal leaves non-contiguous root ids in memory; the canonical
+/// remap on save must still make `save → load → save` a byte identity and
+/// keep the fast loader equivalent to the rebuild path.
+#[test]
+fn removal_then_save_stays_canonical() {
+    let built = VideoDatabase::new(DbOptions::new());
+    ingest_all(&built);
+    built.ingest_clip(&demo_clip(23), 23);
+    assert!(built.remove_clip("clip-9").is_some());
+    let path = temp_path("removal");
+    built.save(&path).unwrap();
+    let original = std::fs::read(&path).unwrap();
+
+    let fast = without_rebuild_hatch(|| VideoDatabase::load(&path, DbOptions::new()).unwrap());
+    let rebuilt = with_rebuild_hatch(|| VideoDatabase::load(&path, DbOptions::new()).unwrap());
+    assert_dbs_equivalent(&fast, &built, "removal: fast vs built");
+    assert_dbs_equivalent(&fast, &rebuilt, "removal: fast vs rebuild");
+
+    let out = temp_path("removal_resave");
+    fast.save(&out).unwrap();
+    let resaved = std::fs::read(&out).unwrap();
+    let _ = std::fs::remove_file(&out);
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(original, resaved, "re-saved bytes differ after removal");
+}
+
+/// `open()` on a v2 file and on a shard directory reports the fast reopen
+/// through the object-safe [`Database`] surface.
+#[test]
+fn open_reports_persist_info() {
+    let built = VideoDatabase::new(DbOptions::new());
+    built.ingest_clip(&demo_clip(31), 31);
+    let path = temp_path("open_file");
+    built.save(&path).unwrap();
+    let db = without_rebuild_hatch(|| open(&path, DbOptions::new()).unwrap());
+    let info = db.persist_info();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(info.reopen, ReopenMode::Fast);
+    assert_eq!(info.format(), FORMAT_VERSION);
+
+    // A fresh database is Fresh and speaks the current format.
+    let fresh = VideoDatabase::new(DbOptions::new());
+    assert_eq!(fresh.persist_info().reopen, ReopenMode::Fresh);
+    assert_eq!(fresh.persist_info().loaded_format, None);
+    assert_eq!(fresh.persist_info().format(), FORMAT_VERSION);
+}

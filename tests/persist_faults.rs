@@ -1,0 +1,273 @@
+//! Persistence fault-injection suite: a corrupt STRGDB file must always
+//! yield a structured `io::Error` — never a panic, an abort (oversized
+//! allocation), or a partially-populated database.
+//!
+//! The v2 loader's defenses under test: leading/trailing magic and version
+//! checks, per-record CRC-32, length-bounds checks before any slice or
+//! allocation, count-vs-remaining-bytes caps, arity cross-checks between
+//! META / CLIP / ROOT / CLUS / LEAF / SUMS / OGS records, and the TOC
+//! structural cross-check.
+
+use std::io::ErrorKind;
+use std::path::PathBuf;
+
+use strg::prelude::*;
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("strg_persist_faults_{name}_{}", std::process::id()))
+}
+
+/// A small but structurally complete database: multiple clips, clusters,
+/// leaf records, OGs, edges.
+fn sample_bytes() -> Vec<u8> {
+    let db = VideoDatabase::new(DbOptions::new());
+    for seed in [2u64, 6] {
+        let clip = VideoClip {
+            name: format!("clip-{seed}"),
+            scene: lab_scene(&ScenarioConfig {
+                n_actors: 2,
+                frames: 36,
+                seed,
+                ..Default::default()
+            }),
+            fps: 30.0,
+        };
+        db.ingest_clip(&clip, seed);
+    }
+    let path = temp_path("sample");
+    db.save(&path).expect("save");
+    let bytes = std::fs::read(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    bytes
+}
+
+/// Loads `bytes` as a database file; returns the error, failing the test
+/// if the load unexpectedly succeeds.
+fn must_reject(bytes: &[u8], ctx: &str) -> std::io::Error {
+    let path = temp_path("case");
+    std::fs::write(&path, bytes).unwrap();
+    let result = VideoDatabase::load(&path, DbOptions::new());
+    let _ = std::fs::remove_file(&path);
+    match result {
+        Ok(db) => panic!(
+            "{ctx}: corrupt file loaded as a database ({} clips, {} objects)",
+            db.stats().clips,
+            db.stats().objects
+        ),
+        Err(e) => e,
+    }
+}
+
+/// Structured means `InvalidData` from the format validators (not a panic,
+/// not an allocation abort, not a propagated parse artifact).
+fn assert_structured(e: &std::io::Error, ctx: &str) {
+    assert_eq!(e.kind(), ErrorKind::InvalidData, "{ctx}: {e}");
+}
+
+#[test]
+fn truncations_are_rejected_everywhere() {
+    let bytes = sample_bytes();
+    assert!(bytes.len() > 600, "sample too small to exercise truncation");
+    // Every prefix length in a spread across the file, plus the exact
+    // boundaries that historically go wrong.
+    let mut cuts: Vec<usize> = (0..bytes.len()).step_by(211).collect();
+    cuts.extend([
+        0,
+        1,
+        7,
+        8,
+        15,
+        16, // inside / just past the header
+        bytes.len() - 1,
+        bytes.len() - 8,
+        bytes.len() - 16, // trailer shaved
+        bytes.len() - 17,
+    ]);
+    for cut in cuts {
+        let e = must_reject(&bytes[..cut], &format!("truncate at {cut}"));
+        assert_structured(&e, &format!("truncate at {cut}"));
+    }
+}
+
+#[test]
+fn flipped_bytes_are_rejected_everywhere() {
+    let bytes = sample_bytes();
+    // Flip one byte at a time across the whole file — header, record
+    // headers, payloads, CRCs, TOC, trailer. Every single-byte corruption
+    // must be caught (payloads by CRC-32, structure by the validators).
+    for pos in (0..bytes.len()).step_by(37) {
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= 0xFF;
+        let e = must_reject(&corrupt, &format!("flip at {pos}"));
+        assert_structured(&e, &format!("flip at {pos}"));
+    }
+}
+
+#[test]
+fn garbage_and_bad_headers_are_rejected() {
+    for (name, bytes) in [
+        ("empty", Vec::new()),
+        ("short", b"STRG".to_vec()),
+        ("text garbage", b"not a database at all\n".to_vec()),
+        ("v1 header only", b"STRGDB v1\n".to_vec()),
+        ("v1 bad counts", b"STRGDB v1\nclips notanumber\n".to_vec()),
+        (
+            "binary garbage",
+            (0..4096u32).flat_map(|i| i.to_le_bytes()).collect(),
+        ),
+    ] {
+        let e = must_reject(&bytes, name);
+        assert_structured(&e, name);
+    }
+    // Non-UTF-8 that is also not v2 magic.
+    let e = must_reject(&[0xFF, 0xFE, 0x00, 0x01, 0x80], "non-utf8");
+    assert_structured(&e, "non-utf8");
+}
+
+#[test]
+fn unsupported_version_is_rejected() {
+    let mut bytes = sample_bytes();
+    // Version field lives at offset 8..12.
+    bytes[8..12].copy_from_slice(&3u32.to_le_bytes());
+    let e = must_reject(&bytes, "version 3");
+    assert_structured(&e, "version 3");
+    assert!(
+        e.to_string().contains("version"),
+        "error should name the version: {e}"
+    );
+}
+
+/// Offsets of each record header (tag, len, crc) walked from the file
+/// layout itself.
+fn record_offsets(bytes: &[u8]) -> Vec<(usize, u64)> {
+    let mut out = Vec::new();
+    let mut pos = 16usize;
+    let body_end = bytes.len() - 16;
+    while pos < body_end {
+        let len = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap());
+        out.push((pos, len));
+        pos += 16 + len as usize;
+    }
+    out
+}
+
+#[test]
+fn zero_length_and_oversized_length_fields_are_rejected() {
+    let bytes = sample_bytes();
+    for (i, (off, len)) in record_offsets(&bytes).iter().enumerate() {
+        // Oversized: a length claiming more bytes than the file holds must
+        // be caught by the bounds check before any slicing or allocation.
+        let mut oversized = bytes.clone();
+        oversized[off + 4..off + 12].copy_from_slice(&u64::MAX.to_le_bytes());
+        let e = must_reject(&oversized, &format!("record {i} len=u64::MAX"));
+        assert_structured(&e, &format!("record {i} len=u64::MAX"));
+
+        // Zero: collapsing a non-empty record desynchronizes the walk; the
+        // CRC, tag, or TOC cross-check must refuse the file.
+        if *len > 0 {
+            let mut zeroed = bytes.clone();
+            zeroed[off + 4..off + 12].copy_from_slice(&0u64.to_le_bytes());
+            let e = must_reject(&zeroed, &format!("record {i} len=0"));
+            assert_structured(&e, &format!("record {i} len=0"));
+        }
+    }
+}
+
+#[test]
+fn oversized_internal_counts_are_rejected_without_allocating() {
+    let bytes = sample_bytes();
+    // The META payload starts right after the first record header at 16:
+    // clips, ogs, roots, strg_bytes, index_len — all u64. Claim 2^60 clips
+    // and fix up the CRC so the count check itself (not the checksum) has
+    // to reject it. `Vec::with_capacity(2^60)` would abort the process, so
+    // surviving this case proves counts are capped before allocation.
+    let meta_payload = 32usize;
+    let mut evil = bytes.clone();
+    evil[meta_payload..meta_payload + 8].copy_from_slice(&(1u64 << 60).to_le_bytes());
+    let len = u64::from_le_bytes(bytes[20..28].try_into().unwrap()) as usize;
+    let crc = crc32_of(&evil[meta_payload..meta_payload + len]);
+    evil[28..32].copy_from_slice(&crc.to_le_bytes());
+    let e = must_reject(&evil, "META clips=2^60");
+    assert_structured(&e, "META clips=2^60");
+}
+
+/// Local CRC-32 (IEEE) mirror so the test can re-seal a record after
+/// tampering with its payload.
+fn crc32_of(data: &[u8]) -> u32 {
+    let mut table = [0u32; 256];
+    for (i, t) in table.iter_mut().enumerate() {
+        let mut c = i as u32;
+        for _ in 0..8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+        }
+        *t = c;
+    }
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[test]
+fn sharded_manifest_faults_are_rejected() {
+    // A missing shard file referenced by an otherwise valid manifest.
+    let dir = temp_path("shard_missing");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("MANIFEST"),
+        "STRG-SHARDS v2\nshards 2\nnext_og 0\n",
+    )
+    .unwrap();
+    let r = ShardedDatabase::load(&dir, DbOptions::new());
+    assert!(r.is_err(), "missing shard files accepted");
+
+    // Garbage manifest.
+    std::fs::write(dir.join("MANIFEST"), "STRG-SHARDS v9\nshards 1\n").unwrap();
+    let Err(e) = ShardedDatabase::load(&dir, DbOptions::new()) else {
+        panic!("garbage manifest accepted");
+    };
+    assert_eq!(e.kind(), ErrorKind::InvalidData, "{e}");
+
+    // Zero shards.
+    std::fs::write(dir.join("MANIFEST"), "STRG-SHARDS v2\nshards 0\n").unwrap();
+    let Err(e) = ShardedDatabase::load(&dir, DbOptions::new()) else {
+        panic!("zero-shard manifest accepted");
+    };
+    assert_eq!(e.kind(), ErrorKind::InvalidData, "{e}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_shard_file_fails_the_whole_load() {
+    let db = ShardedDatabase::new(DbOptions::new().shards(2));
+    let clip = VideoClip {
+        name: "only".into(),
+        scene: lab_scene(&ScenarioConfig {
+            n_actors: 1,
+            frames: 30,
+            seed: 4,
+            ..Default::default()
+        }),
+        fps: 30.0,
+    };
+    db.ingest_clip(&clip, 4);
+    let dir = temp_path("shard_corrupt");
+    db.save(&dir).unwrap();
+    // Flip a byte in the middle of shard 0's file.
+    let shard0 = dir.join("shard-000.strgdb");
+    let mut bytes = std::fs::read(&shard0).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&shard0, &bytes).unwrap();
+    let r = ShardedDatabase::load(&dir, DbOptions::new());
+    let _ = std::fs::remove_dir_all(&dir);
+    let Err(e) = r else {
+        panic!("corrupt shard accepted");
+    };
+    assert_eq!(e.kind(), ErrorKind::InvalidData, "{e}");
+}
