@@ -1,0 +1,246 @@
+//! Batched multi-query execution benchmark: one index traversal answering
+//! a whole batch against the same queries replayed one at a time.
+//!
+//! For every batch width `B ∈ {1, 4, 16, 64}` two workloads run:
+//!
+//! * **distinct** — `B` different trajectories (the worst case for
+//!   batching: only the structural descent is shared);
+//! * **hot** — `ceil(B/4)` unique trajectories, each repeated (a burst of
+//!   near-simultaneous identical queries, the case the serve coalescing
+//!   window exists for: duplicates are answered from their
+//!   representative's search).
+//!
+//! Both modes use warm arenas and the same kernels; the benchmark isolates
+//! the batching win itself. The bin verifies **in-run** that every query's
+//! hit list and logical cost are byte-identical between the batched
+//! execution and its sequential replay (`outputs_identical` — the
+//! `batch_shared_accesses` telemetry field excepted, as documented), that
+//! the steady-state batched path performs **zero** heap allocations, and —
+//! in the full run — that the hot workload at `B = 16` is at least 1.5×
+//! faster per query than the sequential replay on the ≥2,000-object
+//! database. Results land in `results/BENCH_batch.json`.
+//!
+//! Run with: `cargo run --release -p strg-bench --bin batch [-- --quick]`
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use strg_bench::report::results_dir;
+use strg_bench::Scale;
+use strg_core::{BatchItem, BatchKind, BatchScratch, QueryScratch, StrgIndex, StrgIndexConfig};
+use strg_distance::EgedMetric;
+use strg_graph::{BackgroundGraph, Point2};
+use strg_obs::{Json, QueryCost};
+use strg_parallel::Threads;
+use strg_synth::{generate_total, SynthConfig};
+
+struct CountingAlloc;
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_events() -> u64 {
+    ALLOC_EVENTS.load(Ordering::SeqCst)
+}
+
+const K: usize = 10;
+const WIDTHS: [usize; 4] = [1, 4, 16, 64];
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick {
+        Scale::quick()
+    } else {
+        Scale::reduced()
+    };
+    // The acceptance scale: ≥2000 objects in the full run.
+    let db_size = if quick {
+        scale.query_db_size
+    } else {
+        scale.query_db_size.max(2_000)
+    };
+    let measure_passes = if quick { 1 } else { 3 };
+    // Every (width, workload) measurement covers the same number of
+    // queries so the per-query figures are comparable.
+    let queries_per_pass = if quick { 8 } else { 64 };
+
+    let cfg = SynthConfig::with_noise(0.10);
+    let pool: Vec<Vec<Point2>> = generate_total(WIDTHS[WIDTHS.len() - 1], &cfg, scale.seed + 999)
+        .items
+        .into_iter()
+        .map(|q| q.points)
+        .collect();
+    let items_db: Vec<(u64, Vec<Point2>)> = generate_total(db_size, &cfg, scale.seed + 1)
+        .series()
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| (i as u64, s))
+        .collect();
+
+    let mut idx_cfg = StrgIndexConfig::with_k(48.min(items_db.len().max(1)));
+    idx_cfg.seed = scale.seed;
+    idx_cfg.em_max_iters = 10;
+    idx_cfg.em_n_init = 1;
+    idx_cfg.threads = Threads::Fixed(1);
+    let mut idx = StrgIndex::new(EgedMetric::<Point2>::new(), idx_cfg);
+    idx.add_segment(BackgroundGraph::default(), items_db);
+
+    let mut rows = Vec::new();
+    let mut speedup_b16_hot = 0.0;
+    let mut seq_scratch = QueryScratch::new();
+    let mut batch_scratch = BatchScratch::new();
+    for &b in &WIDTHS {
+        for hot in [false, true] {
+            // The hot workload repeats ceil(B/4) unique queries; B=1
+            // degenerates to distinct, so skip its duplicate row.
+            if hot && b == 1 {
+                continue;
+            }
+            let uniques = if hot { b.div_ceil(4) } else { b };
+            let batch: Vec<BatchItem<'_, Point2>> = (0..b)
+                .map(|i| BatchItem {
+                    kind: BatchKind::Knn(K),
+                    query: &pool[i % uniques],
+                    root_filter: None,
+                })
+                .collect();
+            let reps = (queries_per_pass / b).max(1);
+
+            // Sequential replay: one search per query, warm arena.
+            let mut seq_hits: Vec<Vec<(u64, u64)>> = Vec::new();
+            let mut seq_costs: Vec<QueryCost> = Vec::new();
+            for it in &batch {
+                let (h, c) = idx.knn_with_cost_into(it.query, K, &mut seq_scratch);
+                seq_hits.push(h.iter().map(|x| (x.og_id, x.dist.to_bits())).collect());
+                seq_costs.push(c);
+            } // warm + harvest
+            let t0 = std::time::Instant::now();
+            for _ in 0..measure_passes {
+                for _ in 0..reps {
+                    for it in &batch {
+                        idx.knn_with_cost_into(it.query, K, &mut seq_scratch);
+                    }
+                }
+            }
+            let wall_seq = t0.elapsed();
+
+            // Batched: one traversal for the whole batch, warm arena.
+            idx.query_batch_with_cost_into(&batch, &mut batch_scratch); // warm
+            let batch_hits: Vec<Vec<(u64, u64)>> = (0..b)
+                .map(|i| {
+                    batch_scratch
+                        .hits(i)
+                        .iter()
+                        .map(|x| (x.og_id, x.dist.to_bits()))
+                        .collect()
+                })
+                .collect();
+            let batch_costs: Vec<QueryCost> = (0..b).map(|i| batch_scratch.cost(i)).collect();
+            let a0 = alloc_events();
+            let t0 = std::time::Instant::now();
+            for _ in 0..measure_passes {
+                for _ in 0..reps {
+                    idx.query_batch_with_cost_into(&batch, &mut batch_scratch);
+                }
+            }
+            let wall_batch = t0.elapsed();
+            let allocs_batch = alloc_events() - a0;
+
+            let identical = seq_hits == batch_hits
+                && seq_costs
+                    .iter()
+                    .zip(&batch_costs)
+                    .all(|(s, b)| s.same_work(b));
+            let workload = if hot { "hot" } else { "distinct" };
+            assert!(
+                identical,
+                "B={b} {workload}: batched execution diverged from sequential replay"
+            );
+            assert_eq!(
+                allocs_batch, 0,
+                "B={b} {workload}: steady-state batched path touched the allocator"
+            );
+
+            let n_queries = (measure_passes * reps * b) as f64;
+            let ns_seq = wall_seq.as_nanos() as f64 / n_queries;
+            let ns_batch = wall_batch.as_nanos() as f64 / n_queries;
+            let speedup = ns_seq / ns_batch;
+            if b == 16 && hot {
+                speedup_b16_hot = speedup;
+            }
+            let shared: u64 = batch_costs.iter().map(|c| c.batch_shared_accesses).sum();
+            let calls: u64 = batch_costs.iter().map(|c| c.distance_calls).sum();
+            eprintln!(
+                "B={b:<3} {workload:<8} sequential {:>9.1}µs/q  batched {:>9.1}µs/q  \
+                 speedup {speedup:>5.2}x  shared-accesses {shared}  allocs/steady {allocs_batch}",
+                ns_seq / 1e3,
+                ns_batch / 1e3,
+            );
+            rows.push(Json::obj(vec![
+                ("batch_width", Json::U64(b as u64)),
+                ("workload", Json::str(workload)),
+                ("unique_queries", Json::U64(uniques as u64)),
+                ("k", Json::U64(K as u64)),
+                (
+                    "queries_total",
+                    Json::U64((measure_passes * reps * b) as u64),
+                ),
+                ("outputs_identical", Json::Bool(identical)),
+                ("ns_per_query_sequential", Json::F64(ns_seq)),
+                ("ns_per_query_batched", Json::F64(ns_batch)),
+                ("qps_sequential", Json::F64(1e9 / ns_seq)),
+                ("qps_batched", Json::F64(1e9 / ns_batch)),
+                ("speedup", Json::F64(speedup)),
+                ("batch_shared_accesses", Json::U64(shared)),
+                ("distance_calls", Json::U64(calls)),
+                ("steady_allocs_batched", Json::U64(allocs_batch)),
+            ]));
+        }
+    }
+
+    if !quick {
+        assert!(
+            speedup_b16_hot >= 1.5,
+            "hot workload at B=16 must be ≥1.5x over sequential, got {speedup_b16_hot:.2}x"
+        );
+    }
+
+    let doc = Json::obj(vec![
+        ("seed", Json::U64(scale.seed)),
+        ("quick", Json::Bool(quick)),
+        ("db_size", Json::U64(db_size as u64)),
+        ("threads", Json::U64(1)),
+        ("speedup_b16_hot", Json::F64(speedup_b16_hot)),
+        (
+            "arena_grow_events",
+            Json::U64(batch_scratch.grow_events() + seq_scratch.grow_events()),
+        ),
+        ("rows", Json::Array(rows)),
+    ]);
+    let path = results_dir().join("BENCH_batch.json");
+    if let Err(e) = std::fs::write(&path, doc.render()) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", path.display());
+}

@@ -50,11 +50,12 @@ USAGE:
                 [--actors N] [--frames N] [--seed N] [--shards N] [--json]
   strgdb query  --db <path> --from <x,y> --to <x,y> [--steps N]
                 [-k N | --radius R] [--clip <name>] [--json]
+  strgdb query  --db <path> --batch-file <file> [--json]
   strgdb stats  --db <path> [--json]
   strgdb clips  --db <path>
   strgdb remove --db <path> --clip <name>
   strgdb serve  --db <path> [--port N] [--max-queue N] [--port-file <file>]
-                [--shards N]
+                [--shards N] [--coalesce-ms N] [--max-batch N]
   strgdb send   --addr <host:port> --req '<json request line>'
 
 Creates <path> on first ingest; later commands load and (for mutations)
@@ -67,7 +68,13 @@ database's metrics snapshot (same serialization as
 `VideoDatabase::metrics_snapshot`). `serve` answers the same shapes over
 newline-delimited JSON on TCP (port 0 picks an ephemeral port;
 `--port-file` records the bound address); `send` writes one request line
-and prints the response.";
+and prints the response. `--batch-file` executes many queries in one
+index traversal: one JSON object per line (`{\"from\":\"x,y\",
+\"to\":\"x,y\",\"steps\":N,\"k\":N|\"radius\":R,\"clip\":name}` — the
+same grammar as the server's `query_batch` elements; blank lines and
+`#` comments skipped), each answered byte-identically to running it
+alone. `serve --coalesce-ms N` groups single queries arriving within the
+window into one batched execution (`--max-batch` caps the width).";
 
 /// Simple `--flag value` argument map.
 pub struct Args<'a> {
@@ -173,9 +180,82 @@ pub fn cmd_ingest(args: &Args) -> CmdResult {
     ))
 }
 
+/// `strgdb query` with `--batch-file`: many queries, one index traversal
+/// ([`Database::query_batch`]). The file holds one query-spec object per
+/// line — the same grammar as the server's `query_batch` elements, parsed
+/// by the same [`wire::parse_query_spec`] — so `--json` output is
+/// byte-identical to the server's `query_batch` result body.
+fn cmd_query_batch(args: &Args, db_path: &str, file: &str) -> CmdResult {
+    for flag in ["--from", "--to", "--steps", "-k", "--radius", "--clip"] {
+        if args.has(flag) {
+            return Err(CliError(format!(
+                "{flag} cannot be combined with --batch-file (put it in the file)"
+            )));
+        }
+    }
+    let text =
+        std::fs::read_to_string(file).map_err(|e| CliError(format!("cannot read {file}: {e}")))?;
+    let mut specs = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parsed = strg_serve::json_parse::parse(line)
+            .map_err(|e| CliError(format!("{file}:{}: {e}", ln + 1)))?;
+        let strg_obs::Json::Object(pairs) = parsed else {
+            return Err(CliError(format!(
+                "{file}:{}: each line must be a JSON object",
+                ln + 1
+            )));
+        };
+        let spec = wire::parse_query_spec(&strg_serve::protocol::Params::new(&pairs))
+            .map_err(|e| CliError(format!("{file}:{}: {}", ln + 1, e.message)))?;
+        specs.push(spec);
+    }
+    if specs.is_empty() {
+        return Err(CliError(format!("{file} holds no queries")));
+    }
+    let db = open_db(db_path, args)?;
+    let trajectories: Vec<_> = specs.iter().map(|s| s.trajectory()).collect();
+    let queries: Vec<Query<'_>> = specs
+        .iter()
+        .zip(&trajectories)
+        .map(|(s, t)| s.to_query(t))
+        .collect();
+    let results = db.query_batch(&queries);
+    if args.has("--json") {
+        return Ok(wire::query_batch_json(&results).render());
+    }
+    let mut out = String::new();
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        let _ = writeln!(out, "query {}:", i + 1);
+        if r.hits.is_empty() {
+            let _ = writeln!(out, "  no results");
+        } else {
+            for h in &r.hits {
+                let _ = writeln!(out, "  {:<12} {:>6} {:>12.1}", h.clip, h.og_id, h.dist);
+            }
+        }
+        let cost = r.cost.as_ref().expect("batch queries request cost");
+        let _ = writeln!(
+            out,
+            "  ({} distance calls, {} node accesses, {} pruned, {} batch-shared)",
+            cost.distance_calls, cost.node_accesses, cost.pruned, cost.batch_shared_accesses
+        );
+    }
+    Ok(out.trim_end().to_string())
+}
+
 /// `strgdb query`.
 pub fn cmd_query(args: &Args) -> CmdResult {
     let db_path = args.require("--db")?;
+    if let Some(file) = args.get("--batch-file")? {
+        return cmd_query_batch(args, db_path, file);
+    }
     let from = parse_point(args.require("--from")?)?;
     let to = parse_point(args.require("--to")?)?;
     let steps: usize = args.parse_or("--steps", 30)?;
@@ -317,10 +397,17 @@ pub fn cmd_serve(args: &Args) -> CmdResult {
     if max_queue == 0 {
         return Err(CliError("--max-queue must be at least 1".into()));
     }
+    let max_batch: usize = args.parse_or("--max-batch", 256)?;
+    if max_batch == 0 {
+        return Err(CliError("--max-batch must be at least 1".into()));
+    }
+    let coalesce_ms: u64 = args.parse_or("--coalesce-ms", 0)?;
     let db = open_db(db_path, args)?;
     let cfg = ServeConfig {
         max_queue,
         db_path: Some(db_path.to_string()),
+        max_batch,
+        coalesce_window: (coalesce_ms > 0).then(|| std::time::Duration::from_millis(coalesce_ms)),
         ..Default::default()
     };
     let server = Server::bind_shared(("127.0.0.1", port), std::sync::Arc::from(db), cfg)

@@ -39,7 +39,9 @@
 
 use std::cell::RefCell;
 
-use strg_distance::{lower_bounds_enabled, BoundedDistance, LowerBound, MetricDistance, SeqValue};
+use strg_distance::{
+    lower_bounds_enabled, BoundedDistance, LowerBound, MetricDistance, SeqSummary, SeqValue,
+};
 use strg_obs::QueryCost;
 use strg_parallel::{par_map, Threads};
 
@@ -62,15 +64,15 @@ pub struct Hit {
 /// into the roots slice (not references), so the candidate list can live in
 /// a [`QueryScratch`] that outlives any one query.
 #[derive(Copy, Clone, Debug)]
-struct Cand {
+pub(super) struct Cand {
     /// Position of the root in the roots slice.
-    root_idx: u32,
+    pub(super) root_idx: u32,
     /// Position of the cluster within its root.
-    cluster_idx: u32,
-    root_id: u32,
-    cluster_id: u32,
-    centroid_dist: f64,
-    lower: f64,
+    pub(super) cluster_idx: u32,
+    pub(super) root_id: u32,
+    pub(super) cluster_id: u32,
+    pub(super) centroid_dist: f64,
+    pub(super) lower: f64,
 }
 
 /// Reusable per-thread search arena: every buffer the k-NN/range hot path
@@ -81,17 +83,17 @@ pub struct QueryScratch {
     /// `(root_idx, cluster_idx)` staging for the parallel centroid fan-out.
     refs: Vec<(u32, u32)>,
     /// Gathered cluster candidates (pass 1).
-    cands: Vec<Cand>,
+    pub(super) cands: Vec<Cand>,
     /// In-band survivor indices of the lower-bound filter.
-    survivors: Vec<u32>,
+    pub(super) survivors: Vec<u32>,
     /// Sort permutation for the final range ordering.
     order: Vec<u32>,
     /// Double buffer applying that permutation.
     hits_tmp: Vec<Hit>,
     /// The result list (`best` for knn, `out` for range).
-    hits: Vec<Hit>,
+    pub(super) hits: Vec<Hit>,
     /// Number of times a buffer had to grow (0 in steady state).
-    grows: u64,
+    pub(super) grows: u64,
 }
 
 impl QueryScratch {
@@ -149,14 +151,14 @@ pub fn with_query_scratch<R>(f: impl FnOnce(&mut QueryScratch) -> R) -> R {
 
 /// Reserves room for `need` elements, charging the arena's growth counter
 /// only when the reservation actually enlarges the buffer.
-fn reserve_counted<T>(v: &mut Vec<T>, need: usize, grows: &mut u64) {
+pub(super) fn reserve_counted<T>(v: &mut Vec<T>, need: usize, grows: &mut u64) {
     if v.capacity() < need {
         *grows += 1;
         v.reserve(need - v.len());
     }
 }
 
-fn leaf_len<V>(roots: &[RootRecord<V>], cand: &Cand) -> u64 {
+pub(super) fn leaf_len<V>(roots: &[RootRecord<V>], cand: &Cand) -> u64 {
     roots[cand.root_idx as usize].clusters[cand.cluster_idx as usize]
         .leaf
         .records
@@ -169,7 +171,7 @@ fn leaf_len<V>(roots: &[RootRecord<V>], cand: &Cand) -> u64 {
 /// candidate buffer; in parallel the centroid distances fan out over the
 /// workers via the arena's `(root, cluster)` staging, coming back in
 /// root/cluster order exactly as the sequential loop gathers them.
-fn gather_cands_into<V: SeqValue, D: MetricDistance<V> + Sync>(
+pub(super) fn gather_cands_into<V: SeqValue, D: MetricDistance<V> + Sync>(
     roots: &[RootRecord<V>],
     metric: &D,
     query: &[V],
@@ -296,20 +298,10 @@ pub fn knn_into<V: SeqValue, D: MetricDistance<V> + BoundedDistance<V> + LowerBo
     if k == 0 {
         return;
     }
-    let parallel = !threads.is_sequential();
     let lb_active = lower_bounds_enabled();
     let qsum = metric.summarize(query);
     gather_cands_into(roots, metric, query, root_filter, threads, cost, scratch);
-    // Unstable sort with a total positional tie-break: the gather pushes
-    // candidates in strictly increasing (root_idx, cluster_idx) order, so
-    // this reproduces the stable sort-by-lower-bound order without the
-    // stable sort's temporary buffer.
-    scratch.cands.sort_unstable_by(|a, b| {
-        a.lower
-            .total_cmp(&b.lower)
-            .then(a.root_idx.cmp(&b.root_idx))
-            .then(a.cluster_idx.cmp(&b.cluster_idx))
-    });
+    sort_cands(&mut scratch.cands);
 
     let total_records: usize = scratch
         .cands
@@ -325,12 +317,18 @@ pub fn knn_into<V: SeqValue, D: MetricDistance<V> + BoundedDistance<V> + LowerBo
     );
     for ci in 0..scratch.cands.len() {
         let cand = scratch.cands[ci];
-        let dk = if scratch.hits.len() < k {
-            f64::INFINITY
-        } else {
-            scratch.hits[k - 1].dist
-        };
-        if cand.lower > dk {
+        if !knn_visit_cand(
+            roots,
+            metric,
+            query,
+            &qsum,
+            k,
+            lb_active,
+            threads,
+            cand,
+            &mut scratch.hits,
+            cost,
+        ) {
             // Clusters are sorted by lower bound: this and every remaining
             // candidate's leaf records are excluded without evaluation.
             cost.pruned += scratch.cands[ci..]
@@ -339,108 +337,157 @@ pub fn knn_into<V: SeqValue, D: MetricDistance<V> + BoundedDistance<V> + LowerBo
                 .sum::<u64>();
             break;
         }
-        cost.node_accesses += 1; // the candidate's leaf node
-                                 // Key-band scan: records outside |key - d_q| <= dk cannot qualify.
-        let records = &roots[cand.root_idx as usize].clusters[cand.cluster_idx as usize]
-            .leaf
-            .records;
-        let lo = records.partition_point(|r| r.key < cand.centroid_dist - dk);
-        cost.pruned += lo as u64;
-        // Parallel path: evaluate the dk-at-entry band up front. It covers
-        // every record the adaptive scan below can reach, because d_k only
-        // shrinks while scanning. With lower bounds active the speculative
-        // evaluations are bounded by dk-at-entry: a `None` in the replay
-        // certifies d > dk-at-entry >= dk_now, exactly what the sequential
-        // `distance_upto(.., dk_now)` would have concluded.
-        let (band, dists) = if parallel {
-            let hi = lo + records[lo..].partition_point(|r| r.key <= cand.centroid_dist + dk);
-            let band = &records[lo..hi];
-            let d = par_map(band, threads, |r| {
-                if lb_active {
-                    metric.distance_upto(query, &r.seq, dk)
-                } else {
-                    Some(metric.distance(query, &r.seq))
-                }
-            });
-            (band, Some(d))
-        } else {
-            (&records[lo..], None)
-        };
-        // `reached` is where the adaptive scan stops; records past it are
-        // pruned in bulk below. When the frozen parallel band is exhausted
-        // without a break, the sequential scan would break right at `hi`
-        // (every later key exceeds centroid_dist + dk-at-entry >= dk_now),
-        // so the bulk charge is identical on both paths.
-        let mut reached = band.len();
-        for (i, r) in band.iter().enumerate() {
-            let dk_now = if scratch.hits.len() < k {
-                f64::INFINITY
+    }
+}
+
+/// Orders gathered candidates by triangle lower bound. Unstable sort with a
+/// total positional tie-break: the gather pushes candidates in strictly
+/// increasing (root_idx, cluster_idx) order, so this reproduces the stable
+/// sort-by-lower-bound order without the stable sort's temporary buffer.
+pub(super) fn sort_cands(cands: &mut [Cand]) {
+    cands.sort_unstable_by(|a, b| {
+        a.lower
+            .total_cmp(&b.lower)
+            .then(a.root_idx.cmp(&b.root_idx))
+            .then(a.cluster_idx.cmp(&b.cluster_idx))
+    });
+}
+
+/// One best-first k-NN step: visits `cand`'s leaf with the cutoff implied
+/// by the current `hits`, updating `hits` and `cost` exactly as the
+/// sequential candidate loop of [`knn_into`] does. Returns `false` —
+/// charging nothing — when `cand.lower` exceeds the cutoff: candidates are
+/// visited in lower-bound order, so the caller then bulk-prunes this and
+/// every remaining leaf and stops the query. Shared verbatim between the
+/// single-query path and the batched round-lockstep descent, which is what
+/// makes their per-query results structurally identical.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn knn_visit_cand<
+    V: SeqValue,
+    D: MetricDistance<V> + BoundedDistance<V> + LowerBound<V> + Sync,
+>(
+    roots: &[RootRecord<V>],
+    metric: &D,
+    query: &[V],
+    qsum: &SeqSummary<V>,
+    k: usize,
+    lb_active: bool,
+    threads: Threads,
+    cand: Cand,
+    hits: &mut Vec<Hit>,
+    cost: &mut QueryCost,
+) -> bool {
+    let parallel = !threads.is_sequential();
+    let dk = if hits.len() < k {
+        f64::INFINITY
+    } else {
+        hits[k - 1].dist
+    };
+    if cand.lower > dk {
+        return false;
+    }
+    cost.node_accesses += 1; // the candidate's leaf node
+                             // Key-band scan: records outside |key - d_q| <= dk cannot qualify.
+    let records = &roots[cand.root_idx as usize].clusters[cand.cluster_idx as usize]
+        .leaf
+        .records;
+    let lo = records.partition_point(|r| r.key < cand.centroid_dist - dk);
+    cost.pruned += lo as u64;
+    // Parallel path: evaluate the dk-at-entry band up front. It covers
+    // every record the adaptive scan below can reach, because d_k only
+    // shrinks while scanning. With lower bounds active the speculative
+    // evaluations are bounded by dk-at-entry: a `None` in the replay
+    // certifies d > dk-at-entry >= dk_now, exactly what the sequential
+    // `distance_upto(.., dk_now)` would have concluded.
+    let (band, dists) = if parallel {
+        let hi = lo + records[lo..].partition_point(|r| r.key <= cand.centroid_dist + dk);
+        let band = &records[lo..hi];
+        let d = par_map(band, threads, |r| {
+            if lb_active {
+                metric.distance_upto(query, &r.seq, dk)
             } else {
-                scratch.hits[k - 1].dist
-            };
-            if r.key > cand.centroid_dist + dk_now {
-                reached = i;
-                break;
+                Some(metric.distance(query, &r.seq))
             }
-            if (r.key - cand.centroid_dist).abs() > dk_now {
-                cost.pruned += 1;
+        });
+        (band, Some(d))
+    } else {
+        (&records[lo..], None)
+    };
+    // `reached` is where the adaptive scan stops; records past it are
+    // pruned in bulk below. When the frozen parallel band is exhausted
+    // without a break, the sequential scan would break right at `hi`
+    // (every later key exceeds centroid_dist + dk-at-entry >= dk_now),
+    // so the bulk charge is identical on both paths.
+    let mut reached = band.len();
+    for (i, r) in band.iter().enumerate() {
+        let dk_now = if hits.len() < k {
+            f64::INFINITY
+        } else {
+            hits[k - 1].dist
+        };
+        if r.key > cand.centroid_dist + dk_now {
+            reached = i;
+            break;
+        }
+        if (r.key - cand.centroid_dist).abs() > dk_now {
+            cost.pruned += 1;
+            continue;
+        }
+        // Summary lower bound: an excluded record is charged to
+        // lb_pruned in both modes; only the hatch refines it anyway
+        // (speculatively, uncharged) to expose an inadmissible bound.
+        let lb_cut = metric.lower_bound(query, qsum, &r.summary) > dk_now;
+        if lb_cut {
+            cost.lb_pruned += 1;
+            if lb_active {
                 continue;
             }
-            // Summary lower bound: an excluded record is charged to
-            // lb_pruned in both modes; only the hatch refines it anyway
-            // (speculatively, uncharged) to expose an inadmissible bound.
-            let lb_cut = metric.lower_bound(query, &qsum, &r.summary) > dk_now;
-            if lb_cut {
-                cost.lb_pruned += 1;
-                if lb_active {
+        } else {
+            cost.distance_calls += 1;
+        }
+        let d = match &dists {
+            Some(ds) => match ds[i] {
+                Some(d) => d,
+                None => {
+                    // d > dk-at-entry >= dk_now: the sequential bounded
+                    // call would have abandoned too.
+                    cost.early_abandoned += 1;
                     continue;
                 }
-            } else {
-                cost.distance_calls += 1;
-            }
-            let d = match &dists {
-                Some(ds) => match ds[i] {
-                    Some(d) => d,
-                    None => {
-                        // d > dk-at-entry >= dk_now: the sequential bounded
-                        // call would have abandoned too.
-                        cost.early_abandoned += 1;
-                        continue;
-                    }
-                },
-                None => {
-                    if lb_cut {
-                        metric.distance(query, &r.seq)
-                    } else if lb_active {
-                        match metric.distance_upto(query, &r.seq, dk_now) {
-                            Some(d) => d,
-                            None => {
-                                cost.early_abandoned += 1;
-                                continue;
-                            }
+            },
+            None => {
+                if lb_cut {
+                    metric.distance(query, &r.seq)
+                } else if lb_active {
+                    match metric.distance_upto(query, &r.seq, dk_now) {
+                        Some(d) => d,
+                        None => {
+                            cost.early_abandoned += 1;
+                            continue;
                         }
-                    } else {
-                        metric.distance(query, &r.seq)
                     }
+                } else {
+                    metric.distance(query, &r.seq)
                 }
-            };
-            if !lb_cut && d > dk_now {
-                cost.early_abandoned += 1;
             }
-            if d < dk_now || scratch.hits.len() < k {
-                let hit = Hit {
-                    root_id: cand.root_id,
-                    cluster_id: cand.cluster_id,
-                    og_id: r.og_id,
-                    dist: d,
-                };
-                let pos = scratch.hits.partition_point(|h| h.dist <= d);
-                scratch.hits.insert(pos, hit);
-                scratch.hits.truncate(k);
-            }
+        };
+        if !lb_cut && d > dk_now {
+            cost.early_abandoned += 1;
         }
-        cost.pruned += (records.len() - lo - reached) as u64;
+        if d < dk_now || hits.len() < k {
+            let hit = Hit {
+                root_id: cand.root_id,
+                cluster_id: cand.cluster_id,
+                og_id: r.og_id,
+                dist: d,
+            };
+            let pos = hits.partition_point(|h| h.dist <= d);
+            hits.insert(pos, hit);
+            hits.truncate(k);
+        }
     }
+    cost.pruned += (records.len() - lo - reached) as u64;
+    true
 }
 
 /// Range query: every OG within `radius` of `query`, ascending by
@@ -483,7 +530,6 @@ pub fn range_into<V: SeqValue, D: MetricDistance<V> + BoundedDistance<V> + Lower
     cost: &mut QueryCost,
     scratch: &mut QueryScratch,
 ) {
-    let sequential = threads.is_sequential();
     let lb_active = lower_bounds_enabled();
     let qsum = metric.summarize(query);
     scratch.hits.clear();
@@ -496,100 +542,140 @@ pub fn range_into<V: SeqValue, D: MetricDistance<V> + BoundedDistance<V> + Lower
     reserve_counted(&mut scratch.hits, total_records, &mut scratch.grows);
     for ci in 0..scratch.cands.len() {
         let cand = scratch.cands[ci];
-        let d = cand.centroid_dist;
-        let records = &roots[cand.root_idx as usize].clusters[cand.cluster_idx as usize]
-            .leaf
-            .records;
-        // Members satisfy |key - d| <= d(q, m); the fixed radius bounds the
-        // key band up front, so the parallel scan evaluates exactly the
-        // records the sequential one does and appends them in record order.
-        let lo = records.partition_point(|r| r.key < d - radius);
-        let hi = lo + records[lo..].partition_point(|r| r.key <= d + radius);
-        let band = &records[lo..hi];
-        cost.node_accesses += 1;
-        cost.pruned += (records.len() - band.len()) as u64;
-        let hit = |r: &super::LeafRecord<V>, dist: f64| Hit {
-            root_id: cand.root_id,
-            cluster_id: cand.cluster_id,
-            og_id: r.og_id,
-            dist,
-        };
-        // The lb predicate depends only on the fixed radius, so it commutes
-        // with scan order: filter the band up front, refine only the
-        // survivors (fanned out over the workers in parallel mode, straight
-        // out of the arena sequentially). The hatch evaluates everything
-        // fully instead, with the same charges, and lets lb-cut records
-        // compete for the result set.
-        if lb_active {
-            if sequential {
-                for r in band {
-                    if metric.lower_bound(query, &qsum, &r.summary) <= radius {
-                        cost.distance_calls += 1;
-                        match metric.distance_upto(query, &r.seq, radius) {
-                            Some(dist) => scratch.hits.push(hit(r, dist)),
-                            None => cost.early_abandoned += 1,
-                        }
-                    } else {
-                        cost.lb_pruned += 1;
-                    }
-                }
-            } else {
-                scratch.survivors.clear();
-                reserve_counted(&mut scratch.survivors, band.len(), &mut scratch.grows);
-                for (i, r) in band.iter().enumerate() {
-                    if metric.lower_bound(query, &qsum, &r.summary) <= radius {
-                        scratch.survivors.push(i as u32);
-                    }
-                }
-                cost.lb_pruned += (band.len() - scratch.survivors.len()) as u64;
-                cost.distance_calls += scratch.survivors.len() as u64;
-                let dists = par_map(&scratch.survivors, threads, |&si| {
-                    metric.distance_upto(query, &band[si as usize].seq, radius)
-                });
-                for (&si, dist) in scratch.survivors.iter().zip(dists) {
-                    match dist {
-                        Some(dist) => scratch.hits.push(hit(&band[si as usize], dist)),
-                        None => cost.early_abandoned += 1,
-                    }
-                }
-            }
-        } else if sequential {
+        let QueryScratch {
+            hits,
+            survivors,
+            grows,
+            ..
+        } = scratch;
+        range_visit_cand(
+            roots, metric, query, &qsum, radius, lb_active, threads, cand, hits, survivors, grows,
+            cost,
+        );
+    }
+    sort_hits_stable(scratch);
+}
+
+/// One range step: scans `cand`'s radius key band, appending qualifying
+/// hits in record order and charging exactly as the candidate loop of
+/// [`range_into`] does. The fixed radius makes candidates independent, so
+/// the batched descent calls this in any interleaving. The caller applies
+/// [`sort_hits_stable`] once after the last candidate.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn range_visit_cand<
+    V: SeqValue,
+    D: MetricDistance<V> + BoundedDistance<V> + LowerBound<V> + Sync,
+>(
+    roots: &[RootRecord<V>],
+    metric: &D,
+    query: &[V],
+    qsum: &SeqSummary<V>,
+    radius: f64,
+    lb_active: bool,
+    threads: Threads,
+    cand: Cand,
+    hits: &mut Vec<Hit>,
+    survivors: &mut Vec<u32>,
+    grows: &mut u64,
+    cost: &mut QueryCost,
+) {
+    let sequential = threads.is_sequential();
+    let d = cand.centroid_dist;
+    let records = &roots[cand.root_idx as usize].clusters[cand.cluster_idx as usize]
+        .leaf
+        .records;
+    // Members satisfy |key - d| <= d(q, m); the fixed radius bounds the
+    // key band up front, so the parallel scan evaluates exactly the
+    // records the sequential one does and appends them in record order.
+    let lo = records.partition_point(|r| r.key < d - radius);
+    let hi = lo + records[lo..].partition_point(|r| r.key <= d + radius);
+    let band = &records[lo..hi];
+    cost.node_accesses += 1;
+    cost.pruned += (records.len() - band.len()) as u64;
+    let hit = |r: &super::LeafRecord<V>, dist: f64| Hit {
+        root_id: cand.root_id,
+        cluster_id: cand.cluster_id,
+        og_id: r.og_id,
+        dist,
+    };
+    // The lb predicate depends only on the fixed radius, so it commutes
+    // with scan order: filter the band up front, refine only the
+    // survivors (fanned out over the workers in parallel mode, straight
+    // out of the arena sequentially). The hatch evaluates everything
+    // fully instead, with the same charges, and lets lb-cut records
+    // compete for the result set.
+    if lb_active {
+        if sequential {
             for r in band {
-                let keep = metric.lower_bound(query, &qsum, &r.summary) <= radius;
-                let dist = metric.distance(query, &r.seq);
-                if keep {
+                if metric.lower_bound(query, qsum, &r.summary) <= radius {
                     cost.distance_calls += 1;
-                    if dist > radius {
-                        cost.early_abandoned += 1;
+                    match metric.distance_upto(query, &r.seq, radius) {
+                        Some(dist) => hits.push(hit(r, dist)),
+                        None => cost.early_abandoned += 1,
                     }
                 } else {
                     cost.lb_pruned += 1;
-                }
-                if dist <= radius {
-                    scratch.hits.push(hit(r, dist));
                 }
             }
         } else {
-            let dists = par_map(band, threads, |r| metric.distance(query, &r.seq));
-            for (r, dist) in band.iter().zip(dists) {
-                let keep = metric.lower_bound(query, &qsum, &r.summary) <= radius;
-                if keep {
-                    cost.distance_calls += 1;
-                    if dist > radius {
-                        cost.early_abandoned += 1;
-                    }
-                } else {
-                    cost.lb_pruned += 1;
+            survivors.clear();
+            reserve_counted(survivors, band.len(), grows);
+            for (i, r) in band.iter().enumerate() {
+                if metric.lower_bound(query, qsum, &r.summary) <= radius {
+                    survivors.push(i as u32);
                 }
-                if dist <= radius {
-                    scratch.hits.push(hit(r, dist));
+            }
+            cost.lb_pruned += (band.len() - survivors.len()) as u64;
+            cost.distance_calls += survivors.len() as u64;
+            let dists = par_map(survivors, threads, |&si| {
+                metric.distance_upto(query, &band[si as usize].seq, radius)
+            });
+            for (&si, dist) in survivors.iter().zip(dists) {
+                match dist {
+                    Some(dist) => hits.push(hit(&band[si as usize], dist)),
+                    None => cost.early_abandoned += 1,
                 }
             }
         }
+    } else if sequential {
+        for r in band {
+            let keep = metric.lower_bound(query, qsum, &r.summary) <= radius;
+            let dist = metric.distance(query, &r.seq);
+            if keep {
+                cost.distance_calls += 1;
+                if dist > radius {
+                    cost.early_abandoned += 1;
+                }
+            } else {
+                cost.lb_pruned += 1;
+            }
+            if dist <= radius {
+                hits.push(hit(r, dist));
+            }
+        }
+    } else {
+        let dists = par_map(band, threads, |r| metric.distance(query, &r.seq));
+        for (r, dist) in band.iter().zip(dists) {
+            let keep = metric.lower_bound(query, qsum, &r.summary) <= radius;
+            if keep {
+                cost.distance_calls += 1;
+                if dist > radius {
+                    cost.early_abandoned += 1;
+                }
+            } else {
+                cost.lb_pruned += 1;
+            }
+            if dist <= radius {
+                hits.push(hit(r, dist));
+            }
+        }
     }
-    // Stable-order sort without a stable sort's allocation: an unstable
-    // index sort keyed (dist, original position) is the same order, applied
-    // through the arena's permutation + double buffer.
+}
+
+/// Final range ordering: stable-order sort without a stable sort's
+/// allocation — an unstable index sort keyed (dist, original position) is
+/// the same order, applied through the arena's permutation + double buffer.
+pub(super) fn sort_hits_stable(scratch: &mut QueryScratch) {
     let QueryScratch {
         hits,
         order,

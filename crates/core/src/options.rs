@@ -156,6 +156,15 @@ pub trait Database: Send + Sync {
     /// Executes a [`Query`] built with [`Query::knn`] or [`Query::range`].
     fn query(&self, q: Query<'_>) -> QueryResult;
 
+    /// Executes a batch of queries, returning one result per query in
+    /// order. Each query's hits and cost are byte-identical to
+    /// [`Database::query`] run alone — both database flavors override this
+    /// to share one index traversal across the batch (disabled by the
+    /// `STRG_NO_BATCH` hatch); the default executes them one at a time.
+    fn query_batch(&self, queries: &[Query<'_>]) -> Vec<QueryResult> {
+        queries.iter().map(|q| self.query(q.clone())).collect()
+    }
+
     /// Aggregate statistics over every shard.
     fn stats(&self) -> DbStats;
 

@@ -25,7 +25,7 @@ use strg_graph::{build_strg, decompose, ObjectGraph, Point2};
 use strg_obs::{QueryCost, Recorder, Snapshot};
 use strg_video::{frames_to_rags, frames_to_rags_with_stats, Frame, VideoClip};
 
-use crate::index::{Hit, StrgIndex};
+use crate::index::{with_batch_scratch, BatchItem, BatchKind, Hit, StrgIndex};
 use crate::options::{Database, DbOptions};
 use crate::persist::PersistInfo;
 use crate::query::{Query, QueryKind, QueryResult};
@@ -332,6 +332,110 @@ impl VideoDatabase {
         }
     }
 
+    /// Executes a batch of queries in **one** index traversal, returning
+    /// one result per query in order.
+    ///
+    /// Each query's hits and cost are byte-identical to
+    /// [`VideoDatabase::query`] run alone (`tests/batch_equivalence.rs`);
+    /// the batch only amortizes the physical descent, reported per query in
+    /// `QueryCost::batch_shared_accesses`. Clip-scoped queries batch with a
+    /// root filter (an unknown clip still yields empty hits);
+    /// background-matched queries fall back to the single-query path, which
+    /// their extraction pipeline dominates anyway. The `STRG_NO_BATCH`
+    /// hatch executes everything one at a time.
+    pub fn query_batch(&self, queries: &[Query<'_>]) -> Vec<QueryResult> {
+        if queries.len() <= 1 || !strg_distance::batching_enabled() {
+            return queries.iter().map(|q| self.query(q.clone())).collect();
+        }
+        enum Plan {
+            /// Position in the batch items.
+            Batch(u32),
+            /// Unknown clip: empty hits, default cost.
+            Miss,
+            /// Background-matched: full single-query path.
+            Single,
+        }
+        let start = std::time::Instant::now();
+        let mut plans = Vec::with_capacity(queries.len());
+        let mut items: Vec<BatchItem<'_, Point2>> = Vec::with_capacity(queries.len());
+        {
+            // Resolve every scope up front (lock order: clips before index);
+            // the explicit clip wins over background matching, as in
+            // `query`.
+            let clips = self.clips.read();
+            for q in queries {
+                if q.background.is_some() && q.clip.is_none() {
+                    plans.push(Plan::Single);
+                    continue;
+                }
+                let root_filter = match &q.clip {
+                    Some(name) => match clips.iter().find(|c| c.name == *name) {
+                        Some(c) => Some(c.root_id),
+                        None => {
+                            plans.push(Plan::Miss);
+                            continue;
+                        }
+                    },
+                    None => None,
+                };
+                plans.push(Plan::Batch(items.len() as u32));
+                items.push(BatchItem {
+                    kind: match q.kind {
+                        QueryKind::Knn(k) => BatchKind::Knn(k),
+                        QueryKind::Range(r) => BatchKind::Range(r),
+                    },
+                    query: q.trajectory,
+                    root_filter,
+                });
+            }
+        }
+        let mut batched: Vec<(Vec<Hit>, QueryCost)> = Vec::with_capacity(items.len());
+        if !items.is_empty() {
+            let index = self.index.read();
+            with_batch_scratch(|scratch| {
+                index.query_batch_with_cost_into(&items, scratch);
+                for i in 0..items.len() {
+                    batched.push((scratch.hits(i).to_vec(), scratch.cost(i)));
+                }
+            });
+        }
+        let elapsed = start.elapsed();
+        queries
+            .iter()
+            .zip(plans)
+            .map(|(q, plan)| {
+                let prefix = match q.kind {
+                    QueryKind::Knn(_) => "query.knn",
+                    QueryKind::Range(_) => "query.range",
+                };
+                match plan {
+                    Plan::Single => self.query(q.clone()),
+                    Plan::Miss => {
+                        let cost = QueryCost {
+                            elapsed,
+                            ..QueryCost::default()
+                        };
+                        self.recorder.record_cost(prefix, &cost);
+                        QueryResult {
+                            hits: Vec::new(),
+                            cost: q.want_cost.then_some(cost),
+                        }
+                    }
+                    Plan::Batch(i) => {
+                        let (hits, mut cost) = std::mem::take(&mut batched[i as usize]);
+                        let hits = self.resolve(hits);
+                        cost.elapsed = elapsed;
+                        self.recorder.record_cost(prefix, &cost);
+                        QueryResult {
+                            hits,
+                            cost: q.want_cost.then_some(cost),
+                        }
+                    }
+                }
+            })
+            .collect()
+    }
+
     pub(crate) fn resolve(&self, hits: Vec<Hit>) -> Vec<QueryHit> {
         let ogs = self.ogs.read();
         let clips = self.clips.read();
@@ -407,6 +511,9 @@ impl Database for VideoDatabase {
     }
     fn query(&self, q: Query<'_>) -> QueryResult {
         VideoDatabase::query(self, q)
+    }
+    fn query_batch(&self, queries: &[Query<'_>]) -> Vec<QueryResult> {
+        VideoDatabase::query_batch(self, queries)
     }
     fn stats(&self) -> DbStats {
         VideoDatabase::stats(self)

@@ -48,13 +48,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use strg_distance::{shard_bounds_enabled, EgedMetric, LowerBound};
+use strg_distance::{batching_enabled, shard_bounds_enabled, EgedMetric, LowerBound};
 use strg_graph::{background_similarity, build_strg, decompose, ObjectGraph, Point2};
 use strg_obs::{QueryCost, Recorder};
 use strg_parallel::{par_map, Threads};
 use strg_video::{frames_to_rags, Frame};
 
-use crate::index::{Hit, QueryScratch, StrgIndex};
+use crate::index::{BatchItem, BatchKind, BatchScratch, Hit, QueryScratch, StrgIndex};
 use crate::options::{Database, DbOptions};
 use crate::persist::{PersistInfo, ReopenMode};
 use crate::pipeline::{DbStats, IngestReport, QueryHit, VideoDatabase};
@@ -444,6 +444,272 @@ pub fn sharded_range_into(
     total
 }
 
+/// Reusable arena for [`sharded_query_batch_into`]: one per-tree
+/// [`BatchScratch`] per shard (holding that shard's batched prefetch) plus
+/// the shard-level replay buffers (visit plan, per-item merge list, final
+/// hit store, spans, costs, outcomes). A warmed-up arena makes a
+/// sequential batched fan-out allocation-free end to end
+/// (`tests/query_alloc.rs`).
+#[derive(Default)]
+pub struct ShardBatchScratch {
+    shards: Vec<BatchScratch<Point2>>,
+    plans: Vec<ShardPlan>,
+    stage: Vec<Option<ShardOutcome>>,
+    /// Working list for the item currently being replayed (`best` for knn,
+    /// `tagged` for range).
+    item: Vec<(usize, Hit)>,
+    item_tmp: Vec<(usize, Hit)>,
+    order: Vec<u32>,
+    /// Every item's final merged hits, concatenated in item order.
+    hits: Vec<(usize, Hit)>,
+    /// Per-item `(start, len)` into [`ShardBatchScratch::hits`].
+    spans: Vec<(u32, u32)>,
+    costs: Vec<QueryCost>,
+    /// Per-item outcomes, concatenated: `shard_count` entries per item in
+    /// shard-id order.
+    outcomes: Vec<ShardOutcome>,
+    shard_count: usize,
+    grows: u64,
+}
+
+impl ShardBatchScratch {
+    /// An empty arena (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    const fn empty() -> Self {
+        Self {
+            shards: Vec::new(),
+            plans: Vec::new(),
+            stage: Vec::new(),
+            item: Vec::new(),
+            item_tmp: Vec::new(),
+            order: Vec::new(),
+            hits: Vec::new(),
+            spans: Vec::new(),
+            costs: Vec::new(),
+            outcomes: Vec::new(),
+            shard_count: 0,
+            grows: 0,
+        }
+    }
+
+    /// Number of items in the last batched fan-out.
+    pub fn len(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Whether the last batched fan-out held no items.
+    pub fn is_empty(&self) -> bool {
+        self.costs.is_empty()
+    }
+
+    /// Item `i`'s merged hits (shard-tagged, ascending by distance) —
+    /// byte-identical to the hits of [`sharded_knn_into`] /
+    /// [`sharded_range_into`] run alone.
+    pub fn hits(&self, i: usize) -> &[(usize, Hit)] {
+        let (start, len) = self.spans[i];
+        &self.hits[start as usize..(start + len) as usize]
+    }
+
+    /// Item `i`'s total logical cost across the fan-out.
+    pub fn cost(&self, i: usize) -> QueryCost {
+        self.costs[i]
+    }
+
+    /// Item `i`'s per-shard outcomes, in shard-id order.
+    pub fn outcomes(&self, i: usize) -> &[ShardOutcome] {
+        let s = i * self.shard_count;
+        &self.outcomes[s..s + self.shard_count]
+    }
+
+    /// Number of buffer growth events since construction — stops moving
+    /// once the arena reaches its high-water mark.
+    pub fn grow_events(&self) -> u64 {
+        self.grows + self.shards.iter().map(|s| s.grow_events()).sum::<u64>()
+    }
+}
+
+thread_local! {
+    static SHARD_BATCH_SCRATCH: RefCell<ShardBatchScratch> =
+        const { RefCell::new(ShardBatchScratch::empty()) };
+}
+
+/// Runs `f` with this thread's batched fan-out arena; reentrant calls fall
+/// back to a fresh local arena.
+pub fn with_shard_batch_scratch<R>(f: impl FnOnce(&mut ShardBatchScratch) -> R) -> R {
+    SHARD_BATCH_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut s) => f(&mut s),
+        Err(_) => f(&mut ShardBatchScratch::empty()),
+    })
+}
+
+/// Batched fan-out: every shard runs **one** batched descent over the
+/// whole item list ([`StrgIndex::query_batch_with_cost_into`]), then the
+/// bound-ordered open/skip protocol of [`sharded_knn_into`] /
+/// [`sharded_range_into`] is replayed per item over the prefetched
+/// per-shard results. Each item's hits and cost are byte-identical to its
+/// own single-query fan-out (`batch_shared_accesses` excepted — that field
+/// reports the physical sharing and is exempt from the identity contract).
+///
+/// Items are global searches; a `root_filter` is honored inside each shard
+/// but the envelope bounds ignore it, so production callers route
+/// clip-scoped queries to the owning shard instead. Skipped shards charge
+/// [`prune_charge`] exactly as in the single-query replay — their
+/// speculative batch work is intentionally uncharged — and under
+/// `STRG_NO_SHARD_LB=1` their hits still compete in the merge. With more
+/// than one worker the per-shard prefetches run in parallel; the replay is
+/// a pure function of thread-invariant inputs either way.
+pub fn sharded_query_batch_into(
+    idxs: &[&Idx],
+    items: &[BatchItem<'_, Point2>],
+    threads: Threads,
+    scratch: &mut ShardBatchScratch,
+) {
+    let n = items.len();
+    scratch.shard_count = idxs.len();
+    if scratch.shards.len() < idxs.len() {
+        scratch.grows += 1;
+        scratch.shards.resize_with(idxs.len(), BatchScratch::new);
+    }
+    // Phase 1: one batched descent per shard. The parallel path trades the
+    // warm arenas for fresh per-call scratches (like the single-query
+    // speculative prefetch, it allocates); the sequential path reuses the
+    // arena and stays allocation-free.
+    if threads.resolve() > 1 {
+        let fresh = par_map(idxs, threads, |idx| {
+            let mut bs = BatchScratch::new();
+            idx.query_batch_with_cost_into(items, &mut bs);
+            bs
+        });
+        for (slot, bs) in scratch.shards.iter_mut().zip(fresh) {
+            *slot = bs;
+        }
+    } else {
+        for (s, idx) in idxs.iter().enumerate() {
+            idx.query_batch_with_cost_into(items, &mut scratch.shards[s]);
+        }
+    }
+
+    // Phase 2: replay the fan-out decisions per item.
+    let hatch = !shard_bounds_enabled();
+    let total_len: usize = idxs.iter().map(|i| i.len()).sum();
+    let ShardBatchScratch {
+        shards,
+        plans,
+        stage,
+        item,
+        item_tmp,
+        order,
+        hits,
+        spans,
+        costs,
+        outcomes,
+        grows,
+        ..
+    } = scratch;
+    hits.clear();
+    spans.clear();
+    reserve_counted(spans, n, grows);
+    costs.clear();
+    reserve_counted(costs, n, grows);
+    outcomes.clear();
+    reserve_counted(outcomes, n * idxs.len(), grows);
+    for (i, it) in items.iter().enumerate() {
+        shard_plans_into(idxs, it.query, plans, grows);
+        stage.clear();
+        reserve_counted(stage, idxs.len(), grows);
+        stage.extend((0..idxs.len()).map(|_| None));
+        item.clear();
+        let mut total = QueryCost::default();
+        match it.kind {
+            BatchKind::Knn(k) => {
+                reserve_counted(item, k.min(total_len) + 1, grows);
+                let mut pruning = false;
+                for p in plans.iter() {
+                    let dk = if k > 0 && item.len() >= k {
+                        item[k - 1].1.dist
+                    } else {
+                        f64::INFINITY
+                    };
+                    if !pruning && (p.bound <= dk || idxs.len() == 1) {
+                        let cost = shards[p.shard].cost(i);
+                        merge_hits(item, p.shard, shards[p.shard].hits(i), k);
+                        total.merge(&cost);
+                        stage[p.shard] = Some(ShardOutcome {
+                            opened: true,
+                            bound: p.bound,
+                            cost,
+                        });
+                    } else {
+                        pruning = true;
+                        let cost = prune_charge(idxs[p.shard]);
+                        total.merge(&cost);
+                        stage[p.shard] = Some(ShardOutcome {
+                            opened: false,
+                            bound: p.bound,
+                            cost,
+                        });
+                        if hatch {
+                            merge_hits(item, p.shard, shards[p.shard].hits(i), k);
+                        }
+                    }
+                }
+            }
+            BatchKind::Range(radius) => {
+                reserve_counted(item, total_len, grows);
+                for p in plans.iter() {
+                    if p.bound <= radius || idxs.len() == 1 {
+                        let cost = shards[p.shard].cost(i);
+                        item.extend(shards[p.shard].hits(i).iter().map(|&h| (p.shard, h)));
+                        total.merge(&cost);
+                        stage[p.shard] = Some(ShardOutcome {
+                            opened: true,
+                            bound: p.bound,
+                            cost,
+                        });
+                    } else {
+                        let cost = prune_charge(idxs[p.shard]);
+                        total.merge(&cost);
+                        stage[p.shard] = Some(ShardOutcome {
+                            opened: false,
+                            bound: p.bound,
+                            cost,
+                        });
+                        if hatch {
+                            item.extend(shards[p.shard].hits(i).iter().map(|&h| (p.shard, h)));
+                        }
+                    }
+                }
+                // Same keyed permutation sort as `sharded_range_into`.
+                order.clear();
+                reserve_counted(order, item.len(), grows);
+                order.extend(0..item.len() as u32);
+                order.sort_unstable_by(|&a, &b| {
+                    let (sa, ha) = &item[a as usize];
+                    let (sb, hb) = &item[b as usize];
+                    ha.dist.total_cmp(&hb.dist).then(sa.cmp(sb)).then(a.cmp(&b))
+                });
+                item_tmp.clear();
+                reserve_counted(item_tmp, item.len(), grows);
+                item_tmp.extend(order.iter().map(|&x| item[x as usize]));
+                std::mem::swap(item, item_tmp);
+            }
+        }
+        let start = hits.len();
+        reserve_counted(hits, start + item.len(), grows);
+        hits.extend_from_slice(item);
+        spans.push((start as u32, item.len() as u32));
+        costs.push(total);
+        outcomes.extend(
+            stage
+                .iter_mut()
+                .map(|o| o.take().expect("every shard decided")),
+        );
+    }
+}
+
 /// N independent STRG-Index shards behind deterministic hash-of-name
 /// routing, answering global queries with the bound-ordered fan-out
 /// described in the module docs.
@@ -690,6 +956,138 @@ impl ShardedDatabase {
         }
     }
 
+    /// Executes a batch of queries, returning one result per query in
+    /// order.
+    ///
+    /// Global queries share one batched fan-out
+    /// ([`sharded_query_batch_into`]): every shard is descended **once**
+    /// for the whole group. Clip-scoped queries group by owning shard and
+    /// delegate to that shard's [`VideoDatabase::query_batch`] (one
+    /// descent per shard per group); background-matched queries fall back
+    /// to the single-query path. Each query's hits and cost are
+    /// byte-identical to [`ShardedDatabase::query`] run alone, and the
+    /// same `query.*` / `shard.*` metrics are recorded. The
+    /// `STRG_NO_BATCH` hatch executes everything one at a time.
+    pub fn query_batch(&self, queries: &[Query<'_>]) -> Vec<QueryResult> {
+        if queries.len() <= 1 || !batching_enabled() {
+            return queries.iter().map(|q| self.query(q.clone())).collect();
+        }
+        /// One global query's share of the fan-out, copied out of the
+        /// scratch before the shard guards drop.
+        type Harvest = (Vec<(usize, Hit)>, QueryCost, Vec<ShardOutcome>);
+        enum Plan {
+            /// Clip-scoped: delegate to this shard's grouped batch.
+            Clip(usize),
+            /// Global: next item in the batched fan-out, in plan order.
+            Global,
+            /// Background-matched: full single-query path.
+            Single,
+        }
+        let start = std::time::Instant::now();
+        let mut plans = Vec::with_capacity(queries.len());
+        let mut items: Vec<BatchItem<'_, Point2>> = Vec::with_capacity(queries.len());
+        for q in queries {
+            if let Some(name) = &q.clip {
+                // The explicit clip wins over background matching, as in
+                // `query`.
+                plans.push(Plan::Clip(route(name, self.shards.len())));
+            } else if q.background.is_some() {
+                plans.push(Plan::Single);
+            } else {
+                plans.push(Plan::Global);
+                items.push(BatchItem {
+                    kind: match q.kind {
+                        QueryKind::Knn(k) => BatchKind::Knn(k),
+                        QueryKind::Range(r) => BatchKind::Range(r),
+                    },
+                    query: q.trajectory,
+                    root_filter: None,
+                });
+            }
+        }
+        let mut slots: Vec<Option<QueryResult>> = (0..queries.len()).map(|_| None).collect();
+
+        // Clip-scoped groups, one batched delegation per owning shard.
+        let mut groups: Vec<Vec<Query<'_>>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        let mut group_pos: Vec<Vec<usize>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (pos, (q, plan)) in queries.iter().zip(&plans).enumerate() {
+            if let Plan::Clip(s) = plan {
+                groups[*s].push(q.clone());
+                group_pos[*s].push(pos);
+            }
+        }
+        for (s, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let results = self.shards[s].query_batch(&group);
+            for (pos, r) in group_pos[s].iter().zip(results) {
+                slots[*pos] = Some(r);
+            }
+        }
+
+        // Globals share one batched fan-out.
+        if !items.is_empty() {
+            let guards: Vec<_> = self.shards.iter().map(|s| s.index.read()).collect();
+            let idxs: Vec<&Idx> = guards.iter().map(|g| &**g).collect();
+            let threads = self.opts.index.threads;
+            let harvested: Vec<Harvest> = with_shard_batch_scratch(|scratch| {
+                sharded_query_batch_into(&idxs, &items, threads, scratch);
+                (0..items.len())
+                    .map(|i| {
+                        (
+                            scratch.hits(i).to_vec(),
+                            scratch.cost(i),
+                            scratch.outcomes(i).to_vec(),
+                        )
+                    })
+                    .collect()
+            });
+            drop(guards);
+            let elapsed = start.elapsed();
+            let mut harvested = harvested.into_iter();
+            for (pos, plan) in plans.iter().enumerate() {
+                if !matches!(plan, Plan::Global) {
+                    continue;
+                }
+                let (tagged, mut cost, outcomes) =
+                    harvested.next().expect("one harvest per global item");
+                let hits = self.resolve_tagged(tagged);
+                cost.elapsed = elapsed;
+                let prefix = match queries[pos].kind {
+                    QueryKind::Knn(_) => "query.knn",
+                    QueryKind::Range(_) => "query.range",
+                };
+                self.recorder.record_cost(prefix, &cost);
+                for (s, o) in outcomes.iter().enumerate() {
+                    if o.opened {
+                        self.recorder.add("shard.opened", 1);
+                        self.recorder
+                            .record_cost(&format!("shard.{s}.query"), &o.cost);
+                    } else {
+                        self.recorder.add("shard.pruned_whole", 1);
+                        self.recorder.add(&format!("shard.{s}.pruned_whole"), 1);
+                    }
+                }
+                slots[pos] = Some(QueryResult {
+                    hits,
+                    cost: queries[pos].want_cost.then_some(cost),
+                });
+            }
+        }
+
+        // Background-matched stragglers run the full single-query path.
+        for (pos, plan) in plans.iter().enumerate() {
+            if matches!(plan, Plan::Single) {
+                slots[pos] = Some(self.query(queries[pos].clone()));
+            }
+        }
+        slots
+            .into_iter()
+            .map(|r| r.expect("every query planned"))
+            .collect()
+    }
+
     fn resolve_tagged(&self, tagged: Vec<(usize, Hit)>) -> Vec<QueryHit> {
         tagged
             .into_iter()
@@ -778,6 +1176,9 @@ impl Database for ShardedDatabase {
     }
     fn query(&self, q: Query<'_>) -> QueryResult {
         ShardedDatabase::query(self, q)
+    }
+    fn query_batch(&self, queries: &[Query<'_>]) -> Vec<QueryResult> {
+        ShardedDatabase::query_batch(self, queries)
     }
     fn stats(&self) -> DbStats {
         ShardedDatabase::stats(self)

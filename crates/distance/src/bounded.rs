@@ -71,6 +71,26 @@ pub fn shard_bounds_enabled() -> bool {
     }
 }
 
+/// Environment variable that disables *batched* query execution: set to `1`
+/// (or any non-empty value other than `0`) to make every batch entry point
+/// fall back to one-at-a-time sequential execution. Batching is a purely
+/// physical optimization — each query's hits and logical `QueryCost` are
+/// byte-identical in both modes (only the `batch_shared_accesses` sharing
+/// telemetry collapses to zero under the hatch), which is exactly what
+/// `tests/batch_equivalence.rs` pins down.
+pub const NO_BATCH_ENV: &str = "STRG_NO_BATCH";
+
+/// Whether batched execution is active ([`NO_BATCH_ENV`] unset).
+pub fn batching_enabled() -> bool {
+    match std::env::var(NO_BATCH_ENV) {
+        Ok(v) => {
+            let v = v.trim();
+            v.is_empty() || v == "0"
+        }
+        Err(_) => true,
+    }
+}
+
 /// Deflates an analytic bound by a small relative + absolute margin so that
 /// floating-point rounding in the summary arithmetic can never push it
 /// above the true distance. Clamped at zero (bounds are non-negative).
@@ -618,6 +638,13 @@ mod tests {
     fn shard_hatch_parses() {
         if std::env::var(NO_SHARD_LB_ENV).is_err() {
             assert!(shard_bounds_enabled());
+        }
+    }
+
+    #[test]
+    fn batch_hatch_parses() {
+        if std::env::var(NO_BATCH_ENV).is_err() {
+            assert!(batching_enabled());
         }
     }
 

@@ -49,8 +49,8 @@ mod traits;
 mod value;
 
 pub use bounded::{
-    lower_bounds_enabled, shard_bounds_enabled, BoundedDistance, LowerBound, SeqSummary,
-    SummaryEnvelope, NO_LB_ENV, NO_SHARD_LB_ENV,
+    batching_enabled, lower_bounds_enabled, shard_bounds_enabled, BoundedDistance, LowerBound,
+    SeqSummary, SummaryEnvelope, NO_BATCH_ENV, NO_LB_ENV, NO_SHARD_LB_ENV,
 };
 pub use counting::CountingDistance;
 pub use dtw::Dtw;

@@ -39,6 +39,16 @@ pub struct QueryCost {
     /// clusters` still partitions the candidate set database-wide. Always
     /// zero for a single-tree database.
     pub shards_pruned: u64,
+    /// Node accesses (already charged in `node_accesses`) whose *physical*
+    /// fetch this query shared with another query of the same batch — the
+    /// amortization a batched descent buys. This is sharing telemetry, not
+    /// algorithmic work: the logical fields above stay byte-identical to
+    /// the query's sequential replay whatever the batch composition, so
+    /// `batch_shared_accesses` is exempt from [`QueryCost::same_work`]
+    /// exactly like `elapsed`. Always `<= node_accesses` (the extended
+    /// conservation invariant), and always zero outside a batched
+    /// execution (including under `STRG_NO_BATCH=1`).
+    pub batch_shared_accesses: u64,
     /// Wall-clock duration of the query.
     pub elapsed: Duration,
 }
@@ -52,11 +62,14 @@ impl QueryCost {
         self.lb_pruned += other.lb_pruned;
         self.early_abandoned += other.early_abandoned;
         self.shards_pruned += other.shards_pruned;
+        self.batch_shared_accesses += other.batch_shared_accesses;
         self.elapsed += other.elapsed;
     }
 
     /// Whether two costs describe the same algorithmic work — equality of
-    /// every field except the wall-clock `elapsed`.
+    /// every field except the wall-clock `elapsed` and the physical-sharing
+    /// telemetry `batch_shared_accesses` (both vary with execution
+    /// circumstances, not with the query's decision sequence).
     pub fn same_work(&self, other: &QueryCost) -> bool {
         self.distance_calls == other.distance_calls
             && self.node_accesses == other.node_accesses
@@ -68,7 +81,7 @@ impl QueryCost {
 
     /// JSON form: `{"distance_calls":..,"node_accesses":..,"pruned":..,
     /// "lb_pruned":..,"early_abandoned":..,"shards_pruned":..,
-    /// "elapsed_ns":..}`.
+    /// "batch_shared_accesses":..,"elapsed_ns":..}`.
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
             ("distance_calls", Json::U64(self.distance_calls)),
@@ -77,6 +90,10 @@ impl QueryCost {
             ("lb_pruned", Json::U64(self.lb_pruned)),
             ("early_abandoned", Json::U64(self.early_abandoned)),
             ("shards_pruned", Json::U64(self.shards_pruned)),
+            (
+                "batch_shared_accesses",
+                Json::U64(self.batch_shared_accesses),
+            ),
             (
                 "elapsed_ns",
                 Json::U64(self.elapsed.as_nanos().min(u64::MAX as u128) as u64),
@@ -98,6 +115,7 @@ mod tests {
             lb_pruned: 4,
             early_abandoned: 1,
             shards_pruned: 2,
+            batch_shared_accesses: 1,
             elapsed: Duration::from_nanos(5),
         };
         a.merge(&a.clone());
@@ -107,11 +125,12 @@ mod tests {
         assert_eq!(a.lb_pruned, 8);
         assert_eq!(a.early_abandoned, 2);
         assert_eq!(a.shards_pruned, 4);
+        assert_eq!(a.batch_shared_accesses, 2);
         assert_eq!(a.elapsed, Duration::from_nanos(10));
     }
 
     #[test]
-    fn same_work_ignores_elapsed() {
+    fn same_work_ignores_elapsed_and_batch_sharing() {
         let a = QueryCost {
             distance_calls: 1,
             node_accesses: 2,
@@ -119,10 +138,15 @@ mod tests {
             lb_pruned: 4,
             early_abandoned: 1,
             shards_pruned: 1,
+            batch_shared_accesses: 2,
             elapsed: Duration::from_secs(1),
         };
         let mut b = a;
         b.elapsed = Duration::ZERO;
+        assert!(a.same_work(&b));
+        // Physical-sharing telemetry varies with batch composition; the
+        // identity contract must not see it.
+        b.batch_shared_accesses = 0;
         assert!(a.same_work(&b));
         b.pruned = 0;
         assert!(!a.same_work(&b));
@@ -146,11 +170,12 @@ mod tests {
             lb_pruned: 2,
             early_abandoned: 1,
             shards_pruned: 4,
+            batch_shared_accesses: 2,
             elapsed: Duration::from_nanos(42),
         };
         assert_eq!(
             c.to_json().render(),
-            r#"{"distance_calls":7,"node_accesses":3,"pruned":11,"lb_pruned":2,"early_abandoned":1,"shards_pruned":4,"elapsed_ns":42}"#
+            r#"{"distance_calls":7,"node_accesses":3,"pruned":11,"lb_pruned":2,"early_abandoned":1,"shards_pruned":4,"batch_shared_accesses":2,"elapsed_ns":42}"#
         );
     }
 }

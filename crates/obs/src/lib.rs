@@ -156,6 +156,10 @@ impl Recorder {
     /// `<prefix>.pruned`, `<prefix>.lb_pruned`,
     /// `<prefix>.early_abandoned`, `<prefix>.shards_pruned` and
     /// `<prefix>.count`, plus the latency histogram `<prefix>.latency_ns`.
+    /// `<prefix>.batch_shared_accesses` is recorded as a *volatile*
+    /// counter: physical sharing depends on batch composition (e.g. a
+    /// timing-dependent coalescing window), not on the query's decision
+    /// sequence.
     pub fn record_cost(&self, prefix: &str, cost: &QueryCost) {
         self.add(&format!("{prefix}.count"), 1);
         self.add(&format!("{prefix}.distance_calls"), cost.distance_calls);
@@ -164,6 +168,10 @@ impl Recorder {
         self.add(&format!("{prefix}.lb_pruned"), cost.lb_pruned);
         self.add(&format!("{prefix}.early_abandoned"), cost.early_abandoned);
         self.add(&format!("{prefix}.shards_pruned"), cost.shards_pruned);
+        self.volatile_add(
+            &format!("{prefix}.batch_shared_accesses"),
+            cost.batch_shared_accesses,
+        );
         self.histogram(&format!("{prefix}.latency_ns"))
             .record(cost.elapsed.as_nanos().min(u64::MAX as u128) as u64);
     }
@@ -281,6 +289,7 @@ mod tests {
             lb_pruned: 3,
             early_abandoned: 2,
             shards_pruned: 1,
+            batch_shared_accesses: 3,
             elapsed: std::time::Duration::from_micros(3),
         };
         r.record_cost("query", &cost);
@@ -292,6 +301,14 @@ mod tests {
         assert_eq!(r.counter("query.lb_pruned").get(), 6);
         assert_eq!(r.counter("query.early_abandoned").get(), 4);
         assert_eq!(r.counter("query.shards_pruned").get(), 2);
+        assert_eq!(r.counter("query.batch_shared_accesses").get(), 6);
+        // The sharing counter must be volatile: batch composition is not
+        // part of the determinism contract.
+        let snap = r.snapshot().deterministic();
+        assert!(snap
+            .counters
+            .iter()
+            .all(|c| c.name != "query.batch_shared_accesses"));
         {
             let _s = r.span("work");
         }

@@ -32,8 +32,22 @@
 //!
 //! ## Methods
 //!
-//! `ingest`, `query` (k-NN or range), `stats`, `metrics`, `ping`
-//! (optionally `{"delay_ms":N}` — a latency/queue probe), `shutdown`.
+//! `ingest`, `query` (k-NN or range), `query_batch` (many queries, one
+//! index traversal — each element answered byte-identically to `query`
+//! run alone), `stats`, `metrics`, `ping` (optionally `{"delay_ms":N}` —
+//! a latency/queue probe), `shutdown`.
+//!
+//! ## Coalescing
+//!
+//! With [`ServeConfig::coalesce_window`] set (opt-in), single `query`
+//! requests arriving within the window are grouped and executed through
+//! one [`Database::query_batch`] call: the first arrival schedules a
+//! flush job that sleeps the window, drains everything pending, and
+//! answers each request individually. Responses stay byte-identical to
+//! the unbatched path except the `batch_shared_accesses` cost field
+//! (physical-sharing telemetry, normalized by
+//! [`wire::zero_batch_shared`]). Batch sizes land in the
+//! `serve.batch.width` histogram, pending depths in `serve.batch.depth`.
 
 #![warn(missing_docs)]
 
@@ -74,6 +88,15 @@ pub struct ServeConfig {
     /// (STRGDB v2 segment files), mirroring the CLI's save-on-mutation
     /// behavior.
     pub db_path: Option<String>,
+    /// Largest accepted `query_batch` width, which also bounds how many
+    /// coalesced queries one window may hold (default 256, clamped to at
+    /// least 1). An oversized batch is rejected with `invalid`; a full
+    /// coalescing window rejects the overflowing query with `overloaded`.
+    pub max_batch: usize,
+    /// When set, single `query` requests arriving within this window are
+    /// coalesced into one [`Database::query_batch`] execution (see the
+    /// module docs). `None` (the default) answers each query immediately.
+    pub coalesce_window: Option<std::time::Duration>,
 }
 
 impl Default for ServeConfig {
@@ -83,8 +106,17 @@ impl Default for ServeConfig {
             max_queue: 64,
             max_line_bytes: 1 << 20,
             db_path: None,
+            max_batch: 256,
+            coalesce_window: None,
         }
     }
+}
+
+/// One query parked in the coalescing window, waiting for the flush.
+struct Pending {
+    spec: wire::QuerySpec,
+    id: Option<u64>,
+    tx: mpsc::Sender<String>,
 }
 
 struct Ctx {
@@ -100,6 +132,9 @@ struct Ctx {
     /// so two concurrent ingests cannot race a duplicate clip name past
     /// the existence check.
     ingest_lock: Mutex<()>,
+    /// Queries parked in the coalescing window. The push that makes the
+    /// list non-empty schedules the flush job.
+    coalesce: Mutex<Vec<Pending>>,
 }
 
 impl Ctx {
@@ -172,6 +207,7 @@ impl Server {
             conns: Mutex::new(Vec::new()),
             next_conn: AtomicU64::new(0),
             ingest_lock: Mutex::new(()),
+            coalesce: Mutex::new(Vec::new()),
         });
         Ok(Server { listener, ctx })
     }
@@ -371,7 +407,11 @@ fn respond_to_line(bytes: &[u8], ctx: &Arc<Ctx>) -> LineOutcome {
             ctx.recorder.add("serve.method.shutdown", 1);
             LineOutcome::ReplyThenShutdown(render_ok(id, Json::str("shutting down")))
         }
-        "ingest" | "query" | "stats" | "metrics" | "ping" => {
+        "query" if ctx.cfg.coalesce_window.is_some() => {
+            ctx.recorder.add("serve.method.query", 1);
+            coalesce_query(ctx, &req)
+        }
+        "ingest" | "query" | "query_batch" | "stats" | "metrics" | "ping" => {
             ctx.recorder.add(&format!("serve.method.{}", req.method), 1);
             let (tx, rx) = mpsc::channel::<String>();
             let job_ctx = Arc::clone(ctx);
@@ -429,6 +469,119 @@ fn respond_to_line(bytes: &[u8], ctx: &Arc<Ctx>) -> LineOutcome {
     }
 }
 
+/// Parks a `query` request in the coalescing window. The push that makes
+/// the window non-empty schedules the flush job; everyone waits on their
+/// own reply channel. Parse errors answer immediately (they never enter
+/// the window).
+fn coalesce_query(ctx: &Arc<Ctx>, req: &Request) -> LineOutcome {
+    let id = req.id;
+    let spec = match wire::parse_query_spec(&req.params()) {
+        Ok(s) => s,
+        Err(e) => return LineOutcome::Reply(render_err(id, &e)),
+    };
+    let (tx, rx) = mpsc::channel::<String>();
+    let schedule = {
+        let mut pending = ctx.coalesce.lock().expect("coalesce lock");
+        if pending.len() >= ctx.cfg.max_batch {
+            ctx.recorder.volatile_add("serve.rejects", 1);
+            return LineOutcome::Reply(render_err(
+                id,
+                &WireError::new(
+                    ErrorCode::Overloaded,
+                    format!(
+                        "coalescing window full ({} waiting); retry later",
+                        ctx.cfg.max_batch
+                    ),
+                ),
+            ));
+        }
+        pending.push(Pending { spec, id, tx });
+        ctx.recorder
+            .histogram("serve.batch.depth")
+            .record(pending.len() as u64);
+        pending.len() == 1
+    };
+    if schedule {
+        let window = ctx.cfg.coalesce_window.expect("coalescing enabled");
+        let job_ctx = Arc::clone(ctx);
+        let job = Box::new(move || {
+            thread::sleep(window);
+            flush_coalesced(&job_ctx);
+        });
+        match ctx.pool.try_submit(job) {
+            Ok(depth) => {
+                ctx.recorder
+                    .histogram("serve.queue_depth")
+                    .record(depth as u64);
+            }
+            Err(e) => {
+                // Nobody will flush: fail the whole window (ours plus any
+                // request that raced in behind us counting on this job).
+                let drained: Vec<Pending> = ctx
+                    .coalesce
+                    .lock()
+                    .expect("coalesce lock")
+                    .drain(..)
+                    .collect();
+                let err = match e {
+                    SubmitError::Full => {
+                        ctx.recorder
+                            .volatile_add("serve.rejects", drained.len() as u64);
+                        WireError::new(
+                            ErrorCode::Overloaded,
+                            format!(
+                                "request queue full ({} waiting); retry later",
+                                ctx.cfg.max_queue
+                            ),
+                        )
+                    }
+                    SubmitError::Closed => {
+                        WireError::new(ErrorCode::Shutdown, "server is shutting down")
+                    }
+                };
+                for p in drained {
+                    let _ = p.tx.send(render_err(p.id, &err));
+                }
+            }
+        }
+    }
+    match rx.recv() {
+        Ok(reply) => LineOutcome::Reply(reply),
+        Err(_) => LineOutcome::Reply(render_err(
+            id,
+            &WireError::new(ErrorCode::Internal, "request handler failed"),
+        )),
+    }
+}
+
+/// Drains the coalescing window and answers every parked query from one
+/// [`Database::query_batch`] execution.
+fn flush_coalesced(ctx: &Ctx) {
+    let drained: Vec<Pending> = ctx
+        .coalesce
+        .lock()
+        .expect("coalesce lock")
+        .drain(..)
+        .collect();
+    if drained.is_empty() {
+        return;
+    }
+    ctx.recorder
+        .histogram("serve.batch.width")
+        .record(drained.len() as u64);
+    ctx.recorder.add("serve.coalesced", drained.len() as u64);
+    let trajectories: Vec<_> = drained.iter().map(|p| p.spec.trajectory()).collect();
+    let queries: Vec<Query<'_>> = drained
+        .iter()
+        .zip(&trajectories)
+        .map(|(p, t)| p.spec.to_query(t))
+        .collect();
+    let results = ctx.db.query_batch(&queries);
+    for (p, r) in drained.iter().zip(&results) {
+        let _ = p.tx.send(render_ok(p.id, wire::query_json(r)));
+    }
+}
+
 fn dispatch(ctx: &Ctx, req: &Request) -> Result<Json, WireError> {
     let db = &*ctx.db;
     let p = req.params();
@@ -471,30 +624,44 @@ fn dispatch(ctx: &Ctx, req: &Request) -> Result<Json, WireError> {
             ))
         }
         "query" => {
-            let from = wire::parse_point(p.str_req("from")?).map_err(WireError::invalid)?;
-            let to = wire::parse_point(p.str_req("to")?).map_err(WireError::invalid)?;
-            let steps = p.u64_or("steps", 30)? as usize;
-            if steps < 2 {
-                return Err(WireError::invalid("steps must be at least 2"));
+            let spec = wire::parse_query_spec(&p)?;
+            let trajectory = spec.trajectory();
+            Ok(wire::query_json(&db.query(spec.to_query(&trajectory))))
+        }
+        "query_batch" => {
+            let specs = match p.get("queries") {
+                Some(Json::Array(items)) if !items.is_empty() => items
+                    .iter()
+                    .map(|v| match v {
+                        Json::Object(pairs) => {
+                            wire::parse_query_spec(&protocol::Params::new(pairs))
+                        }
+                        _ => Err(WireError::invalid("each query must be an object")),
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+                Some(_) => return Err(WireError::invalid("queries must be a non-empty array")),
+                None => {
+                    return Err(WireError::invalid("missing required param \"queries\""));
+                }
+            };
+            if specs.len() > ctx.cfg.max_batch {
+                return Err(WireError::invalid(format!(
+                    "batch of {} exceeds max_batch {}",
+                    specs.len(),
+                    ctx.cfg.max_batch
+                )));
             }
-            let radius = p.f64_opt("radius")?;
-            if radius.is_some() && p.get("k").is_some() {
-                return Err(WireError::invalid(
-                    "give k (knn) or radius (range), not both",
-                ));
-            }
-            let k = p.u64_or("k", 5)? as usize;
-            let trajectory = wire::lerp_trajectory(from, to, steps);
-            let mut q = match radius {
-                Some(r) => Query::range(r),
-                None => Query::knn(k),
-            }
-            .trajectory(&trajectory)
-            .with_cost();
-            if let Some(clip) = p.str_opt("clip")? {
-                q = q.in_clip(clip);
-            }
-            Ok(wire::query_json(&db.query(q)))
+            let trajectories: Vec<_> = specs.iter().map(|s| s.trajectory()).collect();
+            let queries: Vec<Query<'_>> = specs
+                .iter()
+                .zip(&trajectories)
+                .map(|(s, t)| s.to_query(t))
+                .collect();
+            ctx.recorder
+                .histogram("serve.batch.width")
+                .record(queries.len() as u64);
+            let results = db.query_batch(&queries);
+            Ok(wire::query_batch_json(&results))
         }
         "stats" => Ok(wire::stats_json(
             &db.stats(),

@@ -128,6 +128,13 @@ impl Request {
 pub struct Params<'a>(&'a [(String, Json)]);
 
 impl<'a> Params<'a> {
+    /// Typed accessors over any `params`-shaped key/value list (e.g. one
+    /// element of the `query_batch` verb's `queries` array, or a parsed
+    /// CLI `--batch-file` line).
+    pub fn new(pairs: &'a [(String, Json)]) -> Params<'a> {
+        Params(pairs)
+    }
+
     /// The raw value under `key`.
     pub fn get(&self, key: &str) -> Option<&'a Json> {
         self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v)

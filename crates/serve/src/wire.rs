@@ -9,10 +9,12 @@
 //! documented exceptions; [`zero_elapsed_ns`] normalizes the former for
 //! byte comparisons).
 
-use strg_core::{DbStats, IngestReport, PersistInfo, QueryResult};
+use strg_core::{DbStats, IngestReport, PersistInfo, Query, QueryResult};
 use strg_graph::Point2;
 use strg_obs::Json;
 use strg_video::{lab_scene, traffic_scene, ScenarioConfig, VideoClip};
+
+use crate::protocol::{Params, WireError};
 
 /// Parses `"x,y"` into a [`Point2`] (the CLI `--from`/`--to` format).
 pub fn parse_point(s: &str) -> Result<Point2, String> {
@@ -37,6 +39,77 @@ pub fn lerp_trajectory(from: Point2, to: Point2, steps: usize) -> Vec<Point2> {
     (0..steps)
         .map(|i| from.lerp(to, i as f64 / (steps - 1) as f64))
         .collect()
+}
+
+/// One parsed query specification — the shared grammar of the `query`
+/// verb's params, each element of the `query_batch` verb's `queries`
+/// array, and each line of the CLI's `--batch-file`. One parser feeding
+/// one [`Query`] builder keeps the three entry points byte-identical by
+/// construction.
+#[derive(Clone, Debug)]
+pub struct QuerySpec {
+    /// Trajectory start (`"x,y"` on the wire).
+    pub from: Point2,
+    /// Trajectory end.
+    pub to: Point2,
+    /// Interpolation steps between the endpoints (≥ 2, default 30).
+    pub steps: usize,
+    /// `Some(radius)` selects a range query; `None` selects k-NN.
+    pub radius: Option<f64>,
+    /// `k` for k-NN (default 5; rejected alongside `radius`).
+    pub k: usize,
+    /// Optional clip scope ([`Query::in_clip`]).
+    pub clip: Option<String>,
+}
+
+/// Parses one query specification from a `params`-shaped object.
+pub fn parse_query_spec(p: &Params<'_>) -> Result<QuerySpec, WireError> {
+    let from = parse_point(p.str_req("from")?).map_err(WireError::invalid)?;
+    let to = parse_point(p.str_req("to")?).map_err(WireError::invalid)?;
+    let steps = p.u64_or("steps", 30)? as usize;
+    if steps < 2 {
+        return Err(WireError::invalid("steps must be at least 2"));
+    }
+    let radius = p.f64_opt("radius")?;
+    if radius.is_some() && p.get("k").is_some() {
+        return Err(WireError::invalid(
+            "give k (knn) or radius (range), not both",
+        ));
+    }
+    let k = p.u64_or("k", 5)? as usize;
+    let clip = p.str_opt("clip")?.map(str::to_string);
+    Ok(QuerySpec {
+        from,
+        to,
+        steps,
+        radius,
+        k,
+        clip,
+    })
+}
+
+impl QuerySpec {
+    /// The interpolated query trajectory ([`lerp_trajectory`]).
+    pub fn trajectory(&self) -> Vec<Point2> {
+        lerp_trajectory(self.from, self.to, self.steps)
+    }
+
+    /// Builds the [`Query`] over a trajectory from
+    /// [`QuerySpec::trajectory`] (borrowed separately so the query can
+    /// outlive the spec's stack frame). Always requests the cost, as both
+    /// front ends do.
+    pub fn to_query<'a>(&self, trajectory: &'a [Point2]) -> Query<'a> {
+        let mut q = match self.radius {
+            Some(r) => Query::range(r),
+            None => Query::knn(self.k),
+        }
+        .trajectory(trajectory)
+        .with_cost();
+        if let Some(clip) = &self.clip {
+            q = q.in_clip(clip.clone());
+        }
+        q
+    }
 }
 
 /// Builds a named synthetic scenario clip from the CLI ingest parameters.
@@ -100,6 +173,13 @@ pub fn query_json(result: &QueryResult) -> Json {
     Json::obj(vec![("hits", Json::Array(hits)), ("cost", cost.to_json())])
 }
 
+/// The query-batch result body: one [`query_json`] element per query, in
+/// request order — shared by the `query_batch` verb and the CLI's
+/// `--batch-file` output.
+pub fn query_batch_json(results: &[QueryResult]) -> Json {
+    Json::Array(results.iter().map(query_json).collect())
+}
+
 fn stats_fields(s: &DbStats) -> Vec<(&'static str, Json)> {
     vec![
         ("clips", Json::U64(s.clips as u64)),
@@ -141,23 +221,37 @@ pub fn stats_json(s: &DbStats, shards: &[DbStats], persist: &PersistInfo, metric
     Json::obj(fields)
 }
 
-/// Rewrites every `"elapsed_ns":<digits>` to `"elapsed_ns":0`.
-///
-/// `elapsed_ns` is the one wall-clock field inside a query cost; zeroing
-/// it turns the determinism contract into plain byte equality. Used by
-/// the socket-level equivalence suites.
-pub fn zero_elapsed_ns(s: &str) -> String {
-    const KEY: &str = "\"elapsed_ns\":";
+fn zero_u64_field(s: &str, key: &str) -> String {
     let mut out = String::with_capacity(s.len());
     let mut rest = s;
-    while let Some(i) = rest.find(KEY) {
-        let after = i + KEY.len();
+    while let Some(i) = rest.find(key) {
+        let after = i + key.len();
         out.push_str(&rest[..after]);
         out.push('0');
         rest = rest[after..].trim_start_matches(|c: char| c.is_ascii_digit());
     }
     out.push_str(rest);
     out
+}
+
+/// Rewrites every `"elapsed_ns":<digits>` to `"elapsed_ns":0`.
+///
+/// `elapsed_ns` is the one wall-clock field inside a query cost; zeroing
+/// it turns the determinism contract into plain byte equality. Used by
+/// the socket-level equivalence suites.
+pub fn zero_elapsed_ns(s: &str) -> String {
+    zero_u64_field(s, "\"elapsed_ns\":")
+}
+
+/// Rewrites every `"batch_shared_accesses":<digits>` to `0`.
+///
+/// `batch_shared_accesses` reports *physical* sharing and is exempt from
+/// the logical identity contract (like `elapsed_ns`): a query answered
+/// from a coalesced batch may carry a non-zero value where the same query
+/// run alone carries zero. Zeroing it (together with [`zero_elapsed_ns`])
+/// restores plain byte equality for the coalescing equivalence suites.
+pub fn zero_batch_shared(s: &str) -> String {
+    zero_u64_field(s, "\"batch_shared_accesses\":")
 }
 
 #[cfg(test)]

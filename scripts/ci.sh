@@ -92,6 +92,21 @@ STRG_THREADS=8 cargo test -q --test persist_faults
 echo "==> reopen-latency bench smoke (--quick, checks v1/v2 hit identity)"
 cargo run --release -p strg-bench --bin persist -- --quick
 
+echo "==> batch-equivalence suite under STRG_THREADS=1"
+STRG_THREADS=1 timeout 600 cargo test -q --test batch_equivalence
+
+echo "==> batch-equivalence suite under STRG_THREADS=8"
+STRG_THREADS=8 timeout 600 cargo test -q --test batch_equivalence
+
+# The suite itself toggles STRG_NO_BATCH per test; running the whole
+# binary once more under a *preset* hatch pins the env-inherited
+# sequential-fallback mode at every layer too.
+echo "==> batch-equivalence suite under STRG_NO_BATCH=1"
+STRG_NO_BATCH=1 timeout 600 cargo test -q --test batch_equivalence
+
+echo "==> batched-query bench smoke (--quick, checks batched/sequential identity)"
+cargo run --release -p strg-bench --bin batch -- --quick
+
 # The serve suites talk to a real TCP server; `timeout` guards against a
 # wedged worker or a lost response turning CI into an infinite hang (the
 # suites' own per-read timeouts should fire long before this does).

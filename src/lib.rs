@@ -61,14 +61,15 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use strg_core::VideoDbConfig;
     pub use strg_core::{
-        open, Database, DbOptions, Hit, IngestReport, Metric, PersistInfo, Query, QueryCost,
-        QueryHit, QueryResult, Recorder, ReopenMode, ShardedDatabase, Snapshot, StrgIndex,
-        StrgIndexConfig, VideoDatabase, FORMAT_VERSION, PERSIST_V1_ENV,
+        open, Database, DbOptions, Hit, IngestReport, Metric, PersistInfo, Query, QueryBatch,
+        QueryCost, QueryHit, QueryResult, Recorder, ReopenMode, ShardedDatabase, Snapshot,
+        StrgIndex, StrgIndexConfig, VideoDatabase, FORMAT_VERSION, PERSIST_V1_ENV,
     };
     pub use strg_distance::{
-        lower_bounds_enabled, shard_bounds_enabled, simd_enabled, BoundedDistance,
-        CountingDistance, Dtw, Edr, Eged, EgedMetric, Lcs, LowerBound, LpNorm, MetricDistance,
-        SeqSummary, SequenceDistance, SummaryEnvelope, NO_LB_ENV, NO_SHARD_LB_ENV, SCALAR_ENV,
+        batching_enabled, lower_bounds_enabled, shard_bounds_enabled, simd_enabled,
+        BoundedDistance, CountingDistance, Dtw, Edr, Eged, EgedMetric, Lcs, LowerBound, LpNorm,
+        MetricDistance, SeqSummary, SequenceDistance, SummaryEnvelope, NO_BATCH_ENV, NO_LB_ENV,
+        NO_SHARD_LB_ENV, SCALAR_ENV,
     };
     pub use strg_graph::{
         decompose, BackgroundGraph, DecomposeConfig, ObjectGraph, Point2, Rag, Rgb, Scalarization,

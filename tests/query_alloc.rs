@@ -10,7 +10,8 @@
 //! (DESIGN.md §13).
 //!
 //! The proof holds in the hatch-free production configuration: the env
-//! hatches (`STRG_SCALAR`, `STRG_NO_LB`, `STRG_NO_SHARD_LB`) are re-read
+//! hatches (`STRG_SCALAR`, `STRG_NO_LB`, `STRG_NO_SHARD_LB`,
+//! `STRG_NO_BATCH`) are re-read
 //! per query, and `std::env::var` only allocates its `String` result when
 //! the variable is **set** — absent variables are alloc-free. The tests
 //! therefore clear the hatches up front; `scripts/ci.sh` runs this binary
@@ -23,7 +24,10 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use strg::core::{sharded_knn_into, sharded_range_into, QueryScratch, ShardScratch};
+use strg::core::{
+    sharded_knn_into, sharded_query_batch_into, sharded_range_into, BatchItem, BatchKind,
+    BatchScratch, QueryScratch, ShardBatchScratch, ShardScratch,
+};
 use strg::distance::SCALAR_ENV;
 use strg::mtree::MtreeScratch;
 use strg::prelude::*;
@@ -66,6 +70,7 @@ fn clear_hatches() {
     std::env::remove_var(SCALAR_ENV);
     std::env::remove_var(NO_LB_ENV);
     std::env::remove_var(NO_SHARD_LB_ENV);
+    std::env::remove_var(NO_BATCH_ENV);
 }
 
 /// Synthetic trajectory workload at a scale where clusters, leaves and
@@ -194,6 +199,91 @@ fn steady_state_sharded_queries_allocate_nothing() {
         scratch.grow_events(),
         grows_warm,
         "shard arena kept growing"
+    );
+}
+
+/// Steady-state *batched* execution holds the same discipline: one
+/// shared descent over a warm [`BatchScratch`] answers a mixed
+/// k-NN/range batch (duplicates included) without touching the
+/// allocator, on a single tree and through the sequential sharded
+/// fan-out's [`ShardBatchScratch`].
+#[test]
+fn steady_state_batched_queries_allocate_nothing() {
+    clear_hatches();
+    let idx = build_index(dataset(240, 11), 5);
+    let qs = queries(6, 999);
+    let mut scratch = BatchScratch::new();
+
+    let mut warm_scratch = QueryScratch::new();
+    let (warm_hits, _) = idx.knn_with_cost_into(&qs[0], 5, &mut warm_scratch);
+    assert!(!warm_hits.is_empty(), "workload produced hits");
+    let radius = warm_hits.last().unwrap().dist * 1.5;
+
+    // A mixed batch wider than the query pool, so duplicates share work.
+    let items: Vec<BatchItem<'_, Point2>> = (0..16)
+        .map(|i| BatchItem {
+            kind: if i % 3 == 1 {
+                BatchKind::Range(radius)
+            } else {
+                BatchKind::Knn(1 + i % 5)
+            },
+            query: &qs[i % qs.len()],
+            root_filter: None,
+        })
+        .collect();
+
+    for _ in 0..2 {
+        idx.query_batch_with_cost_into(&items, &mut scratch);
+    }
+    let grows_warm = scratch.grow_events();
+    assert!(!scratch.hits(0).is_empty(), "batched queries produced hits");
+    assert!(
+        (0..items.len()).any(|i| scratch.cost(i).batch_shared_accesses > 0),
+        "duplicate-heavy batch shared no node accesses"
+    );
+
+    let before = alloc_events();
+    for _ in 0..3 {
+        idx.query_batch_with_cost_into(&items, &mut scratch);
+    }
+    let delta = alloc_events() - before;
+    assert_eq!(
+        delta, 0,
+        "steady-state batched queries performed {delta} heap allocations"
+    );
+    assert_eq!(
+        scratch.grow_events(),
+        grows_warm,
+        "batch arena kept growing"
+    );
+
+    // The sequential sharded fan-out reuses the same discipline: the
+    // shard arena prefetches one batched descent per shard and replays
+    // the merge allocation-free.
+    let shards: Vec<_> = (0..3)
+        .map(|s| build_index(dataset(90, 20 + s), 7 + s))
+        .collect();
+    let idxs: Vec<&StrgIndex<Point2, EgedMetric<Point2>>> = shards.iter().collect();
+    let mut shard_scratch = ShardBatchScratch::new();
+    for _ in 0..2 {
+        sharded_query_batch_into(&idxs, &items, Threads::Fixed(1), &mut shard_scratch);
+    }
+    let grows_warm = shard_scratch.grow_events();
+    assert!(!shard_scratch.hits(0).is_empty(), "fan-out produced hits");
+
+    let before = alloc_events();
+    for _ in 0..3 {
+        sharded_query_batch_into(&idxs, &items, Threads::Fixed(1), &mut shard_scratch);
+    }
+    let delta = alloc_events() - before;
+    assert_eq!(
+        delta, 0,
+        "steady-state batched fan-outs performed {delta} heap allocations"
+    );
+    assert_eq!(
+        shard_scratch.grow_events(),
+        grows_warm,
+        "shard batch arena kept growing"
     );
 }
 
